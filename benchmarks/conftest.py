@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The benchmarks double as the paper-reproduction harness: each one regenerates
+a table or figure and prints it, so ``pytest benchmarks/ --benchmark-only -s``
+shows the reproduced rows next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling helpers module importable regardless of rootdir settings.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,37 @@
+"""Ablation: exponential-decay gamma sweep (the paper fixes gamma = -3)."""
+
+from repro.experiments import RunConfig, run_single
+from repro.utils.textplot import ascii_table
+
+from bench_utils import emit, run_once
+from helpers import bench_scale
+
+GAMMAS = (-1.0, -3.0, -6.0, -9.0)
+
+
+def test_ablation_exponential_gamma(benchmark):
+    scale = bench_scale()
+
+    def run():
+        rows = []
+        for gamma in GAMMAS:
+            row = [f"gamma={gamma:g}"]
+            for budget in (0.05, 0.5):
+                record = run_single(
+                    RunConfig(
+                        setting="RN20-CIFAR10",
+                        schedule="exponential",
+                        optimizer="sgdm",
+                        budget_fraction=budget,
+                        schedule_kwargs={"gamma": gamma},
+                        size_scale=scale["size_scale"],
+                        epoch_scale=scale["epoch_scale"],
+                    )
+                )
+                row.append(f"{record.metric:.2f}")
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("ablation_exp_gamma", ascii_table(rows, headers=["Exp decay", "5% budget", "50% budget"]))
+    assert len(rows) == len(GAMMAS)

@@ -1,0 +1,42 @@
+"""Ablation: generalised REX denominators (alpha/beta) vs the paper's 1/2-1/2 profile."""
+
+from repro.experiments import RunConfig, run_single
+from repro.utils.textplot import ascii_table
+
+from bench_utils import emit, run_once
+from helpers import bench_scale
+
+VARIANTS = {
+    "rex (paper, a=b=0.5)": {"alpha": 0.5, "beta": 0.5},
+    "rex a=0.25 b=0.75": {"alpha": 0.25, "beta": 0.75},
+    "rex a=0.75 b=0.25": {"alpha": 0.75, "beta": 0.25},
+    "rex a=1.0 b=0.0 (linear)": {"alpha": 1.0, "beta": 0.0},
+}
+
+
+def test_ablation_rex_variants(benchmark):
+    scale = bench_scale()
+
+    def run():
+        rows = []
+        for label, kwargs in VARIANTS.items():
+            row = [label]
+            for budget in (0.05, 0.5):
+                record = run_single(
+                    RunConfig(
+                        setting="RN20-CIFAR10",
+                        schedule="rex",
+                        optimizer="sgdm",
+                        budget_fraction=budget,
+                        schedule_kwargs=kwargs,
+                        size_scale=scale["size_scale"],
+                        epoch_scale=scale["epoch_scale"],
+                    )
+                )
+                row.append(f"{record.metric:.2f}")
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("ablation_rex_variants", ascii_table(rows, headers=["Variant", "5% budget", "50% budget"]))
+    assert len(rows) == len(VARIANTS)

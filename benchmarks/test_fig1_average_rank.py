@@ -1,0 +1,23 @@
+"""Figure 1: average rank of each schedule against the training budget (SGDM and Adam)."""
+
+from repro.experiments import average_rank_by_budget, format_rank_table
+
+from bench_utils import emit, run_once
+from helpers import combined_store
+
+
+def test_fig1_average_rank(benchmark):
+    store = run_once(benchmark, combined_store)
+    sections = []
+    for optimizer in ("sgdm", "adam", "adamw"):
+        sub = store.filter(optimizer=optimizer)
+        if len(sub) == 0:
+            continue
+        ranks = average_rank_by_budget(sub, merge_plateau_into_step=True)
+        sections.append(f"-- {optimizer.upper()} --\n" + format_rank_table(ranks))
+    emit("fig1_average_rank", "\n\n".join(sections))
+
+    sgdm_ranks = average_rank_by_budget(store.filter(optimizer="sgdm"), merge_plateau_into_step=True)
+    assert "rex" in sgdm_ranks
+    # each schedule is ranked at every budget it was run on
+    assert len(sgdm_ranks["rex"]) >= 4

@@ -1,0 +1,20 @@
+"""Figure 2: learning-rate profiles under different sampling rates (schedule-space only)."""
+
+from repro.analysis import figure2_data
+from repro.utils.textplot import ascii_plot
+
+from bench_utils import emit, run_once
+
+
+def test_fig2_profiles(benchmark):
+    data = run_once(benchmark, lambda: figure2_data(total_steps=200))
+    panels = []
+    for panel_name, curves in data.items():
+        subset = {k: v for k, v in list(curves.items())[:4]}
+        panels.append(ascii_plot(subset, title=f"Figure 2 panel: {panel_name}", ylabel="lr multiplier"))
+    emit("fig2_profiles", "\n\n".join(panels))
+
+    assert set(data) == {"step_profile", "linear_profile", "rex_profile", "usual_schedules"}
+    for curves in data.values():
+        for curve in curves.values():
+            assert len(curve) == 200

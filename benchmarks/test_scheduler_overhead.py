@@ -1,0 +1,25 @@
+"""Micro-benchmark: per-step overhead of each schedule.
+
+The paper claims REX "requires no added computation, storage, or
+hyperparameters"; this benchmark measures the per-step cost of every schedule
+driving a real optimizer to confirm that schedule choice is computationally
+free relative to a training step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules.base import Parameter
+from repro.optim import SGD
+from repro.schedules import PAPER_SCHEDULES, build_schedule
+
+
+@pytest.mark.parametrize("schedule_name", [s for s in PAPER_SCHEDULES if s != "plateau"])
+def test_schedule_step_overhead(benchmark, schedule_name):
+    optimizer = SGD([Parameter(np.zeros(10))], lr=0.1, momentum=0.9)
+    schedule = build_schedule(schedule_name, optimizer, total_steps=10_000)
+
+    def step():
+        schedule.step()
+
+    benchmark(step)

@@ -1,0 +1,22 @@
+"""Table 11: per-task GLUE scores of the BERT proxy after 1/2/3 epochs."""
+
+from repro.data import GLUE_TASKS
+from repro.utils.textplot import ascii_table
+
+from bench_utils import emit, run_once
+from helpers import glue_store
+
+
+def test_table11_glue_per_task(benchmark):
+    _, results = run_once(benchmark, glue_store)
+    headers = ["Method"] + list(GLUE_TASKS)
+    rows = []
+    for schedule, result in results.items():
+        row = [schedule]
+        for task in GLUE_TASKS:
+            scores = result.per_task_scores[task]
+            row.append("/".join(f"{s:.1f}" for s in scores))
+        rows.append(row)
+    emit("table11_glue_per_task", ascii_table(rows, headers=headers))
+    for result in results.values():
+        assert set(result.per_task_scores) == set(GLUE_TASKS)

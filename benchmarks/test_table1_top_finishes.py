@@ -1,0 +1,18 @@
+"""Table 1: % of Top-1 / Top-3 finishes per schedule, split by budget regime."""
+
+from repro.experiments import format_top_finish_table, top_finish_table
+
+from bench_utils import emit, run_once
+from helpers import combined_store
+
+
+def test_table1_top_finishes(benchmark):
+    store = run_once(benchmark, combined_store)
+    table = top_finish_table(store)
+    emit("table1_top_finishes", format_top_finish_table(table))
+    # Structural checks: plateau is folded into step, every schedule has all regimes.
+    assert "plateau" not in table
+    assert {"low_top1", "high_top1", "overall_top3"} <= set(next(iter(table.values())))
+    # Ties share an average rank (>1), so the Top-1 percentages sum to at most 100%.
+    total_top1 = sum(entry["overall_top1"] for entry in table.values())
+    assert 0.0 < total_top1 <= 100.0 + 1e-6

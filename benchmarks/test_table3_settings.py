@@ -1,0 +1,25 @@
+"""Table 3: summary of the experimental settings (paper vs proxy scale)."""
+
+from repro.experiments import PAPER_SETTINGS, get_setting
+from repro.utils.textplot import ascii_table
+
+from bench_utils import emit, run_once
+
+
+def test_table3_settings(benchmark):
+    def build():
+        rows = []
+        for name in PAPER_SETTINGS:
+            s = get_setting(name)
+            rows.append([s.name, s.model, s.dataset, s.paper_max_epochs, s.max_epochs, ",".join(s.optimizers)])
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "table3_settings",
+        ascii_table(
+            rows,
+            headers=["Setting", "Proxy model", "Proxy dataset", "Paper max epochs", "Proxy max epochs", "Optimizers"],
+        ),
+    )
+    assert len(rows) == 7

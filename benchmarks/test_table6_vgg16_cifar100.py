@@ -1,0 +1,12 @@
+"""Table 6: VGG16-CIFAR100 — every schedule x {SGDM, Adam} x budget grid."""
+
+from repro.experiments import format_setting_table
+
+from bench_utils import emit, run_once
+from helpers import setting_store
+
+
+def test_table6_vgg16_cifar100(benchmark):
+    store = run_once(benchmark, lambda: setting_store("VGG16-CIFAR100"))
+    emit("table6_vgg16_cifar100", format_setting_table(store, "VGG16-CIFAR100"))
+    assert len(store) > 0

@@ -1,0 +1,56 @@
+"""Budgeted training on the CIFAR-10 proxy: compare schedules across budgets.
+
+Reproduces (at example scale) the core experiment of the paper: the same
+model/dataset trained under different budgets, where the schedule decays over
+exactly the allocated budget.  Shows how the step schedule degrades at low
+budgets while REX stays strong everywhere.
+
+Run with::
+
+    python examples/budgeted_cifar.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import RunConfig, format_setting_table, run_single
+from repro.utils.records import RunStore
+
+
+def main(quick: bool = False) -> None:
+    schedules = ("rex", "linear", "step", "cosine", "none")
+    budgets = (0.05, 0.25, 1.0)
+    scale = dict(size_scale=0.3, epoch_scale=0.25) if quick else dict(size_scale=0.6, epoch_scale=0.6)
+
+    store = RunStore()
+    for schedule in schedules:
+        for budget in budgets:
+            record = run_single(
+                RunConfig(
+                    setting="RN20-CIFAR10",
+                    schedule=schedule,
+                    optimizer="sgdm",
+                    budget_fraction=budget,
+                    **scale,
+                )
+            )
+            print(
+                f"schedule={schedule:<8s} budget={budget * 100:5.1f}%  "
+                f"steps={record.extra['total_steps']:4d}  test error={record.metric:6.2f}%"
+            )
+            store.add(record)
+
+    print()
+    print(format_setting_table(store, "RN20-CIFAR10", optimizers=("sgdm",), budgets=budgets))
+    print(
+        "\nReading the table: each column is an independent training budget; the schedule "
+        "decays over exactly that budget. Compare how the step schedule behaves at 5% vs 100% "
+        "and where REX lands."
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a faster, smaller version")
+    main(parser.parse_args().quick)

@@ -1,0 +1,69 @@
+"""Quickstart: attach the REX schedule to a training loop.
+
+This is the minimal end-to-end pattern the library is built around:
+
+1. build a model and an optimizer,
+2. wrap the optimizer in a schedule sized to the *budget* (total steps),
+3. call ``schedule.step()`` once per optimiser update.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.optim import SGD
+from repro.schedules import REXSchedule
+from repro.utils.textplot import ascii_plot
+
+
+def make_toy_dataset(n: int = 512, features: int = 16, classes: int = 4, seed: int = 0):
+    """A small Gaussian-blob classification problem."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, features)) * 2.0
+    labels = rng.integers(0, classes, size=n)
+    x = centers[labels] + rng.standard_normal((n, features)) * 1.5
+    return ArrayDataset(x, labels)
+
+
+def main() -> None:
+    dataset = make_toy_dataset()
+    loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
+
+    model = MLP(in_features=16, num_classes=4, hidden_sizes=(32, 32), seed=0)
+    optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9)
+
+    # The budget: train for exactly 5 passes over the data.
+    total_steps = 5 * len(loader)
+    schedule = REXSchedule(optimizer, total_steps=total_steps)
+
+    losses, lrs = [], []
+    step = 0
+    while step < total_steps:
+        for images, labels in loader:
+            if step >= total_steps:
+                break
+            lr = schedule.step()                    # 1. update the learning rate
+            logits = model(nn.Tensor(images))       # 2. forward
+            loss = nn.losses.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()                         # 3. backward
+            optimizer.step()                        # 4. optimizer update
+            losses.append(float(loss.data))
+            lrs.append(lr)
+            step += 1
+
+    print(ascii_plot({"train loss": losses}, title="Training loss under the REX schedule"))
+    print()
+    print(ascii_plot({"learning rate": lrs}, title="REX learning-rate curve", ylabel="lr"))
+    print(f"\nfinal loss: {losses[-1]:.4f}   first loss: {losses[0]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so the
+PEP 517 editable-install path (which needs ``bdist_wheel``) is unavailable.
+Keeping a ``setup.py`` allows ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) to work; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "REX: Revisiting Budgeted Training with an Improved Schedule".
+
+Sub-packages
+------------
+``repro.schedules``
+    The paper's contribution: the profile / sampling-rate framework, the REX
+    schedule and every baseline schedule from the evaluation.
+``repro.nn`` / ``repro.optim``
+    A from-scratch numpy autograd + optimizer substrate replacing PyTorch.
+``repro.data`` / ``repro.models``
+    Synthetic proxy datasets and proxy architectures for the paper's seven
+    experimental settings.
+``repro.training``
+    Budgets, task adapters, the Trainer, metrics and callbacks.
+``repro.experiments`` / ``repro.analysis``
+    The harness that regenerates every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro.models import MLP
+>>> from repro.optim import SGD
+>>> from repro.schedules import REXSchedule
+>>> model = MLP(in_features=16, num_classes=2)
+>>> optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+>>> schedule = REXSchedule(optimizer, total_steps=1000)
+>>> # inside the training loop: schedule.step(); loss.backward(); optimizer.step()
+"""
+
+from repro import nn
+from repro import optim
+from repro import schedules
+from repro import data
+from repro import models
+from repro import training
+from repro import experiments
+from repro import analysis
+from repro import utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "optim",
+    "schedules",
+    "data",
+    "models",
+    "training",
+    "experiments",
+    "analysis",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Analyses behind the paper's figures and cross-cutting tables."""
+
+from repro.analysis.profile_curves import (
+    PAPER_PROFILES,
+    profile_sampling_curves,
+    usual_schedule_curves,
+    figure2_data,
+)
+from repro.analysis.profiles_vs_sampling import (
+    ProfileSamplingConfig,
+    run_profile_sampling_cell,
+    run_profile_sampling_grid,
+    table2_rows,
+)
+from repro.analysis.delayed_linear import (
+    FIGURE3_PANELS,
+    DelayedLinearStudyConfig,
+    run_delayed_linear_study,
+    delayed_linear_series,
+    step_100pct_reference,
+)
+from repro.analysis.lr_sensitivity import (
+    FIGURE4_PANELS,
+    LRSensitivityConfig,
+    run_lr_sensitivity,
+    lr_sensitivity_series,
+)
+
+__all__ = [
+    "PAPER_PROFILES",
+    "profile_sampling_curves",
+    "usual_schedule_curves",
+    "figure2_data",
+    "ProfileSamplingConfig",
+    "run_profile_sampling_cell",
+    "run_profile_sampling_grid",
+    "table2_rows",
+    "FIGURE3_PANELS",
+    "DelayedLinearStudyConfig",
+    "run_delayed_linear_study",
+    "delayed_linear_series",
+    "step_100pct_reference",
+    "FIGURE4_PANELS",
+    "LRSensitivityConfig",
+    "run_lr_sensitivity",
+    "lr_sensitivity_series",
+]

@@ -1,0 +1,93 @@
+"""Figure 3: REX vs linear vs delayed-linear schedules across budgets.
+
+The paper motivates REX by showing that delaying the onset of linear decay
+helps in the high-budget regime but hurts (or adds nothing) in the low-budget
+regime, and that the delay fraction is an extra hyperparameter.  This module
+sweeps the delayed-linear family alongside REX and the plain linear schedule
+across the budget grid for the Figure 3 settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import RunConfig, run_single
+from repro.utils.records import RunStore
+
+__all__ = ["DelayedLinearStudyConfig", "run_delayed_linear_study", "delayed_linear_series"]
+
+#: the four panels of Figure 3: (setting, optimizer)
+FIGURE3_PANELS: tuple[tuple[str, str], ...] = (
+    ("VGG16-CIFAR100", "sgdm"),
+    ("VGG16-CIFAR100", "adam"),
+    ("RN38-CIFAR100", "sgdm"),
+    ("RN38-CIFAR100", "adam"),
+)
+
+
+@dataclass(frozen=True)
+class DelayedLinearStudyConfig:
+    """Configuration of the Figure 3 sweep for one panel."""
+
+    setting: str = "VGG16-CIFAR100"
+    optimizer: str = "sgdm"
+    delay_fractions: tuple[float, ...] = (0.25, 0.50, 0.75)
+    budget_fractions: tuple[float, ...] = (0.05, 0.10, 0.25, 0.50, 1.0)
+    seed: int = 0
+    size_scale: float = 1.0
+    epoch_scale: float = 1.0
+
+
+def run_delayed_linear_study(config: DelayedLinearStudyConfig) -> RunStore:
+    """Train REX, linear, step and each delayed-linear variant across budgets."""
+    store = RunStore()
+    methods: list[tuple[str, dict]] = [
+        ("rex", {}),
+        ("linear", {}),
+        ("step", {}),
+    ]
+    for delay in config.delay_fractions:
+        methods.append(("delayed_linear", {"delay_fraction": delay}))
+
+    for budget in config.budget_fractions:
+        for schedule, kwargs in methods:
+            record = run_single(
+                RunConfig(
+                    setting=config.setting,
+                    schedule=schedule,
+                    optimizer=config.optimizer,
+                    budget_fraction=budget,
+                    seed=config.seed,
+                    size_scale=config.size_scale,
+                    epoch_scale=config.epoch_scale,
+                    schedule_kwargs=kwargs,
+                )
+            )
+            if schedule == "delayed_linear":
+                label = f"linear_delayed_{int(kwargs['delay_fraction'] * 100)}"
+                record = type(record)(
+                    **{**record.to_dict(), "schedule": label}
+                )
+            store.add(record)
+    return store
+
+
+def delayed_linear_series(store: RunStore) -> dict[str, dict[float, float]]:
+    """Convert the study's records into Figure 3 series: schedule -> {budget: metric}."""
+    series: dict[str, dict[float, float]] = {}
+    for (schedule,), sub in store.group_by("schedule").items():
+        by_budget: dict[float, float] = {}
+        for (budget,), cell in sub.group_by("budget_fraction").items():
+            by_budget[float(budget)] = cell.mean_metric()
+        series[schedule] = dict(sorted(by_budget.items()))
+    return series
+
+
+def step_100pct_reference(store: RunStore) -> float | None:
+    """The red dashed line of Figure 3: the step schedule's error at the full budget."""
+    sub = store.filter(schedule="step", budget_fraction=1.0)
+    if len(sub) == 0:
+        return None
+    return sub.mean_metric()

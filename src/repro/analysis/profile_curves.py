@@ -1,0 +1,81 @@
+"""Figure 2: schedule profiles under different sampling rates.
+
+This is a pure schedule-space analysis — no training involved.  It produces
+the learning-rate curves of the step, linear and REX profiles sampled at each
+of the paper's sampling rates, plus the "usual" form of each popular schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedules import (
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    OneCycleSchedule,
+    ProfileSchedule,
+    REXSchedule,
+    StepSchedule,
+)
+from repro.schedules.profiles import (
+    LinearProfile,
+    Profile,
+    REXProfile,
+    StepApproxProfile,
+)
+from repro.schedules.sampling import PAPER_SAMPLING_RATES
+
+__all__ = [
+    "PAPER_PROFILES",
+    "profile_sampling_curves",
+    "usual_schedule_curves",
+    "figure2_data",
+]
+
+#: the three profiles compared in Figure 2 / Table 2 of the paper
+PAPER_PROFILES: dict[str, Profile] = {
+    "step": StepApproxProfile(),
+    "linear": LinearProfile(),
+    "rex": REXProfile(),
+}
+
+
+def profile_sampling_curves(
+    profile: Profile, total_steps: int = 200, base_lr: float = 1.0
+) -> dict[str, np.ndarray]:
+    """Learning-rate curve of one profile under every paper sampling rate."""
+    curves: dict[str, np.ndarray] = {}
+    for label, sampling in PAPER_SAMPLING_RATES.items():
+        schedule = ProfileSchedule(
+            optimizer=None,
+            total_steps=total_steps,
+            profile=profile,
+            sampling=sampling,
+            base_lr=base_lr,
+        )
+        curves[label] = schedule.sequence()
+    return curves
+
+
+def usual_schedule_curves(total_steps: int = 200, base_lr: float = 1.0) -> dict[str, np.ndarray]:
+    """The right-hand panel of Figure 2: each schedule with its usual sampling rate."""
+    schedules = {
+        "step": StepSchedule(None, total_steps, base_lr=base_lr),
+        "linear": LinearSchedule(None, total_steps, base_lr=base_lr),
+        "cosine": CosineSchedule(None, total_steps, base_lr=base_lr),
+        "exponential": ExponentialSchedule(None, total_steps, base_lr=base_lr),
+        "onecycle": OneCycleSchedule(None, total_steps, base_lr=base_lr),
+        "rex": REXSchedule(None, total_steps, base_lr=base_lr),
+    }
+    return {name: schedule.sequence() for name, schedule in schedules.items()}
+
+
+def figure2_data(total_steps: int = 200, base_lr: float = 1.0) -> dict[str, dict[str, np.ndarray]]:
+    """All four panels of Figure 2 keyed by panel name."""
+    return {
+        "step_profile": profile_sampling_curves(PAPER_PROFILES["step"], total_steps, base_lr),
+        "linear_profile": profile_sampling_curves(PAPER_PROFILES["linear"], total_steps, base_lr),
+        "rex_profile": profile_sampling_curves(PAPER_PROFILES["rex"], total_steps, base_lr),
+        "usual_schedules": usual_schedule_curves(total_steps, base_lr),
+    }

@@ -1,0 +1,133 @@
+"""Table 2: profile x sampling-rate benchmark.
+
+The paper trains ResNet-20 and ResNet-38 on CIFAR-10 with SGDM, crossing the
+three profiles (approximated step, linear, REX) with seven sampling rates at
+three budget levels, and finds that no profile is optimal across sampling
+rates.  This module reproduces that grid on the proxy workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.profile_curves import PAPER_PROFILES
+from repro.experiments.settings import get_setting
+from repro.experiments.workloads import build_workload
+from repro.optim import build_optimizer
+from repro.schedules.sampling import PAPER_SAMPLING_RATES
+from repro.schedules.schedule import ProfileSchedule
+from repro.training.budget import Budget
+from repro.training.callbacks import LossNaNGuard
+from repro.training.trainer import Trainer
+from repro.utils.records import RunRecord, RunStore
+
+__all__ = ["ProfileSamplingConfig", "run_profile_sampling_cell", "run_profile_sampling_grid"]
+
+
+@dataclass(frozen=True)
+class ProfileSamplingConfig:
+    """Configuration of the Table 2 grid for one setting."""
+
+    setting: str = "RN20-CIFAR10"
+    optimizer: str = "sgdm"
+    profiles: tuple[str, ...] = ("step", "linear", "rex")
+    sampling_rates: tuple[str, ...] = tuple(PAPER_SAMPLING_RATES)
+    budget_fractions: tuple[float, ...] = (0.05, 0.25, 1.0)
+    seed: int = 0
+    learning_rate: float | None = None
+    size_scale: float = 1.0
+    epoch_scale: float = 1.0
+
+
+def run_profile_sampling_cell(
+    config: ProfileSamplingConfig, profile_name: str, sampling_name: str, budget_fraction: float
+) -> RunRecord:
+    """Train one (profile, sampling rate, budget) cell with a fixed learning rate."""
+    if profile_name not in PAPER_PROFILES:
+        raise KeyError(f"unknown profile {profile_name!r}; known: {sorted(PAPER_PROFILES)}")
+    if sampling_name not in PAPER_SAMPLING_RATES:
+        raise KeyError(f"unknown sampling rate {sampling_name!r}; known: {sorted(PAPER_SAMPLING_RATES)}")
+
+    setting = get_setting(config.setting)
+    workload = build_workload(setting, seed=config.seed, size_scale=config.size_scale)
+    lr = config.learning_rate if config.learning_rate is not None else setting.base_lr(config.optimizer)
+    optimizer = build_optimizer(config.optimizer, workload.model.parameters(), lr=lr)
+
+    max_epochs = max(1, round(setting.max_epochs * config.epoch_scale))
+    budget = Budget(
+        max_epochs=max_epochs,
+        fraction=budget_fraction,
+        steps_per_epoch=workload.steps_per_epoch,
+    )
+    schedule = ProfileSchedule(
+        optimizer,
+        total_steps=budget.total_steps,
+        profile=PAPER_PROFILES[profile_name],
+        sampling=PAPER_SAMPLING_RATES[sampling_name],
+        base_lr=lr,
+        steps_per_epoch=workload.steps_per_epoch,
+    )
+
+    guard = LossNaNGuard()
+    trainer = Trainer(
+        model=workload.model,
+        optimizer=optimizer,
+        task=workload.task,
+        train_loader=workload.train_loader,
+        eval_loader=workload.eval_loader,
+        schedule=schedule,
+        callbacks=[guard],
+    )
+    history = trainer.fit(budget.total_steps)
+    metric = history.final_metrics.get(workload.task.primary_metric, float("nan"))
+    if guard.tripped:
+        metric = float("inf")
+
+    return RunRecord(
+        setting=setting.name,
+        optimizer=config.optimizer,
+        schedule=f"{profile_name}@{sampling_name}",
+        budget_fraction=float(budget_fraction),
+        learning_rate=lr,
+        seed=config.seed,
+        metric=float(metric),
+        metric_name=workload.task.primary_metric,
+        higher_is_better=workload.task.higher_is_better,
+        extra={"profile": profile_name, "sampling": sampling_name},
+    )
+
+
+def run_profile_sampling_grid(config: ProfileSamplingConfig) -> RunStore:
+    """Run the full Table 2 grid for one setting and return all records."""
+    store = RunStore()
+    for budget_fraction in config.budget_fractions:
+        for sampling_name in config.sampling_rates:
+            for profile_name in config.profiles:
+                store.add(
+                    run_profile_sampling_cell(config, profile_name, sampling_name, budget_fraction)
+                )
+    return store
+
+
+def table2_rows(store: RunStore, budget_fractions: Sequence[float]) -> tuple[list[list[str]], list[str]]:
+    """Format the grid like the paper's Table 2: rows = sampling rates, columns = budget x profile."""
+    profiles = ("step", "linear", "rex")
+    sampling_order = [s for s in PAPER_SAMPLING_RATES]
+    headers = ["Sampling Rate"]
+    for budget in budget_fractions:
+        for profile in profiles:
+            headers.append(f"{budget * 100:g}% {profile}")
+    rows: list[list[str]] = []
+    for sampling in sampling_order:
+        row = [sampling]
+        for budget in budget_fractions:
+            for profile in profiles:
+                sub = store.where(
+                    lambda r: r.extra.get("profile") == profile
+                    and r.extra.get("sampling") == sampling
+                    and abs(r.budget_fraction - budget) < 1e-9
+                )
+                row.append(f"{sub.mean_metric():.2f}" if len(sub) else "—")
+        rows.append(row)
+    return rows, headers

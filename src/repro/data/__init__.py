@@ -1,0 +1,56 @@
+"""Datasets and loaders: synthetic proxies for every workload in the paper."""
+
+from repro.data.dataset import Dataset, ArrayDataset, Subset, DataLoader, train_test_split
+from repro.data.synthetic import (
+    ImageClassificationSpec,
+    make_image_classification,
+    SequenceTaskSpec,
+    make_sequence_classification,
+    make_detection_scenes,
+)
+from repro.data.images import (
+    SyntheticImageClassification,
+    SyntheticCIFAR10,
+    SyntheticCIFAR100,
+    SyntheticSTL10,
+    SyntheticImageNet,
+    SyntheticMNIST,
+)
+from repro.data.detection import SyntheticDetection
+from repro.data.glue import GLUE_TASKS, GlueTask, SyntheticGlueTask, glue_task_specs
+from repro.data.transforms import (
+    Normalize,
+    RandomHorizontalFlip,
+    RandomCrop,
+    Compose,
+    TransformedDataset,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "train_test_split",
+    "ImageClassificationSpec",
+    "make_image_classification",
+    "SequenceTaskSpec",
+    "make_sequence_classification",
+    "make_detection_scenes",
+    "SyntheticImageClassification",
+    "SyntheticCIFAR10",
+    "SyntheticCIFAR100",
+    "SyntheticSTL10",
+    "SyntheticImageNet",
+    "SyntheticMNIST",
+    "SyntheticDetection",
+    "GLUE_TASKS",
+    "GlueTask",
+    "SyntheticGlueTask",
+    "glue_task_specs",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "Compose",
+    "TransformedDataset",
+]

@@ -1,0 +1,52 @@
+"""Proxy object-detection dataset for the YOLO-VOC setting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import make_detection_scenes
+
+__all__ = ["SyntheticDetection"]
+
+
+class SyntheticDetection(ArrayDataset):
+    """Synthetic Pascal-VOC stand-in: scenes with 1-3 coloured square objects.
+
+    Targets are YOLO-style grid tensors ``(G, G, 5 + num_classes)``; see
+    :func:`repro.data.synthetic.make_detection_scenes`.
+    """
+
+    def __init__(
+        self,
+        split: str = "train",
+        seed: int = 0,
+        size_scale: float = 1.0,
+        image_size: int = 16,
+        grid_size: int = 4,
+        num_classes: int = 3,
+    ) -> None:
+        if split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+        num = max(32, int((512 if split == "train" else 128) * size_scale))
+        # Different seeds for the two splits so the test set is held out.
+        images, targets = make_detection_scenes(
+            num,
+            image_size=image_size,
+            grid_size=grid_size,
+            num_classes=num_classes,
+            seed=seed if split == "train" else seed + 10_000,
+        )
+        self.split = split
+        self.image_size = image_size
+        self.grid_size = grid_size
+        self.num_classes = num_classes
+        super().__init__(images, targets)
+
+    @classmethod
+    def splits(
+        cls, seed: int = 0, size_scale: float = 1.0
+    ) -> tuple["SyntheticDetection", "SyntheticDetection"]:
+        return cls("train", seed=seed, size_scale=size_scale), cls(
+            "test", seed=seed, size_scale=size_scale
+        )

@@ -1,0 +1,99 @@
+"""Proxy GLUE benchmark for the BERT fine-tuning setting.
+
+The real GLUE suite has nine tasks (the paper excludes WNLI and reports the
+remaining eight).  Each proxy task is a synthetic token-sequence problem with
+the same *type* as its namesake:
+
+=========  =====================  ============================  ==========
+Task       Type                   Proxy construction            Metric
+=========  =====================  ============================  ==========
+CoLA       single-sentence, 2cls  token-balance threshold       Matthews
+SST-2      single-sentence, 2cls  token-balance threshold       accuracy
+MRPC       sentence-pair,  2cls   token-overlap threshold       F1
+QQP        sentence-pair,  2cls   token-overlap threshold       F1
+STS-B      sentence-pair,  reg    token-overlap score           Pearson/Spearman
+MNLI       sentence-pair,  3cls   token-overlap terciles        accuracy
+QNLI       sentence-pair,  2cls   token-overlap threshold       accuracy
+RTE        sentence-pair,  2cls   token-overlap threshold       accuracy
+=========  =====================  ============================  ==========
+
+Relative dataset sizes follow GLUE (RTE/MRPC/CoLA small, MNLI/QQP large),
+scaled down by three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import SequenceTaskSpec, make_sequence_classification
+
+__all__ = ["GLUE_TASKS", "GlueTask", "SyntheticGlueTask", "glue_task_specs"]
+
+
+@dataclass(frozen=True)
+class GlueTask:
+    """Description of one proxy GLUE task."""
+
+    name: str
+    spec: SequenceTaskSpec
+    metric: str  # "accuracy" | "matthews" | "f1" | "pearson_spearman"
+
+
+def glue_task_specs(size_scale: float = 1.0, seq_len: int = 16, vocab_size: int = 64) -> list[GlueTask]:
+    """Build the eight proxy task descriptions (WNLI excluded, as in the paper)."""
+    if size_scale <= 0:
+        raise ValueError("size_scale must be positive")
+
+    def n(base: int) -> int:
+        return max(48, int(base * size_scale))
+
+    def spec(name: str, base_train: int, *, pair: bool, classes: int = 2, regression: bool = False) -> SequenceTaskSpec:
+        return SequenceTaskSpec(
+            name=name,
+            num_train=n(base_train),
+            num_test=n(max(64, base_train // 4)),
+            seq_len=seq_len,
+            vocab_size=vocab_size,
+            num_classes=classes,
+            pair=pair,
+            regression=regression,
+        )
+
+    return [
+        GlueTask("CoLA", spec("CoLA", 128, pair=False), "matthews"),
+        GlueTask("MNLI", spec("MNLI", 512, pair=True, classes=3), "accuracy"),
+        GlueTask("MRPC", spec("MRPC", 96, pair=True), "f1"),
+        GlueTask("QNLI", spec("QNLI", 256, pair=True), "accuracy"),
+        GlueTask("QQP", spec("QQP", 512, pair=True), "f1"),
+        GlueTask("RTE", spec("RTE", 80, pair=True), "accuracy"),
+        GlueTask("SST-2", spec("SST-2", 256, pair=False), "accuracy"),
+        GlueTask("STS-B", spec("STS-B", 128, pair=True, classes=1, regression=True), "pearson_spearman"),
+    ]
+
+
+#: canonical task list at default scale (names only; use glue_task_specs for data)
+GLUE_TASKS: tuple[str, ...] = ("CoLA", "MNLI", "MRPC", "QNLI", "QQP", "RTE", "SST-2", "STS-B")
+
+
+class SyntheticGlueTask(ArrayDataset):
+    """Materialised split of one proxy GLUE task: (tokens, segments, label)."""
+
+    def __init__(self, task: GlueTask, split: str = "train", seed: int = 0) -> None:
+        if split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+        tr_tok, tr_seg, tr_y, te_tok, te_seg, te_y = make_sequence_classification(task.spec, seed=seed)
+        self.task = task
+        self.split = split
+        self.num_classes = task.spec.num_classes
+        self.regression = task.spec.regression
+        if split == "train":
+            super().__init__(tr_tok, tr_seg, tr_y)
+        else:
+            super().__init__(te_tok, te_seg, te_y)
+
+    @classmethod
+    def splits(cls, task: GlueTask, seed: int = 0) -> tuple["SyntheticGlueTask", "SyntheticGlueTask"]:
+        return cls(task, "train", seed=seed), cls(task, "test", seed=seed)

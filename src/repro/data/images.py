@@ -1,0 +1,146 @@
+"""Proxy image-classification datasets for the paper's vision settings.
+
+Each class stands in for one of the paper's datasets (CIFAR-10, CIFAR-100,
+STL-10, ImageNet) with the same *relative* character — number of classes,
+samples-per-class ratio, image size ratio — at laptop scale.  See DESIGN.md
+for the substitution rationale.
+
+``size_scale`` uniformly scales the number of samples, so quick tests can use
+``size_scale=0.25`` while benchmark runs use the defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import ImageClassificationSpec, make_image_classification
+
+__all__ = [
+    "SyntheticImageClassification",
+    "SyntheticCIFAR10",
+    "SyntheticCIFAR100",
+    "SyntheticSTL10",
+    "SyntheticImageNet",
+    "SyntheticMNIST",
+]
+
+
+class SyntheticImageClassification(ArrayDataset):
+    """Base class: materialises a synthetic image-classification split."""
+
+    #: default spec; subclasses override
+    spec = ImageClassificationSpec(num_classes=10, num_train=512, num_test=256)
+
+    def __init__(self, split: str = "train", seed: int = 0, size_scale: float = 1.0) -> None:
+        if split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+        if size_scale <= 0:
+            raise ValueError(f"size_scale must be positive, got {size_scale}")
+        spec = self.spec
+        if size_scale != 1.0:
+            spec = ImageClassificationSpec(
+                num_classes=spec.num_classes,
+                num_train=max(spec.num_classes, int(spec.num_train * size_scale)),
+                num_test=max(spec.num_classes, int(spec.num_test * size_scale)),
+                image_size=spec.image_size,
+                channels=spec.channels,
+                noise_std=spec.noise_std,
+                template_scale=spec.template_scale,
+            )
+        x_train, y_train, x_test, y_test = make_image_classification(spec, seed=seed)
+        self.split = split
+        self.num_classes = spec.num_classes
+        self.image_size = spec.image_size
+        self.channels = spec.channels
+        if split == "train":
+            super().__init__(x_train, y_train)
+        else:
+            super().__init__(x_test, y_test)
+
+    @classmethod
+    def splits(
+        cls, seed: int = 0, size_scale: float = 1.0
+    ) -> tuple["SyntheticImageClassification", "SyntheticImageClassification"]:
+        """Convenience constructor returning (train, test)."""
+        return cls("train", seed=seed, size_scale=size_scale), cls(
+            "test", seed=seed, size_scale=size_scale
+        )
+
+
+class SyntheticCIFAR10(SyntheticImageClassification):
+    """Proxy for CIFAR-10: 10 classes, many samples per class, small images."""
+
+    spec = ImageClassificationSpec(
+        num_classes=10, num_train=640, num_test=320, image_size=8, channels=3, noise_std=1.0
+    )
+
+
+class SyntheticCIFAR100(SyntheticImageClassification):
+    """Proxy for CIFAR-100: 20 classes (compressed from 100), fewer samples per class.
+
+    The class count is reduced from 100 to 20 to keep per-class sample counts
+    meaningful at proxy scale while preserving the "many classes, harder task"
+    character relative to the CIFAR-10 proxy.
+    """
+
+    spec = ImageClassificationSpec(
+        num_classes=20, num_train=800, num_test=400, image_size=8, channels=3, noise_std=1.1
+    )
+
+
+class SyntheticSTL10(SyntheticImageClassification):
+    """Proxy for STL-10: low sample count, higher resolution."""
+
+    spec = ImageClassificationSpec(
+        num_classes=10, num_train=320, num_test=320, image_size=12, channels=3, noise_std=1.0
+    )
+
+
+class SyntheticImageNet(SyntheticImageClassification):
+    """Proxy for ImageNet: many classes and many samples (only 1%/5% budgets are run)."""
+
+    spec = ImageClassificationSpec(
+        num_classes=40, num_train=1600, num_test=400, image_size=8, channels=3, noise_std=1.0
+    )
+
+
+class SyntheticMNIST(ArrayDataset):
+    """Proxy for MNIST as used by the VAE setting: single-channel images in [0, 1].
+
+    The VAE's target is the image itself, so ``__getitem__`` returns
+    ``(image, image)``.
+    """
+
+    def __init__(
+        self,
+        split: str = "train",
+        seed: int = 0,
+        size_scale: float = 1.0,
+        image_size: int = 8,
+        num_prototypes: int = 10,
+    ) -> None:
+        if split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+        num_train = max(64, int(640 * size_scale))
+        num_test = max(32, int(320 * size_scale))
+        spec = ImageClassificationSpec(
+            num_classes=num_prototypes,
+            num_train=num_train,
+            num_test=num_test,
+            image_size=image_size,
+            channels=1,
+            noise_std=0.4,
+        )
+        x_train, _, x_test, _ = make_image_classification(spec, seed=seed)
+        x = x_train if split == "train" else x_test
+        # Squash into [0, 1] so the Bernoulli reconstruction loss is well posed.
+        x = 1.0 / (1.0 + np.exp(-x))
+        self.split = split
+        self.image_size = image_size
+        self.channels = 1
+        super().__init__(x, x)
+
+    @classmethod
+    def splits(cls, seed: int = 0, size_scale: float = 1.0) -> tuple["SyntheticMNIST", "SyntheticMNIST"]:
+        return cls("train", seed=seed, size_scale=size_scale), cls("test", seed=seed, size_scale=size_scale)

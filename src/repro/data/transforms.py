@@ -1,0 +1,90 @@
+"""Input transforms (normalisation and light augmentation) for image proxies."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["Normalize", "RandomHorizontalFlip", "RandomCrop", "Compose", "TransformedDataset"]
+
+
+class Normalize:
+    """Per-channel standardisation ``(x - mean) / std`` for CHW images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be positive")
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if image.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"image has {image.shape[0]} channels but Normalize expects {self.mean.shape[0]}"
+            )
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 1) -> None:
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        p = self.padding
+        padded = np.pad(image, ((0, 0), (p, p), (p, p)))
+        top = rng.integers(0, 2 * p + 1)
+        left = rng.integers(0, 2 * p + 1)
+        return padded[:, top : top + h, left : left + w]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            image = t(image, rng)
+        return image
+
+
+class TransformedDataset(Dataset):
+    """Wrap a dataset, applying a transform to the first field of each sample."""
+
+    def __init__(self, dataset: Dataset, transform: Callable, seed: int = 0) -> None:
+        self.dataset = dataset
+        self.transform = transform
+        self._rng = spawn_rng("transform", seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, ...]:
+        sample = self.dataset[index]
+        return (self.transform(sample[0], self._rng),) + tuple(sample[1:])

@@ -1,0 +1,63 @@
+"""Experiment harness reproducing the paper's evaluation."""
+
+from repro.experiments.settings import (
+    ExperimentSetting,
+    SETTINGS,
+    PAPER_SETTINGS,
+    get_setting,
+    available_settings,
+)
+from repro.experiments.workloads import Workload, build_workload
+from repro.experiments.runner import RunConfig, run_single, run_budget_sweep, run_setting_table
+from repro.experiments.glue_runner import (
+    GlueRunConfig,
+    GlueResult,
+    run_glue_task,
+    run_glue_benchmark,
+    glue_result_to_records,
+)
+from repro.experiments.grid import lr_grid, TuningResult, tune_learning_rate
+from repro.experiments.ranking import (
+    aggregate_cells,
+    rank_schedules,
+    average_rank_by_budget,
+    top_finish_table,
+    LOW_BUDGET_THRESHOLD,
+)
+from repro.experiments.tables import (
+    setting_table_rows,
+    format_setting_table,
+    format_top_finish_table,
+    format_rank_table,
+)
+
+__all__ = [
+    "ExperimentSetting",
+    "SETTINGS",
+    "PAPER_SETTINGS",
+    "get_setting",
+    "available_settings",
+    "Workload",
+    "build_workload",
+    "RunConfig",
+    "run_single",
+    "run_budget_sweep",
+    "run_setting_table",
+    "GlueRunConfig",
+    "GlueResult",
+    "run_glue_task",
+    "run_glue_benchmark",
+    "glue_result_to_records",
+    "lr_grid",
+    "TuningResult",
+    "tune_learning_rate",
+    "aggregate_cells",
+    "rank_schedules",
+    "average_rank_by_budget",
+    "top_finish_table",
+    "LOW_BUDGET_THRESHOLD",
+    "setting_table_rows",
+    "format_setting_table",
+    "format_top_finish_table",
+    "format_rank_table",
+]

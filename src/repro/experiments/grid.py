@@ -1,0 +1,89 @@
+"""Learning-rate grid tuning.
+
+The paper's protocol: "only the learning rate is tuned in multiples of 3 for
+each schedule, setting, and number of epochs".  :func:`lr_grid` produces that
+multiplicative grid around a base value and :func:`tune_learning_rate` selects
+the best grid point for a given cell by training once per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import RunConfig, run_single
+from repro.utils.records import RunRecord, RunStore
+
+__all__ = ["lr_grid", "TuningResult", "tune_learning_rate"]
+
+
+def lr_grid(base_lr: float, num_steps: int = 1, factor: float = 3.0) -> list[float]:
+    """Multiplicative grid ``base_lr * factor**k`` for ``k in [-num_steps, num_steps]``."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be positive, got {base_lr}")
+    if num_steps < 0:
+        raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1, got {factor}")
+    return [base_lr * factor**k for k in range(-num_steps, num_steps + 1)]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a learning-rate grid search for one cell."""
+
+    best_record: RunRecord
+    all_records: RunStore
+
+    @property
+    def best_lr(self) -> float:
+        return self.best_record.learning_rate
+
+    @property
+    def best_metric(self) -> float:
+        return self.best_record.metric
+
+
+def tune_learning_rate(
+    config: RunConfig,
+    num_steps: int = 1,
+    factor: float = 3.0,
+    candidates: Sequence[float] | None = None,
+) -> TuningResult:
+    """Train the cell once per learning-rate candidate and keep the best.
+
+    ``candidates`` overrides the automatically generated multiples-of-``factor``
+    grid.  Ties resolve to the smaller learning rate (more conservative).
+    """
+    base_lr = config.resolve_lr()
+    grid = list(candidates) if candidates is not None else lr_grid(base_lr, num_steps, factor)
+    if not grid:
+        raise ValueError("the learning-rate grid is empty")
+
+    store = RunStore()
+    best: RunRecord | None = None
+    for lr in sorted(grid):
+        record = run_single(
+            RunConfig(
+                setting=config.setting,
+                schedule=config.schedule,
+                optimizer=config.optimizer,
+                budget_fraction=config.budget_fraction,
+                seed=config.seed,
+                learning_rate=lr,
+                size_scale=config.size_scale,
+                epoch_scale=config.epoch_scale,
+                schedule_kwargs=dict(config.schedule_kwargs),
+            )
+        )
+        store.add(record)
+        if best is None:
+            best = record
+        else:
+            if record.higher_is_better:
+                if record.metric > best.metric:
+                    best = record
+            elif record.metric < best.metric:
+                best = record
+    assert best is not None  # grid is non-empty
+    return TuningResult(best_record=best, all_records=store)

@@ -1,0 +1,177 @@
+"""Rank aggregation across experiments: Table 1 and Figure 1 of the paper.
+
+Figure 1 plots, for each budget, the *average rank* of each schedule across
+all settings (1 = best).  Table 1 reports the percentage of cells in which a
+schedule finished Top-1 or Top-3, split into low-budget (< 25%) and
+high-budget (>= 25%) regimes, with the Decay-on-Plateau variant folded into
+the Step schedule by taking the better of the two per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.records import RunRecord, RunStore
+
+__all__ = [
+    "aggregate_cells",
+    "rank_schedules",
+    "average_rank_by_budget",
+    "top_finish_table",
+    "LOW_BUDGET_THRESHOLD",
+]
+
+#: budgets strictly below this fraction count as "low budget" in Table 1
+LOW_BUDGET_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Mean metric of one (setting, optimizer, budget, schedule) cell."""
+
+    setting: str
+    optimizer: str
+    budget_fraction: float
+    schedule: str
+    metric: float
+    higher_is_better: bool
+
+
+def aggregate_cells(
+    store: RunStore, merge_plateau_into_step: bool = False
+) -> list[CellResult]:
+    """Average seeds within each cell; optionally fold plateau into step.
+
+    The paper's Table 1 aggregates "the Decay on Plateau variant ... into the
+    Step Schedule method where we take the max performance for each setting".
+    """
+    cells: list[CellResult] = []
+    groups = store.group_by("setting", "optimizer", "budget_fraction", "schedule")
+    for (setting, optimizer, budget, schedule), sub in groups.items():
+        cells.append(
+            CellResult(
+                setting=setting,
+                optimizer=optimizer,
+                budget_fraction=float(budget),
+                schedule=schedule,
+                metric=sub.mean_metric(),
+                higher_is_better=sub[0].higher_is_better,
+            )
+        )
+    if not merge_plateau_into_step:
+        return cells
+
+    merged: dict[tuple, CellResult] = {}
+    for cell in cells:
+        schedule = "step" if cell.schedule in ("step", "plateau") else cell.schedule
+        key = (cell.setting, cell.optimizer, cell.budget_fraction, schedule)
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = CellResult(
+                cell.setting, cell.optimizer, cell.budget_fraction, schedule, cell.metric, cell.higher_is_better
+            )
+        else:
+            better = (
+                max(existing.metric, cell.metric)
+                if cell.higher_is_better
+                else min(existing.metric, cell.metric)
+            )
+            merged[key] = CellResult(
+                cell.setting, cell.optimizer, cell.budget_fraction, schedule, better, cell.higher_is_better
+            )
+    return list(merged.values())
+
+
+def _group_cells(cells: list[CellResult]) -> dict[tuple, list[CellResult]]:
+    groups: dict[tuple, list[CellResult]] = {}
+    for cell in cells:
+        groups.setdefault((cell.setting, cell.optimizer, cell.budget_fraction), []).append(cell)
+    return groups
+
+
+def rank_schedules(cells: list[CellResult]) -> dict[tuple, dict[str, float]]:
+    """Rank schedules within each (setting, optimizer, budget) group (1 = best).
+
+    Ties receive the average of the ranks they span.
+    """
+    rankings: dict[tuple, dict[str, float]] = {}
+    for key, group in _group_cells(cells).items():
+        higher = group[0].higher_is_better
+        values = np.array([c.metric for c in group])
+        keyed = -values if higher else values
+        order = np.argsort(keyed, kind="mergesort")
+        ranks = np.empty(len(group), dtype=float)
+        ranks[order] = np.arange(1, len(group) + 1, dtype=float)
+        # average ranks for exact ties
+        for value in np.unique(keyed):
+            mask = keyed == value
+            if mask.sum() > 1:
+                ranks[mask] = ranks[mask].mean()
+        rankings[key] = {c.schedule: float(r) for c, r in zip(group, ranks)}
+    return rankings
+
+
+def average_rank_by_budget(
+    store: RunStore,
+    optimizer: str | None = None,
+    merge_plateau_into_step: bool = False,
+) -> dict[str, dict[float, float]]:
+    """Figure 1: average rank of each schedule at each budget fraction.
+
+    Returns ``{schedule: {budget_fraction: average_rank}}``; restrict to one
+    optimizer with the ``optimizer`` argument (the paper plots SGDM and Adam
+    separately).
+    """
+    filtered = store if optimizer is None else store.filter(optimizer=optimizer)
+    cells = aggregate_cells(filtered, merge_plateau_into_step=merge_plateau_into_step)
+    rankings = rank_schedules(cells)
+
+    accumulator: dict[str, dict[float, list[float]]] = {}
+    for (setting, opt, budget), ranks in rankings.items():
+        for schedule, rank in ranks.items():
+            accumulator.setdefault(schedule, {}).setdefault(budget, []).append(rank)
+    return {
+        schedule: {budget: float(np.mean(values)) for budget, values in by_budget.items()}
+        for schedule, by_budget in accumulator.items()
+    }
+
+
+def top_finish_table(
+    store: RunStore,
+    top_ks: tuple[int, ...] = (1, 3),
+    low_budget_threshold: float = LOW_BUDGET_THRESHOLD,
+) -> dict[str, dict[str, float]]:
+    """Table 1: percentage of Top-k finishes per schedule, by budget regime.
+
+    Returns ``{schedule: {"low_top1": %, "low_top3": %, "high_top1": %,
+    "high_top3": %, "overall_top1": %, "overall_top3": %}}``.  The plateau
+    schedule is merged into step before ranking, as in the paper.
+    """
+    cells = aggregate_cells(store, merge_plateau_into_step=True)
+    rankings = rank_schedules(cells)
+
+    counts: dict[str, dict[str, float]] = {}
+    regime_totals = {"low": 0, "high": 0, "overall": 0}
+    for (setting, optimizer, budget), ranks in rankings.items():
+        regimes = ["overall", "low" if budget < low_budget_threshold else "high"]
+        for regime in regimes:
+            regime_totals[regime] += 1
+        for schedule, rank in ranks.items():
+            entry = counts.setdefault(
+                schedule, {f"{r}_top{k}": 0.0 for r in ("low", "high", "overall") for k in top_ks}
+            )
+            for regime in regimes:
+                for k in top_ks:
+                    if rank <= k:
+                        entry[f"{regime}_top{k}"] += 1.0
+
+    table: dict[str, dict[str, float]] = {}
+    for schedule, entry in counts.items():
+        table[schedule] = {}
+        for regime in ("low", "high", "overall"):
+            total = max(regime_totals[regime], 1)
+            for k in top_ks:
+                table[schedule][f"{regime}_top{k}"] = 100.0 * entry[f"{regime}_top{k}"] / total
+    return table

@@ -1,0 +1,195 @@
+"""Experiment runner: train (setting x schedule x optimizer x budget x seed) cells.
+
+This is the machinery behind Tables 4-9 and (via aggregation) Table 1 and
+Figure 1 of the paper.  Each cell trains a fresh proxy workload for the exact
+step budget, with the chosen schedule decaying over that budget, and records
+the final evaluation metric as a :class:`~repro.utils.records.RunRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.optim import build_optimizer
+from repro.schedules import WarmupWrapper, build_schedule
+from repro.experiments.settings import ExperimentSetting, get_setting
+from repro.experiments.workloads import build_workload
+from repro.training.budget import Budget
+from repro.training.callbacks import LossNaNGuard
+from repro.training.trainer import Trainer
+from repro.utils.records import RunRecord, RunStore
+from repro.utils.seeding import SeedSequence
+
+__all__ = ["RunConfig", "run_single", "run_budget_sweep", "run_setting_table"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One (setting, schedule, optimizer, budget, seed) training cell."""
+
+    setting: str
+    schedule: str
+    optimizer: str
+    budget_fraction: float
+    seed: int = 0
+    learning_rate: float | None = None
+    size_scale: float = 1.0
+    epoch_scale: float = 1.0
+    schedule_kwargs: dict = field(default_factory=dict)
+
+    def resolve_setting(self) -> ExperimentSetting:
+        return get_setting(self.setting)
+
+    def resolve_lr(self) -> float:
+        if self.learning_rate is not None:
+            return self.learning_rate
+        return self.resolve_setting().base_lr(self.optimizer)
+
+
+def _scaled_max_epochs(setting: ExperimentSetting, epoch_scale: float) -> int:
+    if epoch_scale <= 0:
+        raise ValueError("epoch_scale must be positive")
+    return max(1, round(setting.max_epochs * epoch_scale))
+
+
+def run_single(config: RunConfig) -> RunRecord:
+    """Train one cell and return its record.
+
+    The warmup protocol follows the paper: settings with ``warmup_epochs > 0``
+    (YOLO-VOC) prepend a linear warmup that is *not* counted against the
+    budget; the inner schedule still decays over exactly the budgeted steps.
+    """
+    setting = config.resolve_setting()
+    if setting.task == "glue":
+        raise ValueError("use repro.experiments.glue_runner for the BERT-GLUE setting")
+    if config.optimizer.lower() not in setting.optimizers:
+        raise ValueError(
+            f"setting {setting.name} is evaluated with optimizers {setting.optimizers}, "
+            f"got {config.optimizer!r}"
+        )
+
+    workload = build_workload(setting, seed=config.seed, size_scale=config.size_scale)
+    lr = config.resolve_lr()
+    optimizer = build_optimizer(config.optimizer, workload.model.parameters(), lr=lr)
+
+    budget = Budget(
+        max_epochs=_scaled_max_epochs(setting, config.epoch_scale),
+        fraction=config.budget_fraction,
+        steps_per_epoch=workload.steps_per_epoch,
+        warmup_steps=setting.warmup_epochs * workload.steps_per_epoch,
+    )
+
+    schedule = build_schedule(
+        config.schedule,
+        optimizer,
+        total_steps=budget.total_steps,
+        base_lr=lr,
+        steps_per_epoch=workload.steps_per_epoch,
+        **config.schedule_kwargs,
+    )
+    if budget.warmup_steps > 0:
+        schedule = WarmupWrapper(schedule, warmup_steps=budget.warmup_steps, warmup_start_lr=lr * 0.1)
+
+    guard = LossNaNGuard()
+    trainer = Trainer(
+        model=workload.model,
+        optimizer=optimizer,
+        task=workload.task,
+        train_loader=workload.train_loader,
+        eval_loader=workload.eval_loader,
+        schedule=schedule,
+        callbacks=[guard],
+    )
+    history = trainer.fit(budget.total_steps_with_warmup)
+
+    metric_name = workload.task.primary_metric
+    metric = history.final_metrics.get(metric_name, float("nan"))
+    if guard.tripped:
+        # A diverged run still produces a record so rankings remain well defined;
+        # use a sentinel that is strictly worse than any real result.
+        metric = float("inf") if not workload.task.higher_is_better else 0.0
+
+    return RunRecord(
+        setting=setting.name,
+        optimizer=config.optimizer.lower(),
+        schedule=config.schedule.lower(),
+        budget_fraction=float(config.budget_fraction),
+        learning_rate=lr,
+        seed=config.seed,
+        metric=float(metric),
+        metric_name=metric_name,
+        higher_is_better=workload.task.higher_is_better,
+        extra={
+            "total_steps": budget.total_steps,
+            "warmup_steps": budget.warmup_steps,
+            "diverged": guard.tripped,
+            "final_metrics": history.final_metrics,
+        },
+    )
+
+
+def run_budget_sweep(
+    setting: str,
+    schedule: str,
+    optimizer: str,
+    budgets: Sequence[float] | None = None,
+    seeds: Sequence[int] = (0,),
+    learning_rate: float | None = None,
+    size_scale: float = 1.0,
+    epoch_scale: float = 1.0,
+    schedule_kwargs: dict | None = None,
+) -> RunStore:
+    """Train one schedule/optimizer across a budget grid and seeds."""
+    setting_obj = get_setting(setting)
+    budgets = tuple(budgets if budgets is not None else setting_obj.budget_fractions)
+    store = RunStore()
+    for fraction in budgets:
+        for seed in seeds:
+            record = run_single(
+                RunConfig(
+                    setting=setting,
+                    schedule=schedule,
+                    optimizer=optimizer,
+                    budget_fraction=fraction,
+                    seed=seed,
+                    learning_rate=learning_rate,
+                    size_scale=size_scale,
+                    epoch_scale=epoch_scale,
+                    schedule_kwargs=dict(schedule_kwargs or {}),
+                )
+            )
+            store.add(record)
+    return store
+
+
+def run_setting_table(
+    setting: str,
+    schedules: Iterable[str],
+    optimizers: Iterable[str] | None = None,
+    budgets: Sequence[float] | None = None,
+    num_seeds: int = 1,
+    base_seed: int = 0,
+    size_scale: float = 1.0,
+    epoch_scale: float = 1.0,
+) -> RunStore:
+    """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget."""
+    setting_obj = get_setting(setting)
+    optimizers = tuple(optimizers if optimizers is not None else setting_obj.optimizers)
+    seeds = SeedSequence(base_seed=base_seed, namespace=setting_obj.name)
+    seed_list = [seeds.seed_for(i) for i in range(num_seeds)]
+    store = RunStore()
+    for optimizer in optimizers:
+        for schedule in schedules:
+            store.extend(
+                run_budget_sweep(
+                    setting,
+                    schedule,
+                    optimizer,
+                    budgets=budgets,
+                    seeds=seed_list,
+                    size_scale=size_scale,
+                    epoch_scale=epoch_scale,
+                )
+            )
+    return store

@@ -1,0 +1,194 @@
+"""The experimental settings of Table 3, at proxy scale.
+
+Each :class:`ExperimentSetting` maps one row of the paper's Table 3 to the
+proxy model/dataset pair built by this library, together with the proxy-scale
+maximum epoch count and default per-optimizer base learning rates.
+
+``max_epochs`` values are scaled down from the paper (e.g. 300 -> 20) so the
+whole benchmark suite runs on a CPU; budget fractions and the relative budget
+structure (1%-100%) are preserved.  ``paper_max_epochs`` records the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.training.budget import PAPER_BUDGET_FRACTIONS
+
+__all__ = ["ExperimentSetting", "SETTINGS", "get_setting", "available_settings", "PAPER_SETTINGS"]
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """One experimental setting (model + dataset + training protocol)."""
+
+    name: str
+    model: str
+    dataset: str
+    task: str  # "classification" | "vae" | "detection" | "glue"
+    max_epochs: int
+    paper_max_epochs: int
+    batch_size: int
+    base_lrs: dict[str, float] = field(default_factory=dict)
+    optimizers: tuple[str, ...] = ("sgdm", "adam")
+    budget_fractions: tuple[float, ...] = PAPER_BUDGET_FRACTIONS
+    warmup_epochs: int = 0
+    metric_name: str = "error"
+    higher_is_better: bool = False
+    num_classes: int = 10
+    notes: str = ""
+
+    def base_lr(self, optimizer: str) -> float:
+        key = optimizer.lower()
+        if key not in self.base_lrs:
+            raise KeyError(
+                f"setting {self.name!r} has no default learning rate for optimizer {optimizer!r}"
+            )
+        return self.base_lrs[key]
+
+
+SETTINGS: dict[str, ExperimentSetting] = {
+    "RN20-CIFAR10": ExperimentSetting(
+        name="RN20-CIFAR10",
+        model="resnet20",
+        dataset="cifar10",
+        task="classification",
+        max_epochs=20,
+        paper_max_epochs=300,
+        batch_size=64,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        num_classes=10,
+        notes="ResNet-20 on CIFAR-10 (paper Table 4).",
+    ),
+    "RN38-CIFAR10": ExperimentSetting(
+        name="RN38-CIFAR10",
+        model="resnet38",
+        dataset="cifar10",
+        task="classification",
+        max_epochs=20,
+        paper_max_epochs=300,
+        batch_size=64,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        num_classes=10,
+        notes="ResNet-38 on CIFAR-10 (paper Table 2 bottom / Figure 4).",
+    ),
+    "RN38-CIFAR100": ExperimentSetting(
+        name="RN38-CIFAR100",
+        model="resnet38",
+        dataset="cifar100",
+        task="classification",
+        max_epochs=20,
+        paper_max_epochs=300,
+        batch_size=64,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        num_classes=20,
+        notes="ResNet-38 on CIFAR-100 (paper Figure 3 right / Figure 4).",
+    ),
+    "VGG16-CIFAR100": ExperimentSetting(
+        name="VGG16-CIFAR100",
+        model="vgg16",
+        dataset="cifar100",
+        task="classification",
+        max_epochs=20,
+        paper_max_epochs=300,
+        batch_size=64,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        num_classes=20,
+        notes="VGG-16 on CIFAR-100 (paper Table 6, Figure 3 left).",
+    ),
+    "WRN-STL10": ExperimentSetting(
+        name="WRN-STL10",
+        model="wideresnet",
+        dataset="stl10",
+        task="classification",
+        max_epochs=16,
+        paper_max_epochs=200,
+        batch_size=32,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        num_classes=10,
+        notes="Wide ResNet 16-8 on STL-10 (paper Table 5).",
+    ),
+    "RN50-IMAGENET": ExperimentSetting(
+        name="RN50-IMAGENET",
+        model="resnet50",
+        dataset="imagenet",
+        task="classification",
+        max_epochs=40,
+        paper_max_epochs=90,
+        batch_size=64,
+        base_lrs={"sgdm": 0.1, "adam": 0.003},
+        budget_fractions=(0.01, 0.05),
+        num_classes=40,
+        notes="ResNet-50 on ImageNet, low budgets only (paper Table 8).",
+    ),
+    "VAE-MNIST": ExperimentSetting(
+        name="VAE-MNIST",
+        model="vae",
+        dataset="mnist",
+        task="vae",
+        max_epochs=20,
+        paper_max_epochs=200,
+        batch_size=64,
+        base_lrs={"sgdm": 0.03, "adam": 0.003},
+        metric_name="elbo",
+        higher_is_better=False,
+        num_classes=0,
+        notes="VAE on MNIST, generalization loss (paper Table 7).",
+    ),
+    "YOLO-VOC": ExperimentSetting(
+        name="YOLO-VOC",
+        model="detector",
+        dataset="detection",
+        task="detection",
+        max_epochs=16,
+        paper_max_epochs=50,
+        batch_size=32,
+        base_lrs={"adam": 0.003},
+        optimizers=("adam",),
+        warmup_epochs=2,
+        metric_name="map",
+        higher_is_better=True,
+        num_classes=3,
+        notes="YOLO proxy on synthetic VOC; 2 warmup epochs outside the budget (paper Table 9).",
+    ),
+    "BERT-GLUE": ExperimentSetting(
+        name="BERT-GLUE",
+        model="transformer",
+        dataset="glue",
+        task="glue",
+        max_epochs=3,
+        paper_max_epochs=3,
+        batch_size=16,
+        base_lrs={"adamw": 3e-3},
+        optimizers=("adamw",),
+        budget_fractions=(1 / 3, 2 / 3, 1.0),
+        metric_name="glue",
+        higher_is_better=True,
+        num_classes=0,
+        notes="BERT proxy fine-tuned on proxy GLUE for 1/2/3 epochs with AdamW (paper Tables 10-11).",
+    ),
+}
+
+#: the seven settings of the paper's Table 3 (RN38 variants are auxiliary,
+#: used by Table 2 / Figures 3-4)
+PAPER_SETTINGS: tuple[str, ...] = (
+    "RN20-CIFAR10",
+    "RN50-IMAGENET",
+    "VGG16-CIFAR100",
+    "WRN-STL10",
+    "VAE-MNIST",
+    "YOLO-VOC",
+    "BERT-GLUE",
+)
+
+
+def available_settings() -> list[str]:
+    return sorted(SETTINGS)
+
+
+def get_setting(name: str) -> ExperimentSetting:
+    """Look up a setting by its paper short name (case-insensitive)."""
+    key = name.upper()
+    if key not in SETTINGS:
+        raise KeyError(f"unknown setting {name!r}; available: {available_settings()}")
+    return SETTINGS[key]

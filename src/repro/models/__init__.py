@@ -1,0 +1,35 @@
+"""Proxy model zoo standing in for the paper's architectures."""
+
+from repro.models.mlp import MLP
+from repro.models.resnet import (
+    ResidualBlock,
+    ResNetProxy,
+    resnet20_proxy,
+    resnet38_proxy,
+    resnet50_proxy,
+    wide_resnet_proxy,
+)
+from repro.models.vgg import VGGProxy, vgg16_proxy
+from repro.models.vae import VAE
+from repro.models.detector import TinyDetector
+from repro.models.transformer import TinyTransformer, TransformerConfig
+from repro.models.registry import MODEL_REGISTRY, build_model, available_models
+
+__all__ = [
+    "MLP",
+    "ResidualBlock",
+    "ResNetProxy",
+    "resnet20_proxy",
+    "resnet38_proxy",
+    "resnet50_proxy",
+    "wide_resnet_proxy",
+    "VGGProxy",
+    "vgg16_proxy",
+    "VAE",
+    "TinyDetector",
+    "TinyTransformer",
+    "TransformerConfig",
+    "MODEL_REGISTRY",
+    "build_model",
+    "available_models",
+]

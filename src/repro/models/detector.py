@@ -1,0 +1,68 @@
+"""Single-shot grid detector proxy for the YOLO-VOC setting."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn.tensor import concatenate
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["TinyDetector"]
+
+
+class TinyDetector(nn.Module):
+    """YOLO-style detector: conv backbone downsampling to a GxG grid of predictions.
+
+    The output has shape ``(N, G, G, 5 + num_classes)`` with channels
+    ``[tx, ty, tw, th, objectness, class logits...]`` matching the targets
+    produced by :class:`repro.data.SyntheticDetection` and the loss in
+    :func:`repro.nn.losses.detection_loss`.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        image_size: int = 16,
+        grid_size: int = 4,
+        base_width: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if image_size % grid_size != 0:
+            raise ValueError("image_size must be divisible by grid_size")
+        downsample_factor = image_size // grid_size
+        if downsample_factor & (downsample_factor - 1):
+            raise ValueError("image_size / grid_size must be a power of two")
+        rng = spawn_rng("detector", seed=seed)
+        self.num_classes = num_classes
+        self.grid_size = grid_size
+        self.out_channels = 5 + num_classes
+
+        layers: list[nn.Module] = []
+        channels = 3
+        width = base_width
+        factor = downsample_factor
+        while factor > 1:
+            layers.append(nn.Conv2d(channels, width, 3, stride=2, padding=1, bias=False, rng=rng))
+            layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.LeakyReLU(0.1))
+            channels = width
+            width *= 2
+            factor //= 2
+        self.backbone = nn.Sequential(*layers)
+        self.head = nn.Conv2d(channels, self.out_channels, 1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        features = self.backbone(x)
+        preds = self.head(features)  # (N, 5+C, G, G)
+        if preds.shape[2] != self.grid_size or preds.shape[3] != self.grid_size:
+            raise ValueError(
+                f"backbone produced a {preds.shape[2]}x{preds.shape[3]} grid, "
+                f"expected {self.grid_size}x{self.grid_size}"
+            )
+        grid = preds.transpose(0, 2, 3, 1)  # (N, G, G, 5+C)
+        # Box coordinates pass through a sigmoid (as YOLO does for the centre
+        # offsets) so they start in the right range; objectness and class
+        # channels stay as logits for their BCE / cross-entropy losses.
+        boxes = grid[..., 0:4].sigmoid()
+        rest = grid[..., 4:]
+        return concatenate([boxes, rest], axis=-1)

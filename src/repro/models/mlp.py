@@ -1,0 +1,50 @@
+"""Multi-layer perceptron — the simplest classifier in the model zoo."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["MLP"]
+
+
+class MLP(nn.Module):
+    """Fully-connected classifier/regressor with ReLU activations.
+
+    Accepts either flat inputs ``(N, D)`` or image inputs ``(N, C, H, W)``
+    (flattened internally).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (64, 64),
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = spawn_rng("mlp", seed=seed)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        layers: list[nn.Module] = []
+        prev = in_features
+        for width in hidden_sizes:
+            layers.append(nn.Linear(prev, width, rng=rng))
+            layers.append(nn.ReLU())
+            if dropout > 0:
+                layers.append(nn.Dropout(dropout, rng=rng))
+            prev = width
+        layers.append(nn.Linear(prev, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        if x.shape[1] != self.in_features:
+            raise ValueError(f"MLP expects {self.in_features} features, got {x.shape[1]}")
+        return self.net(x)

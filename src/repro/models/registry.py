@@ -1,0 +1,49 @@
+"""Model registry mapping the paper's model names to proxy constructors."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import nn
+from repro.models.detector import TinyDetector
+from repro.models.mlp import MLP
+from repro.models.resnet import (
+    ResNetProxy,
+    resnet20_proxy,
+    resnet38_proxy,
+    resnet50_proxy,
+    wide_resnet_proxy,
+)
+from repro.models.transformer import TinyTransformer, TransformerConfig
+from repro.models.vae import VAE
+from repro.models.vgg import VGGProxy, vgg16_proxy
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+ModelFactory = Callable[..., nn.Module]
+
+MODEL_REGISTRY: dict[str, ModelFactory] = {
+    "mlp": lambda num_classes=10, in_features=192, seed=0, **kw: MLP(in_features, num_classes, seed=seed, **kw),
+    "resnet20": lambda num_classes=10, seed=0, **kw: resnet20_proxy(num_classes, seed=seed),
+    "resnet38": lambda num_classes=10, seed=0, **kw: resnet38_proxy(num_classes, seed=seed),
+    "resnet50": lambda num_classes=40, seed=0, **kw: resnet50_proxy(num_classes, seed=seed),
+    "wideresnet": lambda num_classes=10, seed=0, **kw: wide_resnet_proxy(num_classes, seed=seed),
+    "vgg16": lambda num_classes=20, seed=0, **kw: vgg16_proxy(num_classes, seed=seed),
+    "vae": lambda seed=0, **kw: VAE(seed=seed, **kw),
+    "detector": lambda num_classes=3, seed=0, **kw: TinyDetector(num_classes=num_classes, seed=seed, **kw),
+    "transformer": lambda num_labels=2, seed=0, **kw: TinyTransformer(
+        TransformerConfig(**kw), num_labels=num_labels, seed=seed
+    ),
+}
+
+
+def available_models() -> list[str]:
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs: object) -> nn.Module:
+    """Instantiate a proxy model by name (``resnet20``, ``vgg16``, ``vae``...)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[key](**kwargs)

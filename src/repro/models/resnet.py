@@ -1,0 +1,108 @@
+"""Residual CNN proxies for ResNet-20 / ResNet-38 / ResNet-50 / Wide ResNet.
+
+The paper's image-classification settings train ResNet variants; the proxies
+keep the architectural ingredients that matter for optimization dynamics
+(conv + batch norm + ReLU blocks with identity skip connections, staged
+downsampling, global average pooling) at a width/depth that trains in
+milliseconds per step on CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["ResidualBlock", "ResNetProxy", "resnet20_proxy", "resnet38_proxy", "resnet50_proxy", "wide_resnet_proxy"]
+
+
+class ResidualBlock(nn.Module):
+    """Two 3x3 conv-BN-ReLU layers with an identity (or 1x1-projected) skip."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: nn.Module | None = nn.Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        return (out + skip).relu()
+
+
+class ResNetProxy(nn.Module):
+    """Small residual network: stem -> stages of residual blocks -> GAP -> linear."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        in_channels: int = 3,
+        base_width: int = 8,
+        blocks_per_stage: tuple[int, ...] = (1, 1),
+        width_multiplier: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if base_width < 1 or width_multiplier < 1:
+            raise ValueError("base_width and width_multiplier must be positive")
+        rng = spawn_rng("resnet", seed=seed)
+        width = base_width * width_multiplier
+        self.num_classes = num_classes
+        self.stem = nn.Conv2d(in_channels, width, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(width)
+
+        stages: list[nn.Module] = []
+        channels = width
+        for stage_idx, num_blocks in enumerate(blocks_per_stage):
+            out_channels = width * (2**stage_idx)
+            for block_idx in range(num_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                stages.append(ResidualBlock(channels, out_channels, stride=stride, rng=rng))
+                channels = out_channels
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(channels, num_classes, rng=rng)
+        self.feature_dim = channels
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.head(out)
+
+
+def resnet20_proxy(num_classes: int, seed: int = 0) -> ResNetProxy:
+    """Stand-in for ResNet-20 (shallow, narrow)."""
+    return ResNetProxy(num_classes, base_width=8, blocks_per_stage=(1, 1), seed=seed)
+
+
+def resnet38_proxy(num_classes: int, seed: int = 0) -> ResNetProxy:
+    """Stand-in for ResNet-38 (deeper than the ResNet-20 proxy)."""
+    return ResNetProxy(num_classes, base_width=8, blocks_per_stage=(2, 2), seed=seed)
+
+
+def resnet50_proxy(num_classes: int, seed: int = 0) -> ResNetProxy:
+    """Stand-in for ResNet-50 (deeper and wider; used by the ImageNet proxy setting)."""
+    return ResNetProxy(num_classes, base_width=12, blocks_per_stage=(2, 2), seed=seed)
+
+
+def wide_resnet_proxy(num_classes: int, seed: int = 0) -> ResNetProxy:
+    """Stand-in for Wide ResNet 16-8 (shallow but wide)."""
+    return ResNetProxy(num_classes, base_width=8, blocks_per_stage=(1, 1), width_multiplier=3, seed=seed)

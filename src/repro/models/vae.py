@@ -1,0 +1,81 @@
+"""Variational autoencoder proxy for the VAE-MNIST setting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["VAE"]
+
+
+class VAE(nn.Module):
+    """MLP encoder/decoder VAE with the reparameterisation trick.
+
+    ``forward`` returns ``(reconstruction_logits, mu, logvar)``; pair it with
+    :func:`repro.nn.losses.vae_loss` (negative ELBO, the metric of Table 7).
+    """
+
+    def __init__(
+        self,
+        image_size: int = 8,
+        channels: int = 1,
+        hidden_dim: int = 64,
+        latent_dim: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = spawn_rng("vae", seed=seed)
+        self.image_size = image_size
+        self.channels = channels
+        self.input_dim = channels * image_size * image_size
+        self.latent_dim = latent_dim
+        self._sample_rng = spawn_rng("vae_sampling", seed=seed)
+
+        self.encoder = nn.Sequential(
+            nn.Linear(self.input_dim, hidden_dim, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, hidden_dim // 2, rng=rng),
+            nn.ReLU(),
+        )
+        self.fc_mu = nn.Linear(hidden_dim // 2, latent_dim, rng=rng)
+        self.fc_logvar = nn.Linear(hidden_dim // 2, latent_dim, rng=rng)
+        self.decoder = nn.Sequential(
+            nn.Linear(latent_dim, hidden_dim // 2, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim // 2, hidden_dim, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, self.input_dim, rng=rng),
+        )
+
+    def encode(self, x: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor]:
+        flat = x.reshape(x.shape[0], -1)
+        if flat.shape[1] != self.input_dim:
+            raise ValueError(f"VAE expects {self.input_dim} input features, got {flat.shape[1]}")
+        hidden = self.encoder(flat)
+        return self.fc_mu(hidden), self.fc_logvar(hidden)
+
+    def reparameterize(self, mu: nn.Tensor, logvar: nn.Tensor) -> nn.Tensor:
+        if not self.training:
+            return mu
+        std = (logvar * 0.5).exp()
+        eps = nn.Tensor(self._sample_rng.standard_normal(mu.shape))
+        return mu + std * eps
+
+    def decode(self, z: nn.Tensor) -> nn.Tensor:
+        return self.decoder(z)
+
+    def forward(self, x: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor]:
+        mu, logvar = self.encode(x)
+        z = self.reparameterize(mu, logvar)
+        recon = self.decode(z)
+        return recon, mu, logvar
+
+    def sample(self, num_samples: int) -> np.ndarray:
+        """Decode latent draws from the prior into image-space probabilities."""
+        z = nn.Tensor(self._sample_rng.standard_normal((num_samples, self.latent_dim)))
+        with nn.no_grad():
+            logits = self.decode(z)
+        probs = 1.0 / (1.0 + np.exp(-logits.data))
+        return probs.reshape(num_samples, self.channels, self.image_size, self.image_size)

@@ -1,0 +1,56 @@
+"""Plain (non-residual) CNN proxy for VGG-16.
+
+The paper keeps VGG in the comparison because it represents "custom
+applications with smaller CNNs, where residual connections have limited
+application"; the proxy therefore deliberately has no skip connections.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["VGGProxy", "vgg16_proxy"]
+
+
+class VGGProxy(nn.Module):
+    """Stacked conv-BN-ReLU blocks with max pooling, then an MLP head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        in_channels: int = 3,
+        widths: tuple[int, ...] = (8, 16),
+        convs_per_block: int = 2,
+        head_width: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = spawn_rng("vgg", seed=seed)
+        self.num_classes = num_classes
+        layers: list[nn.Module] = []
+        channels = in_channels
+        for width in widths:
+            for _ in range(convs_per_block):
+                layers.append(nn.Conv2d(channels, width, 3, stride=1, padding=1, bias=False, rng=rng))
+                layers.append(nn.BatchNorm2d(width))
+                layers.append(nn.ReLU())
+                channels = width
+            layers.append(nn.MaxPool2d(2))
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Sequential(
+            nn.Linear(channels, head_width, rng=rng),
+            nn.ReLU(),
+            nn.Linear(head_width, num_classes, rng=rng),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.features(x)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def vgg16_proxy(num_classes: int, seed: int = 0) -> VGGProxy:
+    """Stand-in for VGG-16 at proxy scale."""
+    return VGGProxy(num_classes, widths=(8, 16), convs_per_block=2, seed=seed)

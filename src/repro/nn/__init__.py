@@ -1,0 +1,71 @@
+"""``repro.nn`` — a from-scratch numpy autograd and neural-network toolkit.
+
+This is the substrate that replaces PyTorch for the REX reproduction: the
+learning-rate schedules (the paper's contribution) sit on top of
+``repro.optim`` optimizers which update parameters of ``repro.nn`` modules.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack, where
+from repro.nn import functional
+from repro.nn import init
+from repro.nn import losses
+from repro.nn.modules import (
+    Module,
+    Parameter,
+    Linear,
+    Conv2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    LayerNorm,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid,
+    GELU,
+    Softmax,
+    Dropout,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Sequential,
+    ModuleList,
+    Embedding,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "functional",
+    "init",
+    "losses",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "GELU",
+    "Softmax",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "ModuleList",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+]

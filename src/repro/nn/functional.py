@@ -1,0 +1,273 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+Convolution and pooling use im2col so the heavy lifting stays inside numpy's
+BLAS-backed matmul (per the project's "vectorize, don't loop" guideline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "embedding",
+    "dropout",
+    "one_hot",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a float one-hot matrix for integer class labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        labels = labels.reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# im2col-based convolution
+# ---------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size is non-positive (input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold an NCHW array into columns of shape (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel_h, stride, padding)
+    out_w = _conv_output_size(w, kernel_w, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Strided sliding-window view, then reshape into columns.
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel_h * kernel_w, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back into an NCHW array (adjoint of :func:`im2col`)."""
+    n, c, h, w = input_shape
+    out_h = _conv_output_size(h, kernel_h, stride, padding)
+    out_w = _conv_output_size(w, kernel_w, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution for NCHW input and (out_c, in_c, kh, kw) weights."""
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4D weight, got shape {weight.shape}")
+    n, c, h, w = x.shape
+    out_c, in_c, kh, kw = weight.shape
+    if in_c != c:
+        raise ValueError(f"input has {c} channels but weight expects {in_c}")
+
+    cols, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
+    w_mat = weight.data.reshape(out_c, -1)
+    out_data = np.einsum("of,nfp->nop", w_mat, cols)
+    out_data = out_data.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, out_c, 1, 1)
+
+    requires_grad = x.requires_grad or weight.requires_grad or (
+        bias is not None and bias.requires_grad
+    )
+    prev = (x, weight) + ((bias,) if bias is not None else ())
+    out = Tensor(out_data, requires_grad=requires_grad, _prev=prev)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        grad_out = out.grad.reshape(n, out_c, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_out.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nfp->of", grad_out, cols)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("of,nop->nfp", w_mat, grad_out)
+            grad_x = col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
+            x._accumulate(grad_x)
+
+    out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pooling
+# ---------------------------------------------------------------------------
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride, 0
+    )
+    cols = cols.reshape(n * c, kernel_size * kernel_size, out_h * out_w)
+    argmax = cols.argmax(axis=1)
+    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
+
+    def _backward() -> None:
+        if out.grad is None or not x.requires_grad:
+            return
+        grad_cols = np.zeros_like(cols)
+        flat_grad = out.grad.reshape(n * c, 1, out_h * out_w)
+        np.put_along_axis(grad_cols, argmax[:, None, :], flat_grad, axis=1)
+        grad_x = col2im(
+            grad_cols.reshape(n * c, kernel_size * kernel_size, out_h * out_w),
+            (n * c, 1, h, w),
+            kernel_size,
+            kernel_size,
+            stride,
+            0,
+        )
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows of an NCHW tensor."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride, 0
+    )
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
+    window = kernel_size * kernel_size
+
+    def _backward() -> None:
+        if out.grad is None or not x.requires_grad:
+            return
+        flat_grad = out.grad.reshape(n * c, 1, out_h * out_w) / window
+        grad_cols = np.broadcast_to(flat_grad, (n * c, window, out_h * out_w)).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, kernel_size, stride, 0)
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    out._backward = _backward
+    return out
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over spatial dimensions, returning an (N, C) tensor."""
+    if x.ndim != 4:
+        raise ValueError(f"global_avg_pool2d expects NCHW input, got shape {x.shape}")
+    pooled = x.mean(axis=(2, 3))
+    return pooled
+
+
+# ---------------------------------------------------------------------------
+# embeddings and dropout
+# ---------------------------------------------------------------------------
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (any leading shape)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    vocab = weight.shape[0]
+    if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+        raise ValueError(f"token index out of range [0, {vocab})")
+    out = Tensor(weight.data[indices], requires_grad=weight.requires_grad, _prev=(weight,))
+
+    def _backward() -> None:
+        if out.grad is None or not weight.requires_grad:
+            return
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.shape[1]))
+        weight._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales surviving activations by 1/(1-p) at train time."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,))
+
+    def _backward() -> None:
+        if out.grad is not None and x.requires_grad:
+            x._accumulate(out.grad * mask)
+
+    out._backward = _backward
+    return out

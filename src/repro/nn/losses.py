@@ -1,0 +1,139 @@
+"""Loss functions used by the paper's workloads.
+
+* cross-entropy — image classification, GLUE classification tasks
+* MSE — GLUE regression task (STS-B proxy)
+* binary cross-entropy — objectness in the detection proxy
+* VAE ELBO (reconstruction + KL) — the VAE-MNIST setting
+* detection loss — box regression + objectness + classification composite
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import one_hot
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "vae_loss",
+    "detection_loss",
+    "l1_loss",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer targets (N,)."""
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects 2D logits, got shape {logits.shape}")
+    n, num_classes = logits.shape
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if targets.shape[0] != n:
+        raise ValueError(f"targets length {targets.shape[0]} != batch size {n}")
+    target_dist = one_hot(targets, num_classes)
+    if label_smoothing > 0.0:
+        target_dist = (1.0 - label_smoothing) * target_dist + label_smoothing / num_classes
+    log_probs = logits.log_softmax(axis=1)
+    nll = -(log_probs * Tensor(target_dist)).sum(axis=1)
+    return nll.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean absolute error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    return (pred - target_t).abs().mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    """Numerically stable BCE on logits, averaged over all elements.
+
+    Uses the identity ``bce = max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    t = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    x = logits
+    relu_x = x.relu()
+    abs_x = x.abs()
+    loss = relu_x - x * Tensor(t) + ((-abs_x).exp() + 1.0).log()
+    return loss.mean()
+
+
+def vae_loss(
+    reconstruction: Tensor,
+    target: np.ndarray,
+    mu: Tensor,
+    logvar: Tensor,
+    beta: float = 1.0,
+) -> Tensor:
+    """Negative ELBO: Bernoulli reconstruction BCE (summed per sample) + beta * KL.
+
+    Matches the standard VAE-on-MNIST objective the paper trains (lower is
+    better; the paper's Table 7 reports this generalization loss).
+    """
+    n = reconstruction.shape[0]
+    target_arr = np.asarray(target, dtype=np.float64).reshape(n, -1)
+    recon_flat = reconstruction.reshape(n, -1)
+    # Stable BCE-with-logits, summed over pixels then averaged over the batch.
+    relu_x = recon_flat.relu()
+    abs_x = recon_flat.abs()
+    bce = relu_x - recon_flat * Tensor(target_arr) + ((-abs_x).exp() + 1.0).log()
+    recon_term = bce.sum(axis=1).mean()
+    # KL(q(z|x) || N(0, I)) = -0.5 * sum(1 + logvar - mu^2 - exp(logvar))
+    kl = (-0.5) * (1.0 + logvar - mu * mu - logvar.exp()).sum(axis=1).mean()
+    return recon_term + beta * kl
+
+
+def detection_loss(
+    predictions: Tensor,
+    targets: np.ndarray,
+    num_classes: int,
+    box_weight: float = 5.0,
+    noobj_weight: float = 0.5,
+) -> Tensor:
+    """Single-shot detector loss for a grid of predictions.
+
+    ``predictions`` has shape (N, G, G, 5 + num_classes) with channels
+    ``[tx, ty, tw, th, objectness, class logits...]``; ``targets`` has the same
+    shape with a 0/1 objectness channel.  This mirrors the YOLO-style loss
+    structure (box regression + objectness + classification) at proxy scale.
+    """
+    if predictions.ndim != 4:
+        raise ValueError(f"detection_loss expects (N, G, G, 5+C), got {predictions.shape}")
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError(
+            f"target shape {targets.shape} does not match predictions {predictions.shape}"
+        )
+    obj_mask = targets[..., 4:5]  # (N, G, G, 1)
+    n_cells = float(np.prod(predictions.shape[:3]))
+    n_obj = max(float(obj_mask.sum()), 1.0)
+
+    pred_boxes = predictions[..., 0:4]
+    pred_obj = predictions[..., 4:5]
+    pred_cls = predictions[..., 5:]
+
+    box_diff = (pred_boxes - Tensor(targets[..., 0:4])) * Tensor(obj_mask)
+    box_term = (box_diff * box_diff).sum() * (box_weight / n_obj)
+
+    # Objectness BCE, weighting no-object cells down as in YOLO.
+    t_obj = obj_mask
+    relu_x = pred_obj.relu()
+    abs_x = pred_obj.abs()
+    bce = relu_x - pred_obj * Tensor(t_obj) + ((-abs_x).exp() + 1.0).log()
+    weights = np.where(obj_mask > 0.5, 1.0, noobj_weight)
+    obj_term = (bce * Tensor(weights)).sum() * (1.0 / n_cells)
+
+    # Classification cross-entropy only on object cells.
+    cls_targets = targets[..., 5:]
+    log_probs = pred_cls.log_softmax(axis=-1)
+    cls_term = -(log_probs * Tensor(cls_targets * obj_mask)).sum() * (1.0 / n_obj)
+
+    return box_term + obj_term + cls_term

@@ -1,0 +1,38 @@
+"""Neural-network modules."""
+
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.modules.linear import Linear
+from repro.nn.modules.conv import Conv2d
+from repro.nn.modules.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.nn.modules.activation import ReLU, LeakyReLU, Tanh, Sigmoid, GELU, Softmax
+from repro.nn.modules.dropout import Dropout
+from repro.nn.modules.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d, Flatten
+from repro.nn.modules.container import Sequential, ModuleList
+from repro.nn.modules.embedding import Embedding
+from repro.nn.modules.attention import MultiHeadSelfAttention, TransformerEncoderLayer
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "GELU",
+    "Softmax",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "ModuleList",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+]

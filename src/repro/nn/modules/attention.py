@@ -1,0 +1,107 @@
+"""Multi-head self-attention and a transformer encoder block.
+
+These power the ``TinyTransformer`` BERT-proxy used for the GLUE setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules.base import Module
+from repro.nn.modules.dropout import Dropout
+from repro.nn.modules.linear import Linear
+from repro.nn.modules.norm import LayerNorm
+from repro.nn.modules.activation import GELU
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderLayer"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng or np.random.default_rng()
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        n, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(n, t, h * d)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Attend over sequence ``x`` of shape (N, T, D).
+
+        ``attention_mask`` is an optional (N, T) array with 1 for real tokens
+        and 0 for padding; padded keys are masked out of the softmax.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"attention expects (N, T, D) input, got shape {x.shape}")
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, T, T)
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=np.float64)
+            if mask.shape != (x.shape[0], x.shape[1]):
+                raise ValueError(
+                    f"attention_mask shape {mask.shape} does not match (N, T)="
+                    f"{(x.shape[0], x.shape[1])}"
+                )
+            bias = (1.0 - mask)[:, None, None, :] * -1e9
+            scores = scores + Tensor(bias)
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        attended = weights @ v  # (N, H, T, head_dim)
+        return self.out_proj(self._merge_heads(attended))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LayerNorm transformer encoder block (attention + MLP)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attention = MultiHeadSelfAttention(embed_dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.ffn_in = Linear(embed_dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, embed_dim, rng=rng)
+        self.activation = GELU()
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        attended = self.attention(self.norm1(x), attention_mask=attention_mask)
+        x = x + self.dropout(attended)
+        hidden = self.ffn_out(self.activation(self.ffn_in(self.norm2(x))))
+        return x + self.dropout(hidden)

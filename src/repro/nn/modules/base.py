@@ -1,0 +1,130 @@
+"""Module and Parameter base classes (a minimal ``torch.nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as a learnable parameter of a Module."""
+
+    def __init__(self, data: object, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, name={self.name!r})"
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Provides parameter registration/traversal, train/eval mode switching, and
+    state-dict import/export.  Sub-classes implement ``forward``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # -- registration ---------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-learnable state (e.g. BatchNorm running statistics)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal -------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All learnable parameters of this module and its children, in order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- mode switching ----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict ---------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[f"{prefix}{name}"] = buf.copy()
+        for mod_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{mod_name}."))
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+        for name in self._buffers:
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing buffer {key!r} in state dict")
+            self._buffers[name][...] = state[key]
+        for mod_name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{mod_name}.")
+
+    # -- forward ---------------------------------------------------------------------
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"

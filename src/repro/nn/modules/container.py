@@ -1,0 +1,58 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Applies child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+
+class ModuleList(Module):
+    """Holds child modules in a list so their parameters are registered."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise RuntimeError("ModuleList is a container and has no forward()")

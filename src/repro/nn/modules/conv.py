@@ -1,0 +1,50 @@
+"""2D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2D convolution over NCHW tensors (square kernels, single stride)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("kernel_size/stride must be positive and padding non-negative")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size, kernel_size), rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding})"
+        )

@@ -1,0 +1,28 @@
+"""Dropout module with an explicit, reproducible RNG stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

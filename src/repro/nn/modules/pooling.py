@@ -1,0 +1,43 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten"]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial average pooling producing (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

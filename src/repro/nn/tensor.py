@@ -1,0 +1,626 @@
+"""A small reverse-mode automatic differentiation engine on top of numpy.
+
+This module is the substrate that replaces PyTorch for this reproduction: the
+REX paper's schedules only need *some* gradient-based training loop whose
+optimizer exposes a mutable learning rate, so a compact, well-tested autograd
+Tensor is sufficient.
+
+Design notes
+------------
+* ``Tensor`` wraps a ``numpy.ndarray`` (always ``float64`` unless integer data
+  is explicitly requested for indices/labels).
+* Each differentiable op builds a closure that accumulates gradients into its
+  parents; ``Tensor.backward`` runs a topological sort and calls the closures
+  in reverse order.
+* Broadcasting is supported everywhere through :func:`unbroadcast`, which sums
+  a gradient back down to the shape of the operand it belongs to.
+* Only operations needed by the model zoo are implemented, but each is
+  implemented fully (correct gradients, shape checks, no silent fallbacks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``.
+
+    numpy broadcasting may have (a) prepended dimensions and (b) stretched
+    size-1 dimensions; both must be summed out when propagating gradients.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(data: object) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype.kind in "iub":
+            return data
+        return data.astype(np.float64, copy=False)
+    return np.asarray(data, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy-backed tensor that records a computation graph for autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: object,
+        requires_grad: bool = False,
+        _prev: tuple["Tensor", ...] = (),
+        name: str | None = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: tuple[Tensor, ...] = _prev if _GRAD_ENABLED else ()
+        self.name = name
+
+    # -- construction helpers ----------------------------------------------
+    @staticmethod
+    def ensure(value: "Tensor | float | int | np.ndarray") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @classmethod
+    def zeros(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
+        return cls(np.zeros(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def ones(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
+        return cls(np.ones(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def randn(
+        cls, *shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False
+    ) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return cls(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); treat as read-only."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # -- graph plumbing -------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad and not self._prev:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar output; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        # Iterative DFS: deep models (e.g. the transformer proxy) overflow the
+        # recursion limit with a recursive topo sort.
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            node._backward()
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(out.grad)
+            if other.requires_grad:
+                other._accumulate(out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __radd__(self, other: object) -> "Tensor":
+        return self.__add__(other)  # type: ignore[arg-type]
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return self.__add__(Tensor.ensure(other).__neg__())
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return Tensor.ensure(other).__sub__(self)  # type: ignore[arg-type]
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(out.grad * other.data)
+            if other.requires_grad:
+                other._accumulate(out.grad * self.data)
+
+        out._backward = _backward
+        return out
+
+    def __rmul__(self, other: object) -> "Tensor":
+        return self.__mul__(other)  # type: ignore[arg-type]
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(out.grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-out.grad * self.data / (other.data**2))
+
+        out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: object) -> "Tensor":
+        return Tensor.ensure(other).__truediv__(self)  # type: ignore[arg-type]
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out = Tensor(self.data**exponent, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            a, b, g = self.data, other.data, out.grad
+            if self.requires_grad:
+                if b.ndim == 1:
+                    grad_a = np.expand_dims(g, -1) * b
+                elif a.ndim == 1:
+                    grad_a = g @ np.swapaxes(b, -1, -2)
+                else:
+                    grad_a = g @ np.swapaxes(b, -1, -2)
+                self._accumulate(unbroadcast(grad_a, a.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    grad_b = np.outer(a, g)
+                elif b.ndim == 1:
+                    grad_b = np.einsum("...i,...->i", a, g)
+                else:
+                    grad_b = np.swapaxes(a, -1, -2) @ g
+                other._accumulate(unbroadcast(grad_b, b.shape))
+
+        out._backward = _backward
+        return out
+
+    # -- elementwise nonlinearities ------------------------------------------
+    def exp(self) -> "Tensor":
+        out = Tensor(np.exp(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out_data**2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+        out = Tensor(self.data * scale, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * scale)
+
+        out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data > low) & (self.data < high)
+        out = Tensor(np.clip(self.data, low, high), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    # -- reductions -----------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = list(self.data.shape)
+                for a in axes:
+                    shape[a] = 1
+                grad = grad.reshape(shape)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float64)
+                mask /= mask.sum()
+                self._accumulate(mask * out.grad)
+            else:
+                expanded_max = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == expanded_max).astype(np.float64)
+                mask /= mask.sum(axis=axis, keepdims=True)
+                grad = out.grad
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(mask * grad)
+
+        out._backward = _backward
+        return out
+
+    # -- shape manipulation -----------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])  # type: ignore[assignment]
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad.reshape(self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple: tuple[int, ...] | None = axes if axes else None
+        out = Tensor(
+            self.data.transpose(axes_tuple), requires_grad=self.requires_grad, _prev=(self,)
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            if axes_tuple is None:
+                self._accumulate(out.grad.transpose())
+            else:
+                inverse = np.argsort(axes_tuple)
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out = Tensor(self.data[index], requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = np.zeros_like(self.data, dtype=np.float64)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
+        if padding == 0:
+            return self
+        if self.data.ndim != 4:
+            raise ValueError("pad2d expects an NCHW tensor")
+        p = int(padding)
+        out_data = np.pad(self.data, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad[:, :, p:-p, p:-p])
+
+        out._backward = _backward
+        return out
+
+    # -- comparisons return plain bool arrays (no grad) ---------------------------
+    def __gt__(self, other: object) -> np.ndarray:
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data > other_data
+
+    def __lt__(self, other: object) -> np.ndarray:
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data < other_data
+
+    # -- functional-style helpers kept on the class for ergonomics ----------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _prev=tuple(tensors),
+    )
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not t.requires_grad:
+                continue
+            slicer: list[slice] = [slice(None)] * data.ndim
+            slicer[axis] = slice(start, stop)
+            t._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _prev=tuple(tensors),
+    )
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for t, g in zip(tensors, grads):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(g, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection ``condition ? a : b`` (condition is constant)."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    cond = np.asarray(condition, dtype=bool)
+    out = Tensor(
+        np.where(cond, a.data, b.data),
+        requires_grad=a.requires_grad or b.requires_grad,
+        _prev=(a, b),
+    )
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        if a.requires_grad:
+            a._accumulate(np.where(cond, out.grad, 0.0))
+        if b.requires_grad:
+            b._accumulate(np.where(cond, 0.0, out.grad))
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,31 @@
+"""Optimizers with PyTorch-style ``param_groups`` for the schedule library."""
+
+from repro.optim.optimizer import Optimizer, ParamGroup
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.rmsprop import RMSprop, AdaGrad
+
+__all__ = ["Optimizer", "ParamGroup", "SGD", "Adam", "AdamW", "RMSprop", "AdaGrad"]
+
+
+def build_optimizer(name: str, params, lr: float, **kwargs):
+    """Build an optimizer by name (``sgdm``, ``sgd``, ``adam``, ``adamw``...).
+
+    The paper pairs every schedule with momentum-SGD and Adam; ``sgdm`` sets
+    momentum 0.9 to match the paper's configuration.
+    """
+    name = name.lower()
+    if name in ("sgdm", "sgd+momentum"):
+        kwargs.setdefault("momentum", 0.9)
+        return SGD(params, lr=lr, **kwargs)
+    if name == "sgd":
+        return SGD(params, lr=lr, **kwargs)
+    if name == "adam":
+        return Adam(params, lr=lr, **kwargs)
+    if name == "adamw":
+        return AdamW(params, lr=lr, **kwargs)
+    if name == "rmsprop":
+        return RMSprop(params, lr=lr, **kwargs)
+    if name == "adagrad":
+        return AdaGrad(params, lr=lr, **kwargs)
+    raise ValueError(f"unknown optimizer {name!r}")

@@ -1,0 +1,95 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.modules.base import Parameter
+from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction.
+
+    ``weight_decay`` is the classic L2 penalty folded into the gradient; use
+    :class:`AdamW` for decoupled weight decay.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Sequence[ParamGroup],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        defaults = {"lr": lr, "betas": tuple(betas), "eps": eps, "weight_decay": weight_decay}
+        super().__init__(params, defaults)
+
+    def _update_parameter(self, p: Parameter, group: ParamGroup, decoupled: bool) -> None:
+        grad = p.grad
+        if grad is None:
+            return
+        lr = group["lr"]
+        beta1, beta2 = group["betas"]
+        eps = group["eps"]
+        weight_decay = group["weight_decay"]
+
+        if decoupled and weight_decay:
+            p.data -= lr * weight_decay * p.data
+        elif not decoupled:
+            grad = apply_weight_decay(grad, p.data, weight_decay)
+
+        state = self.state_for(p)
+        if "step" not in state:
+            state["step"] = 0
+            state["exp_avg"] = np.zeros_like(p.data)
+            state["exp_avg_sq"] = np.zeros_like(p.data)
+        state["step"] += 1
+        t = state["step"]
+        state["exp_avg"] = beta1 * state["exp_avg"] + (1.0 - beta1) * grad
+        state["exp_avg_sq"] = beta2 * state["exp_avg_sq"] + (1.0 - beta2) * grad * grad
+
+        bias_correction1 = 1.0 - beta1**t
+        bias_correction2 = 1.0 - beta2**t
+        m_hat = state["exp_avg"] / bias_correction1
+        v_hat = state["exp_avg_sq"] / bias_correction2
+        p.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                self._update_parameter(p, group, decoupled=False)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2017).
+
+    This is the optimizer HuggingFace uses for BERT fine-tuning, which the
+    paper's GLUE setting follows.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Sequence[ParamGroup],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                self._update_parameter(p, group, decoupled=True)

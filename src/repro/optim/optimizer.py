@@ -1,0 +1,121 @@
+"""Optimizer base class with PyTorch-style parameter groups.
+
+The learning-rate schedules in :mod:`repro.schedules` manipulate
+``optimizer.param_groups[i]["lr"]`` (and, for OneCycle, ``"momentum"`` /
+``"betas"``), exactly as ``torch.optim.lr_scheduler`` does, so the scheduler
+code reads like the PyTorch implementations the paper references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.modules.base import Parameter
+
+__all__ = ["Optimizer", "ParamGroup"]
+
+ParamGroup = dict[str, Any]
+
+
+class Optimizer:
+    """Base class: owns parameter groups and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter] | Sequence[ParamGroup], defaults: dict[str, Any]) -> None:
+        self.defaults = dict(defaults)
+        self.param_groups: list[ParamGroup] = []
+        self.state: dict[int, dict[str, Any]] = {}
+
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:  # type: ignore[assignment]
+                self.add_param_group(dict(group))
+        else:
+            self.add_param_group({"params": list(params)})
+
+    def add_param_group(self, group: ParamGroup) -> None:
+        if "params" not in group or not group["params"]:
+            raise ValueError("each parameter group must contain a non-empty 'params' list")
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        if "lr" in group and group["lr"] < 0:
+            raise ValueError(f"learning rate must be non-negative, got {group['lr']}")
+        seen = {id(p) for g in self.param_groups for p in g["params"]}
+        for p in group["params"]:
+            if not isinstance(p, Parameter):
+                raise TypeError(f"optimizer parameters must be Parameter instances, got {type(p)}")
+            if id(p) in seen:
+                raise ValueError("a parameter appears in more than one parameter group")
+        self.param_groups.append(group)
+
+    # -- state helpers -------------------------------------------------------
+    def state_for(self, param: Parameter) -> dict[str, Any]:
+        return self.state.setdefault(id(param), {})
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                p.zero_grad()
+
+    # -- lr access used by schedulers -----------------------------------------
+    def get_lr(self) -> float:
+        """Learning rate of the first parameter group."""
+        return float(self.param_groups[0]["lr"])
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate of every parameter group."""
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        for group in self.param_groups:
+            group["lr"] = float(lr)
+
+    # -- the actual update -------------------------------------------------------
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # -- serialization -------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        groups = [
+            {k: v for k, v in g.items() if k != "params"} | {"n_params": len(g["params"])}
+            for g in self.param_groups
+        ]
+        flat_state = []
+        for group in self.param_groups:
+            for p in group["params"]:
+                entry = {
+                    k: (v.copy() if isinstance(v, np.ndarray) else v)
+                    for k, v in self.state.get(id(p), {}).items()
+                }
+                flat_state.append(entry)
+        return {"param_groups": groups, "state": flat_state}
+
+    def load_state_dict(self, state_dict: dict[str, Any]) -> None:
+        groups = state_dict["param_groups"]
+        if len(groups) != len(self.param_groups):
+            raise ValueError("parameter group count mismatch in state dict")
+        flat_params = [p for g in self.param_groups for p in g["params"]]
+        flat_state = state_dict["state"]
+        if len(flat_state) != len(flat_params):
+            raise ValueError("per-parameter state count mismatch in state dict")
+        for saved, group in zip(groups, self.param_groups):
+            for key, value in saved.items():
+                if key != "n_params":
+                    group[key] = value
+        for p, entry in zip(flat_params, flat_state):
+            self.state[id(p)] = {
+                k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in entry.items()
+            }
+
+    def __repr__(self) -> str:
+        n = sum(len(g["params"]) for g in self.param_groups)
+        return f"{type(self).__name__}(groups={len(self.param_groups)}, params={n}, lr={self.get_lr()})"
+
+
+def apply_weight_decay(grad: np.ndarray, param_data: np.ndarray, weight_decay: float) -> np.ndarray:
+    """L2-style weight decay folded into the gradient (SGD/Adam convention)."""
+    if weight_decay:
+        return grad + weight_decay * param_data
+    return grad

@@ -1,0 +1,91 @@
+"""RMSprop and AdaGrad — adaptive baselines referenced in the related-work section."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.modules.base import Parameter
+from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+
+__all__ = ["RMSprop", "AdaGrad"]
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Hinton et al.) with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Sequence[ParamGroup],
+        lr: float = 1e-2,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        defaults = {
+            "lr": lr,
+            "alpha": alpha,
+            "eps": eps,
+            "momentum": momentum,
+            "weight_decay": weight_decay,
+        }
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr, alpha, eps = group["lr"], group["alpha"], group["eps"]
+            momentum, weight_decay = group["momentum"], group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                state = self.state_for(p)
+                sq = state.get("square_avg")
+                if sq is None:
+                    sq = np.zeros_like(p.data)
+                sq = alpha * sq + (1.0 - alpha) * grad * grad
+                state["square_avg"] = sq
+                step = grad / (np.sqrt(sq) + eps)
+                if momentum:
+                    buf = state.get("momentum_buffer")
+                    buf = step if buf is None else momentum * buf + step
+                    state["momentum_buffer"] = buf
+                    step = buf
+                p.data -= lr * step
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al., 2011)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Sequence[ParamGroup],
+        lr: float = 1e-2,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        defaults = {"lr": lr, "eps": eps, "weight_decay": weight_decay}
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr, eps, weight_decay = group["lr"], group["eps"], group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                state = self.state_for(p)
+                acc = state.get("sum_sq")
+                if acc is None:
+                    acc = np.zeros_like(p.data)
+                acc = acc + grad * grad
+                state["sum_sq"] = acc
+                p.data -= lr * grad / (np.sqrt(acc) + eps)

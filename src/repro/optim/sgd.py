@@ -1,0 +1,72 @@
+"""SGD with momentum (the paper's "SGDM" optimizer)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.modules.base import Parameter
+from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with (optionally Nesterov) momentum.
+
+    Update rule (classic momentum, as in PyTorch):
+
+        v <- momentum * v + grad
+        p <- p - lr * v        (or p - lr * (grad + momentum * v) with Nesterov)
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Sequence[ParamGroup],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+        dampening: float = 0.0,
+    ) -> None:
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and (momentum <= 0 or dampening != 0):
+            raise ValueError("Nesterov momentum requires momentum > 0 and zero dampening")
+        defaults = {
+            "lr": lr,
+            "momentum": momentum,
+            "weight_decay": weight_decay,
+            "nesterov": nesterov,
+            "dampening": dampening,
+        }
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            dampening = group["dampening"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                if momentum:
+                    state = self.state_for(p)
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                    else:
+                        buf = momentum * buf + (1.0 - dampening) * grad
+                    state["momentum_buffer"] = buf
+                    update = grad + momentum * buf if nesterov else buf
+                else:
+                    update = grad
+                p.data -= lr * update

@@ -1,0 +1,106 @@
+"""``repro.schedules`` — the REX paper's contribution.
+
+The package provides:
+
+* the **profile / sampling-rate framework** (Section 3 of the paper):
+  :class:`~repro.schedules.profiles.Profile` subclasses and
+  :class:`~repro.schedules.sampling.SamplingPolicy` subclasses composed by
+  :class:`~repro.schedules.schedule.ProfileSchedule`;
+* the **REX schedule** (:class:`~repro.schedules.rex.REXSchedule`);
+* every comparison schedule from Section 4.1 (linear, cosine, step, decay on
+  plateau, exponential, OneCycle) plus delayed-linear, polynomial, cyclic and
+  cosine-with-restarts;
+* pure functional forms in :mod:`repro.schedules.functional`;
+* a registry (:func:`~repro.schedules.registry.build_schedule`) used by the
+  experiment harness.
+"""
+
+from repro.schedules.profiles import (
+    Profile,
+    LinearProfile,
+    REXProfile,
+    CosineProfile,
+    ExponentialProfile,
+    StepApproxProfile,
+    PolynomialProfile,
+    ConstantProfile,
+    PiecewiseConstantProfile,
+    DelayedLinearProfile,
+    CompositeProfile,
+)
+from repro.schedules.sampling import (
+    SamplingPolicy,
+    EveryIteration,
+    EveryEpoch,
+    EveryFraction,
+    Milestones,
+    PAPER_SAMPLING_RATES,
+    named_sampling_policy,
+)
+from repro.schedules.schedule import Schedule, ProfileSchedule, ConstantSchedule
+from repro.schedules.rex import REXSchedule
+from repro.schedules.classic import (
+    LinearSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    StepSchedule,
+    PolynomialSchedule,
+    DelayedLinearSchedule,
+)
+from repro.schedules.onecycle import OneCycleSchedule
+from repro.schedules.plateau import DecayOnPlateauSchedule
+from repro.schedules.warmup import WarmupWrapper
+from repro.schedules.cyclic import TriangularCyclicSchedule, CosineWarmRestartsSchedule
+from repro.schedules import functional
+from repro.schedules.registry import (
+    SCHEDULE_REGISTRY,
+    PAPER_SCHEDULES,
+    build_schedule,
+    available_schedules,
+    register_schedule,
+)
+
+__all__ = [
+    # framework
+    "Profile",
+    "LinearProfile",
+    "REXProfile",
+    "CosineProfile",
+    "ExponentialProfile",
+    "StepApproxProfile",
+    "PolynomialProfile",
+    "ConstantProfile",
+    "PiecewiseConstantProfile",
+    "DelayedLinearProfile",
+    "CompositeProfile",
+    "SamplingPolicy",
+    "EveryIteration",
+    "EveryEpoch",
+    "EveryFraction",
+    "Milestones",
+    "PAPER_SAMPLING_RATES",
+    "named_sampling_policy",
+    "Schedule",
+    "ProfileSchedule",
+    "ConstantSchedule",
+    # concrete schedules
+    "REXSchedule",
+    "LinearSchedule",
+    "CosineSchedule",
+    "ExponentialSchedule",
+    "StepSchedule",
+    "PolynomialSchedule",
+    "DelayedLinearSchedule",
+    "OneCycleSchedule",
+    "DecayOnPlateauSchedule",
+    "WarmupWrapper",
+    "TriangularCyclicSchedule",
+    "CosineWarmRestartsSchedule",
+    # functional + registry
+    "functional",
+    "SCHEDULE_REGISTRY",
+    "PAPER_SCHEDULES",
+    "build_schedule",
+    "available_schedules",
+    "register_schedule",
+]

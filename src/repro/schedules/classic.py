@@ -1,0 +1,195 @@
+"""The widely-used schedules the paper compares against (Section 4.1).
+
+Each class fixes a profile + sampling-rate combination matching how the
+schedule is conventionally used (e.g. the step schedule samples only at its
+milestones; linear/cosine/exponential sample every iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.profiles import (
+    CosineProfile,
+    DelayedLinearProfile,
+    ExponentialProfile,
+    LinearProfile,
+    PiecewiseConstantProfile,
+    PolynomialProfile,
+)
+from repro.schedules.sampling import EveryIteration, Milestones, SamplingPolicy
+from repro.schedules.schedule import ProfileSchedule
+
+__all__ = [
+    "LinearSchedule",
+    "CosineSchedule",
+    "ExponentialSchedule",
+    "StepSchedule",
+    "PolynomialSchedule",
+    "DelayedLinearSchedule",
+]
+
+
+class LinearSchedule(ProfileSchedule):
+    """``eta_t = (1 - t/T) * eta_0`` — previously suggested as the best budgeted schedule."""
+
+    name = "linear"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        sampling: SamplingPolicy | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=LinearProfile(),
+            sampling=sampling or EveryIteration(),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+
+
+class CosineSchedule(ProfileSchedule):
+    """``eta_t = eta_0 / 2 * (1 + cos(pi * t / T))`` — cosine annealing."""
+
+    name = "cosine"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        sampling: SamplingPolicy | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=CosineProfile(),
+            sampling=sampling or EveryIteration(),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+
+
+class ExponentialSchedule(ProfileSchedule):
+    """``eta_t = eta_0 * exp(gamma * t / T)``; the paper finds gamma = -3 best."""
+
+    name = "exponential"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        gamma: float = -3.0,
+        sampling: SamplingPolicy | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=ExponentialProfile(gamma=gamma),
+            sampling=sampling or EveryIteration(),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+
+
+class StepSchedule(ProfileSchedule):
+    """The 50-75 step schedule: multiply the learning rate by 0.1 at 1/2 and 3/4 of the budget."""
+
+    name = "step"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        milestones: Sequence[float] = (0.5, 0.75),
+        factor: float = 0.1,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        profile = PiecewiseConstantProfile(milestones=milestones, factor=factor)
+        # Sampling at the same milestones makes the (profile, sampling) view explicit;
+        # the resulting curve is identical to evaluating the piecewise profile directly.
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=profile,
+            sampling=Milestones(milestones),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+        self.milestones = tuple(milestones)
+        self.factor = factor
+
+
+class PolynomialSchedule(ProfileSchedule):
+    """``eta_t = eta_0 * (1 - t/T)**power`` (power=1 recovers the linear schedule)."""
+
+    name = "polynomial"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        power: float = 2.0,
+        sampling: SamplingPolicy | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=PolynomialProfile(power=power),
+            sampling=sampling or EveryIteration(),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+
+
+class DelayedLinearSchedule(ProfileSchedule):
+    """Hold eta_0 until ``delay_fraction`` of the budget, then decay linearly to 0.
+
+    Used by the Figure 3 study that motivates REX; the delay fraction is the
+    extra hyperparameter REX is designed to remove.
+    """
+
+    name = "delayed_linear"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        delay_fraction: float,
+        base_lr: float | None = None,
+        sampling: SamplingPolicy | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            total_steps,
+            profile=DelayedLinearProfile(delay_fraction),
+            sampling=sampling or EveryIteration(),
+            base_lr=base_lr,
+            steps_per_epoch=steps_per_epoch,
+            min_lr=min_lr,
+        )
+        self.delay_fraction = float(delay_fraction)

@@ -1,0 +1,87 @@
+"""Cyclical learning rates (Smith, 2017) and cosine with warm restarts.
+
+Neither is part of the paper's main comparison table, but both are referenced
+in Section 2 ("cosine decay with restarts and others"); they are included so
+the library covers the schedules a practitioner would expect from a
+budgeted-training toolkit, and they are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.schedule import Schedule
+
+__all__ = ["TriangularCyclicSchedule", "CosineWarmRestartsSchedule"]
+
+
+class TriangularCyclicSchedule(Schedule):
+    """Triangular CLR: the LR bounces between ``min_lr`` and ``base_lr``.
+
+    ``decay`` optionally shrinks the peak of each successive cycle
+    (``decay=1.0`` is the classic triangular policy).
+    """
+
+    name = "cyclic"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        num_cycles: int = 4,
+        lr_ratio: float = 0.1,
+        decay: float = 1.0,
+        steps_per_epoch: int | None = None,
+    ) -> None:
+        super().__init__(optimizer, total_steps, base_lr=base_lr, steps_per_epoch=steps_per_epoch)
+        if num_cycles < 1:
+            raise ValueError(f"num_cycles must be at least 1, got {num_cycles}")
+        if not 0.0 < lr_ratio <= 1.0:
+            raise ValueError(f"lr_ratio must be in (0, 1], got {lr_ratio}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.num_cycles = num_cycles
+        self.min_lr = self.base_lr * lr_ratio
+        self.decay = decay
+
+    def lr_at(self, step: int) -> float:
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        cycle_len = self.total_steps / self.num_cycles
+        cycle_idx = int(step // cycle_len)
+        within = (step - cycle_idx * cycle_len) / cycle_len
+        # triangular: up for the first half of the cycle, down for the second
+        tri = 1.0 - abs(2.0 * within - 1.0)
+        peak = self.base_lr * (self.decay**cycle_idx)
+        return self.min_lr + (peak - self.min_lr) * tri
+
+
+class CosineWarmRestartsSchedule(Schedule):
+    """SGDR: cosine annealing restarted ``num_cycles`` times across the budget."""
+
+    name = "cosine_restarts"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        num_cycles: int = 2,
+        min_lr: float = 0.0,
+        steps_per_epoch: int | None = None,
+    ) -> None:
+        super().__init__(optimizer, total_steps, base_lr=base_lr, steps_per_epoch=steps_per_epoch)
+        if num_cycles < 1:
+            raise ValueError(f"num_cycles must be at least 1, got {num_cycles}")
+        self.num_cycles = num_cycles
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        cycle_len = self.total_steps / self.num_cycles
+        within = (step % cycle_len) / cycle_len
+        cos_term = 0.5 * (1.0 + np.cos(np.pi * within))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos_term

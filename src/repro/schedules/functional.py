@@ -1,0 +1,90 @@
+"""Pure functional forms of every schedule (Section 4.1 of the paper).
+
+These are the few-line formulas a practitioner would paste into an existing
+training loop.  They take the current step ``t``, the total budget ``T`` and
+the initial learning rate ``eta0`` and return the learning rate for step
+``t``.  The class-based API in the rest of the package is built on the same
+math; these functions are the ground truth the property-based tests compare
+against.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "rex_lr",
+    "linear_lr",
+    "cosine_lr",
+    "exponential_lr",
+    "step_lr",
+    "delayed_linear_lr",
+    "onecycle_lr",
+    "constant_lr",
+]
+
+
+def _progress(t: int | float, total: int | float) -> float:
+    if total <= 0:
+        raise ValueError(f"total steps must be positive, got {total}")
+    if t < 0 or t > total:
+        raise ValueError(f"step {t} outside [0, {total}]")
+    return t / total
+
+
+def rex_lr(t: int, total: int, eta0: float) -> float:
+    """REX: ``eta0 * (1 - s) / (1/2 + 1/2 * (1 - s))`` with ``s = t / total``."""
+    s = _progress(t, total)
+    remaining = 1.0 - s
+    return eta0 * remaining / (0.5 + 0.5 * remaining)
+
+
+def linear_lr(t: int, total: int, eta0: float) -> float:
+    """Linear: ``eta0 * (1 - s)``."""
+    return eta0 * (1.0 - _progress(t, total))
+
+
+def cosine_lr(t: int, total: int, eta0: float) -> float:
+    """Cosine: ``eta0 / 2 * (1 + cos(pi * s))``."""
+    return eta0 * 0.5 * (1.0 + math.cos(math.pi * _progress(t, total)))
+
+
+def exponential_lr(t: int, total: int, eta0: float, gamma: float = -3.0) -> float:
+    """Exponential: ``eta0 * exp(gamma * s)``; the paper uses gamma = -3."""
+    if gamma >= 0:
+        raise ValueError(f"gamma must be negative, got {gamma}")
+    return eta0 * math.exp(gamma * _progress(t, total))
+
+
+def step_lr(
+    t: int, total: int, eta0: float, milestones: tuple[float, ...] = (0.5, 0.75), factor: float = 0.1
+) -> float:
+    """Step: multiply by ``factor`` each time ``s`` crosses a milestone."""
+    s = _progress(t, total)
+    crossings = sum(1 for m in milestones if s >= m)
+    return eta0 * factor**crossings
+
+
+def delayed_linear_lr(t: int, total: int, eta0: float, delay_fraction: float) -> float:
+    """Delayed linear: hold ``eta0`` until ``delay_fraction``, then decay linearly to 0."""
+    if not 0.0 <= delay_fraction < 1.0:
+        raise ValueError(f"delay_fraction must be in [0, 1), got {delay_fraction}")
+    s = _progress(t, total)
+    if s <= delay_fraction:
+        return eta0
+    return eta0 * (1.0 - s) / (1.0 - delay_fraction)
+
+
+def onecycle_lr(t: int, total: int, eta0: float, lr_ratio: float = 0.1) -> float:
+    """OneCycle LR leg: ramp ``eta_min -> eta0`` then back, with ``eta_min = lr_ratio * eta0``."""
+    s = _progress(t, total)
+    eta_min = eta0 * lr_ratio
+    if s < 0.5:
+        return eta_min + (eta0 - eta_min) * (s / 0.5)
+    return eta0 - (eta0 - eta_min) * ((s - 0.5) / 0.5)
+
+
+def constant_lr(t: int, total: int, eta0: float) -> float:
+    """No decay."""
+    _progress(t, total)
+    return eta0

@@ -1,0 +1,85 @@
+"""OneCycle schedule (Smith, 2018) with coupled momentum cycling.
+
+Following the paper's fair-comparison configuration:
+
+* ``eta_min = 0.1 * eta_max`` so the initial learning rate (``eta_max``) is the
+  only hyperparameter,
+* momentum cycles in the opposite direction between ``beta_max = 0.95`` and
+  ``beta_min = 0.85``.
+
+The learning rate ramps linearly from ``eta_min`` to ``eta_max`` over the
+first half of the budget and back down over the second half; momentum does the
+reverse.  For Adam-family optimizers the first beta is cycled in place of the
+SGD momentum, mirroring ``torch.optim.lr_scheduler.OneCycleLR``'s behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.schedule import Schedule
+
+__all__ = ["OneCycleSchedule"]
+
+
+class OneCycleSchedule(Schedule):
+    """Triangular one-cycle policy for the learning rate and momentum."""
+
+    name = "onecycle"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        lr_ratio: float = 0.1,
+        beta_max: float = 0.95,
+        beta_min: float = 0.85,
+        cycle_momentum: bool = True,
+        steps_per_epoch: int | None = None,
+    ) -> None:
+        super().__init__(optimizer, total_steps, base_lr=base_lr, steps_per_epoch=steps_per_epoch)
+        if not 0.0 < lr_ratio <= 1.0:
+            raise ValueError(f"lr_ratio must be in (0, 1], got {lr_ratio}")
+        if not 0.0 <= beta_min <= beta_max < 1.0:
+            raise ValueError(f"need 0 <= beta_min <= beta_max < 1, got {beta_min}, {beta_max}")
+        self.max_lr = self.base_lr
+        self.min_lr = self.base_lr * lr_ratio
+        self.beta_max = beta_max
+        self.beta_min = beta_min
+        self.cycle_momentum = cycle_momentum
+
+    # -- curve definitions ------------------------------------------------------
+    def _phase_fraction(self, step: int) -> tuple[float, bool]:
+        """Return (fraction within the current half, is_first_half)."""
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        half = self.total_steps / 2.0
+        if step < half:
+            return step / half, True
+        return (step - half) / half, False
+
+    def lr_at(self, step: int) -> float:
+        frac, first_half = self._phase_fraction(step)
+        if first_half:
+            return self.min_lr + (self.max_lr - self.min_lr) * frac
+        return self.max_lr - (self.max_lr - self.min_lr) * frac
+
+    def momentum_at(self, step: int) -> float:
+        """Momentum (or Adam beta1) at ``step``: high when the LR is low and vice versa."""
+        frac, first_half = self._phase_fraction(step)
+        if first_half:
+            return self.beta_max - (self.beta_max - self.beta_min) * frac
+        return self.beta_min + (self.beta_max - self.beta_min) * frac
+
+    # -- application --------------------------------------------------------------
+    def step(self) -> float:
+        lr = super().step()
+        if self.cycle_momentum and self.optimizer is not None:
+            momentum = self.momentum_at(min(self.last_step, self.total_steps - 1))
+            for group in self.optimizer.param_groups:
+                if "momentum" in group:
+                    group["momentum"] = momentum
+                elif "betas" in group:
+                    _, beta2 = group["betas"]
+                    group["betas"] = (momentum, beta2)
+        return lr

@@ -1,0 +1,100 @@
+"""Decay-on-plateau: the practical variant of the step schedule.
+
+The paper describes it as decaying the learning rate by a factor when the
+validation loss has not improved for a tuneable number of epochs ("which we
+tune in multiples of 5").  Unlike every other schedule in the library this one
+is driven by a validation metric at epoch boundaries, so it exposes
+``epoch_end(metric)`` in addition to the usual ``step()``.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.schedule import Schedule
+
+__all__ = ["DecayOnPlateauSchedule"]
+
+
+class DecayOnPlateauSchedule(Schedule):
+    """Reduce the learning rate by ``factor`` after ``patience`` non-improving epochs."""
+
+    name = "plateau"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        factor: float = 0.1,
+        patience: int = 5,
+        threshold: float = 1e-4,
+        min_lr: float = 0.0,
+        mode: str = "min",
+        steps_per_epoch: int | None = None,
+    ) -> None:
+        super().__init__(optimizer, total_steps, base_lr=base_lr, steps_per_epoch=steps_per_epoch)
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if patience < 1:
+            raise ValueError(f"patience must be at least 1, got {patience}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.factor = factor
+        self.patience = patience
+        self.threshold = threshold
+        self.min_lr = min_lr
+        self.mode = mode
+        self.current_lr = self.base_lr
+        self.best_metric: float | None = None
+        self.bad_epochs = 0
+        self.num_reductions = 0
+
+    # -- metric-driven decay -----------------------------------------------------
+    def _improved(self, metric: float) -> bool:
+        if self.best_metric is None:
+            return True
+        if self.mode == "min":
+            return metric < self.best_metric - self.threshold
+        return metric > self.best_metric + self.threshold
+
+    def epoch_end(self, metric: float) -> bool:
+        """Record an end-of-epoch validation metric; returns True if the LR was decayed."""
+        metric = float(metric)
+        if self._improved(metric):
+            self.best_metric = metric
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        if self.bad_epochs > self.patience:
+            self.current_lr = max(self.current_lr * self.factor, self.min_lr)
+            self.num_reductions += 1
+            self.bad_epochs = 0
+            return True
+        return False
+
+    # -- Schedule interface --------------------------------------------------------
+    def lr_at(self, step: int) -> float:
+        # The plateau schedule is stateful; the LR does not depend on the step
+        # index directly, only on the metric history accumulated so far.
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        return self.current_lr
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            {
+                "current_lr": self.current_lr,
+                "best_metric": self.best_metric,
+                "bad_epochs": self.bad_epochs,
+                "num_reductions": self.num_reductions,
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.current_lr = float(state["current_lr"])
+        self.best_metric = state["best_metric"]
+        self.bad_epochs = int(state["bad_epochs"])
+        self.num_reductions = int(state["num_reductions"])

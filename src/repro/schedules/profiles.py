@@ -1,0 +1,296 @@
+"""Learning-rate *profiles*.
+
+The paper (Section 3) decomposes a learning-rate schedule into:
+
+* a **profile** — a continuous function ``p(s)`` of training progress
+  ``s = t / T`` that dictates the shape of the decay, normalised so that
+  ``p(0) = 1`` (the multiplier on the initial learning rate); and
+* a **sampling rate** — how often the learning rate is re-sampled from the
+  profile (see :mod:`repro.schedules.sampling`).
+
+This module implements every profile discussed in the paper plus a couple of
+common extras.  All profiles are pure, stateless callables on ``s in [0, 1]``
+and support vectorised evaluation on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Profile",
+    "LinearProfile",
+    "REXProfile",
+    "CosineProfile",
+    "ExponentialProfile",
+    "StepApproxProfile",
+    "PolynomialProfile",
+    "ConstantProfile",
+    "PiecewiseConstantProfile",
+    "DelayedLinearProfile",
+    "CompositeProfile",
+]
+
+
+def _validate_progress(s: np.ndarray | float) -> np.ndarray:
+    arr = np.asarray(s, dtype=np.float64)
+    if np.any(arr < -1e-9) or np.any(arr > 1.0 + 1e-9):
+        raise ValueError(f"progress values must lie in [0, 1], got range [{arr.min()}, {arr.max()}]")
+    return np.clip(arr, 0.0, 1.0)
+
+
+class Profile:
+    """Base class for learning-rate profiles.
+
+    Sub-classes implement :meth:`value` on a clipped progress array.  The
+    public entry point :meth:`__call__` accepts scalars or arrays and returns
+    the same kind.
+    """
+
+    #: short identifier used by the registry and result tables
+    name: str = "profile"
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, s: np.ndarray | float) -> np.ndarray | float:
+        arr = _validate_progress(s)
+        out = self.value(arr)
+        if np.isscalar(s) or (isinstance(s, np.ndarray) and s.ndim == 0):
+            return float(out)
+        return out
+
+    def curve(self, num_points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate the profile on an evenly spaced grid (for plotting)."""
+        if num_points < 2:
+            raise ValueError("num_points must be at least 2")
+        s = np.linspace(0.0, 1.0, num_points)
+        return s, np.asarray(self.value(s), dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LinearProfile(Profile):
+    """``p(s) = 1 - s`` — the linear schedule's profile [Li et al., 2020]."""
+
+    name = "linear"
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        return 1.0 - s
+
+
+class REXProfile(Profile):
+    """The Reflected Exponential (REX) profile — the paper's proposal.
+
+    The paper defines (Section 4.1):
+
+        ``eta_t = eta_0 * (1 - s) / (1/2 + 1/2 * (1 - s))``  with ``s = t/T``.
+
+    This class generalises the two constants into ``alpha`` and ``beta`` (the
+    paper's profile is ``alpha = beta = 0.5``), normalised so that
+    ``p(0) = 1`` for any choice.  The generalisation is exposed only for the
+    ablation benchmarks; the default arguments reproduce the paper exactly.
+
+    Properties worth noting (and tested in ``tests/test_profiles.py``):
+
+    * ``p(0) = 1`` and ``p(1) = 0``;
+    * ``p(s) >= 1 - s`` for all ``s`` (REX lies above the linear profile, i.e.
+      it holds the learning rate higher for longer — the "interpolation
+      between linear and delayed linear" the paper describes);
+    * the decay is steepest near the end of training ("aggressively decreases
+      the learning rate towards the end", the reflection of exponential decay).
+    """
+
+    name = "rex"
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.5) -> None:
+        if alpha <= 0 or beta < 0:
+            raise ValueError("REX requires alpha > 0 and beta >= 0")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        remaining = 1.0 - s
+        normaliser = self.alpha + self.beta  # makes p(0) == 1
+        return remaining * normaliser / (self.alpha + self.beta * remaining)
+
+    def __repr__(self) -> str:
+        return f"REXProfile(alpha={self.alpha}, beta={self.beta})"
+
+
+class CosineProfile(Profile):
+    """``p(s) = (1 + cos(pi * s)) / 2`` — cosine annealing [Loshchilov & Hutter]."""
+
+    name = "cosine"
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.cos(np.pi * s))
+
+
+class ExponentialProfile(Profile):
+    """``p(s) = exp(gamma * s)`` — exponential decay.
+
+    The paper tunes ``gamma`` and reports that ``gamma = -3`` works best for
+    the exponential *schedule*; the step-approximation profile uses a steeper
+    gamma (see :class:`StepApproxProfile`).
+    """
+
+    name = "exponential"
+
+    def __init__(self, gamma: float = -3.0) -> None:
+        if gamma >= 0:
+            raise ValueError(f"exponential decay requires gamma < 0, got {gamma}")
+        self.gamma = float(gamma)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        return np.exp(self.gamma * s)
+
+    def __repr__(self) -> str:
+        return f"ExponentialProfile(gamma={self.gamma})"
+
+
+class StepApproxProfile(ExponentialProfile):
+    """Exponential profile tuned to approximate the 50-75 step schedule.
+
+    Table 2 of the paper benchmarks "the 50-75 step schedule approximated as a
+    tuned exponentially decaying profile".  With decay factor 0.1 applied at
+    50% of training, the matching exponential has ``exp(gamma * 0.5) = 0.1``,
+    i.e. ``gamma = 2 * ln(0.1) ≈ -4.61``; sampling this profile at the 50% and
+    75% milestones recovers multipliers 0.1 and ≈0.03, close to the step
+    schedule's 0.1 and 0.01.
+    """
+
+    name = "step_approx"
+
+    def __init__(self, decay_factor: float = 0.1, first_milestone: float = 0.5) -> None:
+        if not 0 < decay_factor < 1:
+            raise ValueError(f"decay_factor must be in (0, 1), got {decay_factor}")
+        if not 0 < first_milestone < 1:
+            raise ValueError(f"first_milestone must be in (0, 1), got {first_milestone}")
+        self.decay_factor = float(decay_factor)
+        self.first_milestone = float(first_milestone)
+        super().__init__(gamma=math.log(decay_factor) / first_milestone)
+
+    def __repr__(self) -> str:
+        return (
+            f"StepApproxProfile(decay_factor={self.decay_factor}, "
+            f"first_milestone={self.first_milestone})"
+        )
+
+
+class PolynomialProfile(Profile):
+    """``p(s) = (1 - s) ** power`` — polynomial decay (power=1 is linear)."""
+
+    name = "polynomial"
+
+    def __init__(self, power: float = 2.0) -> None:
+        if power <= 0:
+            raise ValueError(f"power must be positive, got {power}")
+        self.power = float(power)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        return (1.0 - s) ** self.power
+
+    def __repr__(self) -> str:
+        return f"PolynomialProfile(power={self.power})"
+
+
+class ConstantProfile(Profile):
+    """``p(s) = 1`` — no decay (the paper's bare-optimizer baseline)."""
+
+    name = "constant"
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        return np.ones_like(s)
+
+
+class PiecewiseConstantProfile(Profile):
+    """Step-function profile: multiply by ``factor`` after each milestone.
+
+    With the defaults (milestones 0.5 and 0.75, factor 0.1) this is the exact
+    profile of the paper's step schedule ("decay the learning rate by 0.1 at
+    1/2 epochs and again by 0.1 at 3/4 epochs").
+    """
+
+    name = "step"
+
+    def __init__(
+        self, milestones: Sequence[float] = (0.5, 0.75), factor: float = 0.1
+    ) -> None:
+        milestones = tuple(sorted(float(m) for m in milestones))
+        if not milestones:
+            raise ValueError("at least one milestone is required")
+        if any(not 0 < m < 1 for m in milestones):
+            raise ValueError(f"milestones must lie in (0, 1), got {milestones}")
+        if not 0 < factor < 1:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.milestones = milestones
+        self.factor = float(factor)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        crossings = np.zeros_like(s)
+        for m in self.milestones:
+            crossings = crossings + (s >= m).astype(np.float64)
+        return self.factor**crossings
+
+    def __repr__(self) -> str:
+        return f"PiecewiseConstantProfile(milestones={self.milestones}, factor={self.factor})"
+
+
+class DelayedLinearProfile(Profile):
+    """Hold the initial learning rate until ``delay_fraction``, then decay linearly to 0.
+
+    This is the "Linear Delayed X%" variant of Figure 3, which motivates REX:
+    delaying the onset of decay helps for large budgets but adds a
+    hyperparameter.  REX interpolates between this and the plain linear
+    profile with no extra knob.
+    """
+
+    name = "delayed_linear"
+
+    def __init__(self, delay_fraction: float) -> None:
+        if not 0.0 <= delay_fraction < 1.0:
+            raise ValueError(f"delay_fraction must be in [0, 1), got {delay_fraction}")
+        self.delay_fraction = float(delay_fraction)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        d = self.delay_fraction
+        decayed = (1.0 - s) / (1.0 - d)
+        return np.where(s <= d, 1.0, np.clip(decayed, 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return f"DelayedLinearProfile(delay_fraction={self.delay_fraction})"
+
+
+class CompositeProfile(Profile):
+    """Concatenate two profiles at a switch point (e.g. warmup then decay).
+
+    ``first`` runs on ``[0, switch)`` re-scaled to its own full range, and
+    ``second`` on ``[switch, 1]``; the second profile is scaled so the curve is
+    continuous at the switch point.
+    """
+
+    name = "composite"
+
+    def __init__(self, first: Profile, second: Profile, switch: float) -> None:
+        if not 0.0 < switch < 1.0:
+            raise ValueError(f"switch must be in (0, 1), got {switch}")
+        self.first = first
+        self.second = second
+        self.switch = float(switch)
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        sw = self.switch
+        first_local = np.clip(s / sw, 0.0, 1.0)
+        second_local = np.clip((s - sw) / (1.0 - sw), 0.0, 1.0)
+        join_value = float(np.asarray(self.first.value(np.asarray([1.0]))).reshape(-1)[0])
+        out_first = self.first.value(first_local)
+        out_second = join_value * np.asarray(self.second.value(second_local))
+        return np.where(s < sw, out_first, out_second)
+
+    def __repr__(self) -> str:
+        return f"CompositeProfile({self.first!r}, {self.second!r}, switch={self.switch})"

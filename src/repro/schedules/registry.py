@@ -1,0 +1,108 @@
+"""Schedule registry: build any schedule by name.
+
+The experiment runner, examples and benches all construct schedules through
+:func:`build_schedule` so the set of compared methods is defined in exactly
+one place (matching the rows of the paper's tables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.classic import (
+    CosineSchedule,
+    DelayedLinearSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    PolynomialSchedule,
+    StepSchedule,
+)
+from repro.schedules.cyclic import CosineWarmRestartsSchedule, TriangularCyclicSchedule
+from repro.schedules.onecycle import OneCycleSchedule
+from repro.schedules.plateau import DecayOnPlateauSchedule
+from repro.schedules.rex import REXSchedule
+from repro.schedules.schedule import ConstantSchedule, Schedule
+
+__all__ = [
+    "SCHEDULE_REGISTRY",
+    "PAPER_SCHEDULES",
+    "build_schedule",
+    "available_schedules",
+    "register_schedule",
+]
+
+ScheduleFactory = Callable[..., Schedule]
+
+#: every schedule the library provides, keyed by its canonical name
+SCHEDULE_REGISTRY: dict[str, ScheduleFactory] = {
+    "none": ConstantSchedule,
+    "constant": ConstantSchedule,
+    "step": StepSchedule,
+    "plateau": DecayOnPlateauSchedule,
+    "linear": LinearSchedule,
+    "cosine": CosineSchedule,
+    "exponential": ExponentialSchedule,
+    "onecycle": OneCycleSchedule,
+    "rex": REXSchedule,
+    "delayed_linear": DelayedLinearSchedule,
+    "polynomial": PolynomialSchedule,
+    "cyclic": TriangularCyclicSchedule,
+    "cosine_restarts": CosineWarmRestartsSchedule,
+}
+
+#: the seven comparison rows of the paper's per-setting tables, in table order
+PAPER_SCHEDULES: tuple[str, ...] = (
+    "none",
+    "step",
+    "cosine",
+    "onecycle",
+    "linear",
+    "plateau",
+    "exponential",
+    "rex",
+)
+
+
+def available_schedules() -> list[str]:
+    """Sorted list of registered schedule names."""
+    return sorted(SCHEDULE_REGISTRY)
+
+
+def register_schedule(name: str, factory: ScheduleFactory, *, overwrite: bool = False) -> None:
+    """Register a custom schedule factory under ``name``."""
+    key = name.lower()
+    if key in SCHEDULE_REGISTRY and not overwrite:
+        raise ValueError(f"schedule {name!r} is already registered")
+    SCHEDULE_REGISTRY[key] = factory
+
+
+def build_schedule(
+    name: str,
+    optimizer: Optimizer | None,
+    total_steps: int,
+    base_lr: float | None = None,
+    **kwargs: object,
+) -> Schedule:
+    """Instantiate a schedule by name.
+
+    Parameters
+    ----------
+    name:
+        Registry key (case-insensitive), e.g. ``"rex"``, ``"linear"``, ``"step"``.
+    optimizer:
+        Optimizer whose learning rate the schedule drives; may be ``None`` for
+        pure curve evaluation, in which case ``base_lr`` is required.
+    total_steps:
+        Number of optimiser steps in the training budget.
+    base_lr:
+        Initial learning rate (defaults to the optimizer's current LR).
+    kwargs:
+        Extra schedule-specific arguments (e.g. ``delay_fraction`` for
+        ``delayed_linear``, ``gamma`` for ``exponential``).
+    """
+    key = name.lower()
+    if key not in SCHEDULE_REGISTRY:
+        raise KeyError(f"unknown schedule {name!r}; available: {available_schedules()}")
+    factory = SCHEDULE_REGISTRY[key]
+    return factory(optimizer, total_steps, base_lr=base_lr, **kwargs)

@@ -1,0 +1,166 @@
+"""Sampling rates — the second half of the paper's schedule decomposition.
+
+A *sampling policy* decides at which training steps the learning rate is
+re-sampled from the profile.  Between sample points the learning rate is held
+constant at the value of the most recent sample, which is how a "50-75" step
+schedule can be viewed as sampling an exponentially decaying profile twice.
+
+The policies implemented mirror those benchmarked in Table 2 and Figure 2:
+
+* ``EveryIteration``      — the maximum sampling rate ("Every Iteration");
+* ``EveryEpoch``          — once per epoch;
+* ``EveryFraction(0.10)``  — "10-10": once every 10% of the budget, etc.;
+* ``Milestones([.5,.75])`` — "50-75": once at 50% and once at 75%;
+* ``Milestones([.33,.66])``, ``Milestones([.25,.5,.75])`` — the other milestone
+  variants from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SamplingPolicy",
+    "EveryIteration",
+    "EveryEpoch",
+    "EveryFraction",
+    "Milestones",
+    "named_sampling_policy",
+]
+
+
+class SamplingPolicy:
+    """Maps a step index to the progress value at which the profile is sampled."""
+
+    name: str = "sampling"
+
+    def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        """Return the progress ``s`` in [0, 1] used to evaluate the profile at ``step``.
+
+        Parameters
+        ----------
+        step:
+            Zero-based current step index, ``0 <= step < total_steps``.
+        total_steps:
+            Total number of optimiser steps in the budget.
+        steps_per_epoch:
+            Needed only by epoch-granularity policies.
+        """
+        raise NotImplementedError
+
+    def _check(self, step: int, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if step < 0 or step >= total_steps:
+            raise ValueError(f"step {step} outside [0, {total_steps})")
+
+    def progress_sequence(
+        self, total_steps: int, steps_per_epoch: int | None = None
+    ) -> np.ndarray:
+        """Progress used at each step of a full budget (handy for plots/tests)."""
+        return np.array(
+            [self.sample_progress(t, total_steps, steps_per_epoch) for t in range(total_steps)]
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class EveryIteration(SamplingPolicy):
+    """Re-sample the profile at every optimiser step (maximum sampling rate)."""
+
+    name = "every_iteration"
+
+    def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        self._check(step, total_steps)
+        return step / total_steps
+
+
+class EveryEpoch(SamplingPolicy):
+    """Re-sample once at the start of each epoch."""
+
+    name = "every_epoch"
+
+    def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        self._check(step, total_steps)
+        if not steps_per_epoch or steps_per_epoch <= 0:
+            raise ValueError("EveryEpoch requires steps_per_epoch")
+        epoch_start = (step // steps_per_epoch) * steps_per_epoch
+        return epoch_start / total_steps
+
+
+class EveryFraction(SamplingPolicy):
+    """Re-sample once every ``fraction`` of the budget (e.g. 0.10 -> "10-10")."""
+
+    name = "every_fraction"
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        self._check(step, total_steps)
+        progress = step / total_steps
+        n_intervals = int(progress / self.fraction)
+        return min(n_intervals * self.fraction, 1.0)
+
+    def __repr__(self) -> str:
+        return f"EveryFraction(fraction={self.fraction})"
+
+
+class Milestones(SamplingPolicy):
+    """Re-sample only when a milestone fraction of the budget is crossed.
+
+    Before the first milestone the profile is sampled at ``s = 0`` (i.e. the
+    initial learning rate is held), matching how the paper describes the
+    50-75 step schedule as "sampling once at 50% and 75% of total epochs".
+    """
+
+    name = "milestones"
+
+    def __init__(self, milestones: Sequence[float]) -> None:
+        milestones = tuple(sorted(float(m) for m in milestones))
+        if not milestones:
+            raise ValueError("at least one milestone is required")
+        if any(not 0.0 < m < 1.0 for m in milestones):
+            raise ValueError(f"milestones must lie in (0, 1), got {milestones}")
+        self.milestones = milestones
+
+    def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        self._check(step, total_steps)
+        progress = step / total_steps
+        passed = [m for m in self.milestones if progress >= m]
+        return passed[-1] if passed else 0.0
+
+    def __repr__(self) -> str:
+        return f"Milestones(milestones={self.milestones})"
+
+
+#: the sampling-rate grid benchmarked in Table 2 of the paper, keyed by the
+#: labels the paper uses.
+PAPER_SAMPLING_RATES: dict[str, SamplingPolicy] = {
+    "50-75": Milestones([0.50, 0.75]),
+    "33-66": Milestones([0.33, 0.66]),
+    "25-50-75": Milestones([0.25, 0.50, 0.75]),
+    "10-10": EveryFraction(0.10),
+    "5-25": EveryFraction(0.05),
+    "1-100": EveryFraction(0.01),
+    "every_iteration": EveryIteration(),
+}
+
+
+def named_sampling_policy(name: str) -> SamplingPolicy:
+    """Look up a sampling policy by the paper's label (e.g. ``"50-75"``)."""
+    key = name.lower().replace(" ", "_")
+    if key in PAPER_SAMPLING_RATES:
+        return PAPER_SAMPLING_RATES[key]
+    if key in ("every_iter", "iteration", "per_iteration"):
+        return EveryIteration()
+    if key == "every_epoch":
+        return EveryEpoch()
+    raise KeyError(
+        f"unknown sampling policy {name!r}; known: {sorted(PAPER_SAMPLING_RATES)}"
+    )

@@ -1,0 +1,145 @@
+"""Schedule base classes.
+
+A :class:`Schedule` turns a step index into a learning rate and (optionally)
+pushes it into an optimizer's parameter groups.  The core realisation of the
+paper's framework is :class:`ProfileSchedule`, which composes a
+:class:`~repro.schedules.profiles.Profile` with a
+:class:`~repro.schedules.sampling.SamplingPolicy`.
+
+Stepping contract
+-----------------
+``schedule.step()`` is called once per optimiser update, *before*
+``optimizer.step()``; the first call applies the learning rate for step 0.
+``lr_at(step)`` evaluates the schedule functionally without mutating state,
+which is what the figure/benchmark code uses to plot full curves.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.schedules.profiles import Profile
+from repro.schedules.sampling import EveryIteration, SamplingPolicy
+
+__all__ = ["Schedule", "ProfileSchedule", "ConstantSchedule"]
+
+
+class Schedule:
+    """Base class for every learning-rate schedule in the library."""
+
+    #: registry name; concrete classes override
+    name: str = "schedule"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        base_lr: float | None = None,
+        steps_per_epoch: int | None = None,
+    ) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if optimizer is None and base_lr is None:
+            raise ValueError("either an optimizer or an explicit base_lr is required")
+        self.optimizer = optimizer
+        self.total_steps = int(total_steps)
+        self.steps_per_epoch = int(steps_per_epoch) if steps_per_epoch else None
+        self.base_lr = float(base_lr if base_lr is not None else optimizer.get_lr())
+        if self.base_lr < 0:
+            raise ValueError(f"base learning rate must be non-negative, got {self.base_lr}")
+        self.last_step = -1
+        self.last_lr = self.base_lr
+
+    # -- the function to implement -------------------------------------------
+    def lr_at(self, step: int) -> float:
+        """Learning rate to use for optimiser step ``step`` (0-based)."""
+        raise NotImplementedError
+
+    # -- driving the optimizer ---------------------------------------------------
+    def step(self) -> float:
+        """Advance one step, apply the learning rate to the optimizer, return it."""
+        self.last_step += 1
+        step = min(self.last_step, self.total_steps - 1)
+        lr = self.lr_at(step)
+        self._apply(lr)
+        self.last_lr = lr
+        return lr
+
+    def _apply(self, lr: float) -> None:
+        if self.optimizer is not None:
+            self.optimizer.set_lr(lr)
+
+    def get_last_lr(self) -> float:
+        return self.last_lr
+
+    # -- whole-curve helpers (used by Figure 2 and the tests) ------------------------
+    def sequence(self) -> np.ndarray:
+        """The full learning-rate curve over the budget, one value per step."""
+        return np.array([self.lr_at(t) for t in range(self.total_steps)], dtype=np.float64)
+
+    def normalized_sequence(self) -> np.ndarray:
+        """``sequence() / base_lr`` — profile-space curve (0 base_lr yields zeros)."""
+        seq = self.sequence()
+        return seq / self.base_lr if self.base_lr > 0 else seq
+
+    # -- (de)serialisation -----------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        return {"last_step": self.last_step, "last_lr": self.last_lr, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self.last_step = int(state["last_step"])
+        self.last_lr = float(state["last_lr"])
+        self.base_lr = float(state["base_lr"])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(total_steps={self.total_steps}, base_lr={self.base_lr})"
+        )
+
+
+class ProfileSchedule(Schedule):
+    """A schedule defined as (profile, sampling policy) — the paper's framework."""
+
+    name = "profile"
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None,
+        total_steps: int,
+        profile: Profile,
+        sampling: SamplingPolicy | None = None,
+        base_lr: float | None = None,
+        steps_per_epoch: int | None = None,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer, total_steps, base_lr=base_lr, steps_per_epoch=steps_per_epoch)
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        self.profile = profile
+        self.sampling = sampling or EveryIteration()
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        progress = self.sampling.sample_progress(step, self.total_steps, self.steps_per_epoch)
+        multiplier = float(self.profile(progress))
+        return max(self.base_lr * multiplier, self.min_lr)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(profile={self.profile!r}, sampling={self.sampling!r}, "
+            f"total_steps={self.total_steps}, base_lr={self.base_lr})"
+        )
+
+
+class ConstantSchedule(Schedule):
+    """No decay: the bare-optimizer baseline row ("None") in the paper's tables."""
+
+    name = "none"
+
+    def lr_at(self, step: int) -> float:
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        return self.base_lr

@@ -1,0 +1,70 @@
+"""Warmup wrapper.
+
+The paper's YOLO-VOC setting trains every schedule with a 2-epoch linear
+warmup from 1e-5 to 1e-4 that is *not counted against the budget*.  This
+wrapper prepends ``warmup_steps`` of linear ramp to any inner schedule; the
+inner schedule still sees only its own budget, so the warmup does not distort
+the decay profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedules.schedule import Schedule
+
+__all__ = ["WarmupWrapper"]
+
+
+class WarmupWrapper(Schedule):
+    """Linear warmup from ``warmup_start_lr`` to the inner schedule's base LR."""
+
+    name = "warmup"
+
+    def __init__(
+        self,
+        inner: Schedule,
+        warmup_steps: int,
+        warmup_start_lr: float = 0.0,
+    ) -> None:
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be non-negative, got {warmup_steps}")
+        if warmup_start_lr < 0:
+            raise ValueError(f"warmup_start_lr must be non-negative, got {warmup_start_lr}")
+        super().__init__(
+            inner.optimizer,
+            inner.total_steps + warmup_steps,
+            base_lr=inner.base_lr,
+            steps_per_epoch=inner.steps_per_epoch,
+        )
+        self.inner = inner
+        self.warmup_steps = int(warmup_steps)
+        self.warmup_start_lr = float(warmup_start_lr)
+        # Inherit the inner schedule's registry name for table labelling.
+        self.name = f"warmup+{inner.name}"
+
+    def lr_at(self, step: int) -> float:
+        if step < 0 or step >= self.total_steps:
+            raise ValueError(f"step {step} outside [0, {self.total_steps})")
+        if step < self.warmup_steps:
+            # Ramp so that the step immediately after warmup lands on the inner base LR.
+            frac = (step + 1) / (self.warmup_steps + 1)
+            return self.warmup_start_lr + (self.inner.base_lr - self.warmup_start_lr) * frac
+        return self.inner.lr_at(step - self.warmup_steps)
+
+    def step(self) -> float:
+        # Delegate post-warmup stepping to the inner schedule so schedules with
+        # side effects (e.g. OneCycle's momentum cycling) behave correctly.
+        self.last_step += 1
+        step = min(self.last_step, self.total_steps - 1)
+        if step < self.warmup_steps:
+            lr = self.lr_at(step)
+            self._apply(lr)
+            self.last_lr = lr
+            return lr
+        lr = self.inner.step()
+        self.last_lr = lr
+        return lr
+
+    def sequence(self) -> np.ndarray:
+        return np.array([self.lr_at(t) for t in range(self.total_steps)], dtype=np.float64)

@@ -1,0 +1,32 @@
+"""Budgeted-training machinery: budgets, tasks, trainer, metrics, callbacks."""
+
+from repro.training.budget import Budget, PAPER_BUDGET_FRACTIONS
+from repro.training.history import History
+from repro.training.tasks import Task, ClassificationTask, VAETask, DetectionTask, SequenceTask
+from repro.training.callbacks import (
+    Callback,
+    LRRecorder,
+    LossNaNGuard,
+    ProgressLogger,
+    EarlyStopping,
+)
+from repro.training.trainer import Trainer
+from repro.training import metrics
+
+__all__ = [
+    "Budget",
+    "PAPER_BUDGET_FRACTIONS",
+    "History",
+    "Task",
+    "ClassificationTask",
+    "VAETask",
+    "DetectionTask",
+    "SequenceTask",
+    "Callback",
+    "LRRecorder",
+    "LossNaNGuard",
+    "ProgressLogger",
+    "EarlyStopping",
+    "Trainer",
+    "metrics",
+]

@@ -1,0 +1,88 @@
+"""Training-budget accounting.
+
+The paper's central experimental axis is the budget: each run uses a fixed
+percentage (1%, 5%, 10%, 25%, 50%, 100%) of a setting's maximum epochs, and
+the schedule decays over exactly that budget ("the learning rate schedule is
+concerned only with the total epochs for that run").  :class:`Budget` converts
+a (max_epochs, fraction, steps_per_epoch) triple into a concrete number of
+optimiser steps and keeps the bookkeeping explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Budget", "PAPER_BUDGET_FRACTIONS"]
+
+#: the budget grid used throughout the paper's evaluation
+PAPER_BUDGET_FRACTIONS: tuple[float, ...] = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A concrete training budget.
+
+    Attributes
+    ----------
+    max_epochs:
+        The setting's full-training epoch count (Table 3 of the paper).
+    fraction:
+        Fraction of ``max_epochs`` allocated to this run.
+    steps_per_epoch:
+        Number of optimiser steps per epoch (``len(train_loader)``).
+    warmup_steps:
+        Steps of warmup *excluded* from the budget (YOLO-VOC trains 2 warmup
+        epochs that do not count against the allocation).
+    """
+
+    max_epochs: int
+    fraction: float
+    steps_per_epoch: int
+    warmup_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_epochs < 1:
+            raise ValueError(f"max_epochs must be at least 1, got {self.max_epochs}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.steps_per_epoch < 1:
+            raise ValueError(f"steps_per_epoch must be at least 1, got {self.steps_per_epoch}")
+        if self.warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be non-negative, got {self.warmup_steps}")
+
+    @property
+    def max_steps(self) -> int:
+        """Steps in the full (100%) budget."""
+        return self.max_epochs * self.steps_per_epoch
+
+    @property
+    def total_steps(self) -> int:
+        """Optimiser steps allocated to this run (excluding warmup), at least 1."""
+        return max(1, round(self.fraction * self.max_steps))
+
+    @property
+    def total_steps_with_warmup(self) -> int:
+        return self.total_steps + self.warmup_steps
+
+    @property
+    def num_epochs(self) -> int:
+        """Whole epochs this budget corresponds to (rounded up, at least 1).
+
+        The paper rounds the epoch count up (e.g. YOLO-VOC at 1% trains
+        ``ceil(0.5)=1`` epoch); step counts in this library are exact, and this
+        property is informational.
+        """
+        return max(1, -(-self.total_steps // self.steps_per_epoch))
+
+    def epoch_of_step(self, step: int) -> int:
+        """Epoch index (0-based) that optimiser step ``step`` falls in."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return step // self.steps_per_epoch
+
+    def describe(self) -> str:
+        pct = self.fraction * 100
+        return (
+            f"{pct:g}% of {self.max_epochs} epochs -> {self.total_steps} steps "
+            f"({self.steps_per_epoch} steps/epoch, warmup={self.warmup_steps})"
+        )

@@ -1,0 +1,122 @@
+"""Trainer callbacks: lightweight hooks invoked during training."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.training.trainer import Trainer
+
+__all__ = ["Callback", "LRRecorder", "LossNaNGuard", "ProgressLogger", "EarlyStopping"]
+
+
+class Callback:
+    """Base callback; all hooks are optional no-ops."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None: ...
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float, lr: float) -> None: ...
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, metrics: dict[str, float]) -> None: ...
+
+    def on_train_end(self, trainer: "Trainer", metrics: dict[str, float]) -> None: ...
+
+    @property
+    def stop_requested(self) -> bool:
+        return False
+
+
+class LRRecorder(Callback):
+    """Collects the learning rate applied at every step (used by figure benches)."""
+
+    def __init__(self) -> None:
+        self.learning_rates: list[float] = []
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float, lr: float) -> None:
+        self.learning_rates.append(lr)
+
+    def curve(self) -> np.ndarray:
+        return np.asarray(self.learning_rates, dtype=float)
+
+
+class LossNaNGuard(Callback):
+    """Aborts training when the loss diverges (NaN/Inf or exceeds a ceiling).
+
+    The learning-rate-sensitivity study (Figure 4) sweeps deliberately bad
+    learning rates, so divergence must be handled gracefully rather than
+    poisoning downstream metrics.
+    """
+
+    def __init__(self, ceiling: float = 1e6) -> None:
+        self.ceiling = ceiling
+        self._stop = False
+        self.tripped = False
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float, lr: float) -> None:
+        if not np.isfinite(loss) or abs(loss) > self.ceiling:
+            self._stop = True
+            self.tripped = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop
+
+
+class ProgressLogger(Callback):
+    """Logs loss/LR every ``every`` steps through the library logger."""
+
+    def __init__(self, every: int = 50) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.every = every
+        self._log = get_logger("training")
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float, lr: float) -> None:
+        if step % self.every == 0:
+            self._log.info("step=%d loss=%.4f lr=%.5f", step, loss, lr)
+
+    def on_train_end(self, trainer: "Trainer", metrics: dict[str, float]) -> None:
+        self._log.info("finished: %s", metrics)
+
+
+class EarlyStopping(Callback):
+    """Stops training when the monitored eval metric stops improving.
+
+    Not used by the paper's main protocol (budgets are fixed), but exposed for
+    downstream users of the library.
+    """
+
+    def __init__(self, monitor: str, patience: int = 5, higher_is_better: bool = False) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.monitor = monitor
+        self.patience = patience
+        self.higher_is_better = higher_is_better
+        self.best: float | None = None
+        self.bad_epochs = 0
+        self._stop = False
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, metrics: dict[str, float]) -> None:
+        if self.monitor not in metrics:
+            return
+        value = metrics[self.monitor]
+        improved = (
+            self.best is None
+            or (self.higher_is_better and value > self.best)
+            or (not self.higher_is_better and value < self.best)
+        )
+        if improved:
+            self.best = value
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs >= self.patience:
+                self._stop = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop

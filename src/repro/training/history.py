@@ -1,0 +1,60 @@
+"""Training history: per-step and per-epoch records accumulated by the Trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["History"]
+
+
+@dataclass
+class History:
+    """Time series recorded during one training run."""
+
+    learning_rates: list[float] = field(default_factory=list)
+    train_losses: list[float] = field(default_factory=list)
+    eval_steps: list[int] = field(default_factory=list)
+    eval_metrics: list[dict[str, float]] = field(default_factory=list)
+    final_metrics: dict[str, float] = field(default_factory=dict)
+
+    def record_step(self, lr: float, loss: float) -> None:
+        self.learning_rates.append(float(lr))
+        self.train_losses.append(float(loss))
+
+    def record_eval(self, step: int, metrics: dict[str, float]) -> None:
+        self.eval_steps.append(int(step))
+        self.eval_metrics.append({k: float(v) for k, v in metrics.items()})
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.train_losses)
+
+    def lr_curve(self) -> np.ndarray:
+        return np.asarray(self.learning_rates, dtype=float)
+
+    def loss_curve(self) -> np.ndarray:
+        return np.asarray(self.train_losses, dtype=float)
+
+    def metric_series(self, name: str) -> np.ndarray:
+        """Time series of one evaluation metric across recorded evals."""
+        values = [m[name] for m in self.eval_metrics if name in m]
+        return np.asarray(values, dtype=float)
+
+    def smoothed_loss(self, window: int = 10) -> np.ndarray:
+        """Moving-average training loss (useful for plots of noisy proxies)."""
+        loss = self.loss_curve()
+        if window <= 1 or len(loss) < window:
+            return loss
+        kernel = np.ones(window) / window
+        return np.convolve(loss, kernel, mode="valid")
+
+    def to_dict(self) -> dict:
+        return {
+            "learning_rates": list(self.learning_rates),
+            "train_losses": list(self.train_losses),
+            "eval_steps": list(self.eval_steps),
+            "eval_metrics": list(self.eval_metrics),
+            "final_metrics": dict(self.final_metrics),
+        }

@@ -1,0 +1,178 @@
+"""Task adapters: how each workload computes its loss and evaluation metric.
+
+The Trainer is workload-agnostic; a :class:`Task` tells it how to turn a batch
+into a loss tensor and how to evaluate the model on a loader.  One task exists
+per experimental family in the paper:
+
+* :class:`ClassificationTask` — CIFAR/STL/ImageNet proxies (top-1 error %)
+* :class:`VAETask` — VAE-MNIST (negative ELBO)
+* :class:`DetectionTask` — YOLO-VOC proxy (mAP %)
+* :class:`SequenceTask` — one proxy GLUE task (task-specific metric)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataset import DataLoader
+from repro.nn.losses import cross_entropy, detection_loss, mse_loss, vae_loss
+from repro.training import metrics as M
+
+__all__ = ["Task", "ClassificationTask", "VAETask", "DetectionTask", "SequenceTask"]
+
+
+class Task:
+    """Interface between the Trainer and a concrete workload."""
+
+    #: name of the metric reported by :meth:`evaluate` that the paper's tables use
+    primary_metric: str = "error"
+    #: whether larger values of the primary metric are better
+    higher_is_better: bool = False
+
+    def compute_loss(self, model: nn.Module, batch: tuple[np.ndarray, ...]) -> nn.Tensor:
+        raise NotImplementedError
+
+    def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:
+        raise NotImplementedError
+
+
+class ClassificationTask(Task):
+    """Cross-entropy training, top-1 error (%) evaluation."""
+
+    primary_metric = "error"
+    higher_is_better = False
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        self.label_smoothing = label_smoothing
+
+    def compute_loss(self, model: nn.Module, batch: tuple[np.ndarray, ...]) -> nn.Tensor:
+        images, labels = batch
+        logits = model(nn.Tensor(images))
+        return cross_entropy(logits, labels, label_smoothing=self.label_smoothing)
+
+    def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:
+        model.eval()
+        all_preds: list[np.ndarray] = []
+        all_labels: list[np.ndarray] = []
+        total_loss, total_count = 0.0, 0
+        with nn.no_grad():
+            for images, labels in loader:
+                logits = model(nn.Tensor(images))
+                loss = cross_entropy(logits, labels)
+                total_loss += float(loss.data) * len(labels)
+                total_count += len(labels)
+                all_preds.append(logits.data.argmax(axis=1))
+                all_labels.append(labels)
+        model.train()
+        preds = np.concatenate(all_preds)
+        labels = np.concatenate(all_labels)
+        return {
+            "error": M.error_rate(preds, labels),
+            "accuracy": 100.0 * M.accuracy(preds, labels),
+            "loss": total_loss / max(total_count, 1),
+        }
+
+
+class VAETask(Task):
+    """Negative-ELBO training and evaluation ("generalization loss", Table 7)."""
+
+    primary_metric = "elbo"
+    higher_is_better = False
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+
+    def compute_loss(self, model: nn.Module, batch: tuple[np.ndarray, ...]) -> nn.Tensor:
+        images, targets = batch
+        recon, mu, logvar = model(nn.Tensor(images))
+        return vae_loss(recon, targets, mu, logvar, beta=self.beta)
+
+    def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:
+        model.eval()
+        total, count = 0.0, 0
+        with nn.no_grad():
+            for images, targets in loader:
+                recon, mu, logvar = model(nn.Tensor(images))
+                loss = vae_loss(recon, targets, mu, logvar, beta=self.beta)
+                total += float(loss.data) * len(images)
+                count += len(images)
+        model.train()
+        value = total / max(count, 1)
+        return {"elbo": value, "loss": value}
+
+
+class DetectionTask(Task):
+    """YOLO-style composite loss, mAP (%) evaluation."""
+
+    primary_metric = "map"
+    higher_is_better = True
+
+    def __init__(self, num_classes: int = 3, iou_threshold: float = 0.3) -> None:
+        # The paper evaluates mAP@0.5 on Pascal VOC; the proxy detector trains
+        # for orders of magnitude fewer steps, so the default matching
+        # threshold is relaxed to 0.3 (documented in DESIGN.md).  Pass 0.5 to
+        # recover the strict criterion.
+        self.num_classes = num_classes
+        self.iou_threshold = iou_threshold
+
+    def compute_loss(self, model: nn.Module, batch: tuple[np.ndarray, ...]) -> nn.Tensor:
+        images, targets = batch
+        preds = model(nn.Tensor(images))
+        return detection_loss(preds, targets, num_classes=self.num_classes)
+
+    def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:
+        model.eval()
+        all_preds: list[np.ndarray] = []
+        all_targets: list[np.ndarray] = []
+        total_loss, count = 0.0, 0
+        with nn.no_grad():
+            for images, targets in loader:
+                preds = model(nn.Tensor(images))
+                loss = detection_loss(preds, targets, num_classes=self.num_classes)
+                total_loss += float(loss.data) * len(images)
+                count += len(images)
+                all_preds.append(preds.data)
+                all_targets.append(targets)
+        model.train()
+        preds_arr = np.concatenate(all_preds)
+        targets_arr = np.concatenate(all_targets)
+        ap = M.detection_average_precision(preds_arr, targets_arr, iou_threshold=self.iou_threshold)
+        return {"map": ap, "loss": total_loss / max(count, 1)}
+
+
+class SequenceTask(Task):
+    """Proxy GLUE task: classification or regression over token sequences."""
+
+    def __init__(self, metric: str = "accuracy", regression: bool = False) -> None:
+        self.metric = metric
+        self.regression = regression
+        self.primary_metric = "score"
+        self.higher_is_better = True
+
+    def compute_loss(self, model: nn.Module, batch: tuple[np.ndarray, ...]) -> nn.Tensor:
+        tokens, segments, labels = batch
+        logits = model(tokens, segments)
+        if self.regression:
+            return mse_loss(logits.reshape(-1), labels.astype(np.float64))
+        return cross_entropy(logits, labels)
+
+    def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:
+        model.eval()
+        preds: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        with nn.no_grad():
+            for tokens, segments, labels in loader:
+                logits = model(tokens, segments)
+                if self.regression:
+                    preds.append(logits.data.reshape(-1))
+                else:
+                    preds.append(logits.data.argmax(axis=1))
+                targets.append(labels)
+        model.train()
+        pred_arr = np.concatenate(preds)
+        target_arr = np.concatenate(targets)
+        score = M.glue_metric(self.metric, pred_arr, target_arr)
+        return {"score": score, self.metric: score}

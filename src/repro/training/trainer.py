@@ -1,0 +1,145 @@
+"""The budgeted Trainer: a workload-agnostic training loop.
+
+The Trainer consumes a model, an optimizer, a :class:`~repro.training.tasks.Task`
+and a schedule, and runs for an exact number of optimiser steps (the budget).
+Learning-rate scheduling follows the paper's protocol: the schedule decays over
+exactly the allocated budget, sampled according to its own sampling policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataset import DataLoader
+from repro.optim.optimizer import Optimizer
+from repro.schedules.plateau import DecayOnPlateauSchedule
+from repro.schedules.schedule import Schedule
+from repro.training.callbacks import Callback
+from repro.training.history import History
+from repro.training.tasks import Task
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """Train a model for an exact step budget with an attached LR schedule.
+
+    Parameters
+    ----------
+    model, optimizer, task:
+        The workload: the task knows how to turn a batch into a loss and how
+        to evaluate the model.
+    train_loader, eval_loader:
+        Mini-batch sources.  ``eval_loader`` may be ``None`` (no evaluation).
+    schedule:
+        Any :class:`repro.schedules.Schedule`; ``None`` keeps the optimizer's
+        learning rate constant.  :class:`DecayOnPlateauSchedule` additionally
+        receives the primary eval metric at every epoch boundary.
+    callbacks:
+        Optional hooks (LR recording, divergence guards, logging...).
+    eval_every_epoch:
+        Force an evaluation at every epoch boundary even when the schedule
+        does not require it (the plateau schedule always evaluates).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        optimizer: Optimizer,
+        task: Task,
+        train_loader: DataLoader,
+        eval_loader: DataLoader | None = None,
+        schedule: Schedule | None = None,
+        callbacks: Sequence[Callback] = (),
+        eval_every_epoch: bool = False,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.task = task
+        self.train_loader = train_loader
+        self.eval_loader = eval_loader
+        self.schedule = schedule
+        self.callbacks = list(callbacks)
+        self.eval_every_epoch = eval_every_epoch
+        self.history = History()
+
+    # -- internals -------------------------------------------------------------
+    def _batches(self) -> Iterator[tuple[np.ndarray, ...]]:
+        """Yield batches forever, re-shuffling each pass over the loader."""
+        while True:
+            yielded = False
+            for batch in self.train_loader:
+                yielded = True
+                yield batch
+            if not yielded:
+                raise RuntimeError("train_loader produced no batches")
+
+    def _needs_epoch_eval(self) -> bool:
+        return (
+            self.eval_every_epoch
+            or isinstance(self.schedule, DecayOnPlateauSchedule)
+            or any(hasattr(cb, "monitor") for cb in self.callbacks)
+        )
+
+    def _evaluate(self) -> dict[str, float]:
+        if self.eval_loader is None:
+            return {}
+        return self.task.evaluate(self.model, self.eval_loader)
+
+    def _stop_requested(self) -> bool:
+        return any(cb.stop_requested for cb in self.callbacks)
+
+    # -- the loop -------------------------------------------------------------------
+    def fit(self, total_steps: int) -> History:
+        """Run ``total_steps`` optimiser updates and return the training history."""
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be at least 1, got {total_steps}")
+        steps_per_epoch = len(self.train_loader)
+        epoch_eval = self._needs_epoch_eval()
+
+        self.model.train()
+        for cb in self.callbacks:
+            cb.on_train_begin(self)
+
+        batches = self._batches()
+        for step in range(total_steps):
+            if self.schedule is not None:
+                lr = self.schedule.step()
+            else:
+                lr = self.optimizer.get_lr()
+
+            batch = next(batches)
+            loss = self.task.compute_loss(self.model, batch)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+
+            loss_value = float(loss.data)
+            self.history.record_step(lr, loss_value)
+            for cb in self.callbacks:
+                cb.on_step_end(self, step, loss_value, lr)
+
+            end_of_epoch = (step + 1) % steps_per_epoch == 0
+            if end_of_epoch and epoch_eval:
+                metrics = self._evaluate()
+                self.history.record_eval(step, metrics)
+                epoch_idx = (step + 1) // steps_per_epoch - 1
+                if isinstance(self.schedule, DecayOnPlateauSchedule) and metrics:
+                    primary = metrics.get(self.task.primary_metric)
+                    if primary is not None:
+                        value = -primary if self.task.higher_is_better else primary
+                        self.schedule.epoch_end(value)
+                for cb in self.callbacks:
+                    cb.on_epoch_end(self, epoch_idx, metrics)
+
+            if self._stop_requested():
+                break
+
+        final_metrics = self._evaluate()
+        self.history.final_metrics = final_metrics
+        for cb in self.callbacks:
+            cb.on_train_end(self, final_metrics)
+        return self.history

@@ -1,0 +1,17 @@
+"""Small shared utilities: seeding, run records, text plotting, logging."""
+
+from repro.utils.seeding import SeedSequence, set_global_seed, spawn_rng
+from repro.utils.records import RunRecord, RunStore
+from repro.utils.textplot import ascii_plot, ascii_table
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SeedSequence",
+    "set_global_seed",
+    "spawn_rng",
+    "RunRecord",
+    "RunStore",
+    "ascii_plot",
+    "ascii_table",
+    "get_logger",
+]

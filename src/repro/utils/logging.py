@@ -1,0 +1,26 @@
+"""Thin logging wrapper so every module logs through one namespace."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Configure the root ``repro`` logger with a compact console format."""
+    logger = logging.getLogger(_ROOT_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(levelname)s %(name)s] %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

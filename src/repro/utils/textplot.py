@@ -1,0 +1,142 @@
+"""Terminal-friendly plotting and table formatting.
+
+The paper's figures are line plots (learning-rate profiles, rank-vs-budget,
+error-vs-learning-rate).  Since the benchmark harness runs headless, figures
+are rendered as ASCII plots and their underlying series are also emitted as
+CSV-like rows so the data can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_table", "format_mean_std", "series_to_csv"]
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x: Sequence[float] | None = None,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more y-series as a compact ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label -> y values.  All series must share the same length.
+    x:
+        Optional shared x values; defaults to ``range(n)``.
+    """
+    if not series:
+        raise ValueError("ascii_plot requires at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all series must have equal length, got {sorted(lengths)}")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("series are empty")
+    xs = np.asarray(x if x is not None else np.arange(n), dtype=float)
+    if len(xs) != n:
+        raise ValueError("x must have the same length as the series")
+
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    ymin, ymax = float(np.min(all_y)), float(np.max(all_y))
+    if ymax - ymin < 1e-12:
+        ymax = ymin + 1.0
+    xmin, xmax = float(xs.min()), float(xs.max())
+    if xmax - xmin < 1e-12:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for idx, (label, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        ys = np.asarray(ys, dtype=float)
+        for xi, yi in zip(xs, ys):
+            col = int(round((xi - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((yi - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:>12.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{ymin:>12.4g} +" + "-" * width)
+    lines.append(" " * 14 + f"{xmin:<10.4g}" + " " * max(0, width - 20) + f"{xmax:>10.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append("  legend: " + legend)
+    if ylabel:
+        lines.append("  y: " + ylabel)
+    return "\n".join(lines)
+
+
+def ascii_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    *,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Format rows into an aligned monospace table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    body = [[fmt(c) for c in row] for row in rows]
+    all_rows = ([list(map(str, headers))] if headers else []) + body
+    if not all_rows:
+        return ""
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(all_rows[0]))]
+
+    def render(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = []
+    if headers:
+        lines.append(render(all_rows[0]))
+        lines.append("-+-".join("-" * w for w in widths))
+        body_rows = all_rows[1:]
+    else:
+        body_rows = all_rows
+    lines.extend(render(r) for r in body_rows)
+    return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float, *, decimals: int = 2) -> str:
+    """Format ``mean ± std`` the way the paper's tables do (e.g. ``27.94 ± .46``)."""
+    mean_s = f"{mean:.{decimals}f}"
+    std_s = f"{std:.{decimals}f}"
+    if std < 1.0:
+        std_s = std_s.lstrip("0")
+    return f"{mean_s} ± {std_s}"
+
+
+def series_to_csv(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x: Sequence[float] | None = None,
+    x_name: str = "x",
+) -> str:
+    """Emit the series as CSV text (one row per x value)."""
+    labels = list(series)
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n = lengths.pop()
+    xs: Iterable[float] = x if x is not None else range(n)
+    lines = [",".join([x_name] + labels)]
+    columns = [list(series[label]) for label in labels]
+    for i, xv in enumerate(xs):
+        lines.append(",".join([f"{xv}"] + [f"{columns[j][i]}" for j in range(len(labels))]))
+    return "\n".join(lines)

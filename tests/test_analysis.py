@@ -1,0 +1,129 @@
+"""Tests for the figure/table analysis modules (schedule-space parts run in full;
+training-based parts run at micro scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIGURE3_PANELS,
+    FIGURE4_PANELS,
+    DelayedLinearStudyConfig,
+    LRSensitivityConfig,
+    PAPER_PROFILES,
+    ProfileSamplingConfig,
+    delayed_linear_series,
+    figure2_data,
+    lr_sensitivity_series,
+    profile_sampling_curves,
+    run_delayed_linear_study,
+    run_lr_sensitivity,
+    run_profile_sampling_cell,
+    run_profile_sampling_grid,
+    table2_rows,
+    usual_schedule_curves,
+)
+from repro.analysis.delayed_linear import step_100pct_reference
+
+
+class TestFigure2Curves:
+    def test_paper_profiles_keys(self):
+        assert set(PAPER_PROFILES) == {"step", "linear", "rex"}
+
+    def test_profile_sampling_curves_shapes(self):
+        curves = profile_sampling_curves(PAPER_PROFILES["rex"], total_steps=100)
+        assert set(curves) == {"50-75", "33-66", "25-50-75", "10-10", "5-25", "1-100", "every_iteration"}
+        for curve in curves.values():
+            assert len(curve) == 100
+            assert curve[0] == pytest.approx(1.0)
+
+    def test_milestone_sampling_produces_piecewise_constant_curves(self):
+        curves = profile_sampling_curves(PAPER_PROFILES["linear"], total_steps=100)
+        fifty_75 = curves["50-75"]
+        assert len(np.unique(np.round(fifty_75, 12))) == 3
+        every_iter = curves["every_iteration"]
+        assert len(np.unique(np.round(every_iter, 12))) == 100
+
+    def test_usual_schedule_curves(self):
+        curves = usual_schedule_curves(total_steps=50)
+        assert set(curves) == {"step", "linear", "cosine", "exponential", "onecycle", "rex"}
+        # OneCycle is the only non-monotone curve
+        assert np.any(np.diff(curves["onecycle"]) > 0)
+        for name in ("step", "linear", "cosine", "exponential", "rex"):
+            assert np.all(np.diff(curves[name]) <= 1e-12)
+
+    def test_figure2_data_panels(self):
+        data = figure2_data(total_steps=40)
+        assert set(data) == {"step_profile", "linear_profile", "rex_profile", "usual_schedules"}
+
+
+class TestTable2Machinery:
+    def test_single_cell_and_grid(self):
+        config = ProfileSamplingConfig(
+            setting="RN20-CIFAR10",
+            profiles=("linear", "rex"),
+            sampling_rates=("50-75", "every_iteration"),
+            budget_fractions=(0.25,),
+            size_scale=0.12,
+            epoch_scale=0.1,
+        )
+        record = run_profile_sampling_cell(config, "rex", "every_iteration", 0.25)
+        assert record.extra["profile"] == "rex"
+        store = run_profile_sampling_grid(config)
+        assert len(store) == 2 * 2 * 1
+        rows, headers = table2_rows(store, config.budget_fractions)
+        assert headers[0] == "Sampling Rate"
+        assert len(rows) == 7  # all paper sampling rates are listed as rows
+
+    def test_unknown_profile_or_sampling(self):
+        config = ProfileSamplingConfig(size_scale=0.12, epoch_scale=0.1)
+        with pytest.raises(KeyError):
+            run_profile_sampling_cell(config, "cosine", "50-75", 0.25)
+        with pytest.raises(KeyError):
+            run_profile_sampling_cell(config, "rex", "99-99", 0.25)
+
+
+class TestFigure3Machinery:
+    def test_panels_match_paper(self):
+        assert ("VGG16-CIFAR100", "sgdm") in FIGURE3_PANELS
+        assert ("RN38-CIFAR100", "adam") in FIGURE3_PANELS
+        assert len(FIGURE3_PANELS) == 4
+
+    def test_delayed_linear_study_micro(self):
+        config = DelayedLinearStudyConfig(
+            setting="RN38-CIFAR100",
+            optimizer="sgdm",
+            delay_fractions=(0.5,),
+            budget_fractions=(0.25, 1.0),
+            size_scale=0.12,
+            epoch_scale=0.1,
+        )
+        store = run_delayed_linear_study(config)
+        schedules = set(store.unique("schedule"))
+        assert schedules == {"rex", "linear", "step", "linear_delayed_50"}
+        series = delayed_linear_series(store)
+        assert set(series["rex"]) == {0.25, 1.0}
+        assert step_100pct_reference(store) is not None
+
+
+class TestFigure4Machinery:
+    def test_panels_match_paper(self):
+        assert ("RN20-CIFAR10", 0.05) in FIGURE4_PANELS
+        assert ("RN38-CIFAR100", 0.25) in FIGURE4_PANELS
+
+    def test_lr_sensitivity_micro(self):
+        config = LRSensitivityConfig(
+            setting="RN20-CIFAR10",
+            budget_fraction=0.25,
+            schedules=("rex", "linear"),
+            lr_steps=1,
+            size_scale=0.12,
+            epoch_scale=0.1,
+        )
+        store = run_lr_sensitivity(config)
+        assert len(store) == 3 * 2  # 3 learning rates x 2 schedules
+        series = lr_sensitivity_series(store)
+        assert set(series) == {"rex", "linear"}
+        assert len(series["rex"]) == 3
+        assert list(series["rex"]) == sorted(series["rex"])

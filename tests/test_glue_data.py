@@ -1,0 +1,97 @@
+"""Tests for the proxy GLUE task suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GLUE_TASKS, SyntheticGlueTask, glue_task_specs
+from repro.data.synthetic import SequenceTaskSpec, make_sequence_classification
+
+
+class TestTaskSpecs:
+    def test_eight_tasks_matching_the_paper(self):
+        tasks = glue_task_specs()
+        names = [t.name for t in tasks]
+        assert sorted(names) == sorted(GLUE_TASKS)
+        assert "WNLI" not in names  # excluded, as in the paper
+        assert len(tasks) == 8
+
+    def test_task_types(self):
+        by_name = {t.name: t for t in glue_task_specs()}
+        assert by_name["STS-B"].spec.regression
+        assert by_name["MNLI"].spec.num_classes == 3
+        assert not by_name["CoLA"].spec.pair
+        assert by_name["MRPC"].spec.pair
+        assert by_name["CoLA"].metric == "matthews"
+        assert by_name["QQP"].metric == "f1"
+        assert by_name["STS-B"].metric == "pearson_spearman"
+
+    def test_relative_sizes_follow_glue(self):
+        by_name = {t.name: t for t in glue_task_specs()}
+        assert by_name["MNLI"].spec.num_train > by_name["RTE"].spec.num_train
+        assert by_name["QQP"].spec.num_train > by_name["MRPC"].spec.num_train
+
+    def test_size_scale_validation(self):
+        with pytest.raises(ValueError):
+            glue_task_specs(size_scale=0.0)
+
+
+class TestSequenceGeneration:
+    def test_single_sentence_task(self):
+        spec = SequenceTaskSpec(name="toy", num_train=64, num_test=32, seq_len=12, vocab_size=32)
+        tr_tok, tr_seg, tr_y, te_tok, te_seg, te_y = make_sequence_classification(spec, seed=0)
+        assert tr_tok.shape == (64, 12)
+        assert te_tok.shape == (32, 12)
+        assert tr_seg.max() == 0  # single sentence -> one segment
+        assert set(np.unique(tr_y)) <= {0, 1}
+        assert np.all(tr_tok[:, 0] == 1)  # CLS token
+
+    def test_pair_task_has_two_segments(self):
+        spec = SequenceTaskSpec(name="pair", num_train=64, num_test=32, pair=True)
+        _, segments, _, _, _, _ = make_sequence_classification(spec, seed=0)
+        assert set(np.unique(segments)) == {0, 1}
+
+    def test_regression_labels_are_continuous(self):
+        spec = SequenceTaskSpec(name="reg", num_train=64, num_test=32, pair=True, regression=True, num_classes=1)
+        _, _, labels, _, _, _ = make_sequence_classification(spec, seed=0)
+        assert labels.dtype == np.float64
+        assert len(np.unique(labels)) > 10
+
+    def test_labels_are_learnable_from_tokens(self):
+        """The single-sentence label must correlate with the token-balance feature."""
+        spec = SequenceTaskSpec(name="learnable", num_train=256, num_test=32, label_noise=0.0)
+        tokens, _, labels, _, _, _ = make_sequence_classification(spec, seed=0)
+        feature = (tokens >= spec.vocab_size // 2).mean(axis=1)
+        # point-biserial correlation between the feature and the binary label
+        corr = np.corrcoef(feature, labels)[0, 1]
+        assert corr > 0.5
+
+    def test_determinism(self):
+        spec = SequenceTaskSpec(name="det", num_train=32, num_test=16)
+        a = make_sequence_classification(spec, seed=3)
+        b = make_sequence_classification(spec, seed=3)
+        for arr_a, arr_b in zip(a, b):
+            np.testing.assert_array_equal(arr_a, arr_b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceTaskSpec(name="bad", num_train=10, num_test=5, seq_len=2)
+        with pytest.raises(ValueError):
+            SequenceTaskSpec(name="bad", num_train=10, num_test=5, vocab_size=4)
+
+
+class TestGlueDataset:
+    def test_dataset_fields(self):
+        task = glue_task_specs(size_scale=0.5)[0]
+        train, test = SyntheticGlueTask.splits(task, seed=0)
+        tokens, segments, label = train[0]
+        assert tokens.shape == (task.spec.seq_len,)
+        assert segments.shape == (task.spec.seq_len,)
+        assert len(train) == task.spec.num_train
+        assert len(test) == task.spec.num_test
+
+    def test_invalid_split(self):
+        task = glue_task_specs(size_scale=0.5)[0]
+        with pytest.raises(ValueError):
+            SyntheticGlueTask(task, "dev")

@@ -1,0 +1,67 @@
+"""Tests for the BERT-GLUE proxy fine-tuning runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import glue_task_specs
+from repro.experiments.glue_runner import (
+    GlueRunConfig,
+    GlueResult,
+    glue_result_to_records,
+    run_glue_benchmark,
+    run_glue_task,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return GlueRunConfig(schedule="rex", size_scale=0.15, pretrain_steps=2, max_epochs=3)
+
+
+class TestGlueTaskRun:
+    def test_scores_per_epoch(self, tiny_config):
+        task = glue_task_specs(size_scale=0.15)[0]  # CoLA
+        scores = run_glue_task(task, tiny_config)
+        assert len(scores) == 3
+        assert all(np.isfinite(s) for s in scores)
+
+    def test_regression_task_runs(self, tiny_config):
+        stsb = [t for t in glue_task_specs(size_scale=0.15) if t.name == "STS-B"][0]
+        scores = run_glue_task(stsb, tiny_config)
+        assert len(scores) == 3
+        assert all(-100.0 <= s <= 100.0 for s in scores)
+
+
+class TestGlueBenchmark:
+    def test_benchmark_covers_all_tasks(self, tiny_config):
+        result = run_glue_benchmark(tiny_config)
+        assert set(result.per_task_scores) == {
+            "CoLA",
+            "MNLI",
+            "MRPC",
+            "QNLI",
+            "QQP",
+            "RTE",
+            "SST-2",
+            "STS-B",
+        }
+        means = result.mean_scores()
+        assert len(means) == 3
+        assert result.score_after(1) == means[0]
+
+    def test_result_to_records(self):
+        result = GlueResult(
+            schedule="rex",
+            optimizer="adamw",
+            per_task_scores={"CoLA": [10.0, 20.0, 30.0], "RTE": [50.0, 60.0, 70.0]},
+        )
+        store = glue_result_to_records(result)
+        assert len(store) == 3
+        budgets = sorted(store.unique("budget_fraction"))
+        assert budgets == pytest.approx([1 / 3, 2 / 3, 1.0])
+        final = store.filter(budget_fraction=1.0)[0]
+        assert final.metric == pytest.approx(50.0)  # mean of 30 and 70
+        assert final.higher_is_better
+        assert final.extra["per_task"]["CoLA"] == 30.0

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: the full pipeline on small-but-real workloads.
+
+These are the slowest tests in the suite (a few seconds each); they verify the
+qualitative claims the library is built to reproduce rather than individual
+units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.optim import SGD
+from repro.schedules import REXSchedule, build_schedule
+from repro.training import ClassificationTask, LRRecorder, Trainer
+from repro.experiments import RunConfig, run_setting_table, run_single, average_rank_by_budget
+
+
+def gaussian_blobs(n=256, features=12, classes=4, noise=1.8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, features)) * 2.0
+    labels = rng.integers(0, classes, size=n)
+    x = centers[labels] + rng.standard_normal((n, features)) * noise
+    return x, labels
+
+
+class TestQuickstartLoop:
+    def test_manual_training_loop_with_rex(self):
+        """The README quickstart pattern: schedule.step() -> backward -> optimizer.step()."""
+        x, y = gaussian_blobs()
+        ds = ArrayDataset(x, y)
+        loader = DataLoader(ds, batch_size=32, shuffle=True, seed=0)
+        model = MLP(12, 4, hidden_sizes=(32,), seed=0)
+        optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9)
+        total_steps = 80
+        schedule = REXSchedule(optimizer, total_steps=total_steps)
+
+        losses = []
+        batches = iter(loader)
+        for step in range(total_steps):
+            try:
+                images, labels = next(batches)
+            except StopIteration:
+                batches = iter(loader)
+                images, labels = next(batches)
+            schedule.step()
+            logits = model(nn.Tensor(images))
+            loss = nn.losses.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+        assert optimizer.get_lr() < 0.2 * 0.1  # decayed near zero by the end
+
+
+class TestScheduleQuality:
+    def test_decayed_schedules_beat_constant_lr(self):
+        """Any decaying schedule should match or beat the no-decay baseline on a noisy task."""
+        x, y = gaussian_blobs(n=384, noise=2.5, seed=1)
+        ds = ArrayDataset(x, y)
+
+        def final_error(schedule_name: str) -> float:
+            train = DataLoader(ds, batch_size=16, shuffle=True, seed=0)
+            eval_loader = DataLoader(ds, batch_size=64, seed=0)
+            model = MLP(12, 4, hidden_sizes=(32,), seed=0)
+            opt = SGD(model.parameters(), lr=0.5, momentum=0.9)
+            sched = build_schedule(schedule_name, opt, total_steps=150)
+            trainer = Trainer(model, opt, ClassificationTask(), train, eval_loader, schedule=sched)
+            return trainer.fit(150).final_metrics["error"]
+
+        constant = final_error("none")
+        rex = final_error("rex")
+        linear = final_error("linear")
+        assert rex <= constant + 1.0
+        assert linear <= constant + 1.0
+
+    def test_lr_recorder_reproduces_rex_curve_during_real_training(self):
+        x, y = gaussian_blobs(n=64)
+        ds = ArrayDataset(x, y)
+        train = DataLoader(ds, batch_size=16, shuffle=True, seed=0)
+        model = MLP(12, 4, seed=0)
+        opt = SGD(model.parameters(), lr=0.3, momentum=0.9)
+        sched = REXSchedule(opt, total_steps=40)
+        recorder = LRRecorder()
+        Trainer(model, opt, ClassificationTask(), train, schedule=sched, callbacks=[recorder]).fit(40)
+        np.testing.assert_allclose(
+            recorder.curve(), REXSchedule(None, total_steps=40, base_lr=0.3).sequence()
+        )
+
+
+class TestHarnessEndToEnd:
+    def test_mini_paper_pipeline(self):
+        """A miniature Figure 1: run two schedules on one setting and rank them."""
+        store = run_setting_table(
+            "RN20-CIFAR10",
+            schedules=("rex", "none"),
+            optimizers=("sgdm",),
+            budgets=(0.25, 1.0),
+            num_seeds=1,
+            size_scale=0.2,
+            epoch_scale=0.15,
+        )
+        assert len(store) == 4
+        ranks = average_rank_by_budget(store, optimizer="sgdm")
+        assert set(ranks) == {"rex", "none"}
+        for by_budget in ranks.values():
+            assert set(by_budget) == {0.25, 1.0}
+
+    def test_more_budget_does_not_hurt(self):
+        """Across a 10x budget increase the final error should not get worse (proxy sanity)."""
+        small = run_single(
+            RunConfig(
+                setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.05,
+                size_scale=0.25, epoch_scale=0.5,
+            )
+        )
+        large = run_single(
+            RunConfig(
+                setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.5,
+                size_scale=0.25, epoch_scale=0.5,
+            )
+        )
+        assert large.metric <= small.metric + 2.0

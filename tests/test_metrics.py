@@ -1,0 +1,128 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import metrics as M
+
+
+class TestClassificationMetrics:
+    def test_accuracy_and_error(self):
+        preds = np.array([0, 1, 2, 2])
+        targets = np.array([0, 1, 1, 2])
+        assert M.accuracy(preds, targets) == pytest.approx(0.75)
+        assert M.error_rate(preds, targets) == pytest.approx(25.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            M.accuracy(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            M.accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestMatthewsAndF1:
+    def test_matthews_perfect_and_inverse(self):
+        y = np.array([0, 1, 0, 1, 1, 0])
+        assert M.matthews_corrcoef(y, y) == pytest.approx(1.0)
+        assert M.matthews_corrcoef(1 - y, y) == pytest.approx(-1.0)
+
+    def test_matthews_degenerate_is_zero(self):
+        assert M.matthews_corrcoef(np.ones(4), np.array([0, 1, 0, 1])) == 0.0
+
+    def test_f1(self):
+        preds = np.array([1, 1, 0, 0])
+        targets = np.array([1, 0, 1, 0])
+        # precision = 0.5, recall = 0.5 -> F1 = 0.5
+        assert M.f1_score(preds, targets) == pytest.approx(0.5)
+        assert M.f1_score(np.zeros(4), targets) == 0.0
+        assert M.f1_score(targets, targets) == pytest.approx(1.0)
+
+
+class TestCorrelations:
+    def test_pearson_linear_relationship(self):
+        x = np.linspace(0, 1, 20)
+        assert M.pearson_corr(2 * x + 1, x) == pytest.approx(1.0)
+        assert M.pearson_corr(-x, x) == pytest.approx(-1.0)
+        assert M.pearson_corr(np.ones(5), x[:5]) == 0.0
+
+    def test_spearman_monotone_nonlinear(self):
+        x = np.linspace(0.1, 1, 20)
+        y = x**3  # monotone but nonlinear
+        assert M.spearman_corr(y, x) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        value = M.spearman_corr(a, b)
+        assert 0.8 < value <= 1.0
+
+    def test_pearson_spearman_average(self):
+        x = np.linspace(0, 1, 15)
+        y = x.copy()
+        assert M.pearson_spearman(y, x) == pytest.approx(1.0)
+
+
+class TestGlueDispatch:
+    def test_metric_dispatch_and_scaling(self):
+        preds = np.array([0, 1, 1, 0])
+        targets = np.array([0, 1, 0, 0])
+        assert M.glue_metric("accuracy", preds, targets) == pytest.approx(75.0)
+        assert M.glue_metric("f1", preds, targets) == pytest.approx(
+            100.0 * M.f1_score(preds, targets)
+        )
+        assert M.glue_metric("matthews", targets, targets) == pytest.approx(100.0)
+        x = np.linspace(0, 1, 10)
+        assert M.glue_metric("pearson_spearman", x, x) == pytest.approx(100.0)
+        with pytest.raises(KeyError):
+            M.glue_metric("bleu", preds, targets)
+
+
+class TestDetectionMetrics:
+    def test_box_iou(self):
+        box = np.array([0.5, 0.5, 0.2, 0.2])
+        assert M.box_iou(box, box) == pytest.approx(1.0)
+        disjoint = np.array([0.9, 0.9, 0.1, 0.1])
+        assert M.box_iou(box, disjoint) == 0.0
+        half = np.array([0.6, 0.5, 0.2, 0.2])  # shifted by half a width
+        assert 0.0 < M.box_iou(box, half) < 1.0
+
+    def _grid(self, n=4, g=4, c=3, seed=0):
+        rng = np.random.default_rng(seed)
+        targets = np.zeros((n, g, g, 5 + c))
+        for i in range(n):
+            gy, gx = rng.integers(0, g, size=2)
+            targets[i, gy, gx, :5] = [0.5, 0.5, 0.3, 0.3, 1.0]
+            targets[i, gy, gx, 5 + rng.integers(0, c)] = 1.0
+        return targets
+
+    def test_perfect_predictions_score_100(self):
+        targets = self._grid()
+        preds = targets.copy()
+        preds[..., 4] = np.where(targets[..., 4] > 0.5, 20.0, -20.0)
+        preds[..., 5:] *= 10
+        assert M.detection_average_precision(preds, targets) == pytest.approx(100.0)
+
+    def test_random_predictions_score_low(self):
+        targets = self._grid()
+        preds = np.random.default_rng(1).standard_normal(targets.shape)
+        score = M.detection_average_precision(preds, targets)
+        assert 0.0 <= score < 60.0
+
+    def test_wrong_class_kills_matches(self):
+        targets = self._grid()
+        preds = targets.copy()
+        preds[..., 4] = np.where(targets[..., 4] > 0.5, 20.0, -20.0)
+        # rotate the one-hot class channels so every class is wrong
+        preds[..., 5:] = np.roll(targets[..., 5:], shift=1, axis=-1) * 10
+        assert M.detection_average_precision(preds, targets) == pytest.approx(0.0)
+
+    def test_no_objects_returns_zero(self):
+        targets = np.zeros((2, 4, 4, 8))
+        preds = np.zeros_like(targets)
+        assert M.detection_average_precision(preds, targets) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            M.detection_average_precision(np.zeros((1, 4, 4, 8)), np.zeros((2, 4, 4, 8)))

@@ -1,0 +1,187 @@
+"""Tests for the proxy model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    ResNetProxy,
+    TinyDetector,
+    TinyTransformer,
+    TransformerConfig,
+    VAE,
+    VGGProxy,
+    available_models,
+    build_model,
+    resnet20_proxy,
+    resnet38_proxy,
+    resnet50_proxy,
+    vgg16_proxy,
+    wide_resnet_proxy,
+)
+from repro.nn.tensor import Tensor
+
+
+def image_batch(n=2, c=3, size=8, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((n, c, size, size)))
+
+
+class TestMLP:
+    def test_forward_and_flattening(self):
+        model = MLP(in_features=3 * 8 * 8, num_classes=5, hidden_sizes=(16,), seed=0)
+        out = model(image_batch())
+        assert out.shape == (2, 5)
+        flat = Tensor(np.ones((4, 3 * 8 * 8)))
+        assert model(flat).shape == (4, 5)
+        with pytest.raises(ValueError):
+            model(Tensor(np.ones((2, 10))))
+
+    def test_dropout_included(self):
+        model = MLP(8, 2, hidden_sizes=(4,), dropout=0.5, seed=0)
+        assert any(isinstance(m, nn.Dropout) for m in model.modules())
+
+
+class TestResNets:
+    def test_residual_forward_shapes(self):
+        model = resnet20_proxy(num_classes=10, seed=0)
+        out = model(image_batch())
+        assert out.shape == (2, 10)
+
+    def test_depth_ordering(self):
+        shallow = resnet20_proxy(10, seed=0)
+        deep = resnet38_proxy(10, seed=0)
+        deeper = resnet50_proxy(10, seed=0)
+        assert deep.num_parameters() > shallow.num_parameters()
+        assert deeper.num_parameters() > deep.num_parameters()
+
+    def test_wide_resnet_is_wider(self):
+        wide = wide_resnet_proxy(10, seed=0)
+        narrow = resnet20_proxy(10, seed=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_gradients_reach_all_parameters(self):
+        model = resnet20_proxy(num_classes=4, seed=0)
+        out = model(image_batch(n=3))
+        out.sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_deterministic_init_per_seed(self):
+        a = resnet20_proxy(10, seed=5)
+        b = resnet20_proxy(10, seed=5)
+        c = resnet20_proxy(10, seed=6)
+        np.testing.assert_allclose(a.stem.weight.data, b.stem.weight.data)
+        assert not np.allclose(a.stem.weight.data, c.stem.weight.data)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ResNetProxy(10, base_width=0)
+
+
+class TestVGG:
+    def test_forward_shape(self):
+        model = vgg16_proxy(num_classes=20, seed=0)
+        assert model(image_batch()).shape == (2, 20)
+
+    def test_has_no_residual_blocks(self):
+        from repro.models.resnet import ResidualBlock
+
+        model = vgg16_proxy(num_classes=20, seed=0)
+        assert not any(isinstance(m, ResidualBlock) for m in model.modules())
+
+
+class TestVAE:
+    def test_forward_outputs(self):
+        model = VAE(image_size=8, channels=1, latent_dim=4, seed=0)
+        x = Tensor(np.random.default_rng(0).random((3, 1, 8, 8)))
+        recon, mu, logvar = model(x)
+        assert recon.shape == (3, 64)
+        assert mu.shape == (3, 4)
+        assert logvar.shape == (3, 4)
+
+    def test_eval_mode_is_deterministic(self):
+        model = VAE(image_size=8, channels=1, seed=0)
+        x = Tensor(np.random.default_rng(0).random((2, 1, 8, 8)))
+        model.eval()
+        r1, _, _ = model(x)
+        r2, _, _ = model(x)
+        np.testing.assert_allclose(r1.data, r2.data)
+
+    def test_sampling_produces_probabilities(self):
+        model = VAE(image_size=8, channels=1, seed=0)
+        samples = model.sample(5)
+        assert samples.shape == (5, 1, 8, 8)
+        assert samples.min() >= 0.0 and samples.max() <= 1.0
+
+    def test_input_dim_check(self):
+        model = VAE(image_size=8, channels=1, seed=0)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 3, 8, 8))))
+
+
+class TestDetector:
+    def test_output_grid_shape_and_box_range(self):
+        model = TinyDetector(num_classes=3, image_size=16, grid_size=4, seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16)))
+        out = model(x)
+        assert out.shape == (2, 4, 4, 8)
+        boxes = out.data[..., :4]
+        assert boxes.min() >= 0.0 and boxes.max() <= 1.0  # sigmoid-squashed
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            TinyDetector(image_size=15, grid_size=4)
+        with pytest.raises(ValueError):
+            TinyDetector(image_size=24, grid_size=4)  # factor 6 is not a power of two
+
+    def test_gradients_flow(self):
+        model = TinyDetector(seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 3, 16, 16)), requires_grad=True)
+        model(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestTransformer:
+    def test_forward_shapes(self):
+        config = TransformerConfig(vocab_size=32, max_seq_len=16, embed_dim=16, num_heads=2, num_layers=1)
+        model = TinyTransformer(config, num_labels=3, seed=0)
+        tokens = np.random.default_rng(0).integers(0, 32, size=(4, 10))
+        segments = np.zeros_like(tokens)
+        out = model(tokens, segments)
+        assert out.shape == (4, 3)
+
+    def test_sequence_length_check(self):
+        config = TransformerConfig(max_seq_len=8)
+        model = TinyTransformer(config, seed=0)
+        with pytest.raises(ValueError):
+            model(np.zeros((2, 9), dtype=int))
+
+    def test_pretraining_reduces_reconstruction_loss(self):
+        config = TransformerConfig(vocab_size=32, max_seq_len=16, embed_dim=16, num_heads=2, num_layers=1)
+        model = TinyTransformer(config, seed=0)
+        first = model.pretrain(steps=1, seed=0)
+        later = model.pretrain(steps=30, seed=0)
+        assert later < first
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(embed_dim=10, num_heads=3)
+
+
+class TestRegistry:
+    def test_all_models_buildable(self):
+        for name in available_models():
+            model = build_model(name, seed=0)
+            assert isinstance(model, nn.Module)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_kwargs_forwarding(self):
+        model = build_model("resnet20", num_classes=7, seed=0)
+        x = image_batch()
+        assert model(x).shape == (2, 7)

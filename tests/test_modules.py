@@ -1,0 +1,211 @@
+"""Tests for nn.Module layers: shapes, parameter registration, train/eval modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestModuleBase:
+    def test_parameter_registration_and_count(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.BatchNorm1d(4))
+        state = model.state_dict()
+        clone = nn.Sequential(nn.Linear(4, 4, rng=np.random.default_rng(7)), nn.BatchNorm1d(4))
+        clone.load_state_dict(state)
+        for (name_a, p_a), (name_b, p_b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(p_a.data, p_b.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = nn.Linear(3, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self):
+        model = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Sequential(nn.Dropout(0.2)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = nn.Linear(3, 2)
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.parameters())) == 6
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones((1, 2))))
+
+
+class TestLinearConv:
+    def test_linear_forward_shape_and_error(self):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((7, 4))))
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_conv_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.random.default_rng(0).standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_invalid_args(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 0)
+
+
+class TestNorms:
+    def test_batchnorm2d_normalises_training_batch(self):
+        rng = np.random.default_rng(0)
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3.0 + 2.0)
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-6
+        assert abs(float(out.data.std()) - 1.0) < 1e-2
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        rng = np.random.default_rng(0)
+        bn = nn.BatchNorm1d(3)
+        for _ in range(50):
+            bn(Tensor(rng.standard_normal((32, 3)) * 2.0 + 5.0))
+        bn.eval()
+        x = Tensor(rng.standard_normal((256, 3)) * 2.0 + 5.0)
+        out = bn(x)
+        # eval-mode output should be roughly standardised using running stats
+        assert abs(float(out.data.mean())) < 0.25
+        assert 0.7 < float(out.data.std()) < 1.3
+
+    def test_batchnorm_shape_checks(self):
+        bn = nn.BatchNorm2d(4)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 3, 4, 4))))
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(4)(Tensor(np.zeros((2, 3, 4, 4))))
+
+    def test_layernorm_normalises_last_axis(self):
+        rng = np.random.default_rng(0)
+        ln = nn.LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 7, 16)) * 5 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_wrong_width(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(8)(Tensor(np.zeros((2, 4))))
+
+    def test_batchnorm_gradients_flow(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is not None
+
+
+class TestActivationsDropout:
+    def test_activation_shapes(self):
+        x = Tensor(np.linspace(-2, 2, 12).reshape(3, 4))
+        for act in [nn.ReLU(), nn.LeakyReLU(), nn.Tanh(), nn.Sigmoid(), nn.GELU(), nn.Softmax()]:
+            assert act(x).shape == (3, 4)
+
+    def test_gelu_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = nn.GELU()(x).data
+        np.testing.assert_allclose(out[0], 0.0, atol=1e-8)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_dropout_module_respects_mode(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((50, 50)))
+        train_out = drop(x)
+        assert (train_out.data == 0).any()
+        drop.eval()
+        eval_out = drop(x)
+        np.testing.assert_allclose(eval_out.data, x.data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestPoolingFlatten:
+    def test_pooling_modules(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(4)(x).shape == (2, 3, 2, 2)
+        assert nn.GlobalAvgPool2d()(x).shape == (2, 3)
+        assert nn.Flatten()(x).shape == (2, 3 * 8 * 8)
+
+
+class TestAttention:
+    def test_self_attention_shapes(self):
+        rng = np.random.default_rng(0)
+        attn = nn.MultiHeadSelfAttention(16, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_embed_dim_must_divide(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3)
+
+    def test_attention_mask_blocks_padding(self):
+        rng = np.random.default_rng(0)
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        x_data = rng.standard_normal((1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        out_masked = attn(Tensor(x_data), attention_mask=mask).data
+        # Changing a masked (padded) position must not affect unmasked outputs.
+        x_data2 = x_data.copy()
+        x_data2[0, 3] += 100.0
+        out_masked2 = attn(Tensor(x_data2), attention_mask=mask).data
+        np.testing.assert_allclose(out_masked[0, :2], out_masked2[0, :2], atol=1e-8)
+
+    def test_attention_mask_shape_check(self):
+        attn = nn.MultiHeadSelfAttention(8, 2)
+        x = Tensor(np.zeros((2, 4, 8)))
+        with pytest.raises(ValueError):
+            attn(x, attention_mask=np.ones((2, 5)))
+
+    def test_encoder_layer_gradients_flow(self):
+        rng = np.random.default_rng(0)
+        layer = nn.TransformerEncoderLayer(8, 2, 16, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in layer.parameters())

@@ -1,0 +1,223 @@
+"""Optimizer tests: update rules checked against hand-computed references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules.base import Parameter
+from repro.optim import SGD, Adam, AdamW, RMSprop, AdaGrad, build_optimizer
+
+
+def make_param(value):
+    return Parameter(np.array(value, dtype=float))
+
+
+def set_grad(param, grad):
+    param.grad = np.array(grad, dtype=float)
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = make_param([1.0, 2.0])
+        opt = SGD([p], lr=0.1)
+        set_grad(p, [1.0, -1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        set_grad(p, [1.0])
+        opt.step()  # v=1, p=-1
+        np.testing.assert_allclose(p.data, [-1.0])
+        set_grad(p, [1.0])
+        opt.step()  # v=0.9+1=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_nesterov_differs_from_classic(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        classic = SGD([p1], lr=1.0, momentum=0.9)
+        nesterov = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for _ in range(2):
+            set_grad(p1, [1.0])
+            set_grad(p2, [1.0])
+            classic.step()
+            nesterov.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_weight_decay(self):
+        p = make_param([2.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        set_grad(p, [0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_hyperparameters(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, nesterov=True)  # nesterov requires momentum
+
+
+class TestAdam:
+    def test_first_step_matches_reference(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        set_grad(p, [2.0])
+        opt.step()
+        # After bias correction the first step is lr * g / (|g| + eps) ~= lr.
+        np.testing.assert_allclose(p.data, [1.0 - 0.1], atol=1e-6)
+
+    def test_adaptive_scaling_is_per_parameter(self):
+        p = make_param([0.0, 0.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(10):
+            set_grad(p, [100.0, 0.01])
+            opt.step()
+        # Adam normalises per-coordinate: both coordinates move by ~lr per step.
+        assert abs(p.data[0] - p.data[1]) < 0.05
+
+    def test_adam_l2_weight_decay_affects_update(self):
+        p1, p2 = make_param([1.0]), make_param([1.0])
+        opt1 = Adam([p1], lr=0.1, weight_decay=0.0)
+        opt2 = Adam([p2], lr=0.1, weight_decay=1.0)
+        set_grad(p1, [0.0])
+        set_grad(p2, [0.0])
+        opt1.step()
+        opt2.step()
+        assert p1.data[0] == pytest.approx(1.0)
+        assert p2.data[0] < 1.0
+
+    def test_invalid_hyperparameters(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, eps=0.0)
+
+
+class TestAdamW:
+    def test_decoupled_decay_shrinks_weights_even_with_zero_grad(self):
+        p = make_param([1.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.1)
+        set_grad(p, [0.0])
+        opt.step()
+        # decoupled decay: p -= lr * wd * p, and the Adam update itself is 0
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.1 * 1.0])
+
+    def test_adamw_differs_from_adam_with_same_settings(self):
+        p1, p2 = make_param([1.0]), make_param([1.0])
+        adam = Adam([p1], lr=0.1, weight_decay=0.1)
+        adamw = AdamW([p2], lr=0.1, weight_decay=0.1)
+        for _ in range(3):
+            set_grad(p1, [1.0])
+            set_grad(p2, [1.0])
+            adam.step()
+            adamw.step()
+        assert p1.data[0] != p2.data[0]
+
+
+class TestOtherOptimizers:
+    def test_rmsprop_reduces_step_for_large_gradients(self):
+        p = make_param([0.0])
+        opt = RMSprop([p], lr=0.01)
+        set_grad(p, [1000.0])
+        opt.step()
+        assert abs(p.data[0]) < 1.0  # normalised step
+
+    def test_adagrad_accumulates_and_shrinks_steps(self):
+        p = make_param([0.0])
+        opt = AdaGrad([p], lr=1.0)
+        deltas = []
+        prev = 0.0
+        for _ in range(3):
+            set_grad(p, [1.0])
+            opt.step()
+            deltas.append(abs(p.data[0] - prev))
+            prev = p.data[0]
+        assert deltas[0] > deltas[1] > deltas[2]
+
+
+class TestOptimizerInfrastructure:
+    def test_param_groups_and_set_lr(self):
+        p1, p2 = make_param([1.0]), make_param([2.0])
+        opt = SGD([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.2}], lr=0.05)
+        assert opt.get_lr() == 0.1
+        opt.set_lr(0.3)
+        assert all(g["lr"] == 0.3 for g in opt.param_groups)
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+
+    def test_duplicate_parameter_rejected(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([{"params": [p]}, {"params": [p]}], lr=0.1)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            SGD([np.zeros(3)], lr=0.1)  # type: ignore[list-item]
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(3, 2)
+        opt = SGD(model.parameters(), lr=0.1)
+        model(nn.Tensor(np.ones((1, 3)))).sum().backward()
+        assert model.weight.grad is not None
+        opt.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.5, momentum=0.9)
+        set_grad(p, [1.0])
+        opt.step()
+        state = opt.state_dict()
+
+        p2 = make_param([1.0])
+        opt2 = SGD([p2], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert opt2.get_lr() == 0.5
+        np.testing.assert_allclose(
+            opt2.state[id(p2)]["momentum_buffer"], opt.state[id(p)]["momentum_buffer"]
+        )
+
+    def test_build_optimizer_names(self):
+        p = make_param([1.0])
+        assert isinstance(build_optimizer("sgdm", [p], lr=0.1), SGD)
+        assert build_optimizer("sgdm", [make_param([1.0])], lr=0.1).param_groups[0]["momentum"] == 0.9
+        assert isinstance(build_optimizer("adam", [make_param([1.0])], lr=0.1), Adam)
+        assert isinstance(build_optimizer("adamw", [make_param([1.0])], lr=0.1), AdamW)
+        assert isinstance(build_optimizer("rmsprop", [make_param([1.0])], lr=0.1), RMSprop)
+        assert isinstance(build_optimizer("adagrad", [make_param([1.0])], lr=0.1), AdaGrad)
+        with pytest.raises(ValueError):
+            build_optimizer("lbfgs", [make_param([1.0])], lr=0.1)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("optimizer_name", ["sgd", "sgdm", "adam", "adamw", "rmsprop", "adagrad"])
+    def test_optimizers_minimise_a_quadratic(self, optimizer_name):
+        """Every optimizer should drive ||x - target||^2 close to zero."""
+        target = np.array([3.0, -2.0, 0.5])
+        p = make_param([0.0, 0.0, 0.0])
+        # AdaGrad's accumulated denominator shrinks its steps, so it needs a
+        # larger learning rate to converge within the same iteration count.
+        lr = {"sgd": 0.4, "sgdm": 0.2, "adagrad": 2.0}.get(optimizer_name, 0.1)
+        opt = build_optimizer(optimizer_name, [p], lr=lr)
+        for _ in range(400):
+            set_grad(p, 2 * (p.data - target))
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=0.05)

@@ -1,0 +1,140 @@
+"""Tests for the rank-aggregation machinery behind Table 1 and Figure 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ranking import (
+    LOW_BUDGET_THRESHOLD,
+    aggregate_cells,
+    average_rank_by_budget,
+    rank_schedules,
+    top_finish_table,
+)
+from repro.utils.records import RunRecord, RunStore
+
+
+def record(schedule, metric, budget=0.05, setting="S1", optimizer="sgdm", seed=0, higher=False):
+    return RunRecord(
+        setting=setting,
+        optimizer=optimizer,
+        schedule=schedule,
+        budget_fraction=budget,
+        learning_rate=0.1,
+        seed=seed,
+        metric=metric,
+        higher_is_better=higher,
+    )
+
+
+@pytest.fixture
+def synthetic_store():
+    """Two settings x two budgets where REX always wins and 'none' always loses."""
+    store = RunStore()
+    metrics = {"rex": 1.0, "linear": 2.0, "cosine": 3.0, "step": 4.0, "none": 5.0}
+    for setting in ("S1", "S2"):
+        for budget in (0.05, 0.5):
+            for schedule, metric in metrics.items():
+                for seed in (0, 1):
+                    store.add(record(schedule, metric + 0.01 * seed, budget, setting, seed=seed))
+    return store
+
+
+class TestAggregation:
+    def test_aggregate_cells_averages_seeds(self, synthetic_store):
+        cells = aggregate_cells(synthetic_store)
+        assert len(cells) == 2 * 2 * 5
+        rex_cell = [c for c in cells if c.schedule == "rex"][0]
+        assert rex_cell.metric == pytest.approx(1.005)
+
+    def test_plateau_merged_into_step_takes_best(self):
+        store = RunStore(
+            [
+                record("step", 5.0),
+                record("plateau", 3.0),
+                record("rex", 1.0),
+            ]
+        )
+        cells = aggregate_cells(store, merge_plateau_into_step=True)
+        schedules = {c.schedule for c in cells}
+        assert "plateau" not in schedules
+        step_cell = [c for c in cells if c.schedule == "step"][0]
+        assert step_cell.metric == 3.0  # the better (lower) of the two
+
+    def test_merge_respects_higher_is_better(self):
+        store = RunStore(
+            [
+                record("step", 50.0, higher=True),
+                record("plateau", 80.0, higher=True),
+            ]
+        )
+        cells = aggregate_cells(store, merge_plateau_into_step=True)
+        assert cells[0].metric == 80.0
+
+
+class TestRanking:
+    def test_rank_schedules_orders_by_metric(self, synthetic_store):
+        cells = aggregate_cells(synthetic_store)
+        rankings = rank_schedules(cells)
+        for ranks in rankings.values():
+            assert ranks["rex"] == 1.0
+            assert ranks["none"] == 5.0
+
+    def test_ranks_with_higher_is_better(self):
+        store = RunStore(
+            [
+                record("rex", 90.0, higher=True),
+                record("linear", 80.0, higher=True),
+            ]
+        )
+        rankings = rank_schedules(aggregate_cells(store))
+        ranks = list(rankings.values())[0]
+        assert ranks["rex"] == 1.0 and ranks["linear"] == 2.0
+
+    def test_ties_share_average_rank(self):
+        store = RunStore([record("a", 1.0), record("b", 1.0), record("c", 2.0)])
+        ranks = list(rank_schedules(aggregate_cells(store)).values())[0]
+        assert ranks["a"] == ranks["b"] == 1.5
+        assert ranks["c"] == 3.0
+
+    def test_average_rank_by_budget_structure(self, synthetic_store):
+        ranks = average_rank_by_budget(synthetic_store)
+        assert set(ranks) == {"rex", "linear", "cosine", "step", "none"}
+        assert set(ranks["rex"]) == {0.05, 0.5}
+        assert all(ranks["rex"][b] == 1.0 for b in ranks["rex"])
+        assert all(ranks["none"][b] == 5.0 for b in ranks["none"])
+
+    def test_average_rank_optimizer_filter(self, synthetic_store):
+        synthetic_store.add(record("rex", 100.0, optimizer="adam"))
+        ranks_sgdm = average_rank_by_budget(synthetic_store, optimizer="sgdm")
+        assert all(v == 1.0 for v in ranks_sgdm["rex"].values())
+
+
+class TestTopFinishTable:
+    def test_table1_structure_and_percentages(self, synthetic_store):
+        table = top_finish_table(synthetic_store)
+        assert table["rex"]["overall_top1"] == pytest.approx(100.0)
+        assert table["rex"]["low_top1"] == pytest.approx(100.0)
+        assert table["none"]["overall_top1"] == 0.0
+        assert table["none"]["overall_top3"] == 0.0
+        assert table["linear"]["overall_top3"] == pytest.approx(100.0)
+
+    def test_low_and_high_budget_split(self, synthetic_store):
+        table = top_finish_table(synthetic_store)
+        # every schedule has entries for both regimes
+        for entry in table.values():
+            assert set(entry) == {
+                "low_top1",
+                "low_top3",
+                "high_top1",
+                "high_top3",
+                "overall_top1",
+                "overall_top3",
+            }
+        assert LOW_BUDGET_THRESHOLD == 0.25
+
+    def test_top1_percentages_sum_to_100(self, synthetic_store):
+        table = top_finish_table(synthetic_store)
+        total = sum(entry["overall_top1"] for entry in table.values())
+        assert total == pytest.approx(100.0)

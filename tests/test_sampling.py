@@ -1,0 +1,130 @@
+"""Tests for the sampling-rate policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedules.sampling import (
+    PAPER_SAMPLING_RATES,
+    EveryEpoch,
+    EveryFraction,
+    EveryIteration,
+    Milestones,
+    SamplingPolicy,
+    named_sampling_policy,
+)
+
+
+class TestEveryIteration:
+    def test_progress_is_step_over_total(self):
+        policy = EveryIteration()
+        assert policy.sample_progress(0, 100) == 0.0
+        assert policy.sample_progress(50, 100) == 0.5
+        assert policy.sample_progress(99, 100) == pytest.approx(0.99)
+
+    def test_bounds_checked(self):
+        policy = EveryIteration()
+        with pytest.raises(ValueError):
+            policy.sample_progress(100, 100)
+        with pytest.raises(ValueError):
+            policy.sample_progress(-1, 100)
+        with pytest.raises(ValueError):
+            policy.sample_progress(0, 0)
+
+
+class TestEveryEpoch:
+    def test_holds_within_epoch(self):
+        policy = EveryEpoch()
+        assert policy.sample_progress(0, 100, steps_per_epoch=10) == 0.0
+        assert policy.sample_progress(9, 100, steps_per_epoch=10) == 0.0
+        assert policy.sample_progress(10, 100, steps_per_epoch=10) == pytest.approx(0.1)
+        assert policy.sample_progress(99, 100, steps_per_epoch=10) == pytest.approx(0.9)
+
+    def test_requires_steps_per_epoch(self):
+        with pytest.raises(ValueError):
+            EveryEpoch().sample_progress(5, 100)
+
+
+class TestEveryFraction:
+    def test_ten_percent_buckets(self):
+        policy = EveryFraction(0.10)
+        assert policy.sample_progress(0, 100) == 0.0
+        assert policy.sample_progress(9, 100) == 0.0
+        assert policy.sample_progress(10, 100) == pytest.approx(0.1)
+        assert policy.sample_progress(95, 100) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EveryFraction(0.0)
+        with pytest.raises(ValueError):
+            EveryFraction(1.5)
+
+    @given(st.integers(min_value=1, max_value=500), st.sampled_from([0.01, 0.05, 0.1, 0.25]))
+    @settings(max_examples=100, deadline=None)
+    def test_progress_never_exceeds_actual_progress(self, total, fraction):
+        """Sampled progress is always <= true progress (the LR is held, never skipped ahead)."""
+        policy = EveryFraction(fraction)
+        for step in range(0, total, max(1, total // 10)):
+            sampled = policy.sample_progress(step, total)
+            assert sampled <= step / total + 1e-12
+
+
+class TestMilestones:
+    def test_fifty_seventyfive(self):
+        policy = Milestones([0.5, 0.75])
+        assert policy.sample_progress(0, 100) == 0.0
+        assert policy.sample_progress(49, 100) == 0.0
+        assert policy.sample_progress(50, 100) == 0.5
+        assert policy.sample_progress(74, 100) == 0.5
+        assert policy.sample_progress(75, 100) == 0.75
+        assert policy.sample_progress(99, 100) == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Milestones([])
+        with pytest.raises(ValueError):
+            Milestones([0.0, 0.5])
+
+    def test_milestones_sorted_internally(self):
+        policy = Milestones([0.75, 0.25])
+        assert policy.milestones == (0.25, 0.75)
+
+
+class TestRegistryAndSequences:
+    def test_paper_sampling_rates_cover_table2(self):
+        assert set(PAPER_SAMPLING_RATES) == {
+            "50-75",
+            "33-66",
+            "25-50-75",
+            "10-10",
+            "5-25",
+            "1-100",
+            "every_iteration",
+        }
+
+    def test_named_lookup(self):
+        assert isinstance(named_sampling_policy("50-75"), Milestones)
+        assert isinstance(named_sampling_policy("every_iteration"), EveryIteration)
+        assert isinstance(named_sampling_policy("every_epoch"), EveryEpoch)
+        with pytest.raises(KeyError):
+            named_sampling_policy("nope")
+
+    def test_progress_sequence_shape_and_monotonicity(self):
+        for policy in PAPER_SAMPLING_RATES.values():
+            seq = policy.progress_sequence(120, steps_per_epoch=10)
+            assert len(seq) == 120
+            assert np.all(np.diff(seq) >= -1e-12)  # sampled progress never goes backwards
+            assert seq[0] == 0.0
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SamplingPolicy().sample_progress(0, 10)
+
+    @given(st.integers(min_value=2, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_every_iteration_sequence_is_strictly_increasing(self, total):
+        seq = EveryIteration().progress_sequence(total)
+        assert np.all(np.diff(seq) > 0)
+        assert seq[-1] == pytest.approx((total - 1) / total)

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) on schedule invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedules import (
+    CosineSchedule,
+    DelayedLinearSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    OneCycleSchedule,
+    REXSchedule,
+    StepSchedule,
+    build_schedule,
+)
+
+totals = st.integers(min_value=2, max_value=500)
+lrs = st.floats(min_value=1e-5, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+DECAYING = ["rex", "linear", "cosine", "exponential", "step"]
+
+
+class TestDecaySchedules:
+    @given(totals, lrs, st.sampled_from(DECAYING))
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_non_increasing_and_bounded(self, total, lr, name):
+        sched = build_schedule(name, None, total_steps=total, base_lr=lr)
+        seq = sched.sequence()
+        assert len(seq) == total
+        assert seq[0] == pytest.approx(lr)
+        assert np.all(np.diff(seq) <= 1e-12 * max(lr, 1.0))
+        assert np.all(seq >= -1e-15)
+        assert np.all(seq <= lr * (1 + 1e-12))
+
+    @given(totals, lrs)
+    @settings(max_examples=100, deadline=None)
+    def test_rex_lies_between_linear_and_delayed_linear(self, total, lr):
+        """REX interpolates: linear <= REX <= delayed-linear(50%) before the delay point."""
+        rex = REXSchedule(None, total_steps=total, base_lr=lr).sequence()
+        linear = LinearSchedule(None, total_steps=total, base_lr=lr).sequence()
+        assert np.all(rex >= linear - 1e-12 * max(lr, 1.0))
+
+    @given(totals, lrs)
+    @settings(max_examples=100, deadline=None)
+    def test_rex_final_lr_close_to_zero(self, total, lr):
+        sched = REXSchedule(None, total_steps=total, base_lr=lr)
+        final = sched.lr_at(total - 1)
+        # final step has progress (T-1)/T so the LR is small but non-negative
+        assert 0.0 <= final <= lr * 2.0 / total + 1e-12
+
+    @given(totals, lrs)
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_halfway_is_half(self, total, lr):
+        sched = CosineSchedule(None, total_steps=2 * total, base_lr=lr)
+        assert sched.lr_at(total) == pytest.approx(lr / 2, rel=1e-6)
+
+    @given(totals, lrs, st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=100, deadline=None)
+    def test_delayed_linear_holds_base_lr_during_delay(self, total, lr, delay):
+        sched = DelayedLinearSchedule(None, total_steps=total, delay_fraction=delay, base_lr=lr)
+        seq = sched.sequence()
+        held_steps = int(np.floor(delay * total))
+        if held_steps > 0:
+            np.testing.assert_allclose(seq[:held_steps], lr)
+
+
+class TestStepSemantics:
+    @given(totals, lrs)
+    @settings(max_examples=100, deadline=None)
+    def test_step_schedule_has_exactly_three_levels(self, total, lr):
+        sched = StepSchedule(None, total_steps=total, base_lr=lr)
+        levels = np.unique(np.round(sched.sequence() / lr, 10))
+        assert len(levels) <= 3
+        assert np.isin(1.0, levels)
+
+    @given(totals, lrs)
+    @settings(max_examples=50, deadline=None)
+    def test_exponential_never_reaches_zero(self, total, lr):
+        sched = ExponentialSchedule(None, total_steps=total, base_lr=lr)
+        assert sched.lr_at(total - 1) > 0
+
+
+class TestOneCycleProperties:
+    @given(st.integers(min_value=4, max_value=400), lrs)
+    @settings(max_examples=100, deadline=None)
+    def test_onecycle_is_unimodal(self, total, lr):
+        seq = OneCycleSchedule(None, total_steps=total, base_lr=lr).sequence()
+        peak = int(np.argmax(seq))
+        assert np.all(np.diff(seq[: peak + 1]) >= -1e-12 * max(lr, 1.0))
+        assert np.all(np.diff(seq[peak:]) <= 1e-12 * max(lr, 1.0))
+
+    @given(st.integers(min_value=4, max_value=400), lrs)
+    @settings(max_examples=50, deadline=None)
+    def test_onecycle_momentum_bounds(self, total, lr):
+        sched = OneCycleSchedule(None, total_steps=total, base_lr=lr)
+        momenta = np.array([sched.momentum_at(t) for t in range(total)])
+        assert np.all(momenta >= 0.85 - 1e-12)
+        assert np.all(momenta <= 0.95 + 1e-12)
+
+
+class TestStepDriverProperties:
+    @given(st.integers(min_value=1, max_value=100), st.sampled_from(DECAYING + ["onecycle", "none"]))
+    @settings(max_examples=100, deadline=None)
+    def test_step_always_returns_lr_from_sequence(self, total, name):
+        sched = build_schedule(name, None, total_steps=total, base_lr=0.7)
+        seq = sched.sequence()
+        for t in range(total):
+            assert sched.step() == pytest.approx(seq[t])

@@ -1,0 +1,332 @@
+"""Tests for the concrete learning-rate schedules and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules.base import Parameter
+from repro.optim import SGD, Adam
+from repro.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    CosineWarmRestartsSchedule,
+    DecayOnPlateauSchedule,
+    DelayedLinearSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    OneCycleSchedule,
+    PAPER_SCHEDULES,
+    PolynomialSchedule,
+    ProfileSchedule,
+    REXSchedule,
+    StepSchedule,
+    TriangularCyclicSchedule,
+    WarmupWrapper,
+    available_schedules,
+    build_schedule,
+    register_schedule,
+)
+from repro.schedules import functional as FS
+from repro.schedules.profiles import LinearProfile
+from repro.schedules.sampling import Milestones
+
+
+def make_optimizer(lr=0.1, momentum=0.9):
+    return SGD([Parameter(np.zeros(3))], lr=lr, momentum=momentum)
+
+
+class TestScheduleMechanics:
+    def test_step_applies_lr_to_optimizer(self):
+        opt = make_optimizer(lr=0.1)
+        sched = LinearSchedule(opt, total_steps=10)
+        lr0 = sched.step()
+        assert lr0 == pytest.approx(0.1)
+        assert opt.get_lr() == pytest.approx(0.1)
+        lr1 = sched.step()
+        assert lr1 == pytest.approx(0.1 * (1 - 1 / 10))
+        assert opt.get_lr() == pytest.approx(lr1)
+        assert sched.get_last_lr() == pytest.approx(lr1)
+
+    def test_stepping_past_budget_clamps_to_final_lr(self):
+        sched = LinearSchedule(None, total_steps=5, base_lr=1.0)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(sched.lr_at(4))
+
+    def test_requires_optimizer_or_base_lr(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(None, total_steps=10)
+        with pytest.raises(ValueError):
+            LinearSchedule(None, total_steps=0, base_lr=0.1)
+
+    def test_sequence_matches_lr_at(self):
+        sched = REXSchedule(None, total_steps=25, base_lr=0.5)
+        seq = sched.sequence()
+        assert len(seq) == 25
+        np.testing.assert_allclose(seq, [sched.lr_at(t) for t in range(25)])
+        np.testing.assert_allclose(sched.normalized_sequence(), seq / 0.5)
+
+    def test_state_dict_roundtrip(self):
+        sched = CosineSchedule(None, total_steps=10, base_lr=0.3)
+        sched.step()
+        sched.step()
+        state = sched.state_dict()
+        other = CosineSchedule(None, total_steps=10, base_lr=0.3)
+        other.load_state_dict(state)
+        assert other.last_step == sched.last_step
+        assert other.get_last_lr() == sched.get_last_lr()
+
+    def test_constant_schedule(self):
+        sched = ConstantSchedule(None, total_steps=7, base_lr=0.01)
+        assert all(lr == 0.01 for lr in sched.sequence())
+        with pytest.raises(ValueError):
+            sched.lr_at(7)
+
+
+class TestFormulaAgreement:
+    """Class-based schedules must agree with the pure functional forms of Section 4.1."""
+
+    TOTAL, LR = 40, 0.3
+
+    def test_rex(self):
+        sched = REXSchedule(None, total_steps=self.TOTAL, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.rex_lr(t, self.TOTAL, self.LR))
+
+    def test_linear(self):
+        sched = LinearSchedule(None, total_steps=self.TOTAL, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.linear_lr(t, self.TOTAL, self.LR))
+
+    def test_cosine(self):
+        sched = CosineSchedule(None, total_steps=self.TOTAL, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.cosine_lr(t, self.TOTAL, self.LR))
+
+    def test_exponential(self):
+        sched = ExponentialSchedule(None, total_steps=self.TOTAL, base_lr=self.LR, gamma=-3.0)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.exponential_lr(t, self.TOTAL, self.LR))
+
+    def test_step(self):
+        sched = StepSchedule(None, total_steps=self.TOTAL, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.step_lr(t, self.TOTAL, self.LR))
+
+    def test_delayed_linear(self):
+        sched = DelayedLinearSchedule(None, total_steps=self.TOTAL, delay_fraction=0.5, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(
+                FS.delayed_linear_lr(t, self.TOTAL, self.LR, 0.5)
+            )
+
+    def test_onecycle(self):
+        sched = OneCycleSchedule(None, total_steps=self.TOTAL, base_lr=self.LR)
+        for t in range(self.TOTAL):
+            assert sched.lr_at(t) == pytest.approx(FS.onecycle_lr(t, self.TOTAL, self.LR))
+
+    def test_functional_validation(self):
+        with pytest.raises(ValueError):
+            FS.rex_lr(-1, 10, 0.1)
+        with pytest.raises(ValueError):
+            FS.linear_lr(11, 10, 0.1)
+        with pytest.raises(ValueError):
+            FS.exponential_lr(1, 10, 0.1, gamma=1.0)
+        with pytest.raises(ValueError):
+            FS.delayed_linear_lr(1, 10, 0.1, delay_fraction=1.0)
+
+
+class TestStepAndSampling:
+    def test_step_schedule_decays_at_milestones(self):
+        sched = StepSchedule(None, total_steps=100, base_lr=1.0)
+        seq = sched.sequence()
+        assert seq[0] == 1.0
+        assert seq[49] == 1.0
+        assert seq[50] == pytest.approx(0.1)
+        assert seq[75] == pytest.approx(0.01)
+
+    def test_profile_schedule_with_milestone_sampling_holds_lr(self):
+        sched = ProfileSchedule(
+            None,
+            total_steps=100,
+            profile=LinearProfile(),
+            sampling=Milestones([0.5]),
+            base_lr=1.0,
+        )
+        seq = sched.sequence()
+        assert np.all(seq[:50] == 1.0)
+        np.testing.assert_allclose(seq[50:], 0.5)
+
+    def test_min_lr_floor(self):
+        sched = LinearSchedule(None, total_steps=10, base_lr=1.0, min_lr=0.2)
+        assert min(sched.sequence()) >= 0.2
+
+
+class TestOneCycle:
+    def test_lr_peaks_at_midpoint(self):
+        sched = OneCycleSchedule(None, total_steps=100, base_lr=1.0)
+        seq = sched.sequence()
+        assert np.argmax(seq) == pytest.approx(50, abs=1)
+        assert seq[0] == pytest.approx(0.1)
+        assert max(seq) <= 1.0 + 1e-12
+
+    def test_momentum_cycles_opposite_to_lr(self):
+        opt = make_optimizer(lr=1.0, momentum=0.9)
+        sched = OneCycleSchedule(opt, total_steps=10)
+        momenta = []
+        for _ in range(10):
+            sched.step()
+            momenta.append(opt.param_groups[0]["momentum"])
+        assert momenta[0] == pytest.approx(0.95)
+        assert min(momenta) == pytest.approx(0.85, abs=0.02)
+        assert momenta[-1] > momenta[len(momenta) // 2]
+
+    def test_adam_betas_are_cycled(self):
+        opt = Adam([Parameter(np.zeros(2))], lr=0.01)
+        sched = OneCycleSchedule(opt, total_steps=4)
+        sched.step()
+        beta1, beta2 = opt.param_groups[0]["betas"]
+        assert beta1 == pytest.approx(0.95)
+        assert beta2 == pytest.approx(0.999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneCycleSchedule(None, total_steps=10, base_lr=1.0, lr_ratio=0.0)
+        with pytest.raises(ValueError):
+            OneCycleSchedule(None, total_steps=10, base_lr=1.0, beta_min=0.99, beta_max=0.9)
+
+
+class TestPlateau:
+    def test_decays_after_patience_epochs_without_improvement(self):
+        sched = DecayOnPlateauSchedule(None, total_steps=100, base_lr=1.0, patience=2, factor=0.1)
+        assert not sched.epoch_end(1.0)   # first value becomes best
+        assert not sched.epoch_end(1.0)   # bad epoch 1
+        assert not sched.epoch_end(1.0)   # bad epoch 2
+        assert sched.epoch_end(1.0)       # bad epoch 3 > patience -> decay
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.num_reductions == 1
+
+    def test_improvement_resets_counter(self):
+        sched = DecayOnPlateauSchedule(None, total_steps=100, base_lr=1.0, patience=1)
+        sched.epoch_end(1.0)
+        sched.epoch_end(1.0)
+        sched.epoch_end(0.5)  # improvement
+        assert sched.bad_epochs == 0
+        assert sched.lr_at(0) == 1.0
+
+    def test_max_mode(self):
+        sched = DecayOnPlateauSchedule(None, total_steps=10, base_lr=1.0, patience=1, mode="max")
+        sched.epoch_end(0.5)
+        sched.epoch_end(0.9)
+        assert sched.best_metric == 0.9
+
+    def test_min_lr_floor_and_state_dict(self):
+        sched = DecayOnPlateauSchedule(
+            None, total_steps=10, base_lr=1.0, patience=1, factor=0.1, min_lr=0.05
+        )
+        for _ in range(20):
+            sched.epoch_end(1.0)
+        assert sched.current_lr >= 0.05
+        state = sched.state_dict()
+        other = DecayOnPlateauSchedule(None, total_steps=10, base_lr=1.0)
+        other.load_state_dict(state)
+        assert other.current_lr == sched.current_lr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayOnPlateauSchedule(None, total_steps=10, base_lr=1.0, factor=2.0)
+        with pytest.raises(ValueError):
+            DecayOnPlateauSchedule(None, total_steps=10, base_lr=1.0, mode="bad")
+
+
+class TestWarmup:
+    def test_warmup_ramps_then_delegates(self):
+        inner = LinearSchedule(None, total_steps=10, base_lr=1.0)
+        wrapped = WarmupWrapper(inner, warmup_steps=5, warmup_start_lr=0.0)
+        seq = wrapped.sequence()
+        assert len(seq) == 15
+        assert np.all(np.diff(seq[:5]) > 0)        # increasing during warmup
+        assert seq[5] == pytest.approx(1.0)         # inner schedule starts at base LR
+        np.testing.assert_allclose(seq[5:], inner.sequence())
+
+    def test_warmup_step_drives_inner_schedule(self):
+        opt = make_optimizer(lr=1.0)
+        inner = LinearSchedule(opt, total_steps=4)
+        wrapped = WarmupWrapper(inner, warmup_steps=2, warmup_start_lr=0.1)
+        lrs = [wrapped.step() for _ in range(6)]
+        np.testing.assert_allclose(lrs[2:], inner.sequence())
+        assert lrs[0] < lrs[1] < 1.0 + 1e-12
+
+    def test_zero_warmup_is_identity(self):
+        inner = CosineSchedule(None, total_steps=8, base_lr=0.5)
+        wrapped = WarmupWrapper(inner, warmup_steps=0)
+        np.testing.assert_allclose(wrapped.sequence(), inner.sequence())
+
+    def test_validation(self):
+        inner = LinearSchedule(None, total_steps=4, base_lr=1.0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(inner, warmup_steps=-1)
+
+
+class TestCyclic:
+    def test_triangular_cycles(self):
+        sched = TriangularCyclicSchedule(None, total_steps=100, base_lr=1.0, num_cycles=2)
+        seq = sched.sequence()
+        # two peaks, one per cycle
+        assert seq[25] == pytest.approx(max(seq), rel=0.05)
+        assert seq[75] == pytest.approx(max(seq), rel=0.05)
+        assert min(seq) >= 0.1 - 1e-9
+
+    def test_cosine_restarts(self):
+        sched = CosineWarmRestartsSchedule(None, total_steps=100, base_lr=1.0, num_cycles=2)
+        seq = sched.sequence()
+        assert seq[0] == pytest.approx(1.0)
+        assert seq[50] == pytest.approx(1.0)  # restart
+        assert seq[49] < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriangularCyclicSchedule(None, total_steps=10, base_lr=1.0, num_cycles=0)
+        with pytest.raises(ValueError):
+            CosineWarmRestartsSchedule(None, total_steps=10, base_lr=1.0, num_cycles=0)
+
+
+class TestRegistry:
+    def test_paper_schedules_are_all_registered(self):
+        available = available_schedules()
+        for name in PAPER_SCHEDULES:
+            assert name in available
+
+    def test_build_schedule_by_name(self):
+        opt = make_optimizer()
+        for name in PAPER_SCHEDULES:
+            sched = build_schedule(name, opt, total_steps=20)
+            assert sched.total_steps == 20
+        rex = build_schedule("REX", None, total_steps=10, base_lr=0.1)
+        assert isinstance(rex, REXSchedule)
+
+    def test_build_with_kwargs(self):
+        sched = build_schedule("delayed_linear", None, total_steps=10, base_lr=1.0, delay_fraction=0.5)
+        assert isinstance(sched, DelayedLinearSchedule)
+        assert sched.delay_fraction == 0.5
+        exp = build_schedule("exponential", None, total_steps=10, base_lr=1.0, gamma=-5.0)
+        assert exp.lr_at(9) < ExponentialSchedule(None, 10, base_lr=1.0).lr_at(9)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(KeyError):
+            build_schedule("nope", None, total_steps=10, base_lr=1.0)
+
+    def test_register_custom_schedule(self):
+        class MySchedule(ConstantSchedule):
+            name = "my_custom"
+
+        register_schedule("my_custom", MySchedule)
+        assert isinstance(build_schedule("my_custom", None, total_steps=5, base_lr=1.0), MySchedule)
+        with pytest.raises(ValueError):
+            register_schedule("my_custom", MySchedule)
+        register_schedule("my_custom", MySchedule, overwrite=True)
+
+    def test_polynomial_schedule(self):
+        sched = PolynomialSchedule(None, total_steps=10, base_lr=1.0, power=2.0)
+        assert sched.lr_at(5) == pytest.approx((1 - 0.5) ** 2)
