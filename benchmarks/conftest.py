@@ -11,4 +11,8 @@ import sys
 from pathlib import Path
 
 # Make the sibling helpers module importable regardless of rootdir settings.
-sys.path.insert(0, str(Path(__file__).parent))
+# Appended (not prepended) so this directory can never shadow same-named
+# modules from other suites when tests/ and benchmarks/ run together.
+_here = str(Path(__file__).parent)
+if _here not in sys.path:
+    sys.path.append(_here)

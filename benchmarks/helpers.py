@@ -11,6 +11,14 @@ every cell still takes tens of minutes; the benchmark defaults therefore run a
 reduced-but-complete version of each experiment.  Set the environment variable
 ``REPRO_BENCH_SCALE`` to ``full`` for the full proxy scale, ``small``
 (default) for the reduced scale, or ``tiny`` for a smoke-test pass.
+
+Execution
+---------
+Sweeps go through :mod:`repro.execution`.  ``REPRO_BENCH_WORKERS=N`` trains
+cells on ``N`` worker processes, and ``REPRO_BENCH_CACHE_DIR=PATH`` persists
+every trained cell in a content-addressed cache so repeat benchmark
+invocations (and the cross-table aggregates) skip training entirely.  Neither
+changes results: stores are record-for-record identical either way.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ from repro.utils.records import RunStore
 
 __all__ = [
     "bench_scale",
+    "bench_workers",
+    "bench_cache_dir",
     "SCALE_PRESETS",
     "setting_store",
     "glue_store",
@@ -56,6 +66,16 @@ def bench_scale() -> dict[str, float]:
     return dict(SCALE_PRESETS[name])
 
 
+def bench_workers() -> int:
+    """Worker-process count from ``REPRO_BENCH_WORKERS`` (default: serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def bench_cache_dir() -> str | None:
+    """Run-cache directory from ``REPRO_BENCH_CACHE_DIR`` (default: no cache)."""
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 @lru_cache(maxsize=None)
 def setting_store(setting_name: str, schedules: tuple[str, ...] = COMPARED_SCHEDULES) -> RunStore:
     """Run (and cache) the full schedule x optimizer x budget grid for one setting."""
@@ -73,6 +93,8 @@ def setting_store(setting_name: str, schedules: tuple[str, ...] = COMPARED_SCHED
         num_seeds=int(scale["num_seeds"]),
         size_scale=scale["size_scale"],
         epoch_scale=scale["epoch_scale"],
+        max_workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
     )
 
 
@@ -104,7 +126,7 @@ def glue_store(schedules: tuple[str, ...] = COMPARED_SCHEDULES) -> tuple[RunStor
             size_scale=max(0.2, scale["size_scale"] * 0.6),
             pretrain_steps=5,
         )
-        result = run_glue_benchmark(config)
+        result = run_glue_benchmark(config, max_workers=bench_workers(), cache_dir=bench_cache_dir())
         results[schedule] = result
         store.extend(glue_result_to_records(result))
     return store, results

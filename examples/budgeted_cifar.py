@@ -5,41 +5,44 @@ model/dataset trained under different budgets, where the schedule decays over
 exactly the allocated budget.  Shows how the step schedule degrades at low
 budgets while REX stays strong everywhere.
 
+The sweep runs through :mod:`repro.execution`: ``--max-workers N`` trains the
+15 cells on ``N`` worker processes, and ``--cache-dir PATH`` makes re-runs
+incremental — every cell already trained under that directory is loaded from
+the content-addressed run cache instead of retrained, so a repeat invocation
+prints the same table in milliseconds.
+
 Run with::
 
-    python examples/budgeted_cifar.py [--quick]
+    python examples/budgeted_cifar.py [--quick] [--max-workers N] [--cache-dir PATH]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.experiments import RunConfig, format_setting_table, run_single
-from repro.utils.records import RunStore
+from repro.experiments import format_setting_table, run_setting_table
 
 
-def main(quick: bool = False) -> None:
+def main(quick: bool = False, max_workers: int = 1, cache_dir: str | None = None) -> None:
     schedules = ("rex", "linear", "step", "cosine", "none")
     budgets = (0.05, 0.25, 1.0)
     scale = dict(size_scale=0.3, epoch_scale=0.25) if quick else dict(size_scale=0.6, epoch_scale=0.6)
 
-    store = RunStore()
-    for schedule in schedules:
-        for budget in budgets:
-            record = run_single(
-                RunConfig(
-                    setting="RN20-CIFAR10",
-                    schedule=schedule,
-                    optimizer="sgdm",
-                    budget_fraction=budget,
-                    **scale,
-                )
-            )
-            print(
-                f"schedule={schedule:<8s} budget={budget * 100:5.1f}%  "
-                f"steps={record.extra['total_steps']:4d}  test error={record.metric:6.2f}%"
-            )
-            store.add(record)
+    store = run_setting_table(
+        "RN20-CIFAR10",
+        schedules=schedules,
+        optimizers=("sgdm",),
+        budgets=budgets,
+        seeds=(0,),  # the seed this example has always trained with
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        **scale,
+    )
+    for record in store:
+        print(
+            f"schedule={record.schedule:<8s} budget={record.budget_fraction * 100:5.1f}%  "
+            f"steps={record.extra['total_steps']:4d}  test error={record.metric:6.2f}%"
+        )
 
     print()
     print(format_setting_table(store, "RN20-CIFAR10", optimizers=("sgdm",), budgets=budgets))
@@ -53,4 +56,11 @@ def main(quick: bool = False) -> None:
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run a faster, smaller version")
-    main(parser.parse_args().quick)
+    parser.add_argument(
+        "--max-workers", type=int, default=1, help="train cells on this many worker processes"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="content-addressed run cache; re-runs skip trained cells"
+    )
+    args = parser.parse_args()
+    main(quick=args.quick, max_workers=args.max_workers, cache_dir=args.cache_dir)

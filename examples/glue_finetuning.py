@@ -4,9 +4,13 @@ Mirrors the paper's NLP setting (Tables 10-11): a pre-trained transformer
 encoder is fine-tuned for at most 3 epochs with AdamW, and the schedule decays
 over those 3 epochs.  Scores are reported after 1, 2 and 3 epochs.
 
+Each (task, schedule) fine-tune is one execution-engine cell:
+``--max-workers N`` runs the eight tasks of a schedule concurrently, and
+``--cache-dir PATH`` caches every cell so repeat invocations are free.
+
 Run with::
 
-    python examples/glue_finetuning.py [--quick]
+    python examples/glue_finetuning.py [--quick] [--max-workers N] [--cache-dir PATH]
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from repro.experiments import GlueRunConfig, run_glue_benchmark
 from repro.utils.textplot import ascii_table
 
 
-def main(quick: bool = False) -> None:
+def main(quick: bool = False, max_workers: int = 1, cache_dir: str | None = None) -> None:
     schedules = ("rex", "linear", "cosine") if quick else ("rex", "linear", "cosine", "step", "none")
     size_scale = 0.25 if quick else 0.5
 
@@ -25,7 +29,7 @@ def main(quick: bool = False) -> None:
     per_task_rows = []
     for schedule in schedules:
         config = GlueRunConfig(schedule=schedule, size_scale=size_scale, pretrain_steps=10)
-        result = run_glue_benchmark(config)
+        result = run_glue_benchmark(config, max_workers=max_workers, cache_dir=cache_dir)
         means = result.mean_scores()
         rows.append([schedule, *(f"{m:.1f}" for m in means)])
         per_task_rows.append(
@@ -45,4 +49,11 @@ def main(quick: bool = False) -> None:
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run a faster, smaller version")
-    main(parser.parse_args().quick)
+    parser.add_argument(
+        "--max-workers", type=int, default=1, help="fine-tune tasks on this many worker processes"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="content-addressed run cache; re-runs skip trained cells"
+    )
+    args = parser.parse_args()
+    main(quick=args.quick, max_workers=args.max_workers, cache_dir=args.cache_dir)

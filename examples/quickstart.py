@@ -6,12 +6,20 @@ This is the minimal end-to-end pattern the library is built around:
 2. wrap the optimizer in a schedule sized to the *budget* (total steps),
 3. call ``schedule.step()`` once per optimiser update.
 
+The optional second act shows the same idea at experiment scale: a small
+budget sweep dispatched through the execution engine, where ``--max-workers``
+parallelises the cells across processes and ``--cache-dir`` persists each
+trained cell in a content-addressed cache (re-run the script and the sweep
+comes back instantly).
+
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--sweep] [--max-workers N] [--cache-dir PATH]
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -32,7 +40,7 @@ def make_toy_dataset(n: int = 512, features: int = 16, classes: int = 4, seed: i
     return ArrayDataset(x, labels)
 
 
-def main() -> None:
+def train_toy_model() -> None:
     dataset = make_toy_dataset()
     loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
 
@@ -65,5 +73,39 @@ def main() -> None:
     print(f"\nfinal loss: {losses[-1]:.4f}   first loss: {losses[0]:.4f}")
 
 
+def run_engine_sweep(max_workers: int = 1, cache_dir: str | None = None) -> None:
+    """The same budget idea, run as cached/parallel experiment cells."""
+    from repro.experiments import run_budget_sweep
+
+    store = run_budget_sweep(
+        "RN20-CIFAR10",
+        "rex",
+        "sgdm",
+        budgets=(0.05, 0.25, 1.0),
+        size_scale=0.2,
+        epoch_scale=0.15,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+    )
+    print("\nREX on the CIFAR-10 proxy across budgets (via the execution engine):")
+    for record in store:
+        print(f"  budget={record.budget_fraction * 100:5.1f}%  test error={record.metric:6.2f}%")
+    if cache_dir is not None:
+        print(f"  (cells cached under {cache_dir!r}; re-run this script to see instant hits)")
+
+
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", action="store_true", help="also run a small budget sweep")
+    parser.add_argument(
+        "--max-workers", type=int, default=1,
+        help="worker processes for the sweep cells (a value > 1 implies --sweep)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed run cache for the sweep cells (implies --sweep)",
+    )
+    args = parser.parse_args()
+    train_toy_model()
+    if args.sweep or args.max_workers > 1 or args.cache_dir:
+        run_engine_sweep(max_workers=args.max_workers, cache_dir=args.cache_dir)

@@ -14,6 +14,9 @@ Sub-packages
     Budgets, task adapters, the Trainer, metrics and callbacks.
 ``repro.experiments`` / ``repro.analysis``
     The harness that regenerates every table and figure of the paper.
+``repro.execution``
+    The cache-aware, optionally parallel engine the harness runs on: plan
+    enumeration, a content-addressed run cache, and the experiment engine.
 
 Quickstart
 ----------
@@ -33,6 +36,7 @@ from repro import data
 from repro import models
 from repro import training
 from repro import experiments
+from repro import execution
 from repro import analysis
 from repro import utils
 
@@ -46,6 +50,7 @@ __all__ = [
     "models",
     "training",
     "experiments",
+    "execution",
     "analysis",
     "utils",
     "__version__",

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.experiments.runner import RunConfig, run_single
 from repro.utils.records import RunStore

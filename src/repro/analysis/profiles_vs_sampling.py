@@ -8,7 +8,7 @@ rates.  This module reproduces that grid on the proxy workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.profile_curves import PAPER_PROFILES

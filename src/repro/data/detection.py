@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.data.synthetic import make_detection_scenes

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.data.synthetic import SequenceTaskSpec, make_sequence_classification

@@ -1,0 +1,32 @@
+"""Deterministic, cache-aware experiment execution.
+
+This package is the machinery under :mod:`repro.experiments`:
+
+``repro.execution.plan``
+    Pure enumeration of experiment cells (*what to run*).
+``repro.execution.cache``
+    A content-addressed :class:`RunCache` keyed by a stable hash of each
+    cell's resolved configuration (*what already ran*).
+``repro.execution.engine``
+    The :class:`ExperimentEngine` that consults the cache and dispatches
+    misses serially or to a process pool (*how to run it*).
+
+Together they make table reproduction parallel and incremental: identical
+cells are trained exactly once, ever, per cache directory.
+"""
+
+from repro.execution.cache import CacheStats, RunCache, config_fingerprint
+from repro.execution.engine import EngineReport, ExperimentEngine, run_configs
+from repro.execution.plan import plan_budget_sweep, plan_lr_grid, plan_setting_table
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "config_fingerprint",
+    "EngineReport",
+    "ExperimentEngine",
+    "run_configs",
+    "plan_budget_sweep",
+    "plan_lr_grid",
+    "plan_setting_table",
+]

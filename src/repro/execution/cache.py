@@ -1,0 +1,186 @@
+"""Content-addressed cache for experiment run records.
+
+Every training cell is identified by a *fingerprint*: a SHA-256 hash of the
+canonical JSON encoding of its **resolved** configuration fields.  Resolution
+matters — a :class:`~repro.experiments.runner.RunConfig` with
+``learning_rate=None`` and one with the setting's default learning rate spelled
+out explicitly describe the same training run, so they hash identically.
+
+Records are persisted one-file-per-cell (``<fingerprint>.json``) under a cache
+directory, which makes the cache safe to share between processes: writers use
+an atomic rename, readers only ever see complete files, and concurrent writers
+of the same cell write identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.utils.records import RunRecord
+
+__all__ = ["CacheStats", "RunCache", "config_fingerprint"]
+
+#: bump when the fingerprint payload layout changes — invalidates old caches
+FINGERPRINT_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively normalise a value for stable JSON encoding."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips exactly; avoids 0.1 + 0.2 style surprises from
+        # locale- or precision-dependent formatting.
+        return float(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    return repr(value)
+
+
+def fingerprint_payload(config: Any) -> dict[str, Any]:
+    """The resolved, canonical dict that a config is hashed over.
+
+    ``RunConfig``-like objects (anything with ``resolve_lr``/``resolve_setting``)
+    are resolved first so that equivalent cells — default vs. explicit learning
+    rate, lower- vs. upper-case setting names — share a fingerprint.  Other
+    frozen dataclass configs (e.g. the GLUE cells) hash over their fields as-is.
+    """
+    if hasattr(config, "resolve_lr") and hasattr(config, "resolve_setting"):
+        return {
+            "version": FINGERPRINT_VERSION,
+            "kind": "run",
+            "setting": config.resolve_setting().name,
+            "schedule": config.schedule.lower(),
+            "optimizer": config.optimizer.lower(),
+            "budget_fraction": float(config.budget_fraction),
+            "seed": int(config.seed),
+            "learning_rate": float(config.resolve_lr()),
+            "size_scale": float(config.size_scale),
+            "epoch_scale": float(config.epoch_scale),
+            "schedule_kwargs": _canonical(config.schedule_kwargs),
+        }
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = _canonical(dataclasses.asdict(config))
+        payload["version"] = FINGERPRINT_VERSION
+        payload["kind"] = type(config).__name__
+        return payload
+    raise TypeError(f"cannot fingerprint configuration of type {type(config).__name__}")
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable SHA-256 content hash of a run configuration."""
+    blob = json.dumps(fingerprint_payload(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`RunCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: ``put`` calls skipped because an identical entry already existed
+    skips: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores, "skips": self.skips}
+
+
+class RunCache:
+    """Content-addressed, file-backed store of completed :class:`RunRecord`\\ s.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding one ``<fingerprint>.json`` file per completed cell.
+        Created on first use.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.stats = CacheStats()
+
+    # -- addressing ----------------------------------------------------------
+    def fingerprint(self, config: Any) -> str:
+        return config_fingerprint(config)
+
+    def path_for(self, config: Any) -> Path:
+        return self.cache_dir / f"{config_fingerprint(config)}.json"
+
+    # -- lookup / store ------------------------------------------------------
+    def get(self, config: Any) -> RunRecord | None:
+        """Return the cached record for ``config``, or ``None`` on a miss.
+
+        A corrupt or truncated entry counts as a miss *and is evicted*, so the
+        next :meth:`put` repairs it instead of skipping the existing file.
+        """
+        path = self.path_for(config)
+        try:
+            payload = json.loads(path.read_text())
+            record = RunRecord.from_dict(payload["record"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, config: Any, record: RunRecord) -> Path:
+        """Persist ``record`` under ``config``'s fingerprint (atomic write)."""
+        path = self.path_for(config)
+        if path.exists():
+            self.stats.skips += 1
+            return path
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": path.stem,
+            "config": fingerprint_payload(config),
+            "record": record.to_dict(),
+        }
+        blob = json.dumps(payload, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __contains__(self, config: Any) -> bool:
+        return self.path_for(config).exists()
+
+    def clear(self) -> int:
+        """Delete every cached entry; return how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,220 @@
+"""Deterministic experiment execution engine.
+
+The engine takes an iterable of run configurations, consults an optional
+content-addressed :class:`~repro.execution.cache.RunCache`, dispatches the
+misses to an executor (a ``ProcessPoolExecutor`` for ``max_workers > 1``, an
+in-process serial loop otherwise), retries transient failures once, and
+streams completed records into a :class:`~repro.utils.records.RunStore`.
+
+Results are always emitted in *plan order* — the order of the input configs —
+regardless of which worker finishes first, so ``max_workers=8`` produces a
+``RunStore`` record-for-record identical to serial execution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.execution.cache import RunCache
+from repro.utils.records import RunRecord, RunStore
+
+__all__ = ["EngineReport", "ExperimentEngine", "run_configs"]
+
+RunFn = Callable[[Any], RunRecord]
+
+
+def _default_run_fn() -> RunFn:
+    # Imported lazily: repro.experiments.runner wraps this engine, so a
+    # top-level import here would be circular.  Resolving at call time also
+    # lets tests monkeypatch ``repro.experiments.runner.run_single``.
+    from repro.experiments.runner import run_single
+
+    return run_single
+
+
+@dataclass
+class EngineReport:
+    """What one :meth:`ExperimentEngine.run` call actually did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "retried": self.retried,
+            "failures": list(self.failures),
+        }
+
+
+class ExperimentEngine:
+    """Run experiment cells through a cache-aware, optionally parallel executor.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`RunCache`, a cache directory path, or ``None`` to disable
+        caching entirely.
+    max_workers:
+        ``1`` (the default) runs every miss serially in-process — this is also
+        the mode tests use, since it keeps tracebacks trivial.  Larger values
+        fan misses out to a ``ProcessPoolExecutor``; configs and the run
+        function must then be picklable.
+    retries:
+        How many times a failed cell is re-executed before the error
+        propagates.  The default of 1 absorbs transient failures (a worker
+        killed by the OS, a flaky filesystem) without masking real bugs.
+    run_fn:
+        Maps one config to one :class:`RunRecord`.  Defaults to
+        :func:`repro.experiments.runner.run_single`.  Must be a module-level
+        function when ``max_workers > 1``.
+    """
+
+    def __init__(
+        self,
+        cache: RunCache | str | Path | None = None,
+        max_workers: int = 1,
+        retries: int = 1,
+        run_fn: RunFn | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if cache is not None and not isinstance(cache, RunCache):
+            cache = RunCache(cache)
+        self.cache = cache
+        self.max_workers = max_workers
+        self.retries = retries
+        self.run_fn = run_fn
+        self.last_report = EngineReport()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, configs: Iterable[Any], store: RunStore | None = None) -> RunStore:
+        """Execute every config (or fetch it from the cache) and collect records.
+
+        Returns ``store`` (a fresh :class:`RunStore` unless one is passed in)
+        with one record per config, in config order.
+        """
+        plan: Sequence[Any] = list(configs)
+        # Bound immediately (and mutated in place) so the report survives a
+        # raised failure, not just a clean run.
+        report = self.last_report = EngineReport(total=len(plan))
+        results: list[RunRecord | None] = [None] * len(plan)
+
+        pending: list[int] = []
+        for idx, config in enumerate(plan):
+            record = self.cache.get(config) if self.cache is not None else None
+            if record is not None:
+                results[idx] = record
+                report.cache_hits += 1
+            else:
+                pending.append(idx)
+
+        if pending:
+            run_fn = self.run_fn if self.run_fn is not None else _default_run_fn()
+            if self.max_workers == 1 or len(pending) == 1:
+                self._run_serial(run_fn, plan, pending, results, report)
+            else:
+                self._run_parallel(run_fn, plan, pending, results, report)
+
+        if store is None:
+            store = RunStore()
+        for record in results:
+            assert record is not None
+            store.add(record)
+        return store
+
+    def _complete(
+        self, plan: Sequence[Any], idx: int, record: RunRecord, results: list[RunRecord | None], report: EngineReport
+    ) -> None:
+        # Persist immediately, not after the whole batch: a later failure (or
+        # Ctrl-C) must not discard training work that already finished — the
+        # next invocation should pick up incrementally from the cache.
+        results[idx] = record
+        report.executed += 1
+        if self.cache is not None:
+            self.cache.put(plan[idx], record)
+
+    def _run_serial(
+        self,
+        run_fn: RunFn,
+        plan: Sequence[Any],
+        pending: Sequence[int],
+        results: list[RunRecord | None],
+        report: EngineReport,
+    ) -> None:
+        for idx in pending:
+            attempts_left = self.retries
+            while True:
+                try:
+                    record = run_fn(plan[idx])
+                    break
+                except Exception as exc:
+                    if attempts_left <= 0:
+                        report.failures.append(f"cell {idx}: {exc!r}")
+                        raise
+                    attempts_left -= 1
+                    report.retried += 1
+            self._complete(plan, idx, record, results, report)
+
+    def _run_parallel(
+        self,
+        run_fn: RunFn,
+        plan: Sequence[Any],
+        pending: Sequence[int],
+        results: list[RunRecord | None],
+        report: EngineReport,
+    ) -> None:
+        attempts: dict[int, int] = {idx: 0 for idx in pending}
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.max_workers, len(pending))) as pool:
+                in_flight: dict[Future, int] = {pool.submit(run_fn, plan[idx]): idx for idx in pending}
+                while in_flight:
+                    done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        idx = in_flight.pop(future)
+                        exc = future.exception()
+                        if exc is None:
+                            self._complete(plan, idx, future.result(), results, report)
+                        elif isinstance(exc, BrokenProcessPool):
+                            raise exc
+                        elif attempts[idx] < self.retries:
+                            attempts[idx] += 1
+                            report.retried += 1
+                            in_flight[pool.submit(run_fn, plan[idx])] = idx
+                        else:
+                            report.failures.append(f"cell {idx}: {exc!r}")
+                            # Don't let queued/in-flight cells train for minutes
+                            # only to throw the results away.
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise exc
+        except BrokenProcessPool:
+            # A worker died hard enough to take the pool with it (OOM kill,
+            # segfault).  Resubmitting to the broken pool cannot work, so the
+            # surviving cells fall back to the serial executor — this *is*
+            # their transient-failure retry.
+            remaining = [idx for idx in pending if results[idx] is None]
+            report.retried += len(remaining)
+            self._run_serial(run_fn, plan, remaining, results, report)
+
+
+def run_configs(
+    configs: Iterable[Any],
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+    run_fn: RunFn | None = None,
+    store: RunStore | None = None,
+) -> RunStore:
+    """One-shot convenience wrapper: build an engine, run the configs."""
+    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_fn)
+    return engine.run(configs, store=store)

@@ -1,0 +1,119 @@
+"""Pure experiment planning: enumerate cells without running anything.
+
+The paper's artifacts are cross-products — (setting x schedule x optimizer x
+budget x seed) for the per-setting tables, a learning-rate grid for tuning.
+These functions turn each artifact into an explicit list of
+:class:`~repro.experiments.runner.RunConfig` cells, decoupling *what to run*
+from *how to run it*; feed the result to
+:class:`~repro.execution.engine.ExperimentEngine` (or to plain
+:func:`~repro.experiments.runner.run_single` in a loop).
+
+Enumeration order is part of the contract: it matches the historical serial
+loops exactly, so a store built from a plan is record-for-record identical to
+one produced by the legacy nested-loop runners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.runner import RunConfig
+from repro.experiments.settings import get_setting
+from repro.utils.seeding import SeedSequence
+
+__all__ = ["plan_budget_sweep", "plan_setting_table", "plan_lr_grid"]
+
+
+def plan_budget_sweep(
+    setting: str,
+    schedule: str,
+    optimizer: str,
+    budgets: Sequence[float] | None = None,
+    seeds: Sequence[int] = (0,),
+    learning_rate: float | None = None,
+    size_scale: float = 1.0,
+    epoch_scale: float = 1.0,
+    schedule_kwargs: dict | None = None,
+) -> list[RunConfig]:
+    """Cells for one schedule/optimizer across a budget grid and seeds."""
+    setting_obj = get_setting(setting)
+    budgets = tuple(budgets if budgets is not None else setting_obj.budget_fractions)
+    return [
+        RunConfig(
+            setting=setting,
+            schedule=schedule,
+            optimizer=optimizer,
+            budget_fraction=fraction,
+            seed=seed,
+            learning_rate=learning_rate,
+            size_scale=size_scale,
+            epoch_scale=epoch_scale,
+            schedule_kwargs=dict(schedule_kwargs or {}),
+        )
+        for fraction in budgets
+        for seed in seeds
+    ]
+
+
+def plan_setting_table(
+    setting: str,
+    schedules: Iterable[str],
+    optimizers: Iterable[str] | None = None,
+    budgets: Sequence[float] | None = None,
+    num_seeds: int = 1,
+    base_seed: int = 0,
+    size_scale: float = 1.0,
+    epoch_scale: float = 1.0,
+    seeds: Sequence[int] | None = None,
+) -> list[RunConfig]:
+    """Cells for one per-setting table: every schedule x optimizer x budget x seed.
+
+    ``seeds`` overrides the derived per-setting :class:`SeedSequence` with an
+    explicit trial-seed list (``num_seeds``/``base_seed`` are then ignored).
+    """
+    setting_obj = get_setting(setting)
+    optimizers = tuple(optimizers if optimizers is not None else setting_obj.optimizers)
+    if seeds is not None:
+        seed_list = list(seeds)
+    else:
+        sequence = SeedSequence(base_seed=base_seed, namespace=setting_obj.name)
+        seed_list = [sequence.seed_for(i) for i in range(num_seeds)]
+    plan: list[RunConfig] = []
+    for optimizer in optimizers:
+        for schedule in schedules:
+            plan.extend(
+                plan_budget_sweep(
+                    setting,
+                    schedule,
+                    optimizer,
+                    budgets=budgets,
+                    seeds=seed_list,
+                    size_scale=size_scale,
+                    epoch_scale=epoch_scale,
+                )
+            )
+    return plan
+
+
+def plan_lr_grid(config: RunConfig, candidates: Sequence[float]) -> list[RunConfig]:
+    """One cell per learning-rate candidate, smallest rate first.
+
+    The ascending order is deliberate: downstream tie-breaking prefers earlier
+    (smaller) learning rates, matching the paper's conservative protocol.
+    """
+    if not candidates:
+        raise ValueError("the learning-rate grid is empty")
+    return [
+        RunConfig(
+            setting=config.setting,
+            schedule=config.schedule,
+            optimizer=config.optimizer,
+            budget_fraction=config.budget_fraction,
+            seed=config.seed,
+            learning_rate=lr,
+            size_scale=config.size_scale,
+            epoch_scale=config.epoch_scale,
+            schedule_kwargs=dict(config.schedule_kwargs),
+        )
+        for lr in sorted(candidates)
+    ]

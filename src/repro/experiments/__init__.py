@@ -11,12 +11,14 @@ from repro.experiments.workloads import Workload, build_workload
 from repro.experiments.runner import RunConfig, run_single, run_budget_sweep, run_setting_table
 from repro.experiments.glue_runner import (
     GlueRunConfig,
+    GlueTaskCell,
     GlueResult,
     run_glue_task,
+    run_glue_cell,
     run_glue_benchmark,
     glue_result_to_records,
 )
-from repro.experiments.grid import lr_grid, TuningResult, tune_learning_rate
+from repro.experiments.grid import lr_grid, TuningResult, tune_learning_rate, select_best_record
 from repro.experiments.ranking import (
     aggregate_cells,
     rank_schedules,
@@ -44,13 +46,16 @@ __all__ = [
     "run_budget_sweep",
     "run_setting_table",
     "GlueRunConfig",
+    "GlueTaskCell",
     "GlueResult",
     "run_glue_task",
+    "run_glue_cell",
     "run_glue_benchmark",
     "glue_result_to_records",
     "lr_grid",
     "TuningResult",
     "tune_learning_rate",
+    "select_best_record",
     "aggregate_cells",
     "rank_schedules",
     "average_rank_by_budget",

@@ -11,6 +11,7 @@ every epoch boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -22,7 +23,14 @@ from repro.training.tasks import SequenceTask
 from repro.training.trainer import Trainer
 from repro.utils.records import RunRecord, RunStore
 
-__all__ = ["GlueRunConfig", "GlueResult", "run_glue_task", "run_glue_benchmark"]
+__all__ = [
+    "GlueRunConfig",
+    "GlueTaskCell",
+    "GlueResult",
+    "run_glue_task",
+    "run_glue_cell",
+    "run_glue_benchmark",
+]
 
 _DEFAULT_LR = 3e-3
 
@@ -110,12 +118,100 @@ def run_glue_task(task: GlueTask, config: GlueRunConfig) -> list[float]:
     return scores[: config.max_epochs]
 
 
-def run_glue_benchmark(config: GlueRunConfig) -> GlueResult:
-    """Fine-tune on all eight proxy GLUE tasks; return per-task per-epoch scores."""
-    tasks = glue_task_specs(size_scale=config.size_scale)
-    per_task: dict[str, list[float]] = {}
-    for task in tasks:
-        per_task[task.name] = run_glue_task(task, config)
+@dataclass(frozen=True)
+class GlueTaskCell:
+    """One (task, schedule) fine-tuning cell of the GLUE sweep.
+
+    This is the unit the execution engine caches and parallelises over; it is
+    a pure-data mirror of :class:`GlueRunConfig` plus the task name, so it
+    pickles cleanly into worker processes and fingerprints stably.
+    """
+
+    task: str
+    schedule: str
+    optimizer: str = "adamw"
+    max_epochs: int = 3
+    learning_rate: float = _DEFAULT_LR
+    seed: int = 0
+    size_scale: float = 1.0
+    pretrain_steps: int = 10
+    schedule_kwargs: dict = field(default_factory=dict)
+
+    def to_run_config(self) -> GlueRunConfig:
+        return GlueRunConfig(
+            schedule=self.schedule,
+            optimizer=self.optimizer,
+            max_epochs=self.max_epochs,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+            size_scale=self.size_scale,
+            pretrain_steps=self.pretrain_steps,
+            schedule_kwargs=dict(self.schedule_kwargs),
+        )
+
+
+def _cells_for(config: GlueRunConfig) -> list[GlueTaskCell]:
+    # Names are normalised here because the cell is fingerprinted field-by-field:
+    # "REX" and "rex" describe the same fine-tune and must share a cache entry.
+    return [
+        GlueTaskCell(
+            task=task.name,
+            schedule=config.schedule.lower(),
+            optimizer=config.optimizer.lower(),
+            max_epochs=config.max_epochs,
+            learning_rate=config.learning_rate,
+            seed=config.seed,
+            size_scale=config.size_scale,
+            pretrain_steps=config.pretrain_steps,
+            schedule_kwargs=dict(config.schedule_kwargs),
+        )
+        for task in glue_task_specs(size_scale=config.size_scale)
+    ]
+
+
+def run_glue_cell(cell: GlueTaskCell) -> RunRecord:
+    """Fine-tune one proxy GLUE task and wrap its per-epoch scores in a record.
+
+    Module-level so the execution engine can dispatch it to worker processes.
+    The per-epoch score list lives in ``extra["scores"]``; the headline metric
+    is the final-epoch score.
+    """
+    config = cell.to_run_config()
+    by_name = {task.name: task for task in glue_task_specs(size_scale=cell.size_scale)}
+    if cell.task not in by_name:
+        raise KeyError(f"unknown proxy GLUE task {cell.task!r}; available: {sorted(by_name)}")
+    task = by_name[cell.task]
+    scores = run_glue_task(task, config)
+    return RunRecord(
+        setting="BERT-GLUE",
+        optimizer=cell.optimizer.lower(),
+        schedule=cell.schedule.lower(),
+        budget_fraction=1.0,
+        learning_rate=cell.learning_rate,
+        seed=cell.seed,
+        metric=float(scores[-1]),
+        metric_name=task.metric,
+        higher_is_better=True,
+        extra={"task": cell.task, "scores": [float(s) for s in scores]},
+    )
+
+
+def run_glue_benchmark(
+    config: GlueRunConfig,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> GlueResult:
+    """Fine-tune on all eight proxy GLUE tasks; return per-task per-epoch scores.
+
+    Tasks are independent cells, so ``max_workers > 1`` fine-tunes them
+    concurrently and ``cache_dir`` makes re-running a schedule free.
+    """
+    from repro.execution import ExperimentEngine
+
+    cells = _cells_for(config)
+    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_glue_cell)
+    store = engine.run(cells)
+    per_task = {record.extra["task"]: list(record.extra["scores"]) for record in store}
     return GlueResult(schedule=config.schedule, optimizer=config.optimizer, per_task_scores=per_task)
 
 

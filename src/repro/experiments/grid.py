@@ -3,18 +3,22 @@
 The paper's protocol: "only the learning rate is tuned in multiples of 3 for
 each schedule, setting, and number of epochs".  :func:`lr_grid` produces that
 multiplicative grid around a base value and :func:`tune_learning_rate` selects
-the best grid point for a given cell by training once per candidate.
+the best grid point for a given cell by training once per candidate (through
+the cache-aware execution engine, so candidates can train in parallel and
+repeat invocations are free).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from pathlib import Path
+from typing import Iterable, Sequence
 
-from repro.experiments.runner import RunConfig, run_single
+from repro.experiments.runner import RunConfig
 from repro.utils.records import RunRecord, RunStore
 
-__all__ = ["lr_grid", "TuningResult", "tune_learning_rate"]
+__all__ = ["lr_grid", "TuningResult", "tune_learning_rate", "select_best_record"]
 
 
 def lr_grid(base_lr: float, num_steps: int = 1, factor: float = 3.0) -> list[float]:
@@ -44,46 +48,50 @@ class TuningResult:
         return self.best_record.metric
 
 
+def select_best_record(records: Iterable[RunRecord]) -> RunRecord:
+    """Pick the best record under the paper's conservative tie rule.
+
+    Ordering, most significant first:
+
+    1. better metric (direction taken from ``higher_is_better``; NaN counts as
+       worst);
+    2. on a metric tie, a run that did **not** diverge beats one that did —
+       the ``inf``/``0.0`` divergence sentinels can collide with each other
+       (and, for higher-is-better metrics, with a genuine 0.0 score);
+    3. on a remaining tie, the smaller learning rate wins.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("cannot select from an empty record list")
+
+    def preference(record: RunRecord) -> tuple[float, bool, float]:
+        oriented = -record.metric if record.higher_is_better else record.metric
+        if math.isnan(oriented):
+            oriented = math.inf
+        return (oriented, bool(record.extra.get("diverged", False)), record.learning_rate)
+
+    return min(records, key=preference)
+
+
 def tune_learning_rate(
     config: RunConfig,
     num_steps: int = 1,
     factor: float = 3.0,
     candidates: Sequence[float] | None = None,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TuningResult:
     """Train the cell once per learning-rate candidate and keep the best.
 
     ``candidates`` overrides the automatically generated multiples-of-``factor``
-    grid.  Ties resolve to the smaller learning rate (more conservative).
+    grid.  Ties resolve via :func:`select_best_record`: non-diverged runs are
+    preferred, then the smaller learning rate (more conservative).
+    ``max_workers``/``cache_dir`` are forwarded to the execution engine.
     """
+    from repro.execution import ExperimentEngine, plan_lr_grid
+
     base_lr = config.resolve_lr()
     grid = list(candidates) if candidates is not None else lr_grid(base_lr, num_steps, factor)
-    if not grid:
-        raise ValueError("the learning-rate grid is empty")
-
-    store = RunStore()
-    best: RunRecord | None = None
-    for lr in sorted(grid):
-        record = run_single(
-            RunConfig(
-                setting=config.setting,
-                schedule=config.schedule,
-                optimizer=config.optimizer,
-                budget_fraction=config.budget_fraction,
-                seed=config.seed,
-                learning_rate=lr,
-                size_scale=config.size_scale,
-                epoch_scale=config.epoch_scale,
-                schedule_kwargs=dict(config.schedule_kwargs),
-            )
-        )
-        store.add(record)
-        if best is None:
-            best = record
-        else:
-            if record.higher_is_better:
-                if record.metric > best.metric:
-                    best = record
-            elif record.metric < best.metric:
-                best = record
-    assert best is not None  # grid is non-empty
-    return TuningResult(best_record=best, all_records=store)
+    plan = plan_lr_grid(config, grid)
+    store = ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    return TuningResult(best_record=select_best_record(store), all_records=store)

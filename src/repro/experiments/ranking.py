@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.records import RunRecord, RunStore
+from repro.utils.records import RunStore
 
 __all__ = [
     "aggregate_cells",

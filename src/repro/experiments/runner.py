@@ -9,6 +9,7 @@ the final evaluation metric as a :class:`~repro.utils.records.RunRecord`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.optim import build_optimizer
@@ -19,7 +20,6 @@ from repro.training.budget import Budget
 from repro.training.callbacks import LossNaNGuard
 from repro.training.trainer import Trainer
 from repro.utils.records import RunRecord, RunStore
-from repro.utils.seeding import SeedSequence
 
 __all__ = ["RunConfig", "run_single", "run_budget_sweep", "run_setting_table"]
 
@@ -139,28 +139,32 @@ def run_budget_sweep(
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
     schedule_kwargs: dict | None = None,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> RunStore:
-    """Train one schedule/optimizer across a budget grid and seeds."""
-    setting_obj = get_setting(setting)
-    budgets = tuple(budgets if budgets is not None else setting_obj.budget_fractions)
-    store = RunStore()
-    for fraction in budgets:
-        for seed in seeds:
-            record = run_single(
-                RunConfig(
-                    setting=setting,
-                    schedule=schedule,
-                    optimizer=optimizer,
-                    budget_fraction=fraction,
-                    seed=seed,
-                    learning_rate=learning_rate,
-                    size_scale=size_scale,
-                    epoch_scale=epoch_scale,
-                    schedule_kwargs=dict(schedule_kwargs or {}),
-                )
-            )
-            store.add(record)
-    return store
+    """Train one schedule/optimizer across a budget grid and seeds.
+
+    ``max_workers > 1`` fans the cells out to a process pool; ``cache_dir``
+    enables the content-addressed run cache so previously trained cells are
+    loaded instead of retrained.  Both are off by default, and the returned
+    store is record-for-record identical regardless of either option.
+    """
+    # Imported here, not at module top: repro.execution.plan imports RunConfig
+    # from this module, so the dependency must stay one-way at import time.
+    from repro.execution import ExperimentEngine, plan_budget_sweep
+
+    plan = plan_budget_sweep(
+        setting,
+        schedule,
+        optimizer,
+        budgets=budgets,
+        seeds=seeds,
+        learning_rate=learning_rate,
+        size_scale=size_scale,
+        epoch_scale=epoch_scale,
+        schedule_kwargs=schedule_kwargs,
+    )
+    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
 
 
 def run_setting_table(
@@ -172,24 +176,32 @@ def run_setting_table(
     base_seed: int = 0,
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+    seeds: Sequence[int] | None = None,
 ) -> RunStore:
-    """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget."""
-    setting_obj = get_setting(setting)
-    optimizers = tuple(optimizers if optimizers is not None else setting_obj.optimizers)
-    seeds = SeedSequence(base_seed=base_seed, namespace=setting_obj.name)
-    seed_list = [seeds.seed_for(i) for i in range(num_seeds)]
-    store = RunStore()
-    for optimizer in optimizers:
-        for schedule in schedules:
-            store.extend(
-                run_budget_sweep(
-                    setting,
-                    schedule,
-                    optimizer,
-                    budgets=budgets,
-                    seeds=seed_list,
-                    size_scale=size_scale,
-                    epoch_scale=epoch_scale,
-                )
-            )
-    return store
+    """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget.
+
+    ``seeds`` pins an explicit trial-seed list instead of the derived
+    per-setting seed sequence (``num_seeds``/``base_seed`` are then ignored).
+
+    The whole table is planned up front and executed through one
+    :class:`~repro.execution.engine.ExperimentEngine`, so with
+    ``max_workers > 1`` cells from different schedule/optimizer rows train
+    concurrently, and with ``cache_dir`` a re-run of the same table performs
+    zero training (every cell is a cache hit).
+    """
+    from repro.execution import ExperimentEngine, plan_setting_table
+
+    plan = plan_setting_table(
+        setting,
+        schedules,
+        optimizers=optimizers,
+        budgets=budgets,
+        num_seeds=num_seeds,
+        base_seed=base_seed,
+        size_scale=size_scale,
+        epoch_scale=epoch_scale,
+        seeds=seeds,
+    )
+    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)

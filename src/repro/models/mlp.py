@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro import nn
 from repro.utils.seeding import spawn_rng

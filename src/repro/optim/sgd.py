@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from repro.nn.modules.base import Parameter
 from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay

@@ -16,7 +16,7 @@ and support vectorised evaluation on numpy arrays.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ exactly the allocated budget, sampled according to its own sampling policy.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -1,34 +1,19 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The numerical gradient helpers live in :mod:`gradcheck`; import them with
+``from gradcheck import ...`` — importing them from ``conftest`` is fragile
+(the module name collides with ``benchmarks/conftest.py`` when both suites
+run in one pytest invocation).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from gradcheck import assert_grad_close, numerical_gradient  # noqa: F401  (re-export)
+
 from repro.nn.tensor import Tensor
-
-__all__ = ["numerical_gradient", "assert_grad_close"]
-
-
-def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of a scalar-valued fn with respect to x."""
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat = x.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = fn(x)
-        flat[i] = original - eps
-        minus = fn(x)
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2 * eps)
-    return grad
-
-
-def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4) -> None:
-    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
 
 
 @pytest.fixture

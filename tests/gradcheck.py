@@ -1,0 +1,33 @@
+"""Numerical gradient-checking helpers shared across the test suite.
+
+Lives in its own module (rather than ``conftest.py``) so test files can import
+it by a unique name — ``from conftest import ...`` breaks as soon as another
+directory's ``conftest.py`` shadows this one on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numerical_gradient", "assert_grad_close"]
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn with respect to x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

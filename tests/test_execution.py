@@ -1,0 +1,371 @@
+"""Tests for the execution subsystem: plan enumeration, run cache, engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.execution import (
+    ExperimentEngine,
+    RunCache,
+    config_fingerprint,
+    plan_budget_sweep,
+    plan_lr_grid,
+    plan_setting_table,
+    run_configs,
+)
+from repro.experiments import RunConfig, run_setting_table, select_best_record, tune_learning_rate
+from repro.experiments.runner import run_single
+from repro.utils.records import RunRecord, RunStore
+
+TINY = dict(size_scale=0.12, epoch_scale=0.1)
+
+
+def tiny_config(**overrides) -> RunConfig:
+    base = dict(
+        setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.25, **TINY
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def make_record(**overrides) -> RunRecord:
+    base = dict(
+        setting="RN20-CIFAR10",
+        optimizer="sgdm",
+        schedule="rex",
+        budget_fraction=0.25,
+        learning_rate=0.1,
+        seed=0,
+        metric=10.0,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def stores_equal(a: RunStore, b: RunStore) -> bool:
+    return [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert config_fingerprint(tiny_config()) == config_fingerprint(tiny_config())
+
+    def test_resolved_fields_hash_identically(self):
+        # lr=None resolves to the setting default; spelling the default out
+        # explicitly (and changing the setting's case) is the same cell.
+        implicit = tiny_config(setting="rn20-cifar10", learning_rate=None)
+        explicit = tiny_config(setting="RN20-CIFAR10", learning_rate=0.1)
+        assert config_fingerprint(implicit) == config_fingerprint(explicit)
+
+    def test_every_field_is_load_bearing(self):
+        base = config_fingerprint(tiny_config())
+        for change in (
+            dict(schedule="linear"),
+            dict(optimizer="adam"),
+            dict(budget_fraction=0.5),
+            dict(seed=1),
+            dict(learning_rate=0.3),
+            dict(size_scale=0.2),
+            dict(epoch_scale=0.2),
+            dict(schedule_kwargs={"delay_fraction": 0.5}),
+        ):
+            assert config_fingerprint(tiny_config(**change)) != base, change
+
+    def test_schedule_kwargs_order_is_canonical(self):
+        a = tiny_config(schedule_kwargs={"a": 1, "b": 2})
+        b = tiny_config(schedule_kwargs={"b": 2, "a": 1})
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_generic_dataclass_configs_supported(self):
+        @dataclasses.dataclass(frozen=True)
+        class Cell:
+            task: str
+            seed: int
+
+        assert config_fingerprint(Cell("mrpc", 0)) == config_fingerprint(Cell("mrpc", 0))
+        assert config_fingerprint(Cell("mrpc", 0)) != config_fingerprint(Cell("mrpc", 1))
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            config_fingerprint({"setting": "RN20-CIFAR10"})
+
+
+class TestRunCache:
+    def test_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        config = tiny_config()
+        record = make_record(extra={"total_steps": 4, "diverged": False})
+        cache.put(config, record)
+        assert cache.get(config) == record
+        assert config in cache
+        assert len(cache) == 1
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss_then_invalidation_on_changed_kwargs(self, tmp_path):
+        cache = RunCache(tmp_path)
+        config = tiny_config(schedule="delayed_linear", schedule_kwargs={"delay_fraction": 0.25})
+        assert cache.get(config) is None
+        cache.put(config, make_record(schedule="delayed_linear"))
+        changed = tiny_config(schedule="delayed_linear", schedule_kwargs={"delay_fraction": 0.5})
+        assert cache.get(changed) is None
+        assert cache.stats.misses == 2
+
+    def test_corrupt_entry_evicted_and_repaired(self, tmp_path):
+        cache = RunCache(tmp_path)
+        config = tiny_config()
+        path = cache.put(config, make_record())
+        path.write_text("garbage")
+        assert cache.get(config) is None
+        assert not path.exists()  # evicted, so the next put can repair it
+        cache.put(config, make_record())
+        assert cache.get(config) == make_record()
+
+    def test_duplicate_put_is_skipped(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(tiny_config(), make_record())
+        cache.put(tiny_config(), make_record())
+        assert len(cache) == 1
+        assert cache.stats.stores == 1 and cache.stats.skips == 1
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(tiny_config(), make_record())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestPlans:
+    def test_budget_sweep_order_matches_legacy_loops(self):
+        plan = plan_budget_sweep("RN20-CIFAR10", "rex", "sgdm", budgets=(0.05, 0.25), seeds=(0, 1))
+        cells = [(c.budget_fraction, c.seed) for c in plan]
+        assert cells == [(0.05, 0), (0.05, 1), (0.25, 0), (0.25, 1)]
+
+    def test_setting_table_covers_cross_product(self):
+        plan = plan_setting_table(
+            "RN20-CIFAR10", schedules=("rex", "linear"), optimizers=("sgdm", "adam"), budgets=(0.25,)
+        )
+        assert len(plan) == 4
+        assert [(c.optimizer, c.schedule) for c in plan] == [
+            ("sgdm", "rex"),
+            ("sgdm", "linear"),
+            ("adam", "rex"),
+            ("adam", "linear"),
+        ]
+
+    def test_lr_grid_plan_sorted_ascending(self):
+        plan = plan_lr_grid(tiny_config(), candidates=[0.3, 0.03, 0.1])
+        assert [c.learning_rate for c in plan] == [0.03, 0.1, 0.3]
+        with pytest.raises(ValueError):
+            plan_lr_grid(tiny_config(), candidates=[])
+
+
+class TestEngine:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(max_workers=0)
+        with pytest.raises(ValueError):
+            ExperimentEngine(retries=-1)
+
+    def test_serial_matches_direct_run_single(self):
+        plan = plan_budget_sweep("RN20-CIFAR10", "rex", "sgdm", budgets=(0.25,), seeds=(0,), **TINY)
+        direct = RunStore([run_single(c) for c in plan])
+        engine = ExperimentEngine(max_workers=1)
+        assert stores_equal(engine.run(plan), direct)
+        assert engine.last_report.executed == 1
+        assert engine.last_report.cache_hits == 0
+
+    def test_parallel_identical_to_serial(self):
+        """max_workers=2 must produce a record-for-record identical RunStore."""
+        kwargs = dict(
+            schedules=("rex", "linear"), optimizers=("sgdm",), budgets=(0.25,), **TINY
+        )
+        serial = run_setting_table("RN20-CIFAR10", **kwargs)
+        parallel = run_setting_table("RN20-CIFAR10", **kwargs, max_workers=2)
+        assert stores_equal(serial, parallel)
+
+    def test_second_invocation_is_pure_cache(self, tmp_path, monkeypatch):
+        """Same cache_dir twice: second table performs zero training runs."""
+        kwargs = dict(schedules=("rex", "linear"), optimizers=("sgdm",), budgets=(0.25,), **TINY)
+        first = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == len(first)
+
+        def bomb(config):
+            raise AssertionError("training ran despite a warm cache")
+
+        # The engine resolves its default run function at run() time, so
+        # patching run_single proves no cell was retrained.
+        monkeypatch.setattr("repro.experiments.runner.run_single", bomb)
+        second = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        assert stores_equal(first, second)
+
+    def test_cached_equals_uncached(self, tmp_path):
+        kwargs = dict(schedules=("rex",), optimizers=("sgdm",), budgets=(0.25,), **TINY)
+        plain = run_setting_table("RN20-CIFAR10", **kwargs)
+        cached = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        reloaded = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        assert stores_equal(plain, cached)
+        assert stores_equal(plain, reloaded)
+
+    def test_transient_failure_retried_once(self):
+        calls = {"n": 0}
+
+        def flaky(config):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return make_record()
+
+        engine = ExperimentEngine(run_fn=flaky)
+        store = engine.run([tiny_config()])
+        assert len(store) == 1
+        assert calls["n"] == 2
+        assert engine.last_report.retried == 1
+
+    def test_persistent_failure_raises(self):
+        def broken(config):
+            raise RuntimeError("permanent")
+
+        engine = ExperimentEngine(run_fn=broken)
+        with pytest.raises(RuntimeError, match="permanent"):
+            engine.run([tiny_config()])
+        assert engine.last_report.failures
+
+    def test_run_configs_convenience(self, tmp_path):
+        plan = plan_budget_sweep("RN20-CIFAR10", "rex", "sgdm", budgets=(0.25,), seeds=(0,), **TINY)
+        store = run_configs(plan, cache_dir=tmp_path)
+        assert len(store) == 1
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_streams_into_existing_store(self):
+        store = RunStore([make_record(schedule="linear")])
+        engine = ExperimentEngine(run_fn=lambda c: make_record())
+        out = engine.run([tiny_config()], store=store)
+        assert out is store
+        assert len(store) == 2
+
+
+def _record_or_kill_worker(config):
+    """Kill the hosting process when it is a pool worker; succeed in-process.
+
+    Module-level so it pickles into ProcessPoolExecutor workers.  The parent
+    pid is baked into the config, so the serial-fallback re-run (which executes
+    in the parent) returns normally.
+    """
+    if os.getpid() != config.parent_pid:
+        os._exit(1)
+    return make_record(seed=config.index)
+
+
+@dataclasses.dataclass(frozen=True)
+class _KillCell:
+    parent_pid: int
+    index: int
+
+
+class TestEngineFailureModes:
+    def test_completed_cells_cached_before_a_later_failure(self, tmp_path):
+        """A crash partway through a sweep must not discard finished cells."""
+
+        def second_cell_fails(config):
+            if config.seed == 1:
+                raise RuntimeError("boom")
+            return make_record(seed=config.seed)
+
+        engine = ExperimentEngine(cache=tmp_path, retries=0, run_fn=second_cell_fails)
+        with pytest.raises(RuntimeError):
+            engine.run([tiny_config(seed=0), tiny_config(seed=1)])
+        # cell 0 finished first and must already be persisted
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        resumed = ExperimentEngine(cache=tmp_path, run_fn=lambda c: make_record(seed=c.seed)).run(
+            [tiny_config(seed=0), tiny_config(seed=1)]
+        )
+        assert len(resumed) == 2
+        assert [r.seed for r in resumed] == [0, 1]
+
+    def test_broken_pool_falls_back_to_serial(self):
+        """Workers dying hard (OOM-kill style) must not lose the sweep."""
+        cells = [_KillCell(parent_pid=os.getpid(), index=i) for i in range(3)]
+        engine = ExperimentEngine(max_workers=2, run_fn=_record_or_kill_worker)
+        store = engine.run(cells)
+        assert [r.seed for r in store] == [0, 1, 2]
+        assert engine.last_report.retried >= 1
+
+
+class TestSeedOverride:
+    def test_explicit_seeds_pin_the_table(self):
+        plan = plan_setting_table(
+            "RN20-CIFAR10", schedules=("rex",), optimizers=("sgdm",), budgets=(0.25,), seeds=(0, 7)
+        )
+        assert [c.seed for c in plan] == [0, 7]
+
+    def test_default_remains_seed_sequence(self):
+        plan = plan_setting_table(
+            "RN20-CIFAR10", schedules=("rex",), optimizers=("sgdm",), budgets=(0.25,), num_seeds=1
+        )
+        # the derived sequence is namespaced, not literally 0
+        assert plan[0].seed != 0
+
+
+class TestTieBreaking:
+    def test_plain_tie_resolves_to_smaller_lr(self):
+        records = [
+            make_record(learning_rate=0.3, metric=10.0),
+            make_record(learning_rate=0.1, metric=10.0),
+        ]
+        assert select_best_record(records).learning_rate == 0.1
+
+    def test_higher_is_better_sentinel_tie(self):
+        # Two diverged runs both carry the 0.0 sentinel: smaller lr wins.
+        records = [
+            make_record(
+                learning_rate=0.9, metric=0.0, higher_is_better=True, extra={"diverged": True}
+            ),
+            make_record(
+                learning_rate=0.3, metric=0.0, higher_is_better=True, extra={"diverged": True}
+            ),
+        ]
+        assert select_best_record(records).learning_rate == 0.3
+
+    def test_genuine_zero_beats_diverged_zero(self):
+        # A real 0.0 score ties the divergence sentinel; the non-diverged run
+        # must win even though its learning rate is larger.
+        records = [
+            make_record(
+                learning_rate=0.1, metric=0.0, higher_is_better=True, extra={"diverged": True}
+            ),
+            make_record(
+                learning_rate=0.3, metric=0.0, higher_is_better=True, extra={"diverged": False}
+            ),
+        ]
+        best = select_best_record(records)
+        assert best.learning_rate == 0.3
+        assert not best.extra["diverged"]
+
+    def test_lower_is_better_inf_sentinel_tie(self):
+        records = [
+            make_record(learning_rate=0.9, metric=float("inf"), extra={"diverged": True}),
+            make_record(learning_rate=0.3, metric=float("inf"), extra={"diverged": True}),
+        ]
+        assert select_best_record(records).learning_rate == 0.3
+
+    def test_nan_ranks_worst(self):
+        records = [
+            make_record(learning_rate=0.1, metric=float("nan")),
+            make_record(learning_rate=0.3, metric=50.0),
+        ]
+        assert select_best_record(records).learning_rate == 0.3
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            select_best_record([])
+
+    def test_tune_learning_rate_through_engine(self, tmp_path):
+        config = tiny_config()
+        first = tune_learning_rate(config, candidates=[0.03, 0.1], cache_dir=tmp_path)
+        again = tune_learning_rate(config, candidates=[0.03, 0.1], cache_dir=tmp_path)
+        assert len(first.all_records) == 2
+        assert first.best_lr == again.best_lr
+        assert stores_equal(first.all_records, again.all_records)

@@ -8,7 +8,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from conftest import assert_grad_close, numerical_gradient
+from gradcheck import assert_grad_close, numerical_gradient
 
 
 def naive_conv2d(x, w, b, stride, padding):

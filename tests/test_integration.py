@@ -8,7 +8,6 @@ units.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.data import ArrayDataset, DataLoader

@@ -13,7 +13,6 @@ from repro.models import (
     TinyTransformer,
     TransformerConfig,
     VAE,
-    VGGProxy,
     available_models,
     build_model,
     resnet20_proxy,

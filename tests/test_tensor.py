@@ -7,7 +7,7 @@ import pytest
 
 from repro.nn.tensor import Tensor, concatenate, no_grad, stack, unbroadcast, where
 
-from conftest import assert_grad_close, numerical_gradient
+from gradcheck import assert_grad_close, numerical_gradient
 
 
 def _check_unary(op, x_data, **kwargs):

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.data import ArrayDataset, DataLoader
 from repro.models import MLP, VAE, TinyDetector
 from repro.data.synthetic import make_detection_scenes
