@@ -1,0 +1,134 @@
+"""Hot-path microbenchmark: full training-step loops in float32 vs float64.
+
+Times the complete step (forward + backward + fused optimizer update) for the
+two workload shapes that dominate the paper's reproduction — an MLP (pure
+matmul) and the ResNet-20 CIFAR proxy (im2col conv + batchnorm) — in both
+dtypes, and appends the measurements to ``BENCH_hotpath.json`` so CI can
+archive the perf trajectory.
+
+Scale follows ``REPRO_BENCH_SCALE`` (tiny/small/full) like the rest of the
+harness; the speedup floor is only asserted at >= small scale, where the loop
+is long enough for the ratio to be stable.  Override the output path with
+``REPRO_BENCH_HOTPATH_JSON``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.settings import get_setting
+from repro.experiments.workloads import build_workload
+from repro.models.mlp import MLP
+from repro.nn.losses import cross_entropy
+from repro.optim import build_optimizer
+
+RESULTS_PATH = Path(os.environ.get("REPRO_BENCH_HOTPATH_JSON", "BENCH_hotpath.json"))
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+_STEPS = {"tiny": 8, "small": 40, "full": 120}.get(_SCALE, 40)
+_WARMUP = 3
+
+#: asserted only when the loop is long enough for the ratio to be stable;
+#: the acceptance target is 1.5x, the floor leaves headroom for CI noise
+_MIN_SPEEDUP = 1.2 if _STEPS >= 40 else None
+
+DTYPES = ("float64", "float32")
+
+
+def _record(model_name: str, entry: dict) -> None:
+    """Merge one model's measurements into the shared JSON artifact."""
+    payload: dict = {"scale": _SCALE, "steps": _STEPS, "numpy": np.__version__, "results": {}}
+    if RESULTS_PATH.exists():
+        try:
+            previous = json.loads(RESULTS_PATH.read_text())
+            payload["results"] = previous.get("results", {})
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["results"][model_name] = entry
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _time_step_loop(build_fn, dtype: str) -> float:
+    """Seconds for ``_STEPS`` train steps (forward+backward+optimizer)."""
+    with nn.default_dtype(dtype):
+        model, optimizer, batches, loss_fn = build_fn()
+        start = 0.0
+        for i in range(_WARMUP + _STEPS):
+            if i == _WARMUP:
+                start = time.perf_counter()
+            batch = batches[i % len(batches)]
+            loss = loss_fn(model, batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.isfinite(float(loss.data)), f"{dtype} step loop diverged"
+        return time.perf_counter() - start
+
+
+def _build_mlp():
+    rng = np.random.default_rng(0)
+    model = MLP(in_features=256, num_classes=10, hidden_sizes=(256, 256), seed=0)
+    optimizer = build_optimizer("sgdm", model.parameters(), lr=0.01)
+    batches = [
+        (rng.standard_normal((64, 256)), rng.integers(0, 10, size=64)) for _ in range(4)
+    ]
+    loss_fn = lambda m, b: cross_entropy(m(nn.Tensor(b[0])), b[1])  # noqa: E731
+    return model, optimizer, batches, loss_fn
+
+
+def _build_resnet20():
+    workload = build_workload(get_setting("RN20-CIFAR10"), seed=0, size_scale=0.5)
+    optimizer = build_optimizer("sgdm", workload.model.parameters(), lr=0.05)
+    batches = [batch for batch, _ in zip(workload.train_loader, range(4))]
+    loss_fn = workload.task.compute_loss
+    return workload.model, optimizer, batches, loss_fn
+
+
+def _bench(model_name: str, build_fn) -> dict:
+    timings = {dtype: _time_step_loop(build_fn, dtype) for dtype in DTYPES}
+    speedup = timings["float64"] / timings["float32"]
+    entry = {
+        "steps": _STEPS,
+        "float64_seconds": round(timings["float64"], 4),
+        "float32_seconds": round(timings["float32"], 4),
+        "float32_speedup": round(speedup, 3),
+        "float64_steps_per_second": round(_STEPS / timings["float64"], 2),
+        "float32_steps_per_second": round(_STEPS / timings["float32"], 2),
+    }
+    _record(model_name, entry)
+    print(f"\n[hotpath] {model_name}: {entry}")
+    return entry
+
+
+def test_mlp_step_loop_float32_vs_float64():
+    entry = _bench("mlp", _build_mlp)
+    if _MIN_SPEEDUP is not None:
+        assert entry["float32_speedup"] >= _MIN_SPEEDUP, (
+            f"float32 MLP step loop regressed: {entry['float32_speedup']}x < {_MIN_SPEEDUP}x"
+        )
+
+
+def test_resnet20_step_loop_float32_vs_float64():
+    entry = _bench("resnet20", _build_resnet20)
+    if _MIN_SPEEDUP is not None:
+        assert entry["float32_speedup"] >= _MIN_SPEEDUP, (
+            f"float32 ResNet-20 step loop regressed: {entry['float32_speedup']}x < {_MIN_SPEEDUP}x"
+        )
+
+
+def test_artifact_written_and_well_formed():
+    """Runs last in file order: both model entries must be in the artifact."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("timing tests did not run")
+    payload = json.loads(RESULTS_PATH.read_text())
+    for model_name in ("mlp", "resnet20"):
+        entry = payload["results"].get(model_name)
+        assert entry is not None, f"missing {model_name} entry in {RESULTS_PATH}"
+        assert entry["float32_seconds"] > 0 and entry["float64_seconds"] > 0

@@ -28,7 +28,9 @@ from repro.utils.records import RunRecord
 __all__ = ["CacheStats", "RunCache", "config_fingerprint"]
 
 #: bump when the fingerprint payload layout changes — invalidates old caches
-FINGERPRINT_VERSION = 1
+#: (v2: resolved ``dtype`` joined the payload, so float32 and float64 runs of
+#: the same cell cache separately)
+FINGERPRINT_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:
@@ -69,6 +71,9 @@ def fingerprint_payload(config: Any) -> dict[str, Any]:
             "size_scale": float(config.size_scale),
             "epoch_scale": float(config.epoch_scale),
             "schedule_kwargs": _canonical(config.schedule_kwargs),
+            # resolved, not raw: dtype=None and an explicit spelling of the
+            # setting's default are the same training run
+            "dtype": config.resolve_dtype() if hasattr(config, "resolve_dtype") else "float64",
         }
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         payload = _canonical(dataclasses.asdict(config))

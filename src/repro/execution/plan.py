@@ -34,6 +34,7 @@ def plan_budget_sweep(
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
     schedule_kwargs: dict | None = None,
+    dtype: str | None = None,
 ) -> list[RunConfig]:
     """Cells for one schedule/optimizer across a budget grid and seeds."""
     setting_obj = get_setting(setting)
@@ -49,6 +50,7 @@ def plan_budget_sweep(
             size_scale=size_scale,
             epoch_scale=epoch_scale,
             schedule_kwargs=dict(schedule_kwargs or {}),
+            dtype=dtype,
         )
         for fraction in budgets
         for seed in seeds
@@ -64,6 +66,7 @@ def plan_setting_table(
     base_seed: int = 0,
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
+    dtype: str | None = None,
     seeds: Sequence[int] | None = None,
 ) -> list[RunConfig]:
     """Cells for one per-setting table: every schedule x optimizer x budget x seed.
@@ -90,6 +93,7 @@ def plan_setting_table(
                     seeds=seed_list,
                     size_scale=size_scale,
                     epoch_scale=epoch_scale,
+                    dtype=dtype,
                 )
             )
     return plan
@@ -114,6 +118,7 @@ def plan_lr_grid(config: RunConfig, candidates: Sequence[float]) -> list[RunConf
             size_scale=config.size_scale,
             epoch_scale=config.epoch_scale,
             schedule_kwargs=dict(config.schedule_kwargs),
+            dtype=config.dtype,
         )
         for lr in sorted(candidates)
     ]

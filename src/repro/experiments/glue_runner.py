@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import nn
 from repro.data import DataLoader, GlueTask, SyntheticGlueTask, glue_task_specs
 from repro.models import TinyTransformer, TransformerConfig
 from repro.optim import build_optimizer
@@ -47,6 +48,8 @@ class GlueRunConfig:
     size_scale: float = 1.0
     pretrain_steps: int = 10
     schedule_kwargs: dict = field(default_factory=dict)
+    #: float dtype the fine-tune runs in ("float32" / "float64")
+    dtype: str = "float64"
 
 
 @dataclass
@@ -80,6 +83,11 @@ def _build_encoder(config: GlueRunConfig, num_labels: int, seed: int) -> TinyTra
 
 def run_glue_task(task: GlueTask, config: GlueRunConfig) -> list[float]:
     """Fine-tune on one proxy GLUE task; return the score after each epoch."""
+    with nn.default_dtype(nn.dtype_name(config.dtype)):
+        return _run_glue_task(task, config)
+
+
+def _run_glue_task(task: GlueTask, config: GlueRunConfig) -> list[float]:
     train_ds, test_ds = SyntheticGlueTask.splits(task, seed=config.seed)
     train_loader = DataLoader(train_ds, batch_size=16, shuffle=True, seed=config.seed)
     eval_loader = DataLoader(test_ds, batch_size=32, shuffle=False, seed=config.seed)
@@ -136,6 +144,7 @@ class GlueTaskCell:
     size_scale: float = 1.0
     pretrain_steps: int = 10
     schedule_kwargs: dict = field(default_factory=dict)
+    dtype: str = "float64"
 
     def to_run_config(self) -> GlueRunConfig:
         return GlueRunConfig(
@@ -147,6 +156,7 @@ class GlueTaskCell:
             size_scale=self.size_scale,
             pretrain_steps=self.pretrain_steps,
             schedule_kwargs=dict(self.schedule_kwargs),
+            dtype=self.dtype,
         )
 
 
@@ -164,6 +174,7 @@ def _cells_for(config: GlueRunConfig) -> list[GlueTaskCell]:
             size_scale=config.size_scale,
             pretrain_steps=config.pretrain_steps,
             schedule_kwargs=dict(config.schedule_kwargs),
+            dtype=nn.dtype_name(config.dtype),
         )
         for task in glue_task_specs(size_scale=config.size_scale)
     ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro import nn
 from repro.optim import build_optimizer
 from repro.schedules import WarmupWrapper, build_schedule
 from repro.experiments.settings import ExperimentSetting, get_setting
@@ -37,6 +38,8 @@ class RunConfig:
     size_scale: float = 1.0
     epoch_scale: float = 1.0
     schedule_kwargs: dict = field(default_factory=dict)
+    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    dtype: str | None = None
 
     def resolve_setting(self) -> ExperimentSetting:
         return get_setting(self.setting)
@@ -45,6 +48,10 @@ class RunConfig:
         if self.learning_rate is not None:
             return self.learning_rate
         return self.resolve_setting().base_lr(self.optimizer)
+
+    def resolve_dtype(self) -> str:
+        """Canonical dtype name the cell trains in (explicit or setting default)."""
+        return nn.dtype_name(self.dtype if self.dtype is not None else self.resolve_setting().dtype)
 
 
 def _scaled_max_epochs(setting: ExperimentSetting, epoch_scale: float) -> int:
@@ -69,39 +76,45 @@ def run_single(config: RunConfig) -> RunRecord:
             f"got {config.optimizer!r}"
         )
 
-    workload = build_workload(setting, seed=config.seed, size_scale=config.size_scale)
-    lr = config.resolve_lr()
-    optimizer = build_optimizer(config.optimizer, workload.model.parameters(), lr=lr)
+    dtype = config.resolve_dtype()
+    with nn.default_dtype(dtype):
+        # Model parameters, batch tensors and every intermediate are created
+        # under the cell's dtype; a float32 cell trains float32 end to end.
+        workload = build_workload(setting, seed=config.seed, size_scale=config.size_scale)
+        lr = config.resolve_lr()
+        optimizer = build_optimizer(config.optimizer, workload.model.parameters(), lr=lr)
 
-    budget = Budget(
-        max_epochs=_scaled_max_epochs(setting, config.epoch_scale),
-        fraction=config.budget_fraction,
-        steps_per_epoch=workload.steps_per_epoch,
-        warmup_steps=setting.warmup_epochs * workload.steps_per_epoch,
-    )
+        budget = Budget(
+            max_epochs=_scaled_max_epochs(setting, config.epoch_scale),
+            fraction=config.budget_fraction,
+            steps_per_epoch=workload.steps_per_epoch,
+            warmup_steps=setting.warmup_epochs * workload.steps_per_epoch,
+        )
 
-    schedule = build_schedule(
-        config.schedule,
-        optimizer,
-        total_steps=budget.total_steps,
-        base_lr=lr,
-        steps_per_epoch=workload.steps_per_epoch,
-        **config.schedule_kwargs,
-    )
-    if budget.warmup_steps > 0:
-        schedule = WarmupWrapper(schedule, warmup_steps=budget.warmup_steps, warmup_start_lr=lr * 0.1)
+        schedule = build_schedule(
+            config.schedule,
+            optimizer,
+            total_steps=budget.total_steps,
+            base_lr=lr,
+            steps_per_epoch=workload.steps_per_epoch,
+            **config.schedule_kwargs,
+        )
+        if budget.warmup_steps > 0:
+            schedule = WarmupWrapper(
+                schedule, warmup_steps=budget.warmup_steps, warmup_start_lr=lr * 0.1
+            )
 
-    guard = LossNaNGuard()
-    trainer = Trainer(
-        model=workload.model,
-        optimizer=optimizer,
-        task=workload.task,
-        train_loader=workload.train_loader,
-        eval_loader=workload.eval_loader,
-        schedule=schedule,
-        callbacks=[guard],
-    )
-    history = trainer.fit(budget.total_steps_with_warmup)
+        guard = LossNaNGuard()
+        trainer = Trainer(
+            model=workload.model,
+            optimizer=optimizer,
+            task=workload.task,
+            train_loader=workload.train_loader,
+            eval_loader=workload.eval_loader,
+            schedule=schedule,
+            callbacks=[guard],
+        )
+        history = trainer.fit(budget.total_steps_with_warmup)
 
     metric_name = workload.task.primary_metric
     metric = history.final_metrics.get(metric_name, float("nan"))
@@ -124,6 +137,7 @@ def run_single(config: RunConfig) -> RunRecord:
             "total_steps": budget.total_steps,
             "warmup_steps": budget.warmup_steps,
             "diverged": guard.tripped,
+            "dtype": dtype,
             "final_metrics": history.final_metrics,
         },
     )
@@ -139,6 +153,7 @@ def run_budget_sweep(
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
     schedule_kwargs: dict | None = None,
+    dtype: str | None = None,
     max_workers: int = 1,
     cache_dir: str | Path | None = None,
 ) -> RunStore:
@@ -163,6 +178,7 @@ def run_budget_sweep(
         size_scale=size_scale,
         epoch_scale=epoch_scale,
         schedule_kwargs=schedule_kwargs,
+        dtype=dtype,
     )
     return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
 
@@ -176,6 +192,7 @@ def run_setting_table(
     base_seed: int = 0,
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
+    dtype: str | None = None,
     max_workers: int = 1,
     cache_dir: str | Path | None = None,
     seeds: Sequence[int] | None = None,
@@ -202,6 +219,7 @@ def run_setting_table(
         base_seed=base_seed,
         size_scale=size_scale,
         epoch_scale=epoch_scale,
+        dtype=dtype,
         seeds=seeds,
     )
     return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)

@@ -5,6 +5,13 @@ learning-rate schedules (the paper's contribution) sit on top of
 ``repro.optim`` optimizers which update parameters of ``repro.nn`` modules.
 """
 
+from repro.nn.dtype import (
+    default_dtype,
+    dtype_name,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack, where
 from repro.nn import functional
 from repro.nn import init
@@ -36,6 +43,11 @@ from repro.nn.modules import (
 )
 
 __all__ = [
+    "default_dtype",
+    "dtype_name",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

@@ -1,0 +1,91 @@
+"""Process-wide floating-point dtype policy for the training stack.
+
+The autograd engine historically forced ``float64`` everywhere.  Training the
+paper's proxy workloads does not need double precision, and float32 roughly
+halves memory traffic (and doubles BLAS throughput) on the hot path, so the
+default dtype is now configurable:
+
+* :func:`set_default_dtype` / :func:`get_default_dtype` — process-wide default
+  used by :class:`~repro.nn.tensor.Tensor` construction, parameter/buffer
+  creation and weight initialisation;
+* :class:`default_dtype` — a context manager scoping the default to one block
+  (this is what the experiment runner uses for per-run dtype overrides);
+* :func:`resolve_dtype` — normalise ``"float32"`` / ``np.float32`` /
+  ``np.dtype`` spellings to a canonical :class:`numpy.dtype`.
+
+Only ``float32`` and ``float64`` are supported: the substrate is numpy on CPU,
+where half precision would be emulated and slower than either.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "default_dtype",
+    "dtype_name",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+]
+
+SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+# Thread-local so parallel in-process experiments (and tests running under
+# xdist-style runners) cannot race each other's overrides; worker *processes*
+# inherit whatever run_single sets inside them.
+_STATE = threading.local()
+
+
+def resolve_dtype(dtype: str | np.dtype | type | None) -> np.dtype:
+    """Normalise a dtype spelling to a supported :class:`numpy.dtype`.
+
+    ``None`` resolves to the current process-wide default.
+    """
+    if dtype is None:
+        return get_default_dtype()
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported dtype {resolved.name!r}; supported: {supported}")
+    return resolved
+
+
+def dtype_name(dtype: str | np.dtype | type | None) -> str:
+    """Canonical string name (``"float32"`` / ``"float64"``) for fingerprints."""
+    return resolve_dtype(dtype).name
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new float tensors/parameters are created with."""
+    return getattr(_STATE, "dtype", np.dtype(np.float64))
+
+
+def set_default_dtype(dtype: str | np.dtype | type) -> np.dtype:
+    """Set the process-wide (per-thread) default float dtype; returns it."""
+    resolved = resolve_dtype(dtype)
+    _STATE.dtype = resolved
+    return resolved
+
+
+class default_dtype:
+    """Context manager scoping the default dtype to a block.
+
+    >>> with default_dtype("float32"):
+    ...     model = MLP(...)         # parameters created as float32
+    """
+
+    def __init__(self, dtype: str | np.dtype | type) -> None:
+        self._dtype = resolve_dtype(dtype)
+        self._prev: np.dtype | None = None
+
+    def __enter__(self) -> np.dtype:
+        self._prev = get_default_dtype()
+        _STATE.dtype = self._dtype
+        return self._dtype
+
+    def __exit__(self, *exc: object) -> None:
+        _STATE.dtype = self._prev

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -44,7 +45,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}); got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -136,10 +137,13 @@ def conv2d(
 
     cols, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
     w_mat = weight.data.reshape(out_c, -1)
-    out_data = np.einsum("of,nfp->nop", w_mat, cols)
+    # Batched matmul instead of einsum: (o,f) @ (n,f,p) dispatches to BLAS,
+    # which is the difference between C loops and vectorised kernels on the
+    # hottest op of every conv model.
+    out_data = np.matmul(w_mat, cols)
     out_data = out_data.reshape(n, out_c, out_h, out_w)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, out_c, 1, 1)
+        out_data += bias.data.reshape(1, out_c, 1, 1)
 
     requires_grad = x.requires_grad or weight.requires_grad or (
         bias is not None and bias.requires_grad
@@ -152,14 +156,15 @@ def conv2d(
             return
         grad_out = out.grad.reshape(n, out_c, out_h * out_w)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_out.sum(axis=(0, 2)))
+            bias._accumulate(grad_out.sum(axis=(0, 2)), own=True)
         if weight.requires_grad:
-            grad_w = np.einsum("nop,nfp->of", grad_out, cols)
-            weight._accumulate(grad_w.reshape(weight.shape))
+            # sum_n grad_out[n] @ cols[n].T, again as a BLAS batched matmul
+            grad_w = np.matmul(grad_out, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(grad_w.reshape(weight.shape), own=True)
         if x.requires_grad:
-            grad_cols = np.einsum("of,nop->nfp", w_mat, grad_out)
+            grad_cols = np.matmul(w_mat.T, grad_out)
             grad_x = col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
-            x._accumulate(grad_x)
+            x._accumulate(grad_x, own=True)
 
     out._backward = _backward
     return out
@@ -196,7 +201,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
             stride,
             0,
         )
-        x._accumulate(grad_x.reshape(n, c, h, w))
+        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
 
     out._backward = _backward
     return out
@@ -219,7 +224,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         flat_grad = out.grad.reshape(n * c, 1, out_h * out_w) / window
         grad_cols = np.broadcast_to(flat_grad, (n * c, window, out_h * out_w)).copy()
         grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, kernel_size, stride, 0)
-        x._accumulate(grad_x.reshape(n, c, h, w))
+        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
 
     out._backward = _backward
     return out
@@ -250,7 +255,7 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
             return
         grad = np.zeros_like(weight.data)
         np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.shape[1]))
-        weight._accumulate(grad)
+        weight._accumulate(grad, own=True)
 
     out._backward = _backward
     return out
@@ -262,12 +267,13 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
+    mask /= 1.0 - p
     out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is not None and x.requires_grad:
-            x._accumulate(out.grad * mask)
+            x._accumulate(out.grad * mask, own=True)
 
     out._backward = _backward
     return out

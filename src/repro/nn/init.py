@@ -1,8 +1,16 @@
-"""Weight initialisation schemes (Kaiming / Xavier / normal / zeros)."""
+"""Weight initialisation schemes (Kaiming / Xavier / normal / zeros).
+
+Every initialiser draws in float64 (so the random stream is identical whatever
+the active dtype) and casts the result to the process default dtype from
+:mod:`repro.nn.dtype` — a float32 model starts from the same weights as its
+float64 twin, rounded once.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.dtype import get_default_dtype
 
 __all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "xavier_normal", "zeros", "normal"]
 
@@ -25,30 +33,30 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())

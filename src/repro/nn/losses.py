@@ -42,14 +42,14 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 
 
 def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean squared error."""
-    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    target_t = target if isinstance(target, Tensor) else Tensor(target, dtype=pred.data.dtype)
     diff = pred - target_t
     return (diff * diff).mean()
 
 
 def l1_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean absolute error."""
-    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    target_t = target if isinstance(target, Tensor) else Tensor(target, dtype=pred.data.dtype)
     return (pred - target_t).abs().mean()
 
 
@@ -58,7 +58,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tenso
 
     Uses the identity ``bce = max(x, 0) - x*t + log(1 + exp(-|x|))``.
     """
-    t = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    t = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=logits.data.dtype)
     x = logits
     relu_x = x.relu()
     abs_x = x.abs()
@@ -79,7 +79,7 @@ def vae_loss(
     better; the paper's Table 7 reports this generalization loss).
     """
     n = reconstruction.shape[0]
-    target_arr = np.asarray(target, dtype=np.float64).reshape(n, -1)
+    target_arr = np.asarray(target, dtype=reconstruction.data.dtype).reshape(n, -1)
     recon_flat = reconstruction.reshape(n, -1)
     # Stable BCE-with-logits, summed over pixels then averaged over the batch.
     relu_x = recon_flat.relu()
@@ -107,7 +107,7 @@ def detection_loss(
     """
     if predictions.ndim != 4:
         raise ValueError(f"detection_loss expects (N, G, G, 5+C), got {predictions.shape}")
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=predictions.data.dtype)
     if targets.shape != predictions.shape:
         raise ValueError(
             f"target shape {targets.shape} does not match predictions {predictions.shape}"
@@ -128,8 +128,8 @@ def detection_loss(
     relu_x = pred_obj.relu()
     abs_x = pred_obj.abs()
     bce = relu_x - pred_obj * Tensor(t_obj) + ((-abs_x).exp() + 1.0).log()
-    weights = np.where(obj_mask > 0.5, 1.0, noobj_weight)
-    obj_term = (bce * Tensor(weights)).sum() * (1.0 / n_cells)
+    weights = np.where(obj_mask > 0.5, 1.0, noobj_weight).astype(targets.dtype)
+    obj_term = (bce * Tensor(weights, dtype=targets.dtype)).sum() * (1.0 / n_cells)
 
     # Classification cross-entropy only on object cells.
     cls_targets = targets[..., 5:]

@@ -65,14 +65,14 @@ class MultiHeadSelfAttention(Module):
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, T, T)
         if attention_mask is not None:
-            mask = np.asarray(attention_mask, dtype=np.float64)
+            mask = np.asarray(attention_mask, dtype=scores.data.dtype)
             if mask.shape != (x.shape[0], x.shape[1]):
                 raise ValueError(
                     f"attention_mask shape {mask.shape} does not match (N, T)="
                     f"{(x.shape[0], x.shape[1])}"
                 )
             bias = (1.0 - mask)[:, None, None, :] * -1e9
-            scores = scores + Tensor(bias)
+            scores = scores + Tensor(bias, dtype=scores.data.dtype)
         weights = scores.softmax(axis=-1)
         weights = self.dropout(weights)
         attended = weights @ v  # (N, H, T, head_dim)

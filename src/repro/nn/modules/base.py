@@ -7,19 +7,27 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor
 
 __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A Tensor that is registered as a learnable parameter of a Module."""
+    """A Tensor that is registered as a learnable parameter of a Module.
 
-    def __init__(self, data: object, name: str | None = None) -> None:
-        super().__init__(data, requires_grad=True, name=name)
+    Float data is coerced to the process default dtype (or an explicit
+    ``dtype=``), so models built under ``default_dtype("float32")`` carry
+    float32 parameters end to end.
+    """
+
+    def __init__(
+        self, data: object, name: str | None = None, dtype: str | np.dtype | type | None = None
+    ) -> None:
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
     def __repr__(self) -> str:
-        return f"Parameter(shape={self.shape}, name={self.name!r})"
+        return f"Parameter(shape={self.shape}, name={self.name!r}, dtype={self.dtype.name})"
 
 
 class Module:
@@ -45,7 +53,7 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register non-learnable state (e.g. BatchNorm running statistics)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=get_default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def add_module(self, name: str, module: "Module") -> None:
@@ -104,7 +112,7 @@ class Module:
             key = f"{prefix}{name}"
             if key not in state:
                 raise KeyError(f"missing parameter {key!r} in state dict")
-            value = np.asarray(state[key], dtype=np.float64)
+            value = np.asarray(state[key], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"

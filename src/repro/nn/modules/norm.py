@@ -46,7 +46,8 @@ class _BatchNorm(Module):
         else:
             mean = self._buffers["running_mean"].reshape(shape)
             var = self._buffers["running_var"].reshape(shape)
-            x_hat = (x - Tensor(mean)) / Tensor(np.sqrt(var + self.eps))
+            dtype = x.data.dtype
+            x_hat = (x - Tensor(mean, dtype=dtype)) / Tensor(np.sqrt(var + self.eps), dtype=dtype)
         weight = self.weight.reshape(*shape)
         bias = self.bias.reshape(*shape)
         return x_hat * weight + bias

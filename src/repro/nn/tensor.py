@@ -7,11 +7,17 @@ Tensor is sufficient.
 
 Design notes
 ------------
-* ``Tensor`` wraps a ``numpy.ndarray`` (always ``float64`` unless integer data
-  is explicitly requested for indices/labels).
+* ``Tensor`` wraps a ``numpy.ndarray``.  Float data is coerced to the
+  process-wide default dtype (:mod:`repro.nn.dtype`, ``float64`` unless
+  overridden) or to an explicit ``dtype=`` argument; integer/bool data is kept
+  as-is for indices/labels.
 * Each differentiable op builds a closure that accumulates gradients into its
   parents; ``Tensor.backward`` runs a topological sort and calls the closures
   in reverse order.
+* Gradients are stored in the tensor's own dtype.  Backward closures hand
+  freshly allocated arrays to ``_accumulate(..., own=True)``, which then adopts
+  them instead of copying — the hot ops (matmul, add, mul, relu, softmax)
+  allocate at most one array per propagated gradient.
 * Broadcasting is supported everywhere through :func:`unbroadcast`, which sums
   a gradient back down to the shape of the operand it belongs to.
 * Only operations needed by the model zoo are implemented, but each is
@@ -23,6 +29,8 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 import numpy as np
+
+from repro.nn.dtype import get_default_dtype, resolve_dtype
 
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
@@ -53,6 +61,8 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
     numpy broadcasting may have (a) prepended dimensions and (b) stretched
     size-1 dimensions; both must be summed out when propagating gradients.
+    Returns ``grad`` itself when the shapes already match, a fresh array
+    otherwise.
     """
     if grad.shape == shape:
         return grad
@@ -66,12 +76,12 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(data: object) -> np.ndarray:
+def _as_array(data: object, dtype: np.dtype | None = None) -> np.ndarray:
     if isinstance(data, np.ndarray):
         if data.dtype.kind in "iub":
             return data
-        return data.astype(np.float64, copy=False)
-    return np.asarray(data, dtype=np.float64)
+        return data.astype(dtype or get_default_dtype(), copy=False)
+    return np.asarray(data, dtype=dtype or get_default_dtype())
 
 
 class Tensor:
@@ -85,8 +95,19 @@ class Tensor:
         requires_grad: bool = False,
         _prev: tuple["Tensor", ...] = (),
         name: str | None = None,
+        dtype: str | np.dtype | type | None = None,
     ) -> None:
-        self.data: np.ndarray = _as_array(data)
+        # Dtype policy: *leaf* tensors (user data, batches, scalars) are
+        # coerced to the process default so the active ``default_dtype``
+        # context governs what enters the graph; *interior* results (``_prev``
+        # non-empty, i.e. produced by an op) keep the dtype numpy computed, so
+        # a float32 graph stays float32 even when touched outside the context.
+        if dtype is not None:
+            self.data = _as_array(data, resolve_dtype(dtype))
+        elif _prev:
+            self.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        else:
+            self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] = lambda: None
@@ -99,19 +120,37 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     @classmethod
-    def zeros(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
-        return cls(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(
+        cls, *shape: int, requires_grad: bool = False, dtype: str | np.dtype | type | None = None
+    ) -> "Tensor":
+        resolved = resolve_dtype(dtype)
+        return cls(np.zeros(shape, dtype=resolved), requires_grad=requires_grad, dtype=resolved)
 
     @classmethod
-    def ones(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
-        return cls(np.ones(shape), requires_grad=requires_grad)
+    def ones(
+        cls, *shape: int, requires_grad: bool = False, dtype: str | np.dtype | type | None = None
+    ) -> "Tensor":
+        resolved = resolve_dtype(dtype)
+        return cls(np.ones(shape, dtype=resolved), requires_grad=requires_grad, dtype=resolved)
 
     @classmethod
     def randn(
-        cls, *shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False
+        cls,
+        *shape: int,
+        rng: np.random.Generator | None = None,
+        requires_grad: bool = False,
+        dtype: str | np.dtype | type | None = None,
     ) -> "Tensor":
         rng = rng or np.random.default_rng()
-        return cls(rng.standard_normal(shape), requires_grad=requires_grad)
+        resolved = resolve_dtype(dtype)
+        # Always draw in float64 then cast: the stream of random values is then
+        # identical across dtypes, so a float32 run starts from the same
+        # (rounded) weights as its float64 twin.
+        return cls(
+            rng.standard_normal(shape).astype(resolved, copy=False),
+            requires_grad=requires_grad,
+            dtype=resolved,
+        )
 
     # -- basic properties ----------------------------------------------------
     @property
@@ -138,7 +177,24 @@ class Tensor:
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
 
     def detach(self) -> "Tensor":
+        if self.data.dtype.kind == "f":
+            # preserve the tensor's own dtype, not the ambient default
+            return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
         return Tensor(self.data.copy(), requires_grad=False)
+
+    def astype(self, dtype: str | np.dtype | type) -> "Tensor":
+        """Differentiable cast; the gradient is cast back to this tensor's dtype."""
+        target = resolve_dtype(dtype)
+        if target == self.data.dtype:
+            return self
+        out = Tensor(self.data.astype(target), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(out.grad.astype(self.data.dtype), own=True)
+
+        out._backward = _backward
+        return out
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -148,10 +204,24 @@ class Tensor:
         return self.data.shape[0]
 
     # -- graph plumbing -------------------------------------------------------
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (created on first use).
+
+        ``own=True`` declares that the caller hands over a freshly allocated
+        array nothing else references; it is then adopted directly instead of
+        defensively copied.  The gradient always lives in ``self.data``'s
+        dtype, so a float32 parameter accumulates a float32 gradient.
+        """
+        data = self.data
+        grad = np.asarray(grad)
+        if grad.dtype != data.dtype:
+            grad = grad.astype(data.dtype)
+            own = True
+        if grad.shape != data.shape:
+            grad = unbroadcast(grad, data.shape)
+            own = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if own else grad.copy()
         else:
             self.grad += grad
 
@@ -169,7 +239,7 @@ class Tensor:
                     f"got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -223,7 +293,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(-out.grad)
+                self._accumulate(-out.grad, own=True)
 
         out._backward = _backward
         return out
@@ -246,9 +316,9 @@ class Tensor:
             if out.grad is None:
                 return
             if self.requires_grad:
-                self._accumulate(out.grad * other.data)
+                self._accumulate(out.grad * other.data, own=True)
             if other.requires_grad:
-                other._accumulate(out.grad * self.data)
+                other._accumulate(out.grad * self.data, own=True)
 
         out._backward = _backward
         return out
@@ -268,9 +338,9 @@ class Tensor:
             if out.grad is None:
                 return
             if self.requires_grad:
-                self._accumulate(out.grad / other.data)
+                self._accumulate(out.grad / other.data, own=True)
             if other.requires_grad:
-                other._accumulate(-out.grad * self.data / (other.data**2))
+                other._accumulate(-out.grad * self.data / (other.data**2), own=True)
 
         out._backward = _backward
         return out
@@ -285,7 +355,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1), own=True)
 
         out._backward = _backward
         return out
@@ -305,11 +375,9 @@ class Tensor:
             if self.requires_grad:
                 if b.ndim == 1:
                     grad_a = np.expand_dims(g, -1) * b
-                elif a.ndim == 1:
-                    grad_a = g @ np.swapaxes(b, -1, -2)
                 else:
                     grad_a = g @ np.swapaxes(b, -1, -2)
-                self._accumulate(unbroadcast(grad_a, a.shape))
+                self._accumulate(grad_a, own=True)
             if other.requires_grad:
                 if a.ndim == 1:
                     grad_b = np.outer(a, g)
@@ -317,7 +385,7 @@ class Tensor:
                     grad_b = np.einsum("...i,...->i", a, g)
                 else:
                     grad_b = np.swapaxes(a, -1, -2) @ g
-                other._accumulate(unbroadcast(grad_b, b.shape))
+                other._accumulate(grad_b, own=True)
 
         out._backward = _backward
         return out
@@ -328,7 +396,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * out.data)
+                self._accumulate(out.grad * out.data, own=True)
 
         out._backward = _backward
         return out
@@ -338,7 +406,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad / self.data)
+                self._accumulate(out.grad / self.data, own=True)
 
         out._backward = _backward
         return out
@@ -352,7 +420,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * (1.0 - out_data**2))
+                self._accumulate(out.grad * (1.0 - out_data**2), own=True)
 
         out._backward = _backward
         return out
@@ -363,30 +431,32 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * out_data * (1.0 - out_data))
+                self._accumulate(out.grad * out_data * (1.0 - out_data), own=True)
 
         out._backward = _backward
         return out
 
     def relu(self) -> "Tensor":
+        # Boolean mask (1 byte/element) instead of a float mask, and a single
+        # ufunc for the forward value.
         mask = self.data > 0
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(np.maximum(self.data, 0), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * mask)
+                self._accumulate(out.grad * mask, own=True)
 
         out._backward = _backward
         return out
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, self.data.dtype.type(1.0), self.data.dtype.type(negative_slope))
         out = Tensor(self.data * scale, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * scale)
+                self._accumulate(out.grad * scale, own=True)
 
         out._backward = _backward
         return out
@@ -397,7 +467,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * sign)
+                self._accumulate(out.grad * sign, own=True)
 
         out._backward = _backward
         return out
@@ -408,7 +478,7 @@ class Tensor:
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * mask)
+                self._accumulate(out.grad * mask, own=True)
 
         out._backward = _backward
         return out
@@ -455,18 +525,20 @@ class Tensor:
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
+            # The tie mask is cast with the tensor's own dtype (not a
+            # hard-coded float64) so float32 graphs keep float32 gradients.
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
                 mask /= mask.sum()
-                self._accumulate(mask * out.grad)
+                self._accumulate(mask * out.grad, own=True)
             else:
                 expanded_max = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded_max).astype(np.float64)
+                mask = (self.data == expanded_max).astype(self.data.dtype)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 grad = out.grad
                 if not keepdims:
                     grad = np.expand_dims(grad, axis=axis)
-                self._accumulate(mask * grad)
+                self._accumulate(mask * grad, own=True)
 
         out._backward = _backward
         return out
@@ -512,9 +584,9 @@ class Tensor:
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
-            grad = np.zeros_like(self.data, dtype=np.float64)
+            grad = np.zeros_like(self.data)
             np.add.at(grad, index, out.grad)
-            self._accumulate(grad)
+            self._accumulate(grad, own=True)
 
         out._backward = _backward
         return out
@@ -545,15 +617,47 @@ class Tensor:
         other_data = other.data if isinstance(other, Tensor) else other
         return self.data < other_data
 
-    # -- functional-style helpers kept on the class for ergonomics ----------------
+    # -- fused softmax family ---------------------------------------------------
+    # These used to be composed from sub/exp/sum/div primitives, which built a
+    # five-node graph with ~6 full-size temporaries per call.  Softmax sits on
+    # the hot path of every classifier loss and every attention layer, so both
+    # are fused into a single graph node with a closed-form backward.
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        exp = shifted.exp()
-        return exp / exp.sum(axis=axis, keepdims=True)
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=axis, keepdims=True)
+        out = Tensor(shifted, requires_grad=self.requires_grad, _prev=(self,))
+        out_data = out.data
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            # dL/dx = s * (g - sum(g * s))
+            grad = out.grad * out_data
+            grad -= out_data * grad.sum(axis=axis, keepdims=True)
+            self._accumulate(grad, own=True)
+
+        out._backward = _backward
+        return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+        shifted -= logsumexp
+        out = Tensor(shifted, requires_grad=self.requires_grad, _prev=(self,))
+        out_data = out.data
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            # dL/dx = g - softmax * sum(g)
+            grad = np.exp(out_data)
+            grad *= -out.grad.sum(axis=axis, keepdims=True)
+            grad += out.grad
+            self._accumulate(grad, own=True)
+
+        out._backward = _backward
+        return out
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -618,9 +722,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         if out.grad is None:
             return
         if a.requires_grad:
-            a._accumulate(np.where(cond, out.grad, 0.0))
+            a._accumulate(np.where(cond, out.grad, 0.0), own=True)
         if b.requires_grad:
-            b._accumulate(np.where(cond, 0.0, out.grad))
+            b._accumulate(np.where(cond, 0.0, out.grad), own=True)
 
     out._backward = _backward
     return out

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.modules.base import Parameter
-from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+from repro.optim.optimizer import Optimizer, ParamGroup, decayed_grad_, ema_sq_update_, ema_update_
 
 __all__ = ["Adam", "AdamW"]
 
@@ -37,6 +37,14 @@ class Adam(Optimizer):
         super().__init__(params, defaults)
 
     def _update_parameter(self, p: Parameter, group: ParamGroup, decoupled: bool) -> None:
+        """Fused in-place Adam step.
+
+        The moment buffers are mutated in place and all intermediates are
+        staged through one scratch array, so the steady-state step allocates
+        nothing.  Mathematically identical to the textbook update
+        ``p -= lr * m_hat / (sqrt(v_hat) + eps)``; the bias corrections are
+        folded into the step size and the denominator.
+        """
         grad = p.grad
         if grad is None:
             return
@@ -44,11 +52,14 @@ class Adam(Optimizer):
         beta1, beta2 = group["betas"]
         eps = group["eps"]
         weight_decay = group["weight_decay"]
+        scratch = self.scratch_for(p, "step")
 
         if decoupled and weight_decay:
-            p.data -= lr * weight_decay * p.data
+            # decoupled decay: p <- p - lr * wd * p, independent of the moments
+            np.multiply(p.data, lr * weight_decay, out=scratch)
+            p.data -= scratch
         elif not decoupled:
-            grad = apply_weight_decay(grad, p.data, weight_decay)
+            grad = decayed_grad_(grad, p.data, weight_decay, self.scratch_for(p, "grad"))
 
         state = self.state_for(p)
         if "step" not in state:
@@ -57,14 +68,21 @@ class Adam(Optimizer):
             state["exp_avg_sq"] = np.zeros_like(p.data)
         state["step"] += 1
         t = state["step"]
-        state["exp_avg"] = beta1 * state["exp_avg"] + (1.0 - beta1) * grad
-        state["exp_avg_sq"] = beta2 * state["exp_avg_sq"] + (1.0 - beta2) * grad * grad
+        exp_avg = state["exp_avg"]
+        exp_avg_sq = state["exp_avg_sq"]
+        ema_update_(exp_avg, grad, beta1, 1.0 - beta1, scratch)
+        ema_sq_update_(exp_avg_sq, grad, beta2, 1.0 - beta2, scratch)
 
         bias_correction1 = 1.0 - beta1**t
         bias_correction2 = 1.0 - beta2**t
-        m_hat = state["exp_avg"] / bias_correction1
-        v_hat = state["exp_avg_sq"] / bias_correction2
-        p.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        # denom = sqrt(exp_avg_sq / bc2) + eps, staged in scratch
+        np.divide(exp_avg_sq, bias_correction2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += eps
+        # update = (lr / bc1) * exp_avg / denom
+        np.divide(exp_avg, scratch, out=scratch)
+        scratch *= lr / bias_correction1
+        p.data -= scratch
 
     def step(self) -> None:
         for group in self.param_groups:

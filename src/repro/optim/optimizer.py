@@ -14,7 +14,14 @@ import numpy as np
 
 from repro.nn.modules.base import Parameter
 
-__all__ = ["Optimizer", "ParamGroup"]
+__all__ = [
+    "Optimizer",
+    "ParamGroup",
+    "apply_weight_decay",
+    "decayed_grad_",
+    "ema_update_",
+    "ema_sq_update_",
+]
 
 ParamGroup = dict[str, Any]
 
@@ -26,6 +33,8 @@ class Optimizer:
         self.defaults = dict(defaults)
         self.param_groups: list[ParamGroup] = []
         self.state: dict[int, dict[str, Any]] = {}
+        #: per-(param, key) work buffers for fused steps; never serialised
+        self._scratch: dict[tuple[int, str], np.ndarray] = {}
 
         params = list(params)
         if not params:
@@ -54,6 +63,21 @@ class Optimizer:
     # -- state helpers -------------------------------------------------------
     def state_for(self, param: Parameter) -> dict[str, Any]:
         return self.state.setdefault(id(param), {})
+
+    def scratch_for(self, param: Parameter, key: str = "a") -> np.ndarray:
+        """A reusable work array shaped/typed like ``param``.
+
+        Fused optimizer steps stage intermediates (weight-decayed gradients,
+        the final update) in these buffers instead of allocating fresh arrays
+        every step.  Scratch contents are meaningless between steps and are
+        deliberately kept out of ``state`` so they never leak into
+        ``state_dict``.
+        """
+        buf = self._scratch.get((id(param), key))
+        if buf is None or buf.shape != param.data.shape or buf.dtype != param.data.dtype:
+            buf = np.empty_like(param.data)
+            self._scratch[(id(param), key)] = buf
+        return buf
 
     def zero_grad(self) -> None:
         for group in self.param_groups:
@@ -105,8 +129,15 @@ class Optimizer:
                 if key != "n_params":
                     group[key] = value
         for p, entry in zip(flat_params, flat_state):
+            # Float arrays are cast to the parameter's dtype so the fused
+            # in-place updates never silently upcast a float32 buffer.
             self.state[id(p)] = {
-                k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in entry.items()
+                k: (
+                    v.astype(p.data.dtype)
+                    if isinstance(v, np.ndarray) and v.dtype.kind == "f"
+                    else (v.copy() if isinstance(v, np.ndarray) else v)
+                )
+                for k, v in entry.items()
             }
 
     def __repr__(self) -> str:
@@ -115,7 +146,54 @@ class Optimizer:
 
 
 def apply_weight_decay(grad: np.ndarray, param_data: np.ndarray, weight_decay: float) -> np.ndarray:
-    """L2-style weight decay folded into the gradient (SGD/Adam convention)."""
+    """L2-style weight decay folded into the gradient (SGD/Adam convention).
+
+    Allocating variant, kept as the readable reference; the fused optimizer
+    steps use :func:`decayed_grad_` with a scratch buffer instead.
+    """
     if weight_decay:
         return grad + weight_decay * param_data
     return grad
+
+
+# ---------------------------------------------------------------------------
+# fused in-place update helpers
+#
+# Every optimizer step used to rebind its state buffers (``buf = momentum *
+# buf + grad``), allocating one or more fresh arrays per parameter per step.
+# These helpers express the same updates as in-place ufunc calls staged
+# through a caller-provided scratch array, so the steady-state step performs
+# zero allocations.
+# ---------------------------------------------------------------------------
+
+def decayed_grad_(grad: np.ndarray, param_data: np.ndarray, weight_decay: float, scratch: np.ndarray) -> np.ndarray:
+    """Return ``grad + weight_decay * param_data`` staged in ``scratch``.
+
+    With ``weight_decay == 0`` the original ``grad`` is returned untouched;
+    otherwise the result lives in ``scratch`` (``grad`` itself is never
+    modified — it belongs to the autograd engine).
+    """
+    if not weight_decay:
+        return grad
+    np.multiply(param_data, weight_decay, out=scratch)
+    scratch += grad
+    return scratch
+
+
+def ema_update_(buf: np.ndarray, value: np.ndarray, decay: float, weight: float, scratch: np.ndarray) -> None:
+    """In-place exponential moving average: ``buf <- decay*buf + weight*value``."""
+    buf *= decay
+    if weight == 1.0:
+        buf += value
+    else:
+        np.multiply(value, weight, out=scratch)
+        buf += scratch
+
+
+def ema_sq_update_(buf: np.ndarray, value: np.ndarray, decay: float, weight: float, scratch: np.ndarray) -> None:
+    """In-place second-moment EMA: ``buf <- decay*buf + weight*value**2``."""
+    buf *= decay
+    np.multiply(value, value, out=scratch)
+    if weight != 1.0:
+        scratch *= weight
+    buf += scratch

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.modules.base import Parameter
-from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+from repro.optim.optimizer import Optimizer, ParamGroup, decayed_grad_, ema_sq_update_
 
 __all__ = ["RMSprop", "AdaGrad"]
 
@@ -38,26 +38,35 @@ class RMSprop(Optimizer):
         super().__init__(params, defaults)
 
     def step(self) -> None:
+        """Fused in-place update: square-average and momentum buffers are mutated."""
         for group in self.param_groups:
             lr, alpha, eps = group["lr"], group["alpha"], group["eps"]
             momentum, weight_decay = group["momentum"], group["weight_decay"]
             for p in group["params"]:
                 if p.grad is None:
                     continue
-                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                scratch = self.scratch_for(p, "step")
+                grad = decayed_grad_(p.grad, p.data, weight_decay, self.scratch_for(p, "grad"))
                 state = self.state_for(p)
                 sq = state.get("square_avg")
                 if sq is None:
-                    sq = np.zeros_like(p.data)
-                sq = alpha * sq + (1.0 - alpha) * grad * grad
-                state["square_avg"] = sq
-                step = grad / (np.sqrt(sq) + eps)
+                    sq = state["square_avg"] = np.zeros_like(p.data)
+                ema_sq_update_(sq, grad, alpha, 1.0 - alpha, scratch)
+                # step = grad / (sqrt(sq) + eps), staged in scratch
+                np.sqrt(sq, out=scratch)
+                scratch += eps
+                np.divide(grad, scratch, out=scratch)
                 if momentum:
                     buf = state.get("momentum_buffer")
-                    buf = step if buf is None else momentum * buf + step
-                    state["momentum_buffer"] = buf
-                    step = buf
-                p.data -= lr * step
+                    if buf is None:
+                        buf = state["momentum_buffer"] = scratch.copy()
+                    else:
+                        buf *= momentum
+                        buf += scratch
+                    np.multiply(buf, lr, out=scratch)
+                else:
+                    scratch *= lr
+                p.data -= scratch
 
 
 class AdaGrad(Optimizer):
@@ -76,16 +85,23 @@ class AdaGrad(Optimizer):
         super().__init__(params, defaults)
 
     def step(self) -> None:
+        """Fused in-place update: the squared-gradient accumulator is mutated."""
         for group in self.param_groups:
             lr, eps, weight_decay = group["lr"], group["eps"], group["weight_decay"]
             for p in group["params"]:
                 if p.grad is None:
                     continue
-                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                scratch = self.scratch_for(p, "step")
+                grad = decayed_grad_(p.grad, p.data, weight_decay, self.scratch_for(p, "grad"))
                 state = self.state_for(p)
                 acc = state.get("sum_sq")
                 if acc is None:
-                    acc = np.zeros_like(p.data)
-                acc = acc + grad * grad
-                state["sum_sq"] = acc
-                p.data -= lr * grad / (np.sqrt(acc) + eps)
+                    acc = state["sum_sq"] = np.zeros_like(p.data)
+                np.multiply(grad, grad, out=scratch)
+                acc += scratch
+                # update = lr * grad / (sqrt(acc) + eps), staged in scratch
+                np.sqrt(acc, out=scratch)
+                scratch += eps
+                np.divide(grad, scratch, out=scratch)
+                scratch *= lr
+                p.data -= scratch

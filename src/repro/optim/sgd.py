@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
 
 from repro.nn.modules.base import Parameter
-from repro.optim.optimizer import Optimizer, ParamGroup, apply_weight_decay
+from repro.optim.optimizer import Optimizer, ParamGroup, decayed_grad_, ema_update_
 
 __all__ = ["SGD"]
 
@@ -47,6 +48,11 @@ class SGD(Optimizer):
         super().__init__(params, defaults)
 
     def step(self) -> None:
+        """Fused in-place update: the momentum buffer is mutated, never rebound.
+
+        All intermediates are staged through per-parameter scratch buffers, so
+        the steady-state step allocates nothing.
+        """
         for group in self.param_groups:
             lr = group["lr"]
             momentum = group["momentum"]
@@ -56,16 +62,22 @@ class SGD(Optimizer):
             for p in group["params"]:
                 if p.grad is None:
                     continue
-                grad = apply_weight_decay(p.grad, p.data, weight_decay)
+                step_buf = self.scratch_for(p, "step")
+                grad = decayed_grad_(p.grad, p.data, weight_decay, self.scratch_for(p, "grad"))
                 if momentum:
                     state = self.state_for(p)
                     buf = state.get("momentum_buffer")
                     if buf is None:
-                        buf = grad.copy()
+                        buf = state["momentum_buffer"] = np.array(grad, copy=True)
                     else:
-                        buf = momentum * buf + (1.0 - dampening) * grad
-                    state["momentum_buffer"] = buf
-                    update = grad + momentum * buf if nesterov else buf
+                        ema_update_(buf, grad, momentum, 1.0 - dampening, step_buf)
+                    if nesterov:
+                        # update = grad + momentum * buf
+                        np.multiply(buf, momentum, out=step_buf)
+                        step_buf += grad
+                        step_buf *= lr
+                    else:
+                        np.multiply(buf, lr, out=step_buf)
                 else:
-                    update = grad
-                p.data -= lr * update
+                    np.multiply(grad, lr, out=step_buf)
+                p.data -= step_buf

@@ -156,7 +156,8 @@ class SequenceTask(Task):
         tokens, segments, labels = batch
         logits = model(tokens, segments)
         if self.regression:
-            return mse_loss(logits.reshape(-1), labels.astype(np.float64))
+            # mse_loss casts the targets to the prediction dtype
+            return mse_loss(logits.reshape(-1), labels)
         return cross_entropy(logits, labels)
 
     def evaluate(self, model: nn.Module, loader: DataLoader) -> dict[str, float]:

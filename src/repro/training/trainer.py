@@ -43,6 +43,14 @@ class Trainer:
     eval_every_epoch:
         Force an evaluation at every epoch boundary even when the schedule
         does not require it (the plateau schedule always evaluates).
+    dtype:
+        Float dtype (``"float32"`` / ``"float64"``) activated as the process
+        default for the duration of :meth:`fit` and :meth:`_evaluate`, so that
+        batch tensors and intermediates match the model.  ``None`` (default)
+        leaves the ambient default untouched.  Build the model under the same
+        dtype (e.g. with ``nn.default_dtype``) — a mismatched model/trainer
+        dtype silently promotes every intermediate to the wider of the two,
+        defeating the float32 fast path.
     """
 
     def __init__(
@@ -55,6 +63,7 @@ class Trainer:
         schedule: Schedule | None = None,
         callbacks: Sequence[Callback] = (),
         eval_every_epoch: bool = False,
+        dtype: str | np.dtype | None = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -64,6 +73,7 @@ class Trainer:
         self.schedule = schedule
         self.callbacks = list(callbacks)
         self.eval_every_epoch = eval_every_epoch
+        self.dtype = nn.resolve_dtype(dtype) if dtype is not None else None
         self.history = History()
 
     # -- internals -------------------------------------------------------------
@@ -95,6 +105,12 @@ class Trainer:
     # -- the loop -------------------------------------------------------------------
     def fit(self, total_steps: int) -> History:
         """Run ``total_steps`` optimiser updates and return the training history."""
+        if self.dtype is not None:
+            with nn.default_dtype(self.dtype):
+                return self._fit(total_steps)
+        return self._fit(total_steps)
+
+    def _fit(self, total_steps: int) -> History:
         if total_steps < 1:
             raise ValueError(f"total_steps must be at least 1, got {total_steps}")
         steps_per_epoch = len(self.train_loader)

@@ -1,0 +1,191 @@
+"""Tests for the dtype policy: threading, determinism, and cache fingerprints.
+
+The tentpole invariant: under ``default_dtype("float32")`` every array on the
+training hot path — parameters, buffers, activations, gradients, optimizer
+state — is float32, and the execution-plan fingerprint keys on the dtype so
+float32 and float64 runs of the same cell never collide in the RunCache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.execution import config_fingerprint
+from repro.execution.cache import fingerprint_payload
+from repro.experiments.runner import RunConfig, run_single
+from repro.experiments.settings import get_setting
+from repro.experiments.workloads import build_workload
+from repro.nn.dtype import default_dtype, dtype_name, get_default_dtype, resolve_dtype, set_default_dtype
+from repro.optim import build_optimizer
+from repro.training.trainer import Trainer
+
+TINY = dict(size_scale=0.12, epoch_scale=0.1)
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_context_manager_scopes_and_restores(self):
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+            with default_dtype("float64"):
+                assert get_default_dtype() == np.float64
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype(self):
+        try:
+            set_default_dtype(np.float32)
+            assert get_default_dtype() == np.float32
+        finally:
+            set_default_dtype("float64")
+
+    def test_resolve_dtype_spellings(self):
+        assert resolve_dtype("float32") == np.float32
+        assert resolve_dtype(np.float64) == np.float64
+        assert resolve_dtype(None) == get_default_dtype()
+        assert dtype_name(np.float32) == "float32"
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_dtype("float16")
+        with pytest.raises(ValueError):
+            nn.Tensor([1.0], dtype="int64")
+
+
+class TestTensorDtypeCoercion:
+    def test_leaf_construction_follows_default(self):
+        with default_dtype("float32"):
+            assert nn.Tensor([1.0, 2.0]).dtype == np.float32
+            assert nn.Tensor(np.zeros(3)).dtype == np.float32
+        assert nn.Tensor([1.0]).dtype == np.float64
+
+    def test_explicit_dtype_wins(self):
+        assert nn.Tensor([1.0], dtype="float32").dtype == np.float32
+
+    def test_integer_data_preserved(self):
+        with default_dtype("float32"):
+            assert nn.Tensor(np.arange(3)).dtype == np.int64
+
+    def test_constructors_accept_dtype(self):
+        assert nn.Tensor.zeros(2, 2, dtype="float32").dtype == np.float32
+        assert nn.Tensor.ones(2, dtype="float32").dtype == np.float32
+        assert nn.Tensor.randn(2, rng=np.random.default_rng(0), dtype="float32").dtype == np.float32
+
+    def test_randn_stream_identical_across_dtypes(self):
+        a = nn.Tensor.randn(5, rng=np.random.default_rng(7), dtype="float64")
+        b = nn.Tensor.randn(5, rng=np.random.default_rng(7), dtype="float32")
+        np.testing.assert_allclose(a.data, b.data.astype(np.float64), rtol=1e-7)
+
+    def test_astype_is_differentiable(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        y = x.astype("float32") * 3.0
+        with default_dtype("float32"):
+            z = y.sum()
+        z.backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, [3.0, 3.0], rtol=1e-6)
+
+    def test_grad_matches_tensor_dtype(self):
+        with default_dtype("float32"):
+            x = nn.Tensor([1.0, -2.0], requires_grad=True)
+            (x.relu().sum()).backward()
+        assert x.grad.dtype == np.float32
+
+
+class TestModelStackDtype:
+    def test_parameters_buffers_and_grads_are_float32_end_to_end(self):
+        with default_dtype("float32"):
+            workload = build_workload(get_setting("RN20-CIFAR10"), seed=0, size_scale=0.12)
+            model = workload.model
+            assert {p.dtype for p in model.parameters()} == {np.dtype(np.float32)}
+            for module in model.modules():
+                for buf in module._buffers.values():
+                    assert buf.dtype == np.float32
+            batch = next(iter(workload.train_loader))
+            loss = workload.task.compute_loss(model, batch)
+            assert loss.dtype == np.float32
+            loss.backward()
+            assert {p.grad.dtype for p in model.parameters() if p.grad is not None} == {
+                np.dtype(np.float32)
+            }
+
+    def test_optimizer_state_matches_param_dtype(self):
+        with default_dtype("float32"):
+            model = nn.Linear(4, 3, rng=np.random.default_rng(0))
+            opt = build_optimizer("adam", model.parameters(), lr=0.01)
+            model(nn.Tensor(np.ones((2, 4)))).sum().backward()
+            opt.step()
+        for p in model.parameters():
+            state = opt.state_for(p)
+            assert state["exp_avg"].dtype == np.float32
+            assert state["exp_avg_sq"].dtype == np.float32
+            assert p.data.dtype == np.float32
+
+    def test_trainer_dtype_option_scopes_fit(self):
+        with default_dtype("float32"):
+            workload = build_workload(get_setting("RN20-CIFAR10"), seed=0, size_scale=0.12)
+        opt = build_optimizer("sgdm", workload.model.parameters(), lr=0.05)
+        trainer = Trainer(
+            model=workload.model,
+            optimizer=opt,
+            task=workload.task,
+            train_loader=workload.train_loader,
+            dtype="float32",
+        )
+        trainer.fit(2)
+        assert {p.dtype for p in workload.model.parameters()} == {np.dtype(np.float32)}
+
+    def test_init_streams_identical_across_dtypes(self):
+        with default_dtype("float64"):
+            m64 = nn.Linear(6, 5, rng=np.random.default_rng(3))
+        with default_dtype("float32"):
+            m32 = nn.Linear(6, 5, rng=np.random.default_rng(3))
+        np.testing.assert_allclose(m64.weight.data, m32.weight.data.astype(np.float64), rtol=1e-6)
+
+
+def tiny_config(**overrides) -> RunConfig:
+    base = dict(
+        setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.25, **TINY
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+class TestRunConfigDtype:
+    def test_resolve_dtype_defaults_to_setting(self):
+        assert tiny_config().resolve_dtype() == "float64"
+        assert tiny_config(dtype="float32").resolve_dtype() == "float32"
+
+    def test_fingerprint_keys_on_dtype(self):
+        f64 = config_fingerprint(tiny_config())
+        f32 = config_fingerprint(tiny_config(dtype="float32"))
+        assert f64 != f32
+
+    def test_fingerprint_resolves_default_spelling(self):
+        # dtype=None and the setting default spelled out are the same cell
+        implicit = config_fingerprint(tiny_config())
+        explicit = config_fingerprint(tiny_config(dtype="float64"))
+        assert implicit == explicit
+        assert fingerprint_payload(tiny_config())["dtype"] == "float64"
+
+    def test_run_single_float32_trains_and_records_dtype(self):
+        record = run_single(tiny_config(dtype="float32"))
+        assert record.extra["dtype"] == "float32"
+        assert np.isfinite(record.metric)
+        # the override must not leak into the ambient default
+        assert get_default_dtype() == np.float64
+
+    def test_float32_deterministic_and_distinct_cache_entries(self, tmp_path):
+        from repro.execution import ExperimentEngine
+
+        plan = [tiny_config(dtype="float32")]
+        first = ExperimentEngine(cache=tmp_path).run(plan)
+        again = ExperimentEngine(cache=tmp_path).run(plan)
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in again]
+        # a float64 run of the same cell is a different cache entry
+        ExperimentEngine(cache=tmp_path).run([tiny_config()])
+        assert len(list(tmp_path.glob("*.json"))) == 2

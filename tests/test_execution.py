@@ -71,6 +71,7 @@ class TestFingerprint:
             dict(size_scale=0.2),
             dict(epoch_scale=0.2),
             dict(schedule_kwargs={"delay_fraction": 0.5}),
+            dict(dtype="float32"),
         ):
             assert config_fingerprint(tiny_config(**change)) != base, change
 

@@ -1,0 +1,108 @@
+"""Numerical gradchecks for every module family in the zoo, in both dtypes.
+
+The satellite op-level gradient tests live in ``test_tensor.py`` /
+``test_functional.py``; this file closes the gap at the *module* level —
+attention, convolution, pooling and normalisation — and parameterises each
+check over float32 and float64 (float32 with loosened tolerances, see
+``gradcheck.tolerances_for``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from gradcheck import module_gradcheck
+from repro import nn
+
+DTYPES = ("float64", "float32")
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestLinearFamily:
+    def test_linear(self, dtype):
+        module_gradcheck(lambda rng: nn.Linear(5, 4, rng=rng), (3, 5), dtype=dtype)
+
+    def test_embedding_path_via_transformer_layer(self, dtype):
+        # Embedding itself takes integer indices (no input gradient); its
+        # weight gradient is covered through the attention stack below.
+        module_gradcheck(
+            lambda rng: nn.TransformerEncoderLayer(8, num_heads=2, ffn_dim=12, rng=rng),
+            (2, 3, 8),
+            dtype=dtype,
+        )
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestAttention:
+    def test_multi_head_self_attention(self, dtype):
+        module_gradcheck(
+            lambda rng: nn.MultiHeadSelfAttention(8, num_heads=2, rng=rng), (2, 3, 8), dtype=dtype
+        )
+
+    def test_attention_with_padding_mask(self, dtype):
+        mask = np.array([[1, 1, 0], [1, 1, 1]])
+        module_gradcheck(
+            lambda rng: nn.MultiHeadSelfAttention(8, num_heads=2, rng=rng),
+            (2, 3, 8),
+            dtype=dtype,
+            forward=lambda m, x: m(x, attention_mask=mask),
+        )
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestConv:
+    def test_conv2d(self, dtype):
+        module_gradcheck(
+            lambda rng: nn.Conv2d(2, 3, kernel_size=3, padding=1, rng=rng), (2, 2, 4, 4), dtype=dtype
+        )
+
+    def test_conv2d_strided_no_bias(self, dtype):
+        module_gradcheck(
+            lambda rng: nn.Conv2d(2, 2, kernel_size=2, stride=2, bias=False, rng=rng),
+            (2, 2, 4, 4),
+            dtype=dtype,
+        )
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestPooling:
+    def test_max_pool(self, dtype):
+        module_gradcheck(lambda rng: nn.MaxPool2d(2), (2, 2, 4, 4), dtype=dtype)
+
+    def test_avg_pool(self, dtype):
+        module_gradcheck(lambda rng: nn.AvgPool2d(2), (2, 2, 4, 4), dtype=dtype)
+
+    def test_global_avg_pool(self, dtype):
+        module_gradcheck(lambda rng: nn.GlobalAvgPool2d(), (2, 3, 4, 4), dtype=dtype)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestNorm:
+    def test_batchnorm1d_train(self, dtype):
+        module_gradcheck(lambda rng: nn.BatchNorm1d(5), (6, 5), dtype=dtype)
+
+    def test_batchnorm1d_eval_uses_running_stats(self, dtype):
+        module_gradcheck(
+            lambda rng: nn.BatchNorm1d(5), (6, 5), dtype=dtype, eval_mode=True, warmup_steps=2
+        )
+
+    def test_batchnorm2d_train(self, dtype):
+        module_gradcheck(lambda rng: nn.BatchNorm2d(3), (2, 3, 3, 3), dtype=dtype)
+
+    def test_batchnorm2d_eval_uses_running_stats(self, dtype):
+        module_gradcheck(
+            lambda rng: nn.BatchNorm2d(3), (2, 3, 3, 3), dtype=dtype, eval_mode=True, warmup_steps=2
+        )
+
+    def test_layernorm(self, dtype):
+        module_gradcheck(lambda rng: nn.LayerNorm(6), (4, 6), dtype=dtype)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestActivationsThroughModules:
+    def test_softmax_module(self, dtype):
+        module_gradcheck(lambda rng: nn.Softmax(axis=-1), (3, 5), dtype=dtype)
+
+    def test_gelu_module(self, dtype):
+        module_gradcheck(lambda rng: nn.GELU(), (3, 5), dtype=dtype)

@@ -16,6 +16,7 @@ from repro.schedules import (
     StepSchedule,
     build_schedule,
 )
+from repro.schedules.registry import available_schedules
 
 totals = st.integers(min_value=2, max_value=500)
 lrs = st.floats(min_value=1e-5, max_value=10.0, allow_nan=False, allow_infinity=False)
@@ -27,7 +28,7 @@ class TestDecaySchedules:
     @given(totals, lrs, st.sampled_from(DECAYING))
     @settings(max_examples=150, deadline=None)
     def test_monotone_non_increasing_and_bounded(self, total, lr, name):
-        sched = build_schedule(name, None, total_steps=total, base_lr=lr)
+        sched = build_registered(name, total, lr)
         seq = sched.sequence()
         assert len(seq) == total
         assert seq[0] == pytest.approx(lr)
@@ -109,3 +110,72 @@ class TestStepDriverProperties:
         seq = sched.sequence()
         for t in range(total):
             assert sched.step() == pytest.approx(seq[t])
+
+
+# ---------------------------------------------------------------------------
+# registry-driven sweep: invariants every registered schedule must satisfy
+# ---------------------------------------------------------------------------
+
+#: every schedule the library registers, not a hand-maintained subset — a new
+#: registry entry is automatically swept
+REGISTERED = tuple(available_schedules())
+
+#: schedules whose curve is a pure function of progress t/T; the paper relies
+#: on this when it compares the same profile across budgets
+PROGRESS_INVARIANT = ("rex", "linear", "cosine")
+
+#: construction kwargs for registry entries without an all-defaults signature
+SWEEP_KWARGS = {"delayed_linear": {"delay_fraction": 0.5}}
+
+
+def build_registered(name, total, lr):
+    return build_schedule(name, None, total_steps=total, base_lr=lr, **SWEEP_KWARGS.get(name, {}))
+
+
+class TestRegistrySweep:
+    @given(totals, lrs, st.sampled_from(REGISTERED))
+    @settings(max_examples=200, deadline=None)
+    def test_every_schedule_stays_within_zero_and_peak(self, total, lr, name):
+        """All registered schedules peak at base_lr and never go negative."""
+        sched = build_registered(name, total, lr)
+        seq = sched.sequence()
+        assert len(seq) == total
+        tol = 1e-12 * max(lr, 1.0)
+        assert np.all(seq >= -tol)
+        assert np.all(seq <= lr + tol)
+
+    @given(totals, lrs, st.sampled_from(REGISTERED))
+    @settings(max_examples=150, deadline=None)
+    def test_terminal_value_hit_at_exact_budget(self, total, lr, name):
+        """Driving a schedule for its budget lands exactly on lr_at(T-1), and
+        stepping past the budget clamps there instead of extrapolating."""
+        sched = build_registered(name, total, lr)
+        terminal = sched.lr_at(total - 1)
+        for _ in range(total):
+            last = sched.step()
+        assert last == pytest.approx(terminal)
+        assert sched.step() == pytest.approx(terminal)
+
+    @given(
+        totals,
+        lrs,
+        st.integers(min_value=2, max_value=7),
+        st.sampled_from(PROGRESS_INVARIANT),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_progress_invariant_schedules_rescale_with_budget(self, total, lr, scale, name):
+        """REX/linear/cosine are functions of t/T: scaling the budget by k
+        leaves the curve at corresponding steps unchanged."""
+        small = build_schedule(name, None, total_steps=total, base_lr=lr)
+        large = build_schedule(name, None, total_steps=total * scale, base_lr=lr)
+        for t in range(total):
+            assert large.lr_at(t * scale) == pytest.approx(small.lr_at(t), rel=1e-9, abs=1e-12)
+
+    @given(totals, lrs, st.sampled_from(REGISTERED))
+    @settings(max_examples=100, deadline=None)
+    def test_sequence_is_pure(self, total, lr, name):
+        """sequence() must not mutate driver state (lr_at is functional)."""
+        sched = build_registered(name, total, lr)
+        first = sched.sequence()
+        np.testing.assert_array_equal(first, sched.sequence())
+        assert sched.last_step == -1

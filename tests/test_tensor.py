@@ -265,3 +265,38 @@ class TestGraphMechanics:
         assert Tensor.ones(2).data.sum() == 2.0
         assert Tensor.randn(3, 2, rng=np.random.default_rng(0)).shape == (3, 2)
         assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestMaxTieDtype:
+    """Regression: Tensor.max used to cast its tie mask with a hard-coded
+    np.float64, silently upcasting float32 graphs in the backward pass."""
+
+    def test_tied_maxima_split_gradient_in_float32(self):
+        from repro.nn.dtype import default_dtype
+
+        with default_dtype("float32"):
+            x = Tensor(np.array([[1.0, 2.0, 2.0], [3.0, 3.0, 3.0]]), requires_grad=True)
+            out = x.max(axis=1)
+            assert out.dtype == np.float32
+            out.backward(np.array([1.0, 1.0], dtype=np.float32))
+        assert x.grad is not None
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(
+            x.grad, [[0.0, 0.5, 0.5], [1.0 / 3, 1.0 / 3, 1.0 / 3]], rtol=1e-6
+        )
+
+    def test_global_max_tie_mask_keeps_dtype(self):
+        from repro.nn.dtype import default_dtype
+
+        with default_dtype("float32"):
+            x = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+            x.max().backward()
+        assert x.grad is not None
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0], rtol=1e-6)
+
+    def test_float64_behaviour_unchanged(self):
+        x = Tensor(np.array([1.0, 5.0, 5.0]), requires_grad=True)
+        x.max().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
