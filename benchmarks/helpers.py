@@ -1,8 +1,10 @@
 """Shared helpers for the benchmark suite.
 
-Every benchmark regenerates one table or figure of the paper.  Training runs
-are cached per process (``functools.lru_cache``) so that aggregate benchmarks
-(Table 1, Figure 1) reuse the per-setting sweeps instead of re-training.
+Every benchmark regenerates one table or figure of the paper by resolving it
+from the declarative artifact registry (:mod:`repro.reporting`) — the same
+source of truth the ``python -m repro`` CLI drives — and formatting the built
+result.  The benchmarks are therefore thin wrappers: what they run, and in
+which order, is defined exactly once, in ``repro/reporting/artifacts.py``.
 
 Scale
 -----
@@ -10,15 +12,17 @@ The proxy workloads are already laptop-sized, but a full-fidelity sweep of
 every cell still takes tens of minutes; the benchmark defaults therefore run a
 reduced-but-complete version of each experiment.  Set the environment variable
 ``REPRO_BENCH_SCALE`` to ``full`` for the full proxy scale, ``small``
-(default) for the reduced scale, or ``tiny`` for a smoke-test pass.
+(default) for the reduced scale, or ``tiny``/``micro`` for smoke-test passes.
 
 Execution
 ---------
 Sweeps go through :mod:`repro.execution`.  ``REPRO_BENCH_WORKERS=N`` trains
 cells on ``N`` worker processes, and ``REPRO_BENCH_CACHE_DIR=PATH`` persists
 every trained cell in a content-addressed cache so repeat benchmark
-invocations (and the cross-table aggregates) skip training entirely.  Neither
-changes results: stores are record-for-record identical either way.
+invocations skip training entirely.  Without a cache directory an in-memory
+run cache still deduplicates cells *within* the session, so the Table 1 /
+Figure 1 aggregates reuse the per-setting sweeps instead of re-training.
+Neither option changes results: stores are record-for-record identical.
 """
 
 from __future__ import annotations
@@ -26,44 +30,30 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
-from repro.experiments import (
-    GlueRunConfig,
-    get_setting,
-    glue_result_to_records,
-    run_glue_benchmark,
-    run_setting_table,
-)
-from repro.schedules import PAPER_SCHEDULES
+from repro.execution import InMemoryRunCache, RunCache
+from repro.reporting import ArtifactResult, SCALES, Scale, execute_artifact, get_artifact
 from repro.utils.records import RunStore
 
 __all__ = [
+    "artifact_result",
+    "artifact_store",
+    "bench_cache",
     "bench_scale",
     "bench_workers",
-    "bench_cache_dir",
-    "SCALE_PRESETS",
-    "setting_store",
-    "glue_store",
-    "combined_store",
-    "COMPARED_SCHEDULES",
 ]
 
-#: the schedule rows of the paper's per-setting tables
-COMPARED_SCHEDULES: tuple[str, ...] = PAPER_SCHEDULES
-
-SCALE_PRESETS: dict[str, dict[str, float]] = {
-    # size_scale shrinks the proxy datasets, epoch_scale shrinks max_epochs.
-    "full": {"size_scale": 1.0, "epoch_scale": 1.0, "num_seeds": 2},
-    "small": {"size_scale": 0.75, "epoch_scale": 0.5, "num_seeds": 1},
-    "tiny": {"size_scale": 0.2, "epoch_scale": 0.12, "num_seeds": 1},
-}
+#: shared across all benchmarks in the session, so artifacts that share cells
+#: (the per-setting tables and the Table 1 / Figure 1 aggregates) train each
+#: cell exactly once even without REPRO_BENCH_CACHE_DIR
+_MEMO = InMemoryRunCache()
 
 
-def bench_scale() -> dict[str, float]:
+def bench_scale() -> Scale:
     """Resolve the benchmark scale preset from ``REPRO_BENCH_SCALE``."""
     name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
-    if name not in SCALE_PRESETS:
-        raise KeyError(f"unknown REPRO_BENCH_SCALE={name!r}; options: {sorted(SCALE_PRESETS)}")
-    return dict(SCALE_PRESETS[name])
+    if name not in SCALES:
+        raise KeyError(f"unknown REPRO_BENCH_SCALE={name!r}; options: {sorted(SCALES)}")
+    return SCALES[name]
 
 
 def bench_workers() -> int:
@@ -71,77 +61,21 @@ def bench_workers() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
-def bench_cache_dir() -> str | None:
-    """Run-cache directory from ``REPRO_BENCH_CACHE_DIR`` (default: no cache)."""
-    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+def bench_cache() -> RunCache | InMemoryRunCache:
+    """The run cache: ``REPRO_BENCH_CACHE_DIR`` if set, else the session memo."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    return RunCache(cache_dir) if cache_dir else _MEMO
 
 
 @lru_cache(maxsize=None)
-def setting_store(setting_name: str, schedules: tuple[str, ...] = COMPARED_SCHEDULES) -> RunStore:
-    """Run (and cache) the full schedule x optimizer x budget grid for one setting."""
-    scale = bench_scale()
-    setting = get_setting(setting_name)
-    # The bare-optimizer "none" row and "plateau" are omitted for settings the
-    # paper does not report them on (YOLO-VOC has no plateau row, RN50-ImageNet
-    # has neither).
-    usable = [s for s in schedules if _schedule_in_paper_table(setting_name, s)]
-    return run_setting_table(
-        setting_name,
-        schedules=usable,
-        optimizers=setting.optimizers,
-        budgets=setting.budget_fractions,
-        num_seeds=int(scale["num_seeds"]),
-        size_scale=scale["size_scale"],
-        epoch_scale=scale["epoch_scale"],
-        max_workers=bench_workers(),
-        cache_dir=bench_cache_dir(),
+def artifact_store(name: str) -> RunStore:
+    """Execute (or fetch from cache) every cell of one registered artifact."""
+    store, _ = execute_artifact(
+        get_artifact(name), bench_scale(), max_workers=bench_workers(), cache=bench_cache()
     )
-
-
-def _schedule_in_paper_table(setting_name: str, schedule: str) -> bool:
-    if setting_name == "RN50-IMAGENET" and schedule in ("none", "plateau"):
-        return False
-    if setting_name == "YOLO-VOC" and schedule == "plateau":
-        return False
-    return True
-
-
-@lru_cache(maxsize=None)
-def glue_store(schedules: tuple[str, ...] = COMPARED_SCHEDULES) -> tuple[RunStore, dict]:
-    """Fine-tune the BERT proxy on proxy GLUE for every schedule (cached).
-
-    Returns (records across epochs/budgets, {schedule: GlueResult}).
-    """
-    scale = bench_scale()
-    store = RunStore()
-    results = {}
-    for schedule in schedules:
-        if schedule in ("none", "plateau"):
-            # Table 10 reports the bare AdamW row but not plateau; "none" is
-            # the AdamW baseline (constant LR).
-            if schedule == "plateau":
-                continue
-        config = GlueRunConfig(
-            schedule=schedule,
-            size_scale=max(0.2, scale["size_scale"] * 0.6),
-            pretrain_steps=5,
-        )
-        result = run_glue_benchmark(config, max_workers=bench_workers(), cache_dir=bench_cache_dir())
-        results[schedule] = result
-        store.extend(glue_result_to_records(result))
-    return store, results
-
-
-@lru_cache(maxsize=None)
-def combined_store() -> RunStore:
-    """All settings' records combined — the input to Table 1 and Figure 1.
-
-    Uses the cached per-setting sweeps, so when the per-table benchmarks have
-    already run in the same pytest session this aggregation is free.
-    """
-    store = RunStore()
-    for name in ("RN20-CIFAR10", "WRN-STL10", "VGG16-CIFAR100", "VAE-MNIST", "YOLO-VOC"):
-        store.extend(setting_store(name))
-    glue_records, _ = glue_store()
-    store.extend(glue_records)
     return store
+
+
+def artifact_result(name: str) -> ArtifactResult:
+    """Build one registered artifact from its (cached) records."""
+    return get_artifact(name).build(artifact_store(name), bench_scale())

@@ -24,8 +24,8 @@ def test_ablation_exponential_gamma(benchmark):
                         optimizer="sgdm",
                         budget_fraction=budget,
                         schedule_kwargs={"gamma": gamma},
-                        size_scale=scale["size_scale"],
-                        epoch_scale=scale["epoch_scale"],
+                        size_scale=scale.size_scale,
+                        epoch_scale=scale.epoch_scale,
                     )
                 )
                 row.append(f"{record.metric:.2f}")

@@ -29,8 +29,8 @@ def test_ablation_rex_variants(benchmark):
                         optimizer="sgdm",
                         budget_fraction=budget,
                         schedule_kwargs=kwargs,
-                        size_scale=scale["size_scale"],
-                        epoch_scale=scale["epoch_scale"],
+                        size_scale=scale.size_scale,
+                        epoch_scale=scale.epoch_scale,
                     )
                 )
                 row.append(f"{record.metric:.2f}")

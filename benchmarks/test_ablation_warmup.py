@@ -22,8 +22,8 @@ def test_ablation_warmup_interaction(benchmark):
                     schedule=schedule,
                     optimizer="adam",
                     budget_fraction=0.5,
-                    size_scale=scale["size_scale"],
-                    epoch_scale=scale["epoch_scale"],
+                    size_scale=scale.size_scale,
+                    epoch_scale=scale.epoch_scale,
                 )
             )
             rows.append([schedule, f"{record.metric:.2f}", record.extra["warmup_steps"]])

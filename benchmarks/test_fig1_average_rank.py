@@ -1,23 +1,16 @@
 """Figure 1: average rank of each schedule against the training budget (SGDM and Adam)."""
 
-from repro.experiments import average_rank_by_budget, format_rank_table
-
 from bench_utils import emit, run_once
-from helpers import combined_store
+from helpers import artifact_result
 
 
 def test_fig1_average_rank(benchmark):
-    store = run_once(benchmark, combined_store)
-    sections = []
-    for optimizer in ("sgdm", "adam", "adamw"):
-        sub = store.filter(optimizer=optimizer)
-        if len(sub) == 0:
-            continue
-        ranks = average_rank_by_budget(sub, merge_plateau_into_step=True)
-        sections.append(f"-- {optimizer.upper()} --\n" + format_rank_table(ranks))
-    emit("fig1_average_rank", "\n\n".join(sections))
-
-    sgdm_ranks = average_rank_by_budget(store.filter(optimizer="sgdm"), merge_plateau_into_step=True)
-    assert "rex" in sgdm_ranks
+    result = run_once(benchmark, lambda: artifact_result("fig1"))
+    emit("fig1_average_rank", result.as_text())
+    by_title = {table.title: table for table in result.tables}
+    assert "SGDM" in by_title and "ADAM" in by_title
+    sgdm = by_title["SGDM"]
+    rex_rows = [row for row in sgdm.rows if row[0] == "+ REX"]
+    assert len(rex_rows) == 1
     # each schedule is ranked at every budget it was run on
-    assert len(sgdm_ranks["rex"]) >= 4
+    assert sum(1 for cell in rex_rows[0][1:] if cell != "—") >= 4

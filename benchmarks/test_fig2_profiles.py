@@ -4,17 +4,19 @@ from repro.analysis import figure2_data
 from repro.utils.textplot import ascii_plot
 
 from bench_utils import emit, run_once
+from helpers import artifact_result
 
 
 def test_fig2_profiles(benchmark):
-    data = run_once(benchmark, lambda: figure2_data(total_steps=200))
+    result = run_once(benchmark, lambda: artifact_result("fig2"))
+    # ASCII plots stay the human-friendly view; the registry's tables are the data.
+    data = figure2_data(total_steps=200)
     panels = []
     for panel_name, curves in data.items():
         subset = {k: v for k, v in list(curves.items())[:4]}
         panels.append(ascii_plot(subset, title=f"Figure 2 panel: {panel_name}", ylabel="lr multiplier"))
-    emit("fig2_profiles", "\n\n".join(panels))
+    emit("fig2_profiles", "\n\n".join(panels) + "\n\n" + result.as_text())
 
-    assert set(data) == {"step_profile", "linear_profile", "rex_profile", "usual_schedules"}
-    for curves in data.values():
-        for curve in curves.values():
-            assert len(curve) == 200
+    assert {t.title for t in result.tables} == {"step_profile", "linear_profile", "rex_profile", "usual_schedules"}
+    # the REX profile at 50% progress is analytic: rho(1/2) = 2/3
+    assert abs(result.reproduced["rex_profile/every_iteration@50%"] - 2 / 3) < 1e-6

@@ -1,46 +1,14 @@
-"""Figure 3: REX vs linear vs delayed-linear schedules across budgets (2 panels per optimizer)."""
-
-from repro.analysis import DelayedLinearStudyConfig, delayed_linear_series, run_delayed_linear_study
-from repro.analysis.delayed_linear import step_100pct_reference
-from repro.utils.textplot import series_to_csv
+"""Figure 3: REX vs linear vs delayed-linear schedules across budgets (2 panels)."""
 
 from bench_utils import emit, run_once
-from helpers import bench_scale
-
-PANELS = (("VGG16-CIFAR100", "sgdm"), ("RN38-CIFAR100", "adam"))
+from helpers import artifact_result
 
 
 def test_fig3_delayed_linear(benchmark):
-    scale = bench_scale()
-
-    def run():
-        outputs = {}
-        for setting, optimizer in PANELS:
-            config = DelayedLinearStudyConfig(
-                setting=setting,
-                optimizer=optimizer,
-                delay_fractions=(0.25, 0.5, 0.75),
-                budget_fractions=(0.05, 0.25, 1.0),
-                size_scale=scale["size_scale"],
-                epoch_scale=scale["epoch_scale"],
-            )
-            outputs[(setting, optimizer)] = run_delayed_linear_study(config)
-        return outputs
-
-    outputs = run_once(benchmark, run)
-    sections = []
-    for (setting, optimizer), store in outputs.items():
-        series = delayed_linear_series(store)
-        budgets = sorted(next(iter(series.values())))
-        csv = series_to_csv(
-            {name: [by_budget[b] for b in budgets] for name, by_budget in series.items()},
-            x=budgets,
-            x_name="budget_fraction",
-        )
-        ref = step_100pct_reference(store)
-        sections.append(f"-- {setting} / {optimizer} (step@100% reference = {ref:.2f}) --\n{csv}")
-    emit("fig3_delayed_linear", "\n\n".join(sections))
-
-    for store in outputs.values():
-        schedules = set(store.unique("schedule"))
+    result = run_once(benchmark, lambda: artifact_result("fig3"))
+    emit("fig3_delayed_linear", result.as_text())
+    assert len(result.tables) == 2
+    for table in result.tables:
+        schedules = {row[0] for row in table.rows}
         assert {"rex", "linear", "step", "linear_delayed_50"} <= schedules
+        assert "step@100% reference" in table.title

@@ -1,44 +1,13 @@
 """Figure 4: final error against the initial learning rate for each schedule."""
 
-from repro.analysis import LRSensitivityConfig, lr_sensitivity_series, run_lr_sensitivity
-from repro.utils.textplot import series_to_csv
-
 from bench_utils import emit, run_once
-from helpers import bench_scale
-
-PANELS = (("RN20-CIFAR10", 0.05), ("RN38-CIFAR100", 0.25))
+from helpers import artifact_result, artifact_store
 
 
 def test_fig4_lr_sensitivity(benchmark):
-    scale = bench_scale()
-
-    def run():
-        outputs = {}
-        for setting, budget in PANELS:
-            config = LRSensitivityConfig(
-                setting=setting,
-                budget_fraction=budget,
-                schedules=("rex", "linear", "cosine", "step", "exponential", "onecycle"),
-                lr_steps=2,
-                size_scale=scale["size_scale"],
-                epoch_scale=scale["epoch_scale"],
-            )
-            outputs[(setting, budget)] = run_lr_sensitivity(config)
-        return outputs
-
-    outputs = run_once(benchmark, run)
-    sections = []
-    for (setting, budget), store in outputs.items():
-        series = lr_sensitivity_series(store)
-        lrs = sorted(next(iter(series.values())))
-        csv = series_to_csv(
-            {name: [by_lr[lr] for lr in lrs] for name, by_lr in series.items()},
-            x=lrs,
-            x_name="learning_rate",
-        )
-        sections.append(f"-- {setting} @ {budget * 100:g}% budget --\n{csv}")
-    emit("fig4_lr_sensitivity", "\n\n".join(sections))
-
-    for store in outputs.values():
-        assert len(store.unique("learning_rate")) == 5  # multiples of 3 around the default
-        assert len(store.unique("schedule")) == 6
+    result = run_once(benchmark, lambda: artifact_result("fig4"))
+    emit("fig4_lr_sensitivity", result.as_text())
+    store = artifact_store("fig4")
+    assert len(store.unique("learning_rate")) == 5  # multiples of 3 around the shared default
+    assert len(store.unique("schedule")) == 6
+    assert len(result.tables) == 2

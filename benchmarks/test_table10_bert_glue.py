@@ -1,17 +1,13 @@
 """Table 10: mean GLUE score of the BERT proxy after 1/2/3 fine-tuning epochs."""
 
-from repro.utils.textplot import ascii_table
-
 from bench_utils import emit, run_once
-from helpers import glue_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table10_bert_glue_mean_scores(benchmark):
-    _, results = run_once(benchmark, glue_store)
-    rows = []
-    for schedule, result in results.items():
-        means = result.mean_scores()
-        rows.append([schedule, "/".join(f"{m:.1f}" for m in means)])
-    emit("table10_bert_glue", ascii_table(rows, headers=["Method", "Score (1/2/3 epochs)"]))
-    assert "rex" in results
-    assert all(len(r.mean_scores()) == 3 for r in results.values())
+    result = run_once(benchmark, lambda: artifact_result("table10"))
+    emit("table10_bert_glue", result.as_text())
+    store = artifact_store("table10")
+    assert "rex" in store.unique("schedule")
+    assert all(len(r.extra["scores"]) == 3 for r in store)
+    assert result.reproduced.get("rex@3ep") is not None

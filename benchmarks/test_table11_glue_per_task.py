@@ -1,22 +1,18 @@
 """Table 11: per-task GLUE scores of the BERT proxy after 1/2/3 epochs."""
 
 from repro.data import GLUE_TASKS
-from repro.utils.textplot import ascii_table
 
 from bench_utils import emit, run_once
-from helpers import glue_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table11_glue_per_task(benchmark):
-    _, results = run_once(benchmark, glue_store)
-    headers = ["Method"] + list(GLUE_TASKS)
-    rows = []
-    for schedule, result in results.items():
-        row = [schedule]
-        for task in GLUE_TASKS:
-            scores = result.per_task_scores[task]
-            row.append("/".join(f"{s:.1f}" for s in scores))
-        rows.append(row)
-    emit("table11_glue_per_task", ascii_table(rows, headers=headers))
-    for result in results.values():
-        assert set(result.per_task_scores) == set(GLUE_TASKS)
+    result = run_once(benchmark, lambda: artifact_result("table11"))
+    emit("table11_glue_per_task", result.as_text())
+    (table,) = result.tables
+    assert table.headers == ["Method"] + list(GLUE_TASKS)
+    store = artifact_store("table11")
+    per_schedule = {r.schedule: set() for r in store}
+    for record in store:
+        per_schedule[record.schedule].add(record.extra["task"])
+    assert all(tasks == set(GLUE_TASKS) for tasks in per_schedule.values())

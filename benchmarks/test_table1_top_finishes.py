@@ -1,18 +1,18 @@
 """Table 1: % of Top-1 / Top-3 finishes per schedule, split by budget regime."""
 
-from repro.experiments import format_top_finish_table, top_finish_table
-
 from bench_utils import emit, run_once
-from helpers import combined_store
+from helpers import artifact_result
 
 
 def test_table1_top_finishes(benchmark):
-    store = run_once(benchmark, combined_store)
-    table = top_finish_table(store)
-    emit("table1_top_finishes", format_top_finish_table(table))
-    # Structural checks: plateau is folded into step, every schedule has all regimes.
-    assert "plateau" not in table
-    assert {"low_top1", "high_top1", "overall_top3"} <= set(next(iter(table.values())))
+    result = run_once(benchmark, lambda: artifact_result("table1"))
+    emit("table1_top_finishes", result.as_text())
+    (table,) = result.tables
+    # Structural checks: plateau is folded into step, every regime is a column.
+    assert all("Plateau" not in row[0] for row in table.rows)
+    assert {"Low Top-1", "High Top-3", "Overall Top-1"} <= set(table.headers)
     # Ties share an average rank (>1), so the Top-1 percentages sum to at most 100%.
-    total_top1 = sum(entry["overall_top1"] for entry in table.values())
+    overall_top1 = table.headers.index("Overall Top-1")
+    total_top1 = sum(float(row[overall_top1].rstrip("%")) for row in table.rows)
     assert 0.0 < total_top1 <= 100.0 + 1e-6
+    assert result.reproduced.get("rex/overall_top1") is not None

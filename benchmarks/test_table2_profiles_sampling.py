@@ -1,34 +1,15 @@
 """Table 2: profile x sampling-rate error grid on RN20-CIFAR10-SGDM (and RN38)."""
 
-from repro.analysis import ProfileSamplingConfig, run_profile_sampling_grid, table2_rows
-from repro.utils.textplot import ascii_table
-
 from bench_utils import emit, run_once
-from helpers import bench_scale
+from helpers import artifact_result, artifact_store
 
 
-def _grid(setting: str):
-    scale = bench_scale()
-    config = ProfileSamplingConfig(
-        setting=setting,
-        budget_fractions=(0.05, 0.25, 1.0),
-        size_scale=scale["size_scale"],
-        epoch_scale=scale["epoch_scale"],
-    )
-    return config, run_profile_sampling_grid(config)
-
-
-def test_table2_profiles_vs_sampling_rn20(benchmark):
-    config, store = run_once(benchmark, lambda: _grid("RN20-CIFAR10"))
-    rows, headers = table2_rows(store, config.budget_fractions)
-    emit("table2_rn20_profiles_sampling", ascii_table(rows, headers))
-    # 3 profiles x 7 sampling rates x 3 budgets
-    assert len(store) == 3 * 7 * 3
-    assert len(rows) == 7
-
-
-def test_table2_profiles_vs_sampling_rn38(benchmark):
-    config, store = run_once(benchmark, lambda: _grid("RN38-CIFAR10"))
-    rows, headers = table2_rows(store, config.budget_fractions)
-    emit("table2_rn38_profiles_sampling", ascii_table(rows, headers))
-    assert len(store) == 3 * 7 * 3
+def test_table2_profiles_vs_sampling(benchmark):
+    result = run_once(benchmark, lambda: artifact_result("table2"))
+    emit("table2_profiles_sampling", result.as_text())
+    store = artifact_store("table2")
+    # 2 settings x (3 profiles x 7 sampling rates x 3 budgets)
+    assert len(store) == 2 * 3 * 7 * 3
+    assert [t.title for t in result.tables] == ["RN20-CIFAR10", "RN38-CIFAR10"]
+    for table in result.tables:
+        assert len(table.rows) == 7  # one row per paper sampling rate

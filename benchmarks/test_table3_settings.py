@@ -1,25 +1,13 @@
 """Table 3: summary of the experimental settings (paper vs proxy scale)."""
 
-from repro.experiments import PAPER_SETTINGS, get_setting
-from repro.utils.textplot import ascii_table
-
 from bench_utils import emit, run_once
+from helpers import artifact_result
 
 
 def test_table3_settings(benchmark):
-    def build():
-        rows = []
-        for name in PAPER_SETTINGS:
-            s = get_setting(name)
-            rows.append([s.name, s.model, s.dataset, s.paper_max_epochs, s.max_epochs, ",".join(s.optimizers)])
-        return rows
-
-    rows = run_once(benchmark, build)
-    emit(
-        "table3_settings",
-        ascii_table(
-            rows,
-            headers=["Setting", "Proxy model", "Proxy dataset", "Paper max epochs", "Proxy max epochs", "Optimizers"],
-        ),
-    )
-    assert len(rows) == 7
+    result = run_once(benchmark, lambda: artifact_result("table3"))
+    emit("table3_settings", result.as_text())
+    (table,) = result.tables
+    assert len(table.rows) == 7
+    # protocol metadata must agree with the paper exactly (drift 0)
+    assert result.reproduced["RN20-CIFAR10/paper_max_epochs"] == 300.0

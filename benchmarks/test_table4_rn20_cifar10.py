@@ -1,13 +1,12 @@
 """Table 4: RN20-CIFAR10 — every schedule x {SGDM, Adam} x budget grid."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table4_rn20_cifar10(benchmark):
-    store = run_once(benchmark, lambda: setting_store("RN20-CIFAR10"))
-    emit("table4_rn20_cifar10", format_setting_table(store, "RN20-CIFAR10"))
+    result = run_once(benchmark, lambda: artifact_result("table4"))
+    emit("table4_rn20_cifar10", result.as_text())
+    store = artifact_store("table4")
     assert len(store) > 0
     assert set(store.unique("optimizer")) == {"sgdm", "adam"}

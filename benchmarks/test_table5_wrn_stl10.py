@@ -1,13 +1,12 @@
 """Table 5: WRN-STL10 — every schedule x {SGDM, Adam} x budget grid."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table5_wrn_stl10(benchmark):
-    store = run_once(benchmark, lambda: setting_store("WRN-STL10"))
-    emit("table5_wrn_stl10", format_setting_table(store, "WRN-STL10"))
+    result = run_once(benchmark, lambda: artifact_result("table5"))
+    emit("table5_wrn_stl10", result.as_text())
+    store = artifact_store("table5")
     assert len(store) > 0
     assert "rex" in store.unique("schedule")

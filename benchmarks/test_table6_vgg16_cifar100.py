@@ -1,12 +1,10 @@
 """Table 6: VGG16-CIFAR100 — every schedule x {SGDM, Adam} x budget grid."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table6_vgg16_cifar100(benchmark):
-    store = run_once(benchmark, lambda: setting_store("VGG16-CIFAR100"))
-    emit("table6_vgg16_cifar100", format_setting_table(store, "VGG16-CIFAR100"))
-    assert len(store) > 0
+    result = run_once(benchmark, lambda: artifact_result("table6"))
+    emit("table6_vgg16_cifar100", result.as_text())
+    assert len(artifact_store("table6")) > 0

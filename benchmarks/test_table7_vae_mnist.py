@@ -1,13 +1,12 @@
 """Table 7: VAE-MNIST generalization loss (negative ELBO)."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table7_vae_mnist(benchmark):
-    store = run_once(benchmark, lambda: setting_store("VAE-MNIST"))
-    emit("table7_vae_mnist", format_setting_table(store, "VAE-MNIST"))
+    result = run_once(benchmark, lambda: artifact_result("table7"))
+    emit("table7_vae_mnist", result.as_text())
+    store = artifact_store("table7")
     assert len(store) > 0
     assert store[0].metric_name == "elbo"

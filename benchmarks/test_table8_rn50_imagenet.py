@@ -1,12 +1,10 @@
 """Table 8: RN50-ImageNet at 1% and 5% budgets only (as in the paper)."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table8_rn50_imagenet(benchmark):
-    store = run_once(benchmark, lambda: setting_store("RN50-IMAGENET"))
-    emit("table8_rn50_imagenet", format_setting_table(store, "RN50-IMAGENET"))
-    assert sorted(store.unique("budget_fraction")) == [0.01, 0.05]
+    result = run_once(benchmark, lambda: artifact_result("table8"))
+    emit("table8_rn50_imagenet", result.as_text())
+    assert sorted(artifact_store("table8").unique("budget_fraction")) == [0.01, 0.05]

@@ -1,14 +1,13 @@
 """Table 9: YOLO-VOC mAP with Adam and a 2-epoch warmup outside the budget."""
 
-from repro.experiments import format_setting_table
-
 from bench_utils import emit, run_once
-from helpers import setting_store
+from helpers import artifact_result, artifact_store
 
 
 def test_table9_yolo_voc(benchmark):
-    store = run_once(benchmark, lambda: setting_store("YOLO-VOC"))
-    emit("table9_yolo_voc", format_setting_table(store, "YOLO-VOC"))
+    result = run_once(benchmark, lambda: artifact_result("table9"))
+    emit("table9_yolo_voc", result.as_text())
+    store = artifact_store("table9")
     assert set(store.unique("optimizer")) == {"adam"}
     assert all(r.extra["warmup_steps"] > 0 for r in store)
     assert store[0].higher_is_better

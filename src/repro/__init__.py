@@ -17,6 +17,10 @@ Sub-packages
 ``repro.execution``
     The cache-aware, optionally parallel engine the harness runs on: plan
     enumeration, a content-addressed run cache, and the experiment engine.
+``repro.reporting`` / ``repro.cli``
+    The declarative artifact registry (every paper table/figure as a plan +
+    build spec with paper-drift reporting) and the ``python -m repro``
+    orchestrator CLI that drives it.
 
 Quickstart
 ----------
@@ -38,6 +42,7 @@ from repro import training
 from repro import experiments
 from repro import execution
 from repro import analysis
+from repro import reporting
 from repro import utils
 
 __version__ = "1.0.0"
@@ -52,6 +57,7 @@ __all__ = [
     "experiments",
     "execution",
     "analysis",
+    "reporting",
     "utils",
     "__version__",
 ]

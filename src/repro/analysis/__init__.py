@@ -7,7 +7,10 @@ from repro.analysis.profile_curves import (
     figure2_data,
 )
 from repro.analysis.profiles_vs_sampling import (
+    ProfileSamplingCell,
     ProfileSamplingConfig,
+    plan_profile_sampling_grid,
+    run_profile_cell,
     run_profile_sampling_cell,
     run_profile_sampling_grid,
     table2_rows,
@@ -15,6 +18,8 @@ from repro.analysis.profiles_vs_sampling import (
 from repro.analysis.delayed_linear import (
     FIGURE3_PANELS,
     DelayedLinearStudyConfig,
+    plan_delayed_linear_study,
+    relabel_delayed_records,
     run_delayed_linear_study,
     delayed_linear_series,
     step_100pct_reference,
@@ -22,6 +27,7 @@ from repro.analysis.delayed_linear import (
 from repro.analysis.lr_sensitivity import (
     FIGURE4_PANELS,
     LRSensitivityConfig,
+    plan_lr_sensitivity,
     run_lr_sensitivity,
     lr_sensitivity_series,
 )
@@ -31,17 +37,23 @@ __all__ = [
     "profile_sampling_curves",
     "usual_schedule_curves",
     "figure2_data",
+    "ProfileSamplingCell",
     "ProfileSamplingConfig",
+    "plan_profile_sampling_grid",
+    "run_profile_cell",
     "run_profile_sampling_cell",
     "run_profile_sampling_grid",
     "table2_rows",
     "FIGURE3_PANELS",
     "DelayedLinearStudyConfig",
+    "plan_delayed_linear_study",
+    "relabel_delayed_records",
     "run_delayed_linear_study",
     "delayed_linear_series",
     "step_100pct_reference",
     "FIGURE4_PANELS",
     "LRSensitivityConfig",
+    "plan_lr_sensitivity",
     "run_lr_sensitivity",
     "lr_sensitivity_series",
 ]

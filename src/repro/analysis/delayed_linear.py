@@ -10,12 +10,18 @@ across the budget grid for the Figure 3 settings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.experiments.runner import RunConfig
+from repro.utils.records import RunRecord, RunStore
 
-from repro.experiments.runner import RunConfig, run_single
-from repro.utils.records import RunStore
-
-__all__ = ["DelayedLinearStudyConfig", "run_delayed_linear_study", "delayed_linear_series"]
+__all__ = [
+    "DelayedLinearStudyConfig",
+    "plan_delayed_linear_study",
+    "relabel_delayed_records",
+    "run_delayed_linear_study",
+    "delayed_linear_series",
+]
 
 #: the four panels of Figure 3: (setting, optimizer)
 FIGURE3_PANELS: tuple[tuple[str, str], ...] = (
@@ -37,40 +43,70 @@ class DelayedLinearStudyConfig:
     seed: int = 0
     size_scale: float = 1.0
     epoch_scale: float = 1.0
+    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    dtype: str | None = None
 
 
-def run_delayed_linear_study(config: DelayedLinearStudyConfig) -> RunStore:
-    """Train REX, linear, step and each delayed-linear variant across budgets."""
-    store = RunStore()
-    methods: list[tuple[str, dict]] = [
-        ("rex", {}),
-        ("linear", {}),
-        ("step", {}),
-    ]
+def plan_delayed_linear_study(config: DelayedLinearStudyConfig) -> list[RunConfig]:
+    """Enumerate the study's cells (budget outer, method inner) without training.
+
+    The order matches the historical serial loops, so an engine run over this
+    plan followed by :func:`relabel_delayed_records` reproduces the legacy
+    store record for record.
+    """
+    methods: list[tuple[str, dict]] = [("rex", {}), ("linear", {}), ("step", {})]
     for delay in config.delay_fractions:
         methods.append(("delayed_linear", {"delay_fraction": delay}))
+    return [
+        RunConfig(
+            setting=config.setting,
+            schedule=schedule,
+            optimizer=config.optimizer,
+            budget_fraction=budget,
+            seed=config.seed,
+            size_scale=config.size_scale,
+            epoch_scale=config.epoch_scale,
+            schedule_kwargs=dict(kwargs),
+            dtype=config.dtype,
+        )
+        for budget in config.budget_fractions
+        for schedule, kwargs in methods
+    ]
 
-    for budget in config.budget_fractions:
-        for schedule, kwargs in methods:
-            record = run_single(
-                RunConfig(
-                    setting=config.setting,
-                    schedule=schedule,
-                    optimizer=config.optimizer,
-                    budget_fraction=budget,
-                    seed=config.seed,
-                    size_scale=config.size_scale,
-                    epoch_scale=config.epoch_scale,
-                    schedule_kwargs=kwargs,
-                )
-            )
-            if schedule == "delayed_linear":
-                label = f"linear_delayed_{int(kwargs['delay_fraction'] * 100)}"
-                record = type(record)(
-                    **{**record.to_dict(), "schedule": label}
-                )
-            store.add(record)
-    return store
+
+def relabel_delayed_records(plan: list[RunConfig], store: RunStore) -> RunStore:
+    """Rename delayed-linear records to their Figure 3 legend labels.
+
+    The trainer records every delayed variant under ``schedule="delayed_linear"``;
+    the figure legend distinguishes them by delay (``linear_delayed_50`` etc.).
+    ``store`` must be in ``plan`` order — which the execution engine guarantees.
+    """
+    if len(plan) != len(store):
+        raise ValueError(f"plan has {len(plan)} cells but store has {len(store)} records")
+    out = RunStore()
+    for config, record in zip(plan, store):
+        if config.schedule == "delayed_linear":
+            label = f"linear_delayed_{int(config.schedule_kwargs['delay_fraction'] * 100)}"
+            record = RunRecord(**{**record.to_dict(), "schedule": label})
+        out.add(record)
+    return out
+
+
+def run_delayed_linear_study(
+    config: DelayedLinearStudyConfig,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> RunStore:
+    """Train REX, linear, step and each delayed-linear variant across budgets.
+
+    Runs through the cache-aware execution engine (``max_workers``/``cache_dir``
+    as in :func:`repro.experiments.run_setting_table`).
+    """
+    from repro.execution import ExperimentEngine
+
+    plan = plan_delayed_linear_study(config)
+    store = ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    return relabel_delayed_records(plan, store)
 
 
 def delayed_linear_series(store: RunStore) -> dict[str, dict[float, float]]:

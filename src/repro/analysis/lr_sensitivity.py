@@ -10,13 +10,14 @@ curves for most learning rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.grid import lr_grid
-from repro.experiments.runner import RunConfig, run_single
+from repro.experiments.runner import RunConfig
 from repro.experiments.settings import get_setting
 from repro.utils.records import RunStore
 
-__all__ = ["LRSensitivityConfig", "run_lr_sensitivity", "lr_sensitivity_series"]
+__all__ = ["LRSensitivityConfig", "plan_lr_sensitivity", "run_lr_sensitivity", "lr_sensitivity_series"]
 
 #: the four panels of Figure 4: (setting, budget fraction)
 FIGURE4_PANELS: tuple[tuple[str, float], ...] = (
@@ -39,31 +40,50 @@ class LRSensitivityConfig:
     seed: int = 0
     size_scale: float = 1.0
     epoch_scale: float = 1.0
+    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    dtype: str | None = None
 
 
-def run_lr_sensitivity(config: LRSensitivityConfig) -> RunStore:
-    """Train every schedule at every learning rate in the grid."""
+def plan_lr_sensitivity(config: LRSensitivityConfig) -> list[RunConfig]:
+    """Enumerate the panel's cells (learning rate outer, schedule inner).
+
+    Order matches the historical serial loops, so an engine run over this plan
+    is record-for-record identical to the legacy runner.
+    """
     setting = get_setting(config.setting)
     base_lr = setting.base_lr(config.optimizer)
     grid = lr_grid(base_lr, num_steps=config.lr_steps, factor=3.0)
-    store = RunStore()
-    for lr in grid:
-        for schedule in config.schedules:
-            store.add(
-                run_single(
-                    RunConfig(
-                        setting=config.setting,
-                        schedule=schedule,
-                        optimizer=config.optimizer,
-                        budget_fraction=config.budget_fraction,
-                        seed=config.seed,
-                        learning_rate=lr,
-                        size_scale=config.size_scale,
-                        epoch_scale=config.epoch_scale,
-                    )
-                )
-            )
-    return store
+    return [
+        RunConfig(
+            setting=config.setting,
+            schedule=schedule,
+            optimizer=config.optimizer,
+            budget_fraction=config.budget_fraction,
+            seed=config.seed,
+            learning_rate=lr,
+            size_scale=config.size_scale,
+            epoch_scale=config.epoch_scale,
+            dtype=config.dtype,
+        )
+        for lr in grid
+        for schedule in config.schedules
+    ]
+
+
+def run_lr_sensitivity(
+    config: LRSensitivityConfig,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> RunStore:
+    """Train every schedule at every learning rate in the grid.
+
+    Runs through the cache-aware execution engine (``max_workers``/``cache_dir``
+    as in :func:`repro.experiments.run_setting_table`).
+    """
+    from repro.execution import ExperimentEngine
+
+    plan = plan_lr_sensitivity(config)
+    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
 
 
 def lr_sensitivity_series(store: RunStore) -> dict[str, dict[float, float]]:

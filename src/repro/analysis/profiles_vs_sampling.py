@@ -9,8 +9,10 @@ rates.  This module reproduces that grid on the proxy workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
+from repro import nn
 from repro.analysis.profile_curves import PAPER_PROFILES
 from repro.experiments.settings import get_setting
 from repro.experiments.workloads import build_workload
@@ -22,7 +24,14 @@ from repro.training.callbacks import LossNaNGuard
 from repro.training.trainer import Trainer
 from repro.utils.records import RunRecord, RunStore
 
-__all__ = ["ProfileSamplingConfig", "run_profile_sampling_cell", "run_profile_sampling_grid"]
+__all__ = [
+    "ProfileSamplingCell",
+    "ProfileSamplingConfig",
+    "plan_profile_sampling_grid",
+    "run_profile_cell",
+    "run_profile_sampling_cell",
+    "run_profile_sampling_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,79 @@ class ProfileSamplingConfig:
     learning_rate: float | None = None
     size_scale: float = 1.0
     epoch_scale: float = 1.0
+    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    dtype: str | None = None
+
+
+@dataclass(frozen=True)
+class ProfileSamplingCell:
+    """One (profile, sampling rate, budget) training cell of the Table 2 grid.
+
+    A pure-data unit the execution engine can fingerprint, cache and dispatch
+    to worker processes; :func:`plan_profile_sampling_grid` enumerates them and
+    :func:`run_profile_cell` trains one.
+    """
+
+    setting: str
+    optimizer: str
+    profile: str
+    sampling: str
+    budget_fraction: float
+    seed: int = 0
+    learning_rate: float | None = None
+    size_scale: float = 1.0
+    epoch_scale: float = 1.0
+    dtype: str = "float64"
+
+    def to_config(self) -> ProfileSamplingConfig:
+        """The single-cell :class:`ProfileSamplingConfig` this cell came from."""
+        return ProfileSamplingConfig(
+            setting=self.setting,
+            optimizer=self.optimizer,
+            profiles=(self.profile,),
+            sampling_rates=(self.sampling,),
+            budget_fractions=(self.budget_fraction,),
+            seed=self.seed,
+            learning_rate=self.learning_rate,
+            size_scale=self.size_scale,
+            epoch_scale=self.epoch_scale,
+            dtype=self.dtype,
+        )
+
+
+def plan_profile_sampling_grid(config: ProfileSamplingConfig) -> list[ProfileSamplingCell]:
+    """Enumerate the Table 2 grid cells without training anything.
+
+    Order matches the historical nested loops (budget, then sampling rate,
+    then profile), so an engine run is record-for-record identical to the
+    legacy serial grid.
+    """
+    setting = get_setting(config.setting)
+    dtype = nn.dtype_name(config.dtype if config.dtype is not None else setting.dtype)
+    return [
+        ProfileSamplingCell(
+            setting=setting.name,
+            optimizer=config.optimizer.lower(),
+            profile=profile_name,
+            sampling=sampling_name,
+            budget_fraction=float(budget_fraction),
+            seed=config.seed,
+            learning_rate=config.learning_rate,
+            size_scale=config.size_scale,
+            epoch_scale=config.epoch_scale,
+            dtype=dtype,
+        )
+        for budget_fraction in config.budget_fractions
+        for sampling_name in config.sampling_rates
+        for profile_name in config.profiles
+    ]
+
+
+def run_profile_cell(cell: ProfileSamplingCell) -> RunRecord:
+    """Train one planned grid cell (module-level so it pickles into workers)."""
+    return run_profile_sampling_cell(
+        cell.to_config(), cell.profile, cell.sampling, cell.budget_fraction
+    )
 
 
 def run_profile_sampling_cell(
@@ -49,6 +131,15 @@ def run_profile_sampling_cell(
     if sampling_name not in PAPER_SAMPLING_RATES:
         raise KeyError(f"unknown sampling rate {sampling_name!r}; known: {sorted(PAPER_SAMPLING_RATES)}")
 
+    setting = get_setting(config.setting)
+    dtype = nn.dtype_name(config.dtype if config.dtype is not None else setting.dtype)
+    with nn.default_dtype(dtype):
+        return _run_profile_sampling_cell(config, profile_name, sampling_name, budget_fraction)
+
+
+def _run_profile_sampling_cell(
+    config: ProfileSamplingConfig, profile_name: str, sampling_name: str, budget_fraction: float
+) -> RunRecord:
     setting = get_setting(config.setting)
     workload = build_workload(setting, seed=config.seed, size_scale=config.size_scale)
     lr = config.learning_rate if config.learning_rate is not None else setting.base_lr(config.optimizer)
@@ -98,16 +189,22 @@ def run_profile_sampling_cell(
     )
 
 
-def run_profile_sampling_grid(config: ProfileSamplingConfig) -> RunStore:
-    """Run the full Table 2 grid for one setting and return all records."""
-    store = RunStore()
-    for budget_fraction in config.budget_fractions:
-        for sampling_name in config.sampling_rates:
-            for profile_name in config.profiles:
-                store.add(
-                    run_profile_sampling_cell(config, profile_name, sampling_name, budget_fraction)
-                )
-    return store
+def run_profile_sampling_grid(
+    config: ProfileSamplingConfig,
+    max_workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> RunStore:
+    """Run the full Table 2 grid for one setting and return all records.
+
+    The grid goes through the cache-aware execution engine: ``max_workers > 1``
+    trains cells on a process pool, ``cache_dir`` makes repeat grids free, and
+    the returned store is identical to the legacy serial loops either way.
+    """
+    from repro.execution import ExperimentEngine
+
+    plan = plan_profile_sampling_grid(config)
+    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_profile_cell)
+    return engine.run(plan)
 
 
 def table2_rows(store: RunStore, budget_fractions: Sequence[float]) -> tuple[list[list[str]], list[str]]:

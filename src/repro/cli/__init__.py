@@ -1,0 +1,9 @@
+"""The ``python -m repro`` command-line interface.
+
+See :mod:`repro.cli.main` for the subcommands (``list``/``run``/``report``/
+``clean``) and :mod:`repro.reporting` for the artifact registry they drive.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

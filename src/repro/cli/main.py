@@ -1,0 +1,249 @@
+"""Implementation of the ``python -m repro`` command-line interface.
+
+Four subcommands drive the whole reproduction through the artifact registry:
+
+``list``
+    Enumerate every registered table/figure and its cell count at a scale.
+``run``
+    Execute the selected artifacts' training cells through the cache-aware
+    engine.  With ``--cache-dir`` (on by default) runs are resumable and
+    incremental: re-running retrains nothing, and artifacts that share cells
+    (Table 1 aggregates Tables 4-7/9) reuse each other's work.
+``report``
+    Build the selected artifacts from their (cached) records and write one
+    markdown + one JSON report per artifact, including the drift column
+    against the paper's published numbers.
+``clean``
+    Drop the run cache (and, with ``--reports``, the rendered reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.execution.cache import RunCache
+from repro.reporting.paper import PAPER_CITATION
+from repro.reporting.registry import SCALES, resolve_artifacts, resolve_scale
+from repro.reporting.report import write_report
+from repro.utils.textplot import ascii_table
+
+__all__ = ["CLIError", "build_parser", "main"]
+
+DEFAULT_CACHE_DIR = "runs/cache"
+DEFAULT_REPORT_DIR = "reports"
+
+
+class CLIError(Exception):
+    """A user-input error that should print as a one-line message, not a traceback."""
+
+
+def _positive_int(text: str) -> int:
+    """Parse a ``--workers`` value, rejecting anything below 1 at the parser."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    """Parse a ``--seeds`` value like ``"0,1,2"`` into a tuple of ints."""
+    try:
+        seeds = tuple(int(token) for token in text.split(",") if token.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid seed list {text!r}: {exc}") from None
+    if not seeds:
+        raise argparse.ArgumentTypeError(f"empty seed list {text!r}")
+    return seeds
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> None:
+    parser.add_argument(
+        "--only",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated artifact names (e.g. 'table3' or 'table4,fig1'); default: all",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="proxy scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="train every cell in this dtype (default: each setting's own)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=None,
+        metavar="S0,S1,...",
+        help="explicit trial seeds, overriding the scale's derived seed sequence",
+    )
+    if execution:
+        parser.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="train cells on N worker processes (default: 1, serial)",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            metavar="DIR",
+            help=f"content-addressed run cache; '' disables caching (default: {DEFAULT_CACHE_DIR})",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction orchestrator for every table and figure of "
+            f"{PAPER_CITATION}  Runs are content-addressed and resumable: "
+            "interrupted or repeated invocations only train cells the cache "
+            "has not seen."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="{list,run,report,clean}")
+
+    p_list = sub.add_parser("list", help="enumerate the registered tables and figures")
+    _add_common_arguments(p_list, execution=False)
+
+    p_run = sub.add_parser("run", help="execute artifact training cells (resumable)")
+    _add_common_arguments(p_run, execution=True)
+
+    p_report = sub.add_parser("report", help="build artifacts and write markdown/JSON reports")
+    _add_common_arguments(p_report, execution=True)
+    p_report.add_argument(
+        "--out",
+        default=DEFAULT_REPORT_DIR,
+        metavar="DIR",
+        help=f"directory the reports are written to (default: {DEFAULT_REPORT_DIR})",
+    )
+
+    p_clean = sub.add_parser("clean", help="drop the run cache (and optionally the reports)")
+    p_clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR")
+    p_clean.add_argument("--out", default=DEFAULT_REPORT_DIR, metavar="DIR")
+    p_clean.add_argument(
+        "--reports",
+        action="store_true",
+        help="also delete the rendered markdown/JSON reports under --out",
+    )
+    return parser
+
+
+def _selection(args: argparse.Namespace):
+    # Lookup failures here are user input problems (unknown artifact/scale
+    # name); anything raised later is a real bug and must keep its traceback.
+    try:
+        scale = resolve_scale(args.scale, dtype=args.dtype, seeds=args.seeds)
+        return resolve_artifacts(args.only), scale
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise CLIError(message) from exc
+
+
+def _cache_from(args: argparse.Namespace) -> RunCache | None:
+    return RunCache(args.cache_dir) if getattr(args, "cache_dir", "") else None
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``list``: one row per artifact with its cell count at the chosen scale."""
+    artifacts, scale = _selection(args)
+    rows = [
+        [a.name, a.paper_ref, a.kind, str(len(a.plan(scale))), a.title]
+        for a in artifacts
+    ]
+    print(f"{len(rows)} artifacts at scale '{args.scale}':\n")
+    print(ascii_table(rows, headers=["Name", "Paper ref", "Kind", "Cells", "Title"]))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: plan and execute every selected artifact through the engine."""
+    from repro.reporting.registry import execute_artifact
+
+    artifacts, scale = _selection(args)
+    cache = _cache_from(args)
+    for artifact in artifacts:
+        start = time.monotonic()
+        _, report = execute_artifact(artifact, scale, max_workers=args.workers, cache=cache)
+        elapsed = time.monotonic() - start
+        print(
+            f"{artifact.name}: {report.total} cells — {report.cache_hits} cache hits, "
+            f"{report.executed} executed, {report.retried} retried ({elapsed:.1f}s)"
+        )
+    if cache is not None:
+        print(f"cache: {len(cache)} records under {cache.cache_dir}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: execute (cache-hitting), build, and render every artifact."""
+    from repro.reporting.registry import execute_artifact
+
+    artifacts, scale = _selection(args)
+    cache = _cache_from(args)
+    for artifact in artifacts:
+        store, engine_report = execute_artifact(artifact, scale, max_workers=args.workers, cache=cache)
+        result = artifact.build(store, scale)
+        paths = write_report(result, scale, args.out)
+        cached = (
+            "all cells cached"
+            if engine_report.executed == 0
+            else f"{engine_report.executed} cells trained"
+        )
+        print(f"{artifact.name}: wrote {' and '.join(str(p) for p in paths)} ({cached})")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    """``clean``: drop cached run records, and reports when ``--reports`` is set."""
+    if not args.cache_dir:
+        # '' means "no cache" on run/report; Path('') would resolve to the
+        # current directory and clear() would delete unrelated *.json files.
+        raise CLIError("clean requires a non-empty --cache-dir")
+    removed = RunCache(args.cache_dir).clear()
+    print(f"removed {removed} cached records from {args.cache_dir}")
+    if args.reports:
+        from repro.reporting.registry import available_artifacts
+
+        out = Path(args.out)
+        count = 0
+        if out.is_dir():
+            # Only rendered artifact reports — never other markdown/JSON that
+            # happens to live in --out (e.g. a repo root passed by mistake).
+            for name in available_artifacts():
+                for suffix in (".md", ".json"):
+                    path = out / f"{name}{suffix}"
+                    if path.is_file():
+                        path.unlink()
+                        count += 1
+        print(f"removed {count} report files from {args.out}")
+    return 0
+
+
+_COMMANDS = {"list": cmd_list, "run": cmd_run, "report": cmd_report, "clean": cmd_clean}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

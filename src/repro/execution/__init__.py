@@ -15,12 +15,13 @@ Together they make table reproduction parallel and incremental: identical
 cells are trained exactly once, ever, per cache directory.
 """
 
-from repro.execution.cache import CacheStats, RunCache, config_fingerprint
+from repro.execution.cache import CacheStats, InMemoryRunCache, RunCache, config_fingerprint
 from repro.execution.engine import EngineReport, ExperimentEngine, run_configs
 from repro.execution.plan import plan_budget_sweep, plan_lr_grid, plan_setting_table
 
 __all__ = [
     "CacheStats",
+    "InMemoryRunCache",
     "RunCache",
     "config_fingerprint",
     "EngineReport",

@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.utils.records import RunRecord
 
-__all__ = ["CacheStats", "RunCache", "config_fingerprint"]
+__all__ = ["CacheStats", "InMemoryRunCache", "RunCache", "config_fingerprint"]
 
 #: bump when the fingerprint payload layout changes — invalidates old caches
 #: (v2: resolved ``dtype`` joined the payload, so float32 and float64 runs of
@@ -100,6 +100,7 @@ class CacheStats:
     skips: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for logging / JSON serialisation)."""
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores, "skips": self.skips}
 
 
@@ -119,9 +120,11 @@ class RunCache:
 
     # -- addressing ----------------------------------------------------------
     def fingerprint(self, config: Any) -> str:
+        """Content hash addressing ``config`` (see :func:`config_fingerprint`)."""
         return config_fingerprint(config)
 
     def path_for(self, config: Any) -> Path:
+        """Filesystem path the record for ``config`` is (or would be) stored at."""
         return self.cache_dir / f"{config_fingerprint(config)}.json"
 
     # -- lookup / store ------------------------------------------------------
@@ -188,4 +191,58 @@ class RunCache:
             for entry in self.cache_dir.glob("*.json"):
                 entry.unlink()
                 removed += 1
+        return removed
+
+
+class InMemoryRunCache:
+    """Process-local twin of :class:`RunCache` backed by a dict.
+
+    Same ``get``/``put``/``clear`` surface and the same content-addressed keys,
+    but nothing touches the filesystem and nothing survives the process.  Used
+    where cross-artifact cell reuse matters but persistence was not asked for —
+    e.g. one benchmark session sharing training runs between Table 4 and the
+    Table 1 aggregate without a ``--cache-dir``.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty cache."""
+        # Entries are stored as plain dicts and rebuilt on get, mirroring the
+        # file-backed cache's serialise/deserialise round-trip: a caller that
+        # mutates a returned record (or one it just put) can never corrupt the
+        # cached copy other consumers will receive.
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.stats = CacheStats()
+
+    def fingerprint(self, config: Any) -> str:
+        """Content hash addressing ``config`` (see :func:`config_fingerprint`)."""
+        return config_fingerprint(config)
+
+    def get(self, config: Any) -> RunRecord | None:
+        """Return a fresh copy of the cached record for ``config``, or ``None``."""
+        payload = self._entries.get(config_fingerprint(config))
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return RunRecord.from_dict(json.loads(json.dumps(payload)))
+
+    def put(self, config: Any, record: RunRecord) -> None:
+        """Store a snapshot of ``record`` under ``config``'s fingerprint (first write wins)."""
+        key = config_fingerprint(config)
+        if key in self._entries:
+            self.stats.skips += 1
+            return
+        self._entries[key] = record.to_dict()
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, config: Any) -> bool:
+        return config_fingerprint(config) in self._entries
+
+    def clear(self) -> int:
+        """Forget every cached entry; return how many were removed."""
+        removed = len(self._entries)
+        self._entries.clear()
         return removed

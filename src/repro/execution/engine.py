@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.execution.cache import RunCache
+from repro.execution.cache import InMemoryRunCache, RunCache
 from repro.utils.records import RunRecord, RunStore
 
 __all__ = ["EngineReport", "ExperimentEngine", "run_configs"]
@@ -47,6 +47,7 @@ class EngineReport:
     failures: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
+        """Report counters as a plain dict (for logging / JSON serialisation)."""
         return {
             "total": self.total,
             "cache_hits": self.cache_hits,
@@ -62,8 +63,9 @@ class ExperimentEngine:
     Parameters
     ----------
     cache:
-        A :class:`RunCache`, a cache directory path, or ``None`` to disable
-        caching entirely.
+        A :class:`RunCache` (or any object with its ``get``/``put`` surface,
+        e.g. :class:`~repro.execution.cache.InMemoryRunCache`), a cache
+        directory path, or ``None`` to disable caching entirely.
     max_workers:
         ``1`` (the default) runs every miss serially in-process — this is also
         the mode tests use, since it keeps tracebacks trivial.  Larger values
@@ -81,7 +83,7 @@ class ExperimentEngine:
 
     def __init__(
         self,
-        cache: RunCache | str | Path | None = None,
+        cache: RunCache | InMemoryRunCache | str | Path | None = None,
         max_workers: int = 1,
         retries: int = 1,
         run_fn: RunFn | None = None,
@@ -90,7 +92,7 @@ class ExperimentEngine:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        if cache is not None and not isinstance(cache, RunCache):
+        if isinstance(cache, (str, Path)):
             cache = RunCache(cache)
         self.cache = cache
         self.max_workers = max_workers

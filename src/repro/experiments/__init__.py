@@ -13,6 +13,7 @@ from repro.experiments.glue_runner import (
     GlueRunConfig,
     GlueTaskCell,
     GlueResult,
+    plan_glue_benchmark,
     run_glue_task,
     run_glue_cell,
     run_glue_benchmark,
@@ -29,7 +30,9 @@ from repro.experiments.ranking import (
 from repro.experiments.tables import (
     setting_table_rows,
     format_setting_table,
+    top_finish_rows,
     format_top_finish_table,
+    rank_table_rows,
     format_rank_table,
 )
 
@@ -48,6 +51,7 @@ __all__ = [
     "GlueRunConfig",
     "GlueTaskCell",
     "GlueResult",
+    "plan_glue_benchmark",
     "run_glue_task",
     "run_glue_cell",
     "run_glue_benchmark",
@@ -63,6 +67,8 @@ __all__ = [
     "LOW_BUDGET_THRESHOLD",
     "setting_table_rows",
     "format_setting_table",
+    "top_finish_rows",
     "format_top_finish_table",
+    "rank_table_rows",
     "format_rank_table",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "GlueRunConfig",
     "GlueTaskCell",
     "GlueResult",
+    "plan_glue_benchmark",
     "run_glue_task",
     "run_glue_cell",
     "run_glue_benchmark",
@@ -160,9 +161,12 @@ class GlueTaskCell:
         )
 
 
-def _cells_for(config: GlueRunConfig) -> list[GlueTaskCell]:
-    # Names are normalised here because the cell is fingerprinted field-by-field:
-    # "REX" and "rex" describe the same fine-tune and must share a cache entry.
+def plan_glue_benchmark(config: GlueRunConfig) -> list[GlueTaskCell]:
+    """Enumerate one fine-tuning cell per proxy GLUE task, without training.
+
+    Names are normalised here because the cell is fingerprinted field-by-field:
+    "REX" and "rex" describe the same fine-tune and must share a cache entry.
+    """
     return [
         GlueTaskCell(
             task=task.name,
@@ -219,7 +223,7 @@ def run_glue_benchmark(
     """
     from repro.execution import ExperimentEngine
 
-    cells = _cells_for(config)
+    cells = plan_glue_benchmark(config)
     engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_glue_cell)
     store = engine.run(cells)
     per_task = {record.extra["task"]: list(record.extra["scores"]) for record in store}

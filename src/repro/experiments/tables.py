@@ -10,7 +10,14 @@ from repro.experiments.settings import get_setting
 from repro.utils.records import RunStore
 from repro.utils.textplot import ascii_table, format_mean_std
 
-__all__ = ["setting_table_rows", "format_setting_table", "format_top_finish_table", "format_rank_table"]
+__all__ = [
+    "setting_table_rows",
+    "format_setting_table",
+    "top_finish_rows",
+    "format_top_finish_table",
+    "rank_table_rows",
+    "format_rank_table",
+]
 
 _SCHEDULE_LABELS = {
     "none": "None",
@@ -82,8 +89,8 @@ def format_setting_table(
     return "\n\n".join(blocks)
 
 
-def format_top_finish_table(table: dict[str, dict[str, float]]) -> str:
-    """Render the Table 1 layout (Top-1 / Top-3 percentages per regime)."""
+def top_finish_rows(table: dict[str, dict[str, float]]) -> tuple[list[list[str]], list[str]]:
+    """Build (rows, headers) for the Table 1 layout (Top-1/Top-3 % per regime)."""
     headers = ["Method", "Low Top-1", "Low Top-3", "High Top-1", "High Top-3", "Overall Top-1", "Overall Top-3"]
     rows = []
     for schedule, entry in sorted(table.items(), key=lambda kv: -kv[1]["overall_top1"]):
@@ -98,11 +105,17 @@ def format_top_finish_table(table: dict[str, dict[str, float]]) -> str:
                 f"{entry['overall_top3']:.0f}%",
             ]
         )
+    return rows, headers
+
+
+def format_top_finish_table(table: dict[str, dict[str, float]]) -> str:
+    """Render the Table 1 layout (Top-1 / Top-3 percentages per regime)."""
+    rows, headers = top_finish_rows(table)
     return ascii_table(rows, headers)
 
 
-def format_rank_table(ranks: dict[str, dict[float, float]]) -> str:
-    """Render Figure 1's underlying data: average rank per schedule per budget."""
+def rank_table_rows(ranks: dict[str, dict[float, float]]) -> tuple[list[list[str]], list[str]]:
+    """Build (rows, headers) for Figure 1's data: average rank per schedule per budget."""
     budgets = sorted({b for by_budget in ranks.values() for b in by_budget})
     headers = ["Method"] + [f"{b * 100:g}%" for b in budgets]
     rows = []
@@ -112,4 +125,10 @@ def format_rank_table(ranks: dict[str, dict[float, float]]) -> str:
             value = ranks[schedule].get(budget)
             row.append(f"{value:.2f}" if value is not None else "—")
         rows.append(row)
+    return rows, headers
+
+
+def format_rank_table(ranks: dict[str, dict[float, float]]) -> str:
+    """Render Figure 1's underlying data: average rank per schedule per budget."""
+    rows, headers = rank_table_rows(ranks)
     return ascii_table(rows, headers)

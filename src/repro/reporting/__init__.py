@@ -1,0 +1,57 @@
+"""Declarative paper-reproduction artifacts and their reports.
+
+``repro.reporting.registry``
+    The :class:`Artifact` spec (plan + build), the :class:`Scale` presets and
+    the registry both the CLI and the benchmark harness resolve names from.
+``repro.reporting.artifacts``
+    The declarations themselves: Tables 1-11 and Figures 1-4, registered on
+    import in paper order.
+``repro.reporting.paper``
+    The citation and the paper's published headline numbers used for the
+    drift column.
+``repro.reporting.report``
+    Markdown/JSON renderers (deterministic — byte-identical across
+    serial/parallel/cached runs).
+"""
+
+from repro.reporting.registry import (
+    ARTIFACTS,
+    Artifact,
+    ArtifactResult,
+    ResultTable,
+    SCALES,
+    Scale,
+    available_artifacts,
+    execute_artifact,
+    get_artifact,
+    register_artifact,
+    resolve_artifacts,
+    resolve_scale,
+    run_cell,
+)
+from repro.reporting.paper import PAPER_CITATION, PAPER_REFERENCE, PAPER_TITLE
+from repro.reporting.report import drift_rows, render_json, render_markdown, write_report
+from repro.reporting import artifacts  # noqa: F401  (registers Tables 1-11, Figures 1-4)
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactResult",
+    "ResultTable",
+    "SCALES",
+    "Scale",
+    "available_artifacts",
+    "execute_artifact",
+    "get_artifact",
+    "register_artifact",
+    "resolve_artifacts",
+    "resolve_scale",
+    "run_cell",
+    "PAPER_CITATION",
+    "PAPER_REFERENCE",
+    "PAPER_TITLE",
+    "drift_rows",
+    "render_json",
+    "render_markdown",
+    "write_report",
+]

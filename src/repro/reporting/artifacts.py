@@ -1,0 +1,680 @@
+"""Artifact declarations: every table and figure of the paper's evaluation.
+
+Importing this module populates the registry with Tables 1-11 and Figures 1-4
+in paper order.  Each declaration pairs a pure *plan* (which training cells
+the artifact needs at a given :class:`~repro.reporting.registry.Scale`) with a
+*build* (turn the executed records into formatted tables plus the headline
+``reproduced`` numbers the drift report joins against
+:data:`~repro.reporting.paper.PAPER_REFERENCE`).
+
+Plans deliberately share cells: Table 1 and Figure 1 enumerate exactly the
+cells of Tables 4-7/9 plus the GLUE sweep of Tables 10-11, so under a shared
+run cache the aggregates cost no additional training.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.delayed_linear import (
+    DelayedLinearStudyConfig,
+    plan_delayed_linear_study,
+    relabel_delayed_records,
+    step_100pct_reference,
+    delayed_linear_series,
+)
+from repro.analysis.lr_sensitivity import LRSensitivityConfig, lr_sensitivity_series, plan_lr_sensitivity
+from repro.analysis.profile_curves import figure2_data
+from repro.analysis.profiles_vs_sampling import ProfileSamplingConfig, plan_profile_sampling_grid, table2_rows
+from repro.data import GLUE_TASKS
+from repro.experiments.glue_runner import GlueResult, GlueRunConfig, glue_result_to_records, plan_glue_benchmark
+from repro.experiments.ranking import average_rank_by_budget, top_finish_table
+from repro.experiments.settings import PAPER_SETTINGS, get_setting
+from repro.experiments.tables import rank_table_rows, setting_table_rows, top_finish_rows
+from repro.execution.plan import plan_setting_table
+from repro.reporting.registry import Artifact, ArtifactResult, ResultTable, Scale, register_artifact
+from repro.schedules import PAPER_SCHEDULES
+from repro.utils.records import RunStore
+
+__all__ = [
+    "AGGREGATE_SETTINGS",
+    "SETTING_TABLES",
+    "glue_results_from_records",
+    "schedules_in_paper_table",
+]
+
+#: which per-setting table reproduces which setting, in paper order
+SETTING_TABLES: dict[str, str] = {
+    "table4": "RN20-CIFAR10",
+    "table5": "WRN-STL10",
+    "table6": "VGG16-CIFAR100",
+    "table7": "VAE-MNIST",
+    "table8": "RN50-IMAGENET",
+    "table9": "YOLO-VOC",
+}
+
+#: the settings aggregated by Table 1 / Figure 1 (RN50-ImageNet is excluded —
+#: the paper only evaluates it at two budgets)
+AGGREGATE_SETTINGS: tuple[str, ...] = (
+    "RN20-CIFAR10",
+    "WRN-STL10",
+    "VGG16-CIFAR100",
+    "VAE-MNIST",
+    "YOLO-VOC",
+)
+
+#: schedules of the GLUE tables: every paper row except plateau ("none" is the
+#: bare-AdamW baseline the paper reports)
+GLUE_SCHEDULES: tuple[str, ...] = tuple(s for s in PAPER_SCHEDULES if s != "plateau")
+
+
+def schedules_in_paper_table(setting_name: str) -> tuple[str, ...]:
+    """The schedule rows the paper actually reports for one setting.
+
+    RN50-ImageNet has neither the bare-optimizer row nor plateau; YOLO-VOC has
+    no plateau row.
+    """
+    schedules = PAPER_SCHEDULES
+    if setting_name == "RN50-IMAGENET":
+        schedules = tuple(s for s in schedules if s not in ("none", "plateau"))
+    elif setting_name == "YOLO-VOC":
+        schedules = tuple(s for s in schedules if s != "plateau")
+    return schedules
+
+
+# -- shared plan/build helpers -------------------------------------------------
+
+
+def _setting_plan(setting_name: str, scale: Scale) -> list[Any]:
+    setting = get_setting(setting_name)
+    return plan_setting_table(
+        setting_name,
+        schedules=schedules_in_paper_table(setting_name),
+        optimizers=setting.optimizers,
+        budgets=setting.budget_fractions,
+        num_seeds=scale.num_seeds,
+        size_scale=scale.size_scale,
+        epoch_scale=scale.epoch_scale,
+        dtype=scale.dtype,
+        seeds=scale.seeds,
+    )
+
+
+def _seed_list(scale: Scale) -> list[int]:
+    """Trial seeds for the single-seed-protocol artifacts (Table 2, 10-11, Figures 3-4).
+
+    Explicit ``scale.seeds`` is honored cell for cell; otherwise these
+    artifacts follow the paper's single-run protocol (``num_seeds`` only
+    drives the per-setting tables' derived seed sequences).
+    """
+    return list(scale.seeds) if scale.seeds is not None else [0]
+
+
+def _glue_config(schedule: str, scale: Scale, seed: int = 0) -> GlueRunConfig:
+    return GlueRunConfig(
+        schedule=schedule,
+        seed=seed,
+        size_scale=max(0.2, scale.size_scale * 0.6),
+        pretrain_steps=5,
+        dtype=scale.dtype if scale.dtype is not None else "float64",
+    )
+
+
+def _glue_plan(scale: Scale) -> list[Any]:
+    plan: list[Any] = []
+    for schedule in GLUE_SCHEDULES:
+        for seed in _seed_list(scale):
+            plan.extend(plan_glue_benchmark(_glue_config(schedule, scale, seed)))
+    return plan
+
+
+def _aggregate_plan(scale: Scale) -> list[Any]:
+    plan: list[Any] = []
+    for setting_name in AGGREGATE_SETTINGS:
+        plan.extend(_setting_plan(setting_name, scale))
+    plan.extend(_glue_plan(scale))
+    return plan
+
+
+def glue_results_from_records(store: RunStore) -> dict[str, GlueResult]:
+    """Reassemble per-schedule :class:`GlueResult` objects from GLUE cell records.
+
+    Each GLUE cell record carries its task name and per-epoch score list in
+    ``extra``; grouping by schedule (in record order) inverts
+    :func:`~repro.experiments.glue_runner.run_glue_cell`.  When the sweep ran
+    multiple trial seeds, each task's per-epoch scores are averaged over them.
+    """
+    trials: dict[str, dict[str, list[list[float]]]] = {}
+    optimizers: dict[str, str] = {}
+    for record in store:
+        per_task = trials.setdefault(record.schedule, {})
+        per_task.setdefault(record.extra["task"], []).append(list(record.extra["scores"]))
+        optimizers.setdefault(record.schedule, record.optimizer)
+    results: dict[str, GlueResult] = {}
+    for schedule, per_task in trials.items():
+        averaged = {
+            task: [float(sum(epoch) / len(epoch)) for epoch in zip(*score_lists)]
+            for task, score_lists in per_task.items()
+        }
+        results[schedule] = GlueResult(
+            schedule=schedule, optimizer=optimizers[schedule], per_task_scores=averaged
+        )
+    return results
+
+
+def _is_glue_record(record: Any) -> bool:
+    return record.setting == "BERT-GLUE" and "scores" in record.extra
+
+
+def _combined_store(store: RunStore) -> RunStore:
+    """Budget-indexed aggregate input: setting records + converted GLUE records."""
+    combined = RunStore(r for r in store if not _is_glue_record(r))
+    for result in glue_results_from_records(store.where(_is_glue_record)).values():
+        combined.extend(glue_result_to_records(result))
+    return combined
+
+
+def _split_store(store: RunStore, plans: Sequence[Sequence[Any]]) -> list[RunStore]:
+    """Slice a plan-ordered store back into per-sub-plan stores."""
+    total = sum(len(p) for p in plans)
+    if len(store) != total:
+        raise ValueError(f"store has {len(store)} records but the plans describe {total} cells")
+    out: list[RunStore] = []
+    start = 0
+    for plan in plans:
+        out.append(RunStore(store[start + i] for i in range(len(plan))))
+        start += len(plan)
+    return out
+
+
+def _mean_or_none(store: RunStore, **criteria: Any) -> float | None:
+    sub = store.filter(**criteria)
+    return sub.mean_metric() if len(sub) else None
+
+
+def _put(reproduced: dict[str, float], label: str, value: float | None) -> None:
+    if value is not None:
+        reproduced[label] = float(value)
+
+
+# -- Table 1 -------------------------------------------------------------------
+
+
+def _build_table1(store: RunStore, scale: Scale) -> ArtifactResult:
+    table = top_finish_table(_combined_store(store))
+    rows, headers = top_finish_rows(table)
+    reproduced: dict[str, float] = {}
+    if "rex" in table:
+        for key in ("low_top1", "low_top3", "overall_top1", "overall_top3"):
+            _put(reproduced, f"rex/{key}", table["rex"].get(key))
+    return ArtifactResult(
+        name="table1",
+        paper_ref="Table 1",
+        title="% of Top-1 / Top-3 finishes per schedule, by budget regime",
+        tables=[ResultTable("", headers, rows)],
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="table1",
+        kind="table",
+        paper_ref="Table 1",
+        title="% of Top-1 / Top-3 finishes per schedule, by budget regime",
+        plan=_aggregate_plan,
+        build=_build_table1,
+    )
+)
+
+
+# -- Table 2 -------------------------------------------------------------------
+
+_TABLE2_SETTINGS = ("RN20-CIFAR10", "RN38-CIFAR10")
+_TABLE2_BUDGETS = (0.05, 0.25, 1.0)
+
+
+def _table2_config(setting_name: str, scale: Scale, seed: int = 0) -> ProfileSamplingConfig:
+    return ProfileSamplingConfig(
+        setting=setting_name,
+        budget_fractions=_TABLE2_BUDGETS,
+        seed=seed,
+        size_scale=scale.size_scale,
+        epoch_scale=scale.epoch_scale,
+        dtype=scale.dtype,
+    )
+
+
+def _table2_plans(scale: Scale) -> list[list[Any]]:
+    """One sub-plan per setting, each covering every trial seed."""
+    plans: list[list[Any]] = []
+    for setting_name in _TABLE2_SETTINGS:
+        cells: list[Any] = []
+        for seed in _seed_list(scale):
+            cells.extend(plan_profile_sampling_grid(_table2_config(setting_name, scale, seed)))
+        plans.append(cells)
+    return plans
+
+
+def _plan_table2(scale: Scale) -> list[Any]:
+    return [cell for cells in _table2_plans(scale) for cell in cells]
+
+
+def _build_table2(store: RunStore, scale: Scale) -> ArtifactResult:
+    plans = _table2_plans(scale)
+    tables = []
+    reproduced: dict[str, float] = {}
+    for setting_name, sub in zip(_TABLE2_SETTINGS, _split_store(store, plans)):
+        rows, headers = table2_rows(sub, _TABLE2_BUDGETS)
+        tables.append(ResultTable(setting_name, headers, rows))
+        for profile, sampling, budget in (("rex", "every_iteration", 1.0), ("linear", "every_iteration", 0.05)):
+            cell = sub.where(
+                lambda r, p=profile, s=sampling, b=budget: r.extra.get("profile") == p
+                and r.extra.get("sampling") == s
+                and abs(r.budget_fraction - b) < 1e-9
+            )
+            if len(cell):
+                _put(reproduced, f"{setting_name}/{profile}@{sampling}@{budget * 100:g}%", cell.mean_metric())
+    return ArtifactResult(
+        name="table2",
+        paper_ref="Table 2",
+        title="Profile x sampling-rate error grid (RN20/RN38 on CIFAR-10, SGDM)",
+        tables=tables,
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="table2",
+        kind="table",
+        paper_ref="Table 2",
+        title="Profile x sampling-rate error grid (RN20/RN38 on CIFAR-10, SGDM)",
+        plan=_plan_table2,
+        build=_build_table2,
+    )
+)
+
+
+# -- Table 3 -------------------------------------------------------------------
+
+
+def _build_table3(store: RunStore, scale: Scale) -> ArtifactResult:
+    rows = []
+    reproduced: dict[str, float] = {}
+    for name in PAPER_SETTINGS:
+        s = get_setting(name)
+        rows.append([s.name, s.model, s.dataset, str(s.paper_max_epochs), str(s.max_epochs), ",".join(s.optimizers)])
+        reproduced[f"{s.name}/paper_max_epochs"] = float(s.paper_max_epochs)
+    headers = ["Setting", "Proxy model", "Proxy dataset", "Paper max epochs", "Proxy max epochs", "Optimizers"]
+    return ArtifactResult(
+        name="table3",
+        paper_ref="Table 3",
+        title="Summary of the experimental settings (paper vs proxy scale)",
+        tables=[ResultTable("", headers, rows)],
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="table3",
+        kind="table",
+        paper_ref="Table 3",
+        title="Summary of the experimental settings (paper vs proxy scale)",
+        plan=lambda scale: [],
+        build=_build_table3,
+    )
+)
+
+
+# -- Tables 4-9 (per-setting result tables) ------------------------------------
+
+
+def _make_setting_table(name: str, setting_name: str, number: int) -> None:
+    setting = get_setting(setting_name)
+    schedules = schedules_in_paper_table(setting_name)
+    # RN50-ImageNet and YOLO-VOC report fewer rows than the full comparison
+    coverage = "every schedule" if schedules == PAPER_SCHEDULES else f"{len(schedules)} paper schedules"
+    title = f"{setting.name} — {coverage} x {{{', '.join(o.upper() for o in setting.optimizers)}}} x budget"
+
+    def build(store: RunStore, scale: Scale, _name: str = name, _setting: str = setting_name) -> ArtifactResult:
+        setting_obj = get_setting(_setting)
+        tables = []
+        for optimizer in setting_obj.optimizers:
+            rows, headers = setting_table_rows(store, _setting, optimizer)
+            tables.append(ResultTable(f"{optimizer.upper()} ({setting_obj.metric_name})", headers, rows))
+        reproduced: dict[str, float] = {}
+        first_optimizer = setting_obj.optimizers[0]
+        for budget in (min(setting_obj.budget_fractions), max(setting_obj.budget_fractions)):
+            _put(
+                reproduced,
+                f"{first_optimizer}/rex@{budget * 100:g}%",
+                _mean_or_none(store, optimizer=first_optimizer, schedule="rex", budget_fraction=budget),
+            )
+        return ArtifactResult(
+            name=_name,
+            paper_ref=f"Table {number}",
+            title=title,
+            tables=tables,
+            reproduced=reproduced,
+        )
+
+    register_artifact(
+        Artifact(
+            name=name,
+            kind="table",
+            paper_ref=f"Table {number}",
+            title=title,
+            plan=lambda scale, _setting=setting_name: _setting_plan(_setting, scale),
+            build=build,
+        )
+    )
+
+
+for _i, (_name, _setting_name) in enumerate(SETTING_TABLES.items(), start=4):
+    _make_setting_table(_name, _setting_name, _i)
+
+
+# -- Tables 10-11 (GLUE) -------------------------------------------------------
+
+
+def _build_table10(store: RunStore, scale: Scale) -> ArtifactResult:
+    results = glue_results_from_records(store)
+    rows = []
+    reproduced: dict[str, float] = {}
+    for schedule, result in results.items():
+        means = result.mean_scores()
+        rows.append([schedule] + [f"{m:.1f}" for m in means])
+        if schedule == "rex" and means:
+            reproduced["rex@3ep"] = float(means[-1])
+    headers = ["Method", "1 epoch", "2 epochs", "3 epochs"]
+    return ArtifactResult(
+        name="table10",
+        paper_ref="Table 10",
+        title="Mean proxy-GLUE score of the BERT proxy after 1/2/3 epochs",
+        tables=[ResultTable("", headers, rows)],
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="table10",
+        kind="table",
+        paper_ref="Table 10",
+        title="Mean proxy-GLUE score of the BERT proxy after 1/2/3 epochs",
+        plan=_glue_plan,
+        build=_build_table10,
+    )
+)
+
+
+def _build_table11(store: RunStore, scale: Scale) -> ArtifactResult:
+    results = glue_results_from_records(store)
+    headers = ["Method"] + list(GLUE_TASKS)
+    rows = []
+    reproduced: dict[str, float] = {}
+    for schedule, result in results.items():
+        row = [schedule]
+        for task in GLUE_TASKS:
+            scores = result.per_task_scores.get(task, [])
+            row.append("/".join(f"{s:.1f}" for s in scores))
+        rows.append(row)
+        means = result.mean_scores()
+        if schedule == "rex" and means:
+            reproduced["rex@3ep"] = float(means[-1])
+    return ArtifactResult(
+        name="table11",
+        paper_ref="Table 11",
+        title="Per-task proxy-GLUE scores after 1/2/3 epochs",
+        tables=[ResultTable("", headers, rows)],
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="table11",
+        kind="table",
+        paper_ref="Table 11",
+        title="Per-task proxy-GLUE scores after 1/2/3 epochs",
+        plan=_glue_plan,
+        build=_build_table11,
+    )
+)
+
+
+# -- Figure 1 ------------------------------------------------------------------
+
+_FIG1_OPTIMIZERS = ("sgdm", "adam", "adamw")
+
+
+def _build_fig1(store: RunStore, scale: Scale) -> ArtifactResult:
+    combined = _combined_store(store)
+    tables = []
+    reproduced: dict[str, float] = {}
+    for optimizer in _FIG1_OPTIMIZERS:
+        sub = combined.filter(optimizer=optimizer)
+        if len(sub) == 0:
+            continue
+        ranks = average_rank_by_budget(sub, merge_plateau_into_step=True)
+        rows, headers = rank_table_rows(ranks)
+        tables.append(ResultTable(optimizer.upper(), headers, rows))
+        if optimizer in ("sgdm", "adam") and "rex" in ranks:
+            _put(reproduced, f"{optimizer}/rex@5%", ranks["rex"].get(0.05))
+    return ArtifactResult(
+        name="fig1",
+        paper_ref="Figure 1",
+        title="Average rank of each schedule against the training budget",
+        tables=tables,
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="fig1",
+        kind="figure",
+        paper_ref="Figure 1",
+        title="Average rank of each schedule against the training budget",
+        plan=_aggregate_plan,
+        build=_build_fig1,
+    )
+)
+
+
+# -- Figure 2 ------------------------------------------------------------------
+
+_FIG2_STEPS = 200
+_FIG2_MARKS = (0.0, 0.25, 0.5, 0.75)
+
+
+def _build_fig2(store: RunStore, scale: Scale) -> ArtifactResult:
+    data = figure2_data(total_steps=_FIG2_STEPS)
+    tables = []
+    reproduced: dict[str, float] = {}
+    headers = ["Curve"] + [f"{int(mark * 100)}%" for mark in _FIG2_MARKS] + ["last step"]
+    for panel_name, curves in data.items():
+        rows = []
+        for curve_name, curve in curves.items():
+            marks = [curve[int(mark * _FIG2_STEPS)] for mark in _FIG2_MARKS] + [curve[-1]]
+            rows.append([curve_name] + [f"{v:.4f}" for v in marks])
+            if (panel_name, curve_name) in (
+                ("rex_profile", "every_iteration"),
+                ("linear_profile", "every_iteration"),
+            ):
+                reproduced[f"{panel_name}/{curve_name}@50%"] = float(curve[_FIG2_STEPS // 2])
+        tables.append(ResultTable(panel_name, list(headers), rows))
+    return ArtifactResult(
+        name="fig2",
+        paper_ref="Figure 2",
+        title="Learning-rate profiles under different sampling rates",
+        tables=tables,
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="fig2",
+        kind="figure",
+        paper_ref="Figure 2",
+        title="Learning-rate profiles under different sampling rates",
+        plan=lambda scale: [],
+        build=_build_fig2,
+    )
+)
+
+
+# -- Figure 3 ------------------------------------------------------------------
+
+_FIG3_PANELS = (("VGG16-CIFAR100", "sgdm"), ("RN38-CIFAR100", "adam"))
+_FIG3_BUDGETS = (0.05, 0.25, 1.0)
+_FIG3_DELAYS = (0.25, 0.5, 0.75)
+
+
+def _fig3_config(setting_name: str, optimizer: str, scale: Scale, seed: int = 0) -> DelayedLinearStudyConfig:
+    return DelayedLinearStudyConfig(
+        setting=setting_name,
+        optimizer=optimizer,
+        delay_fractions=_FIG3_DELAYS,
+        budget_fractions=_FIG3_BUDGETS,
+        seed=seed,
+        size_scale=scale.size_scale,
+        epoch_scale=scale.epoch_scale,
+        dtype=scale.dtype,
+    )
+
+
+def _fig3_plans(scale: Scale) -> list[list[Any]]:
+    """One sub-plan per panel, each covering every trial seed."""
+    plans: list[list[Any]] = []
+    for setting_name, optimizer in _FIG3_PANELS:
+        cells: list[Any] = []
+        for seed in _seed_list(scale):
+            cells.extend(plan_delayed_linear_study(_fig3_config(setting_name, optimizer, scale, seed)))
+        plans.append(cells)
+    return plans
+
+
+def _plan_fig3(scale: Scale) -> list[Any]:
+    return [cell for cells in _fig3_plans(scale) for cell in cells]
+
+
+def _build_fig3(store: RunStore, scale: Scale) -> ArtifactResult:
+    plans = _fig3_plans(scale)
+    tables = []
+    reproduced: dict[str, float] = {}
+    for (setting_name, optimizer), plan, sub in zip(_FIG3_PANELS, plans, _split_store(store, plans)):
+        relabelled = relabel_delayed_records(plan, sub)
+        series = delayed_linear_series(relabelled)
+        budgets = sorted({b for by_budget in series.values() for b in by_budget})
+        headers = ["Schedule"] + [f"{b * 100:g}%" for b in budgets]
+        rows = [
+            [schedule] + [f"{by_budget[b]:.2f}" if b in by_budget else "—" for b in budgets]
+            for schedule, by_budget in series.items()
+        ]
+        ref = step_100pct_reference(relabelled)
+        title = f"{setting_name} / {optimizer}"
+        if ref is not None:
+            title += f" (step@100% reference = {ref:.2f})"
+        tables.append(ResultTable(title, headers, rows))
+        _put(
+            reproduced,
+            f"{setting_name}/{optimizer}/rex@100%",
+            series.get("rex", {}).get(1.0),
+        )
+    return ArtifactResult(
+        name="fig3",
+        paper_ref="Figure 3",
+        title="REX vs linear vs delayed-linear schedules across budgets",
+        tables=tables,
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="fig3",
+        kind="figure",
+        paper_ref="Figure 3",
+        title="REX vs linear vs delayed-linear schedules across budgets",
+        plan=_plan_fig3,
+        build=_build_fig3,
+    )
+)
+
+
+# -- Figure 4 ------------------------------------------------------------------
+
+_FIG4_PANELS = (("RN20-CIFAR10", 0.05), ("RN38-CIFAR100", 0.25))
+_FIG4_SCHEDULES = ("rex", "linear", "cosine", "step", "exponential", "onecycle")
+
+
+def _fig4_config(setting_name: str, budget: float, scale: Scale, seed: int = 0) -> LRSensitivityConfig:
+    return LRSensitivityConfig(
+        setting=setting_name,
+        budget_fraction=budget,
+        schedules=_FIG4_SCHEDULES,
+        lr_steps=2,
+        seed=seed,
+        size_scale=scale.size_scale,
+        epoch_scale=scale.epoch_scale,
+        dtype=scale.dtype,
+    )
+
+
+def _fig4_plans(scale: Scale) -> list[list[Any]]:
+    """One sub-plan per panel, each covering every trial seed."""
+    plans: list[list[Any]] = []
+    for setting_name, budget in _FIG4_PANELS:
+        cells: list[Any] = []
+        for seed in _seed_list(scale):
+            cells.extend(plan_lr_sensitivity(_fig4_config(setting_name, budget, scale, seed)))
+        plans.append(cells)
+    return plans
+
+
+def _plan_fig4(scale: Scale) -> list[Any]:
+    return [cell for cells in _fig4_plans(scale) for cell in cells]
+
+
+def _build_fig4(store: RunStore, scale: Scale) -> ArtifactResult:
+    plans = _fig4_plans(scale)
+    tables = []
+    reproduced: dict[str, float] = {}
+    for (setting_name, budget), sub in zip(_FIG4_PANELS, _split_store(store, plans)):
+        series = lr_sensitivity_series(sub)
+        lrs = sorted({lr for by_lr in series.values() for lr in by_lr})
+        headers = ["Schedule"] + [f"{lr:g}" for lr in lrs]
+        rows = [
+            [schedule] + [f"{by_lr[lr]:.2f}" if lr in by_lr else "—" for lr in lrs]
+            for schedule, by_lr in series.items()
+        ]
+        tables.append(ResultTable(f"{setting_name} @ {budget * 100:g}% budget", headers, rows))
+        if setting_name == "RN20-CIFAR10":
+            base_lr = get_setting(setting_name).base_lr("sgdm")
+            by_lr = series.get("rex", {})
+            match = [v for lr, v in by_lr.items() if abs(lr - base_lr) < 1e-12]
+            if match:
+                reproduced[f"{setting_name}@{budget * 100:g}%/rex@base_lr"] = float(match[0])
+    return ArtifactResult(
+        name="fig4",
+        paper_ref="Figure 4",
+        title="Final error against the initial learning rate for each schedule",
+        tables=tables,
+        reproduced=reproduced,
+    )
+
+
+register_artifact(
+    Artifact(
+        name="fig4",
+        kind="figure",
+        paper_ref="Figure 4",
+        title="Final error against the initial learning rate for each schedule",
+        plan=_plan_fig4,
+        build=_build_fig4,
+    )
+)

@@ -1,0 +1,271 @@
+"""Declarative registry of the paper's reproduction artifacts.
+
+Every table and figure of the paper's evaluation is declared once, as an
+:class:`Artifact`: a *plan* function that enumerates the training cells the
+artifact needs (pure — nothing runs), and a *build* function that turns the
+executed records into a uniform :class:`ArtifactResult` (tables of formatted
+rows plus a dict of headline numbers for paper-drift reporting).
+
+The registry is the single source of truth shared by the ``python -m repro``
+CLI and the ``benchmarks/`` harness: both resolve artifacts by name
+(``table1`` … ``table11``, ``fig1`` … ``fig4``), execute the plan through the
+cache-aware :class:`~repro.execution.engine.ExperimentEngine`, and format the
+same build output.  Because cells are content-addressed, artifacts that share
+cells (the per-setting tables, Table 1 and Figure 1, for example) train each
+cell exactly once per cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.execution.cache import InMemoryRunCache, RunCache
+from repro.execution.engine import EngineReport, ExperimentEngine
+from repro.utils.records import RunRecord, RunStore
+from repro.utils.textplot import ascii_table
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactResult",
+    "ResultTable",
+    "SCALES",
+    "Scale",
+    "available_artifacts",
+    "execute_artifact",
+    "get_artifact",
+    "register_artifact",
+    "resolve_artifacts",
+    "resolve_scale",
+    "run_cell",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How large the proxy reproduction runs.
+
+    Attributes
+    ----------
+    name:
+        Preset name ("full", "small", "tiny", "micro") or "custom".
+    size_scale:
+        Multiplier on the proxy dataset sizes.
+    epoch_scale:
+        Multiplier on each setting's maximum epoch count.
+    num_seeds:
+        Trials per cell for the per-setting tables, drawn from each setting's
+        derived seed sequence (ignored when ``seeds`` is set).  The Table 2 /
+        GLUE / figure protocols are single-seed by default, as in the paper.
+    seeds:
+        Explicit trial-seed list, or ``None``.  When set it is honored by
+        *every* artifact plan: the per-setting tables swap their derived
+        sequences for it, and the single-seed protocols run once per listed
+        seed and average.
+    dtype:
+        Float dtype override for every cell ("float32"/"float64"), or ``None``
+        to keep each setting's default.
+    """
+
+    name: str
+    size_scale: float
+    epoch_scale: float
+    num_seeds: int = 1
+    seeds: tuple[int, ...] | None = None
+    dtype: str | None = None
+
+    def replace(self, **changes: Any) -> "Scale":
+        """A copy of this scale with ``changes`` applied (name becomes "custom")."""
+        return dataclasses.replace(self, name="custom", **changes)
+
+
+#: the scale presets shared by the CLI and the benchmark harness.  "full" is
+#: the complete proxy-scale reproduction, "small" a reduced-but-complete pass,
+#: "tiny" a smoke pass, and "micro" the sub-second-per-cell scale used by CI
+#: and the test suite.
+SCALES: dict[str, Scale] = {
+    "full": Scale("full", size_scale=1.0, epoch_scale=1.0, num_seeds=2),
+    "small": Scale("small", size_scale=0.75, epoch_scale=0.5, num_seeds=1),
+    "tiny": Scale("tiny", size_scale=0.2, epoch_scale=0.12, num_seeds=1),
+    "micro": Scale("micro", size_scale=0.12, epoch_scale=0.1, num_seeds=1),
+}
+
+
+@dataclass
+class ResultTable:
+    """One formatted table block of an artifact (a figure panel, an optimizer block...)."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+
+    def as_text(self) -> str:
+        """Render the block as an aligned monospace table."""
+        text = ascii_table(self.rows, self.headers)
+        return f"-- {self.title} --\n{text}" if self.title else text
+
+    def as_dict(self) -> dict[str, Any]:
+        """The block as a JSON-serialisable dict."""
+        return {"title": self.title, "headers": list(self.headers), "rows": [list(r) for r in self.rows]}
+
+
+@dataclass
+class ArtifactResult:
+    """The built form of one artifact: formatted tables plus headline numbers.
+
+    ``reproduced`` maps stable cell labels (e.g. ``"sgdm/rex@100%"``) to the
+    reproduced values; the reporting layer joins it against the paper's
+    published numbers to compute the drift column.
+    """
+
+    name: str
+    paper_ref: str
+    title: str
+    tables: list[ResultTable]
+    reproduced: dict[str, float] = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        """Render every table block as monospace text."""
+        header = f"== {self.paper_ref}: {self.title} =="
+        return "\n\n".join([header] + [t.as_text() for t in self.tables])
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """Declarative spec of one paper table/figure.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"table4"`` or ``"fig2"``.
+    kind:
+        ``"table"`` or ``"figure"``.
+    paper_ref:
+        The paper's reference number, e.g. ``"Table 4"``.
+    title:
+        One-line description shown by ``python -m repro list``.
+    plan:
+        ``Scale -> list of cells``.  Pure: enumerates the training cells the
+        artifact needs without running anything.  May be empty for artifacts
+        that need no training (Table 3, Figure 2).
+    build:
+        ``(RunStore, Scale) -> ArtifactResult``.  The store holds one record
+        per planned cell, in plan order (the engine guarantees this).
+    """
+
+    name: str
+    kind: str
+    paper_ref: str
+    title: str
+    plan: Callable[[Scale], list[Any]]
+    build: Callable[[RunStore, Scale], ArtifactResult]
+
+
+#: all registered artifacts, in registration (= paper) order
+ARTIFACTS: dict[str, Artifact] = {}
+
+
+def register_artifact(artifact: Artifact) -> Artifact:
+    """Add ``artifact`` to the registry; duplicate names are an error."""
+    key = artifact.name.lower()
+    if key in ARTIFACTS:
+        raise ValueError(f"artifact {artifact.name!r} is already registered")
+    if artifact.kind not in ("table", "figure"):
+        raise ValueError(f"artifact kind must be 'table' or 'figure', got {artifact.kind!r}")
+    ARTIFACTS[key] = artifact
+    return artifact
+
+
+def available_artifacts() -> list[str]:
+    """Registered artifact names in registration (= paper) order."""
+    return list(ARTIFACTS)
+
+
+def get_artifact(name: str) -> Artifact:
+    """Look up one artifact by name (case-insensitive)."""
+    key = name.lower()
+    if key not in ARTIFACTS:
+        raise KeyError(f"unknown artifact {name!r}; available: {available_artifacts()}")
+    return ARTIFACTS[key]
+
+
+def resolve_artifacts(only: str | Iterable[str] | None = None) -> list[Artifact]:
+    """Resolve a ``--only`` style selection to artifacts, in registry order.
+
+    ``only`` may be ``None`` (everything), a comma-separated string, or an
+    iterable of names; names are case-insensitive and may repeat.
+    """
+    if only is None:
+        return list(ARTIFACTS.values())
+    if isinstance(only, str):
+        only = only.split(",")
+    wanted = {get_artifact(token.strip()).name for token in only if token.strip()}
+    if not wanted:
+        raise ValueError("empty artifact selection")
+    return [a for a in ARTIFACTS.values() if a.name in wanted]
+
+
+def run_cell(cell: Any) -> RunRecord:
+    """Train one planned cell, whatever its kind.
+
+    The registry mixes cell types — :class:`~repro.experiments.runner.RunConfig`
+    for the per-setting tables, :class:`~repro.experiments.glue_runner.GlueTaskCell`
+    for the GLUE tables, :class:`~repro.analysis.profiles_vs_sampling.ProfileSamplingCell`
+    for the Table 2 grid — and this module-level dispatcher lets one engine
+    (and one worker pool) execute them all.  Imports resolve at call time so
+    tests can monkeypatch the underlying runners.
+    """
+    from repro.analysis.profiles_vs_sampling import ProfileSamplingCell
+    from repro.experiments.glue_runner import GlueTaskCell
+    from repro.experiments.runner import RunConfig
+
+    if isinstance(cell, RunConfig):
+        from repro.experiments import runner
+
+        return runner.run_single(cell)
+    if isinstance(cell, GlueTaskCell):
+        from repro.experiments import glue_runner
+
+        return glue_runner.run_glue_cell(cell)
+    if isinstance(cell, ProfileSamplingCell):
+        from repro.analysis import profiles_vs_sampling
+
+        return profiles_vs_sampling.run_profile_cell(cell)
+    raise TypeError(f"cannot run cell of type {type(cell).__name__}")
+
+
+def execute_artifact(
+    artifact: Artifact,
+    scale: Scale,
+    max_workers: int = 1,
+    cache: RunCache | InMemoryRunCache | str | None = None,
+) -> tuple[RunStore, EngineReport]:
+    """Plan and execute one artifact's cells; return (records, engine report).
+
+    With a cache every previously trained cell is a hit, so re-running an
+    artifact (or running one that shares cells with an earlier one) retrains
+    nothing.  Records come back in plan order regardless of ``max_workers``.
+    """
+    engine = ExperimentEngine(cache=cache, max_workers=max_workers, run_fn=run_cell)
+    store = engine.run(artifact.plan(scale))
+    return store, engine.last_report
+
+
+def resolve_scale(
+    name: str,
+    dtype: str | None = None,
+    seeds: Sequence[int] | None = None,
+) -> Scale:
+    """Look up a scale preset and apply optional dtype/seed overrides."""
+    key = name.lower()
+    if key not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(SCALES)}")
+    scale = SCALES[key]
+    if dtype is not None or seeds is not None:
+        scale = scale.replace(
+            dtype=dtype if dtype is not None else scale.dtype,
+            seeds=tuple(seeds) if seeds is not None else scale.seeds,
+        )
+    return scale

@@ -1,0 +1,134 @@
+"""Render built artifacts to markdown and JSON, with paper-drift columns.
+
+The renderers are deliberately free of timestamps, hostnames and other
+run-environment noise: a report produced from a serial run, a parallel run and
+a fully cached run of the same artifact at the same scale must be
+byte-identical (the test suite enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.reporting.paper import PAPER_CITATION, PAPER_REFERENCE
+from repro.reporting.registry import ArtifactResult, Scale
+
+__all__ = ["drift_rows", "render_json", "render_markdown", "write_report"]
+
+
+def drift_rows(result: ArtifactResult) -> list[dict[str, Any]]:
+    """Join the artifact's headline numbers against the paper's published ones.
+
+    One row per reference cell: label, the paper's value, the reproduced value
+    (``None`` when the run did not produce that cell) and the signed drift.
+    Reproduced-only labels are appended last so nothing measured is dropped.
+    """
+    reference = PAPER_REFERENCE.get(result.name, {})
+    rows: list[dict[str, Any]] = []
+    for label, paper_value in reference.items():
+        reproduced = result.reproduced.get(label)
+        drift = None if reproduced is None else reproduced - paper_value
+        rows.append({"cell": label, "paper": paper_value, "reproduced": reproduced, "drift": drift})
+    for label, reproduced in result.reproduced.items():
+        if label not in reference:
+            rows.append({"cell": label, "paper": None, "reproduced": reproduced, "drift": None})
+    return rows
+
+
+def _fmt(value: float | None, signed: bool = False) -> str:
+    if value is None:
+        return "—"
+    if math.isnan(value):
+        return "nan"
+    return f"{value:+.4g}" if signed else f"{value:.4g}"
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    def escape(cell: str) -> str:
+        return str(cell).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(escape(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(escape(c) for c in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def render_markdown(result: ArtifactResult, scale: Scale) -> str:
+    """Render one built artifact as a self-contained markdown report."""
+    lines: list[str] = [
+        f"# {result.paper_ref} — {result.title}",
+        "",
+        f"Reproduced from: {PAPER_CITATION}",
+        "",
+        f"Scale: `{scale.name}` (size x{scale.size_scale:g}, epochs x{scale.epoch_scale:g}, "
+        + (
+            f"seeds {list(scale.seeds)}, "
+            if scale.seeds is not None
+            else f"derived seeds (num_seeds={scale.num_seeds} on per-setting tables), "
+        )
+        + f"dtype {scale.dtype or 'per-setting default'})",
+    ]
+    for table in result.tables:
+        lines.append("")
+        if table.title:
+            lines.append(f"## {table.title}")
+            lines.append("")
+        lines.append(_markdown_table(table.headers, table.rows))
+    drifts = drift_rows(result)
+    lines.append("")
+    lines.append("## Drift against the paper's published numbers")
+    lines.append("")
+    if drifts:
+        drift_table = [
+            [row["cell"], _fmt(row["paper"]), _fmt(row["reproduced"]), _fmt(row["drift"], signed=True)]
+            for row in drifts
+        ]
+        lines.append(_markdown_table(["Cell", "Paper", "Reproduced", "Drift"], drift_table))
+        lines.append("")
+        lines.append(
+            "Reference values are headline cells transcribed from the paper's full-scale"
+            " runs; proxy-scale reproductions are expected to drift (see"
+            " `repro.reporting.paper`)."
+        )
+    else:
+        lines.append("No reference cells are declared for this artifact.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_json(result: ArtifactResult, scale: Scale) -> str:
+    """Render one built artifact as deterministic (sorted, indented) JSON."""
+    payload = {
+        "name": result.name,
+        "paper_ref": result.paper_ref,
+        "title": result.title,
+        "citation": PAPER_CITATION,
+        "scale": {
+            "name": scale.name,
+            "size_scale": scale.size_scale,
+            "epoch_scale": scale.epoch_scale,
+            "num_seeds": scale.num_seeds,
+            "seeds": list(scale.seeds) if scale.seeds is not None else None,
+            "dtype": scale.dtype,
+        },
+        "tables": [table.as_dict() for table in result.tables],
+        "reproduced": dict(result.reproduced),
+        "drift": drift_rows(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(result: ArtifactResult, scale: Scale, out_dir: str | Path) -> list[Path]:
+    """Write ``<out_dir>/<name>.md`` and ``<out_dir>/<name>.json``; return the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    md_path = out / f"{result.name}.md"
+    json_path = out / f"{result.name}.json"
+    md_path.write_text(render_markdown(result, scale))
+    json_path.write_text(render_json(result, scale))
+    return [md_path, json_path]

@@ -47,6 +47,7 @@ class TriangularCyclicSchedule(Schedule):
         self.decay = decay
 
     def lr_at(self, step: int) -> float:
+        """Triangular wave between ``min_lr`` and a per-cycle decayed peak."""
         if step < 0 or step >= self.total_steps:
             raise ValueError(f"step {step} outside [0, {self.total_steps})")
         cycle_len = self.total_steps / self.num_cycles
@@ -79,6 +80,7 @@ class CosineWarmRestartsSchedule(Schedule):
         self.min_lr = float(min_lr)
 
     def lr_at(self, step: int) -> float:
+        """Cosine annealing from ``base_lr`` to ``min_lr`` within each cycle."""
         if step < 0 or step >= self.total_steps:
             raise ValueError(f"step {step} outside [0, {self.total_steps})")
         cycle_len = self.total_steps / self.num_cycles

@@ -59,6 +59,7 @@ class OneCycleSchedule(Schedule):
         return (step - half) / half, False
 
     def lr_at(self, step: int) -> float:
+        """Linear ramp min->max over the first half, max->min over the second."""
         frac, first_half = self._phase_fraction(step)
         if first_half:
             return self.min_lr + (self.max_lr - self.min_lr) * frac
@@ -73,6 +74,7 @@ class OneCycleSchedule(Schedule):
 
     # -- application --------------------------------------------------------------
     def step(self) -> float:
+        """Advance one step, also cycling the optimizer's momentum/beta1."""
         lr = super().step()
         if self.cycle_momentum and self.optimizer is not None:
             momentum = self.momentum_at(min(self.last_step, self.total_steps - 1))

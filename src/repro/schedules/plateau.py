@@ -74,6 +74,7 @@ class DecayOnPlateauSchedule(Schedule):
 
     # -- Schedule interface --------------------------------------------------------
     def lr_at(self, step: int) -> float:
+        """The current learning rate (plateau decay depends on metrics, not steps)."""
         # The plateau schedule is stateful; the LR does not depend on the step
         # index directly, only on the metric history accumulated so far.
         if step < 0 or step >= self.total_steps:
@@ -81,6 +82,7 @@ class DecayOnPlateauSchedule(Schedule):
         return self.current_lr
 
     def state_dict(self) -> dict:
+        """Base state plus the plateau tracker (current LR, best metric, counters)."""
         state = super().state_dict()
         state.update(
             {
@@ -93,6 +95,7 @@ class DecayOnPlateauSchedule(Schedule):
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
         super().load_state_dict(state)
         self.current_lr = float(state["current_lr"])
         self.best_metric = state["best_metric"]

@@ -54,6 +54,7 @@ class Profile:
     name: str = "profile"
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate the profile on an already clipped progress array (subclass hook)."""
         raise NotImplementedError
 
     def __call__(self, s: np.ndarray | float) -> np.ndarray | float:
@@ -80,6 +81,7 @@ class LinearProfile(Profile):
     name = "linear"
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``1 - s``."""
         return 1.0 - s
 
 
@@ -114,6 +116,7 @@ class REXProfile(Profile):
         self.beta = float(beta)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``(1 - s) * (alpha + beta) / (alpha + beta * (1 - s))``."""
         remaining = 1.0 - s
         normaliser = self.alpha + self.beta  # makes p(0) == 1
         return remaining * normaliser / (self.alpha + self.beta * remaining)
@@ -128,6 +131,7 @@ class CosineProfile(Profile):
     name = "cosine"
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``(1 + cos(pi * s)) / 2``."""
         return 0.5 * (1.0 + np.cos(np.pi * s))
 
 
@@ -147,6 +151,7 @@ class ExponentialProfile(Profile):
         self.gamma = float(gamma)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``exp(gamma * s)``."""
         return np.exp(self.gamma * s)
 
     def __repr__(self) -> str:
@@ -193,6 +198,7 @@ class PolynomialProfile(Profile):
         self.power = float(power)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``(1 - s) ** power``."""
         return (1.0 - s) ** self.power
 
     def __repr__(self) -> str:
@@ -205,6 +211,7 @@ class ConstantProfile(Profile):
     name = "constant"
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``1`` everywhere."""
         return np.ones_like(s)
 
 
@@ -232,6 +239,7 @@ class PiecewiseConstantProfile(Profile):
         self.factor = float(factor)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``factor ** (number of milestones crossed by s)``."""
         crossings = np.zeros_like(s)
         for m in self.milestones:
             crossings = crossings + (s >= m).astype(np.float64)
@@ -258,6 +266,7 @@ class DelayedLinearProfile(Profile):
         self.delay_fraction = float(delay_fraction)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """``1`` until the delay point, then linear decay to 0."""
         d = self.delay_fraction
         decayed = (1.0 - s) / (1.0 - d)
         return np.where(s <= d, 1.0, np.clip(decayed, 0.0, 1.0))
@@ -284,6 +293,7 @@ class CompositeProfile(Profile):
         self.switch = float(switch)
 
     def value(self, s: np.ndarray) -> np.ndarray:
+        """First profile before the switch point, rescaled second profile after."""
         sw = self.switch
         first_local = np.clip(s / sw, 0.0, 1.0)
         second_local = np.clip((s - sw) / (1.0 - sw), 0.0, 1.0)

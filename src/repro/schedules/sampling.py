@@ -74,6 +74,7 @@ class EveryIteration(SamplingPolicy):
     name = "every_iteration"
 
     def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        """The exact continuous progress ``step / total_steps``."""
         self._check(step, total_steps)
         return step / total_steps
 
@@ -84,6 +85,7 @@ class EveryEpoch(SamplingPolicy):
     name = "every_epoch"
 
     def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        """Progress frozen at the start of the step's epoch."""
         self._check(step, total_steps)
         if not steps_per_epoch or steps_per_epoch <= 0:
             raise ValueError("EveryEpoch requires steps_per_epoch")
@@ -102,6 +104,7 @@ class EveryFraction(SamplingPolicy):
         self.fraction = float(fraction)
 
     def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        """Progress rounded down to the last completed ``fraction`` interval."""
         self._check(step, total_steps)
         progress = step / total_steps
         n_intervals = int(progress / self.fraction)
@@ -130,6 +133,7 @@ class Milestones(SamplingPolicy):
         self.milestones = milestones
 
     def sample_progress(self, step: int, total_steps: int, steps_per_epoch: int | None = None) -> float:
+        """The last milestone crossed, or 0 before the first one."""
         self._check(step, total_steps)
         progress = step / total_steps
         passed = [m for m in self.milestones if progress >= m]

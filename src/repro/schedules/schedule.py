@@ -73,6 +73,7 @@ class Schedule:
             self.optimizer.set_lr(lr)
 
     def get_last_lr(self) -> float:
+        """The learning rate most recently applied by :meth:`step`."""
         return self.last_lr
 
     # -- whole-curve helpers (used by Figure 2 and the tests) ------------------------
@@ -87,9 +88,11 @@ class Schedule:
 
     # -- (de)serialisation -----------------------------------------------------------
     def state_dict(self) -> dict[str, Any]:
+        """The schedule's mutable state (for checkpointing)."""
         return {"last_step": self.last_step, "last_lr": self.last_lr, "base_lr": self.base_lr}
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
         self.last_step = int(state["last_step"])
         self.last_lr = float(state["last_lr"])
         self.base_lr = float(state["base_lr"])
@@ -123,6 +126,7 @@ class ProfileSchedule(Schedule):
         self.min_lr = float(min_lr)
 
     def lr_at(self, step: int) -> float:
+        """``base_lr * profile(sampled progress)``, floored at ``min_lr``."""
         progress = self.sampling.sample_progress(step, self.total_steps, self.steps_per_epoch)
         multiplier = float(self.profile(progress))
         return max(self.base_lr * multiplier, self.min_lr)
@@ -140,6 +144,7 @@ class ConstantSchedule(Schedule):
     name = "none"
 
     def lr_at(self, step: int) -> float:
+        """``base_lr`` at every in-budget step."""
         if step < 0 or step >= self.total_steps:
             raise ValueError(f"step {step} outside [0, {self.total_steps})")
         return self.base_lr

@@ -44,6 +44,7 @@ class WarmupWrapper(Schedule):
         self.name = f"warmup+{inner.name}"
 
     def lr_at(self, step: int) -> float:
+        """Linear ramp during warmup, the inner schedule (shifted) afterwards."""
         if step < 0 or step >= self.total_steps:
             raise ValueError(f"step {step} outside [0, {self.total_steps})")
         if step < self.warmup_steps:
@@ -53,6 +54,7 @@ class WarmupWrapper(Schedule):
         return self.inner.lr_at(step - self.warmup_steps)
 
     def step(self) -> float:
+        """Advance one step, applying the warmup or delegating to the inner schedule."""
         # Delegate post-warmup stepping to the inner schedule so schedules with
         # side effects (e.g. OneCycle's momentum cycling) behave correctly.
         self.last_step += 1
@@ -67,4 +69,5 @@ class WarmupWrapper(Schedule):
         return lr
 
     def sequence(self) -> np.ndarray:
+        """The full warmup + inner learning-rate curve, one value per step."""
         return np.array([self.lr_at(t) for t in range(self.total_steps)], dtype=np.float64)

@@ -22,5 +22,48 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def make_micro_artifact():
+    """Factory for sub-second real-training artifacts, deregistered on teardown.
+
+    ``factory(name, seeds=(0,))`` registers an artifact whose plan is a micro
+    RN20-CIFAR10 budget sweep (one cell per seed) and whose build emits one
+    row per record plus a ``"rex@25%"`` headline number.
+    """
+    from repro.execution import plan_budget_sweep
+    from repro.reporting import ARTIFACTS, Artifact, ArtifactResult, ResultTable, register_artifact
+
+    registered: list[str] = []
+
+    def factory(name: str, seeds: tuple[int, ...] = (0,)) -> Artifact:
+        def plan(scale):
+            return plan_budget_sweep(
+                "RN20-CIFAR10", "rex", "sgdm", budgets=(0.25,), seeds=seeds,
+                size_scale=0.12, epoch_scale=0.1,
+            )
+
+        def build(store, scale):
+            rows = [[r.schedule, str(r.seed), f"{r.metric:.4f}"] for r in store]
+            return ArtifactResult(
+                name=name,
+                paper_ref="Table M",
+                title=f"micro test artifact {name}",
+                tables=[ResultTable("", ["Schedule", "Seed", "Metric"], rows)],
+                reproduced={"rex@25%": store.mean_metric()},
+            )
+
+        artifact = register_artifact(
+            Artifact(name=name, kind="table", paper_ref="Table M",
+                     title=f"micro test artifact {name}", plan=plan, build=build)
+        )
+        # the registry keys on the lowercased name; pop the same key
+        registered.append(name.lower())
+        return artifact
+
+    yield factory
+    for name in registered:
+        ARTIFACTS.pop(name, None)
+
+
+@pytest.fixture
 def small_tensor(rng: np.random.Generator) -> Tensor:
     return Tensor(rng.standard_normal((4, 5)), requires_grad=True)

@@ -1,0 +1,150 @@
+"""Snapshot and end-to-end tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ALL_NAMES = [f"table{i}" for i in range(1, 12)] + [f"fig{i}" for i in range(1, 5)]
+
+
+class TestHelp:
+    def test_top_level_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for token in ("list", "run", "report", "clean", "python -m repro"):
+            assert token in out
+
+    @pytest.mark.parametrize("command", ["list", "run", "report", "clean"])
+    def test_subcommand_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "--" in capsys.readouterr().out
+
+    def test_missing_subcommand_fails(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestList:
+    def test_list_enumerates_all_tables_and_figures(self, capsys):
+        assert main(["list", "--scale", "micro"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_NAMES:
+            assert name in out
+        for ref in ("Table 1", "Table 11", "Figure 1", "Figure 4"):
+            assert ref in out
+        assert "15 artifacts" in out
+
+    def test_list_only_selection(self, capsys):
+        assert main(["list", "--only", "table3,fig2", "--scale", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig2" in out
+        assert "table4" not in out
+
+    def test_unknown_artifact_is_a_clean_error(self, capsys):
+        assert main(["list", "--only", "table99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        """``python -m repro list`` works as documented (real subprocess)."""
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "--scale", "micro"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "table4" in proc.stdout and "fig4" in proc.stdout
+
+
+class TestRunReportClean:
+    def test_table3_end_to_end(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out = str(tmp_path / "reports")
+        assert main(["run", "--only", "table3", "--cache-dir", cache]) == 0
+        assert main(["report", "--only", "table3", "--cache-dir", cache, "--out", out]) == 0
+        report = (tmp_path / "reports" / "table3.md").read_text()
+        assert "# Table 3" in report
+        assert "## Drift against the paper's published numbers" in report
+        assert "Chen, Wang and Kedziora" in report
+        payload = json.loads((tmp_path / "reports" / "table3.json").read_text())
+        assert payload["name"] == "table3"
+        assert all(row["drift"] == 0.0 for row in payload["drift"])
+
+    def test_dtype_and_seeds_flags_parse(self, capsys):
+        assert main(["list", "--scale", "micro", "--dtype", "float32", "--seeds", "0,1"]) == 0
+        with pytest.raises(SystemExit):
+            main(["list", "--seeds", "zero"])
+
+    def test_clean_refuses_empty_cache_dir(self, tmp_path, capsys, monkeypatch):
+        """'' disables caching on run/report; clean must not fall back to cwd."""
+        monkeypatch.chdir(tmp_path)
+        precious = tmp_path / "precious.json"
+        precious.write_text("{}")
+        assert main(["clean", "--cache-dir", ""]) == 2
+        assert "non-empty --cache-dir" in capsys.readouterr().err
+        assert precious.exists()
+
+    def test_clean_reports_only_touches_artifact_reports(self, tmp_path, capsys):
+        """--reports must not glob away unrelated markdown/JSON in --out."""
+        out = tmp_path / "reports"
+        out.mkdir()
+        (out / "table3.md").write_text("report")
+        (out / "table3.json").write_text("{}")
+        (out / "NOTES.md").write_text("mine")
+        assert main(["clean", "--cache-dir", str(tmp_path / "cache"), "--out", str(out), "--reports"]) == 0
+        assert "removed 2 report files" in capsys.readouterr().out
+        assert (out / "NOTES.md").exists()
+        assert not (out / "table3.md").exists()
+
+    def test_workers_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--only", "table3", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+
+@pytest.fixture
+def micro_artifact(make_micro_artifact):
+    return make_micro_artifact("microcli")
+
+
+class TestResumability:
+    def test_second_run_is_pure_cache_and_clean_resets(self, micro_artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["--only", "microcli", "--scale", "micro", "--cache-dir", cache]
+
+        assert main(["run", *args]) == 0
+        first = capsys.readouterr().out
+        assert "1 executed" in first and "0 cache hits" in first
+
+        assert main(["run", *args]) == 0
+        second = capsys.readouterr().out
+        assert "1 cache hits" in second and "0 executed" in second
+
+        out = str(tmp_path / "reports")
+        assert main(["report", *args, "--out", out]) == 0
+        assert "all cells cached" in capsys.readouterr().out
+        assert (tmp_path / "reports" / "microcli.md").exists()
+
+        assert main(["clean", "--cache-dir", cache, "--out", out, "--reports"]) == 0
+        cleaned = capsys.readouterr().out
+        assert "removed 1 cached records" in cleaned
+        assert "removed 2 report files" in cleaned
+        assert list((tmp_path / "cache").glob("*.json")) == []

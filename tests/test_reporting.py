@@ -1,0 +1,168 @@
+"""Tests for the artifact registry and the report layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import config_fingerprint
+from repro.reporting import (
+    ARTIFACTS,
+    PAPER_REFERENCE,
+    SCALES,
+    available_artifacts,
+    execute_artifact,
+    get_artifact,
+    register_artifact,
+    render_json,
+    render_markdown,
+    resolve_artifacts,
+    resolve_scale,
+    run_cell,
+)
+from repro.reporting.report import drift_rows
+from repro.utils.records import RunStore
+
+MICRO = SCALES["micro"]
+
+EXPECTED_NAMES = [f"table{i}" for i in range(1, 12)] + [f"fig{i}" for i in range(1, 5)]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered_once(self):
+        assert available_artifacts() == EXPECTED_NAMES
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_artifact(ARTIFACTS["table3"])
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_artifact("TABLE4") is ARTIFACTS["table4"]
+        with pytest.raises(KeyError, match="unknown artifact"):
+            get_artifact("table99")
+
+    def test_resolve_selection(self):
+        assert [a.name for a in resolve_artifacts(None)] == EXPECTED_NAMES
+        assert [a.name for a in resolve_artifacts("fig2, TABLE3")] == ["table3", "fig2"]
+        with pytest.raises(KeyError):
+            resolve_artifacts("nope")
+        with pytest.raises(ValueError):
+            resolve_artifacts(" , ")
+
+    def test_every_plan_is_resolvable_and_deterministic(self):
+        """Each artifact's plan enumerates fingerprintable cells, stably."""
+        for artifact in ARTIFACTS.values():
+            first = [config_fingerprint(c) for c in artifact.plan(MICRO)]
+            second = [config_fingerprint(c) for c in artifact.plan(MICRO)]
+            assert first == second, artifact.name
+            assert len(set(first)) == len(first), f"{artifact.name} plans duplicate cells"
+
+    def test_aggregates_share_cells_with_per_setting_tables(self):
+        """Table 1 enumerates exactly Table 4's cells (among others), so a
+        shared cache trains each cell once."""
+        table4 = {config_fingerprint(c) for c in ARTIFACTS["table4"].plan(MICRO)}
+        table1 = {config_fingerprint(c) for c in ARTIFACTS["table1"].plan(MICRO)}
+        assert table4 <= table1
+        fig1 = {config_fingerprint(c) for c in ARTIFACTS["fig1"].plan(MICRO)}
+        assert table1 == fig1
+
+    def test_dtype_and_seeds_enter_the_plan(self):
+        base = {config_fingerprint(c) for c in ARTIFACTS["table4"].plan(MICRO)}
+        f32 = {config_fingerprint(c) for c in ARTIFACTS["table4"].plan(MICRO.replace(dtype="float32"))}
+        pinned = {config_fingerprint(c) for c in ARTIFACTS["table4"].plan(MICRO.replace(seeds=(7,)))}
+        assert base.isdisjoint(f32)
+        assert base.isdisjoint(pinned)
+
+    def test_run_cell_rejects_unknown_cell_types(self):
+        with pytest.raises(TypeError):
+            run_cell({"setting": "RN20-CIFAR10"})
+
+    def test_resolve_scale(self):
+        assert resolve_scale("tiny") is SCALES["tiny"]
+        custom = resolve_scale("tiny", dtype="float32", seeds=[1, 2])
+        assert custom.name == "custom"
+        assert custom.dtype == "float32" and custom.seeds == (1, 2)
+        with pytest.raises(KeyError):
+            resolve_scale("huge")
+
+
+class TestTrainingFreeArtifacts:
+    def test_table3_drift_is_zero(self):
+        artifact = get_artifact("table3")
+        store, report = execute_artifact(artifact, MICRO)
+        assert report.total == 0
+        result = artifact.build(store, MICRO)
+        rows = drift_rows(result)
+        assert set(r["cell"] for r in rows) == set(PAPER_REFERENCE["table3"])
+        assert all(r["drift"] == 0.0 for r in rows)
+
+    def test_fig2_analytic_references_match(self):
+        artifact = get_artifact("fig2")
+        result = artifact.build(RunStore(), MICRO)
+        assert result.reproduced["rex_profile/every_iteration@50%"] == pytest.approx(2 / 3)
+        assert result.reproduced["linear_profile/every_iteration@50%"] == pytest.approx(0.5)
+        for row in drift_rows(result):
+            if row["paper"] is not None:
+                assert abs(row["drift"]) < 1e-6
+
+    def test_reference_labels_join_reproduced_labels(self):
+        """Every declared reference key for the training-free artifacts is
+        actually produced by the build (no orphaned drift rows)."""
+        for name in ("table3", "fig2"):
+            result = get_artifact(name).build(RunStore(), MICRO)
+            assert set(PAPER_REFERENCE[name]) <= set(result.reproduced)
+
+    def test_reference_artifacts_all_exist(self):
+        assert set(PAPER_REFERENCE) <= set(ARTIFACTS)
+
+
+@pytest.fixture
+def micro_artifact(make_micro_artifact):
+    """A two-cell real-training artifact, removed from the registry afterwards."""
+    return make_micro_artifact("microtab", seeds=(0, 1))
+
+
+class TestReportDeterminism:
+    def test_serial_parallel_cached_reports_are_byte_identical(self, micro_artifact, tmp_path):
+        """The acceptance contract: the rendered report must not depend on how
+        the cells were executed."""
+        serial_store, serial_report = execute_artifact(micro_artifact, MICRO)
+        parallel_store, parallel_report = execute_artifact(micro_artifact, MICRO, max_workers=2)
+        warm_store, warm_report = execute_artifact(micro_artifact, MICRO, cache=tmp_path)
+        cached_store, cached_report = execute_artifact(micro_artifact, MICRO, cache=tmp_path)
+
+        assert serial_report.executed == 2 and parallel_report.executed == 2
+        assert warm_report.executed == 2
+        assert cached_report.executed == 0 and cached_report.cache_hits == 2  # pure cache
+
+        outputs = {
+            render_markdown(micro_artifact.build(store, MICRO), MICRO)
+            for store in (serial_store, parallel_store, warm_store, cached_store)
+        }
+        assert len(outputs) == 1
+        json_outputs = {
+            render_json(micro_artifact.build(store, MICRO), MICRO)
+            for store in (serial_store, parallel_store, warm_store, cached_store)
+        }
+        assert len(json_outputs) == 1
+
+    def test_markdown_contains_drift_section(self, micro_artifact):
+        store, _ = execute_artifact(micro_artifact, MICRO)
+        md = render_markdown(micro_artifact.build(store, MICRO), MICRO)
+        assert "# Table M — micro test artifact" in md
+        assert "## Drift against the paper's published numbers" in md
+        assert "rex@25%" in md
+
+
+class TestSeedThreading:
+    @pytest.mark.parametrize("name", ["table2", "table10", "fig3", "fig4"])
+    def test_explicit_seeds_reach_single_seed_protocol_plans(self, name):
+        """--seeds must change the cells of every artifact, not just Tables 4-9."""
+        base = {config_fingerprint(c) for c in ARTIFACTS[name].plan(MICRO)}
+        pinned = {config_fingerprint(c) for c in ARTIFACTS[name].plan(MICRO.replace(seeds=(7,)))}
+        assert base.isdisjoint(pinned)
+
+    @pytest.mark.parametrize("name", ["table2", "table10", "fig3", "fig4"])
+    def test_multi_seed_plans_average_per_cell(self, name):
+        one = ARTIFACTS[name].plan(MICRO.replace(seeds=(0,)))
+        two = ARTIFACTS[name].plan(MICRO.replace(seeds=(0, 1)))
+        assert len(two) == 2 * len(one)

@@ -1,0 +1,73 @@
+"""Docs lint: every repo path referenced in the markdown docs must exist.
+
+Scans the top-level markdown files plus ``docs/`` for tokens that look like
+repository paths (``src/...``, ``benchmarks/...``, ``docs/...``, top-level
+``*.md``/``*.toml`` files, ...) and fails if any referenced file or directory
+is missing — so renames and deletions cannot silently strand the
+documentation.  Run directly (CI does) or through ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files whose path references are checked
+DOC_FILES = ("README.md", "PAPER.md", "ROADMAP.md", "docs/ARCHITECTURE.md")
+
+#: top-level prefixes that mark a token as a repo path
+_PREFIXES = ("src/", "tests/", "benchmarks/", "examples/", "docs/", "tools/", ".github/")
+
+#: top-level files referred to by bare name
+_TOP_LEVEL = re.compile(r"^[A-Za-z][\w.-]*\.(?:md|toml|py|yml)$")
+
+_TOKEN = re.compile(r"[\w./-]+")
+
+
+def _is_repo_path(token: str) -> bool:
+    if _TOP_LEVEL.match(token):
+        return True
+    return token.startswith(_PREFIXES)
+
+
+def referenced_paths(text: str) -> set[str]:
+    """Extract the repo paths a markdown document refers to."""
+    paths: set[str] = set()
+    for token in _TOKEN.findall(text):
+        token = token.rstrip(".,:;")
+        if _is_repo_path(token):
+            paths.add(token)
+    return paths
+
+
+def missing_references(repo_root: Path = REPO_ROOT) -> list[str]:
+    """All dangling doc references, as ``"<doc>: <path>"`` strings."""
+    problems: list[str] = []
+    for doc_name in DOC_FILES:
+        doc = repo_root / doc_name
+        if not doc.is_file():
+            problems.append(f"{doc_name}: (document itself is missing)")
+            continue
+        for path in sorted(referenced_paths(doc.read_text())):
+            if not (repo_root / path).exists():
+                problems.append(f"{doc_name}: {path}")
+    return problems
+
+
+def main() -> int:
+    """Entry point: print dangling references and return a process exit code."""
+    problems = missing_references()
+    if problems:
+        print("dangling documentation references:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"doc references OK across {', '.join(DOC_FILES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
