@@ -1,13 +1,19 @@
-"""Hot-path microbenchmark: full training-step loops in float32 vs float64.
+"""Hot-path microbenchmark: step loops in float32 vs float64 and serial vs seed-batched.
 
 Times the complete step (forward + backward + fused optimizer update) for the
 two workload shapes that dominate the paper's reproduction — an MLP (pure
 matmul) and the ResNet-20 CIFAR proxy (im2col conv + batchnorm) — in both
-dtypes, and appends the measurements to ``BENCH_hotpath.json`` so CI can
-archive the perf trajectory.
+dtypes, plus the S=5 *seed-batched* step loop against five serial per-seed
+loops (the ``--batch-seeds`` execution path), and appends the measurements to
+``BENCH_hotpath.json`` so CI can archive the perf trajectory.
+
+The seed-batched comparison covers both performance regimes: the tiny
+interpreter-bound MLP where stacking amortises per-seed python/dispatch
+overhead (the ≥2x target), and the conv-heavy ResNet-20 proxy where the step
+is BLAS/bandwidth-bound and stacking is recorded as roughly break-even.
 
 Scale follows ``REPRO_BENCH_SCALE`` (tiny/small/full) like the rest of the
-harness; the speedup floor is only asserted at >= small scale, where the loop
+harness; speedup floors are only asserted at >= small scale, where the loop
 is long enough for the ratio to be stable.  Override the output path with
 ``REPRO_BENCH_HOTPATH_JSON``.
 """
@@ -123,8 +129,131 @@ def test_resnet20_step_loop_float32_vs_float64():
         )
 
 
+# ---------------------------------------------------------------------------
+# seed-batched (vmap-style) step loops: 5 serial per-seed loops vs one stacked
+# ---------------------------------------------------------------------------
+
+NUM_SEEDS = 5
+
+#: asserted only at >= small scale; the locally recorded value is ~2.5-3x for
+#: the interpreter-bound tiny MLP, and the floor leaves headroom for CI noise
+_MIN_BATCHED_SPEEDUP = 1.5 if _STEPS >= 40 else None
+
+
+def _mlp_seed_workloads():
+    """The tiny interpreter-bound workload the seed axis is built for."""
+    from repro.nn.losses import cross_entropy
+
+    rng = np.random.default_rng(0)
+    batches = [
+        (rng.standard_normal((16, 64)), rng.integers(0, 10, size=16)) for _ in range(4)
+    ]
+
+    def build(seed: int):
+        return MLP(in_features=64, num_classes=10, hidden_sizes=(32, 32), seed=seed)
+
+    def loss_fn(model, x, labels):
+        return cross_entropy(model(x), labels)
+
+    return build, batches, loss_fn
+
+
+def _resnet20_seed_workloads():
+    """The conv-heavy regime: BLAS/bandwidth-bound, recorded for transparency."""
+    from repro.nn.losses import cross_entropy
+
+    def build(seed: int):
+        return build_workload(get_setting("RN20-CIFAR10"), seed=seed, size_scale=0.12).model
+
+    workload = build_workload(get_setting("RN20-CIFAR10"), seed=0, size_scale=0.12)
+    batches = [batch for batch, _ in zip(workload.train_loader, range(2))]
+
+    def loss_fn(model, x, labels):
+        return cross_entropy(model(x), labels)
+
+    return build, batches, loss_fn
+
+
+def _time_seed_loops(build_fn, batches, loss_fn) -> tuple[float, float]:
+    """(serial_seconds, batched_seconds) for ``_STEPS`` S-seed training steps."""
+    from repro import nn as nn_mod
+    from repro.optim import build_optimizer as build_opt
+
+    # serial: one full python pass per seed per step
+    models = [build_fn(seed) for seed in range(NUM_SEEDS)]
+    optimizers = [build_opt("sgdm", m.parameters(), lr=0.01) for m in models]
+    start = 0.0
+    for i in range(_WARMUP + _STEPS):
+        if i == _WARMUP:
+            start = time.perf_counter()
+        raw_x, labels = batches[i % len(batches)]
+        for model, optimizer in zip(models, optimizers):
+            loss = loss_fn(model, nn_mod.Tensor(raw_x), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    serial_seconds = time.perf_counter() - start
+
+    # batched: one stacked pass covers all seeds
+    stacked = nn_mod.stack_modules([build_fn(seed) for seed in range(NUM_SEEDS)])
+    optimizer = build_opt("sgdm", stacked.parameters(), lr=0.01)
+    ones = np.ones(NUM_SEEDS)
+    stacked_batches = [
+        (
+            np.ascontiguousarray(np.broadcast_to(x, (NUM_SEEDS,) + x.shape)),
+            np.ascontiguousarray(np.broadcast_to(y, (NUM_SEEDS,) + y.shape)),
+        )
+        for x, y in batches
+    ]
+    for i in range(_WARMUP + _STEPS):
+        if i == _WARMUP:
+            start = time.perf_counter()
+        raw_x, labels = stacked_batches[i % len(stacked_batches)]
+        loss = loss_fn(stacked, nn_mod.seed_stacked(raw_x), labels)
+        optimizer.zero_grad()
+        loss.backward(ones)
+        optimizer.step()
+    batched_seconds = time.perf_counter() - start
+    assert np.all(np.isfinite(loss.data)), "seed-batched step loop diverged"
+    return serial_seconds, batched_seconds
+
+
+def _bench_seed_batched(entry_name: str, workloads_fn) -> dict:
+    serial_seconds, batched_seconds = _time_seed_loops(*workloads_fn())
+    entry = {
+        "steps": _STEPS,
+        "num_seeds": NUM_SEEDS,
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "batched_speedup": round(serial_seconds / batched_seconds, 3),
+    }
+    _record(entry_name, entry)
+    print(f"\n[hotpath] {entry_name}: {entry}")
+    return entry
+
+
+def test_mlp_seed_batched_vs_serial_loop():
+    """S=5 stacked MLP training must beat five serial per-seed loops >=2x locally."""
+    entry = _bench_seed_batched("mlp_seed_batched", _mlp_seed_workloads)
+    if _MIN_BATCHED_SPEEDUP is not None:
+        assert entry["batched_speedup"] >= _MIN_BATCHED_SPEEDUP, (
+            f"seed-batched MLP loop regressed: {entry['batched_speedup']}x "
+            f"< {_MIN_BATCHED_SPEEDUP}x"
+        )
+
+
+def test_resnet20_seed_batched_vs_serial_loop():
+    """Conv regime: recorded for the trajectory; asserted only as no collapse."""
+    entry = _bench_seed_batched("resnet20_seed_batched", _resnet20_seed_workloads)
+    if _MIN_BATCHED_SPEEDUP is not None:
+        # stacking must never cost more than ~2x serial on the conv path
+        assert entry["batched_speedup"] >= 0.5, (
+            f"seed-batched ResNet-20 loop collapsed: {entry['batched_speedup']}x"
+        )
+
+
 def test_artifact_written_and_well_formed():
-    """Runs last in file order: both model entries must be in the artifact."""
+    """Runs last in file order: every bench entry must be in the artifact."""
     if not RESULTS_PATH.exists():
         pytest.skip("timing tests did not run")
     payload = json.loads(RESULTS_PATH.read_text())
@@ -132,3 +261,8 @@ def test_artifact_written_and_well_formed():
         entry = payload["results"].get(model_name)
         assert entry is not None, f"missing {model_name} entry in {RESULTS_PATH}"
         assert entry["float32_seconds"] > 0 and entry["float64_seconds"] > 0
+    for entry_name in ("mlp_seed_batched", "resnet20_seed_batched"):
+        entry = payload["results"].get(entry_name)
+        assert entry is not None, f"missing {entry_name} entry in {RESULTS_PATH}"
+        assert entry["num_seeds"] == NUM_SEEDS
+        assert entry["serial_seconds"] > 0 and entry["batched_seconds"] > 0

@@ -8,7 +8,10 @@ Four subcommands drive the whole reproduction through the artifact registry:
     Execute the selected artifacts' training cells through the cache-aware
     engine.  With ``--cache-dir`` (on by default) runs are resumable and
     incremental: re-running retrains nothing, and artifacts that share cells
-    (Table 1 aggregates Tables 4-7/9) reuse each other's work.
+    (Table 1 aggregates Tables 4-7/9) reuse each other's work.  With
+    ``--batch-seeds`` all seeds of a cell train in one seed-stacked pass;
+    records, cache entries and reports stay byte-identical to the serial
+    path.
 ``report``
     Build the selected artifacts from their (cached) records and write one
     markdown + one JSON report per artifact, including the drift column
@@ -103,6 +106,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> N
             metavar="DIR",
             help=f"content-addressed run cache; '' disables caching (default: {DEFAULT_CACHE_DIR})",
         )
+        parser.add_argument(
+            "--batch-seeds",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help=(
+                "train all seeds of each cell in one seed-stacked pass (vmap-style); "
+                "records, cache entries and reports are byte-identical to the serial "
+                "path — only wall-clock changes (default: off)"
+            ),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,11 +192,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     cache = _cache_from(args)
     for artifact in artifacts:
         start = time.monotonic()
-        _, report = execute_artifact(artifact, scale, max_workers=args.workers, cache=cache)
+        _, report = execute_artifact(
+            artifact, scale, max_workers=args.workers, cache=cache, batch_seeds=args.batch_seeds
+        )
         elapsed = time.monotonic() - start
+        batched = (
+            f", {report.batched_records} in {report.batched_cells} seed-batched cells"
+            if report.batched_cells
+            else ""
+        )
         print(
             f"{artifact.name}: {report.total} cells — {report.cache_hits} cache hits, "
-            f"{report.executed} executed, {report.retried} retried ({elapsed:.1f}s)"
+            f"{report.executed} executed{batched}, {report.retried} retried ({elapsed:.1f}s)"
         )
     if cache is not None:
         print(f"cache: {len(cache)} records under {cache.cache_dir}")
@@ -197,7 +217,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     artifacts, scale = _selection(args)
     cache = _cache_from(args)
     for artifact in artifacts:
-        store, engine_report = execute_artifact(artifact, scale, max_workers=args.workers, cache=cache)
+        store, engine_report = execute_artifact(
+            artifact, scale, max_workers=args.workers, cache=cache, batch_seeds=args.batch_seeds
+        )
         result = artifact.build(store, scale)
         paths = write_report(result, scale, args.out)
         cached = (

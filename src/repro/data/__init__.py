@@ -1,6 +1,7 @@
 """Datasets and loaders: synthetic proxies for every workload in the paper."""
 
 from repro.data.dataset import Dataset, ArrayDataset, Subset, DataLoader, train_test_split
+from repro.data.stacked import StackedLoader
 from repro.data.synthetic import (
     ImageClassificationSpec,
     make_image_classification,
@@ -31,6 +32,7 @@ __all__ = [
     "ArrayDataset",
     "Subset",
     "DataLoader",
+    "StackedLoader",
     "train_test_split",
     "ImageClassificationSpec",
     "make_image_classification",

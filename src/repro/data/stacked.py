@@ -1,0 +1,48 @@
+"""Seed-stacked data loading: one batch stream covering S per-seed loaders."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import DataLoader
+
+__all__ = ["StackedLoader"]
+
+
+class StackedLoader:
+    """Zip S per-seed :class:`DataLoader`\\ s into (S, B, ...) stacked batches.
+
+    Each wrapped loader keeps its own shuffling RNG stream, and one pass over
+    the stacked loader makes exactly one pass over each wrapped loader — so
+    seed *s*'s sub-batches (content *and* order) are identical to the batches
+    it would draw when trained alone.  All loaders must agree on length and
+    per-batch shapes (true by construction for the synthetic proxy datasets,
+    which share sizes across seeds).
+    """
+
+    def __init__(self, loaders: Sequence[DataLoader]) -> None:
+        loaders = list(loaders)
+        if not loaders:
+            raise ValueError("StackedLoader needs at least one loader")
+        lengths = {len(loader) for loader in loaders}
+        if len(lengths) != 1:
+            raise ValueError(f"per-seed loaders disagree on length: {sorted(lengths)}")
+        self.loaders = loaders
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of stacked per-seed loaders."""
+        return len(self.loaders)
+
+    def __len__(self) -> int:
+        return len(self.loaders[0])
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        for batches in zip(*self.loaders):
+            num_fields = len(batches[0])
+            yield tuple(
+                np.stack([batch[field] for batch in batches], axis=0)
+                for field in range(num_fields)
+            )

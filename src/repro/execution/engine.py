@@ -27,6 +27,20 @@ __all__ = ["EngineReport", "ExperimentEngine", "run_configs"]
 RunFn = Callable[[Any], RunRecord]
 
 
+@dataclass(frozen=True)
+class _Job:
+    """One executable unit: a payload whose records fill ``indices`` in plan order.
+
+    Plain configs map one payload to one index; seed-batched cells map one
+    :class:`~repro.experiments.batched.BatchedRunCell` to every member seed's
+    index.  ``fn`` must be module-level (picklable) for the process pool.
+    """
+
+    fn: Callable[[Any], RunRecord | list[RunRecord] | tuple[list[RunRecord], bool]]
+    payload: Any
+    indices: tuple[int, ...]
+
+
 def _default_run_fn() -> RunFn:
     # Imported lazily: repro.experiments.runner wraps this engine, so a
     # top-level import here would be circular.  Resolving at call time also
@@ -44,6 +58,10 @@ class EngineReport:
     cache_hits: int = 0
     executed: int = 0
     retried: int = 0
+    #: seed-stacked cells that trained multiple configs in one pass
+    batched_cells: int = 0
+    #: configs whose record came out of a seed-stacked cell
+    batched_records: int = 0
     failures: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
@@ -53,6 +71,8 @@ class EngineReport:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "retried": self.retried,
+            "batched_cells": self.batched_cells,
+            "batched_records": self.batched_records,
             "failures": list(self.failures),
         }
 
@@ -79,6 +99,13 @@ class ExperimentEngine:
         Maps one config to one :class:`RunRecord`.  Defaults to
         :func:`repro.experiments.runner.run_single`.  Must be a module-level
         function when ``max_workers > 1``.
+    batch_seeds:
+        Stack cache-missing cells that differ only in their seed into one
+        seed-batched training pass
+        (:func:`repro.experiments.batched.run_batched_cell`).  Records — and
+        therefore cache entries, which stay keyed per seed — are bitwise
+        identical to serial execution; only wall-clock changes.  Off by
+        default.
     """
 
     def __init__(
@@ -87,6 +114,7 @@ class ExperimentEngine:
         max_workers: int = 1,
         retries: int = 1,
         run_fn: RunFn | None = None,
+        batch_seeds: bool = False,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -98,6 +126,7 @@ class ExperimentEngine:
         self.max_workers = max_workers
         self.retries = retries
         self.run_fn = run_fn
+        self.batch_seeds = batch_seeds
         self.last_report = EngineReport()
 
     # -- execution -----------------------------------------------------------
@@ -124,10 +153,11 @@ class ExperimentEngine:
 
         if pending:
             run_fn = self.run_fn if self.run_fn is not None else _default_run_fn()
-            if self.max_workers == 1 or len(pending) == 1:
-                self._run_serial(run_fn, plan, pending, results, report)
+            jobs = self._make_jobs(run_fn, plan, pending, report)
+            if self.max_workers == 1 or len(jobs) == 1:
+                self._run_serial(plan, jobs, results, report)
             else:
-                self._run_parallel(run_fn, plan, pending, results, report)
+                self._run_parallel(plan, jobs, results, report)
 
         if store is None:
             store = RunStore()
@@ -136,66 +166,137 @@ class ExperimentEngine:
             store.add(record)
         return store
 
+    def _run_fn_supports_batching(self) -> bool:
+        """Whether seed-grouping is numerically equivalent to ``self.run_fn``.
+
+        ``run_batched_cell`` reproduces :func:`repro.experiments.runner.run_single`
+        bit for bit, so batching is only valid when that is what ``run_fn``
+        would do for a :class:`RunConfig` anyway — the default, or the
+        registry's :func:`~repro.reporting.registry.run_cell` dispatcher.  A
+        custom or monkeypatched ``run_fn`` falls back to per-cell execution so
+        the 'records identical regardless of options' contract holds.
+        """
+        if self.run_fn is None:
+            return True
+        from repro.experiments.runner import run_single
+        from repro.reporting.registry import run_cell
+
+        return self.run_fn in (run_single, run_cell)
+
+    def _make_jobs(
+        self, run_fn: RunFn, plan: Sequence[Any], pending: Sequence[int], report: EngineReport
+    ) -> list[_Job]:
+        """Turn cache misses into executable jobs, seed-batching when enabled.
+
+        A job maps one payload to the records of one or more plan indices.
+        Without ``batch_seeds`` every pending config is its own job; with it,
+        batchable configs sharing a seedless fingerprint merge into one
+        :class:`~repro.experiments.batched.BatchedRunCell` job.
+        """
+        if not self.batch_seeds or not self._run_fn_supports_batching():
+            return [_Job(run_fn, plan[idx], (idx,)) for idx in pending]
+        # Imported lazily for the same reason as _default_run_fn: the batched
+        # runner sits on top of repro.experiments, which imports this engine.
+        from repro.experiments.batched import group_batchable, run_batched_job
+
+        groups, singles = group_batchable([(idx, plan[idx]) for idx in pending])
+        jobs: list[_Job] = [_Job(run_fn, plan[idx], (idx,)) for idx in singles]
+        for cell, indices in groups:
+            jobs.append(_Job(run_batched_job, cell, tuple(indices)))
+        # deterministic execution order: by first plan index
+        jobs.sort(key=lambda job: job.indices[0])
+        return jobs
+
     def _complete(
-        self, plan: Sequence[Any], idx: int, record: RunRecord, results: list[RunRecord | None], report: EngineReport
+        self,
+        plan: Sequence[Any],
+        job: "_Job",
+        outcome: RunRecord | list[RunRecord] | tuple[list[RunRecord], bool],
+        results: list[RunRecord | None],
+        report: EngineReport,
     ) -> None:
         # Persist immediately, not after the whole batch: a later failure (or
         # Ctrl-C) must not discard training work that already finished — the
         # next invocation should pick up incrementally from the cache.
-        results[idx] = record
-        report.executed += 1
-        if self.cache is not None:
-            self.cache.put(plan[idx], record)
+        if isinstance(outcome, tuple):
+            # a seed-batched job reports (records, stacked); the counters only
+            # reflect cells whose stacked pass actually ran, so a silent
+            # regression to the serial fallback is visible in the report
+            records, stacked = outcome
+            if stacked:
+                report.batched_cells += 1
+                report.batched_records += len(records)
+        else:
+            records = outcome if isinstance(outcome, list) else [outcome]
+        if len(records) != len(job.indices):
+            raise RuntimeError(
+                f"job produced {len(records)} records for {len(job.indices)} configs"
+            )
+        for idx, record in zip(job.indices, records):
+            results[idx] = record
+            report.executed += 1
+            if self.cache is not None:
+                # Seed-batched cells are split back into per-seed records here:
+                # each one is cached under its own per-seed config fingerprint,
+                # so later runs with any subset of the seeds hit the cache.
+                self.cache.put(plan[idx], record)
 
     def _run_serial(
         self,
-        run_fn: RunFn,
         plan: Sequence[Any],
-        pending: Sequence[int],
+        jobs: Sequence["_Job"],
         results: list[RunRecord | None],
         report: EngineReport,
     ) -> None:
-        for idx in pending:
+        for job in jobs:
             attempts_left = self.retries
             while True:
                 try:
-                    record = run_fn(plan[idx])
+                    outcome = job.fn(job.payload)
                     break
                 except Exception as exc:
                     if attempts_left <= 0:
-                        report.failures.append(f"cell {idx}: {exc!r}")
+                        report.failures.extend(f"cell {idx}: {exc!r}" for idx in job.indices)
                         raise
                     attempts_left -= 1
                     report.retried += 1
-            self._complete(plan, idx, record, results, report)
+            self._complete(plan, job, outcome, results, report)
 
     def _run_parallel(
         self,
-        run_fn: RunFn,
         plan: Sequence[Any],
-        pending: Sequence[int],
+        jobs: Sequence["_Job"],
         results: list[RunRecord | None],
         report: EngineReport,
     ) -> None:
-        attempts: dict[int, int] = {idx: 0 for idx in pending}
+        attempts: dict[int, int] = {i: 0 for i in range(len(jobs))}
         try:
-            with ProcessPoolExecutor(max_workers=min(self.max_workers, len(pending))) as pool:
-                in_flight: dict[Future, int] = {pool.submit(run_fn, plan[idx]): idx for idx in pending}
+            with ProcessPoolExecutor(max_workers=min(self.max_workers, len(jobs))) as pool:
+                in_flight: dict[Future, int] = {
+                    pool.submit(job.fn, job.payload): i for i, job in enumerate(jobs)
+                }
                 while in_flight:
                     done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
                     for future in done:
-                        idx = in_flight.pop(future)
+                        job_idx = in_flight.pop(future)
+                        job = jobs[job_idx]
                         exc = future.exception()
                         if exc is None:
-                            self._complete(plan, idx, future.result(), results, report)
+                            try:
+                                self._complete(plan, job, future.result(), results, report)
+                            except Exception:
+                                # a malformed outcome is fatal — don't let
+                                # queued/in-flight cells train for nothing
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                raise
                         elif isinstance(exc, BrokenProcessPool):
                             raise exc
-                        elif attempts[idx] < self.retries:
-                            attempts[idx] += 1
+                        elif attempts[job_idx] < self.retries:
+                            attempts[job_idx] += 1
                             report.retried += 1
-                            in_flight[pool.submit(run_fn, plan[idx])] = idx
+                            in_flight[pool.submit(job.fn, job.payload)] = job_idx
                         else:
-                            report.failures.append(f"cell {idx}: {exc!r}")
+                            report.failures.extend(f"cell {idx}: {exc!r}" for idx in job.indices)
                             # Don't let queued/in-flight cells train for minutes
                             # only to throw the results away.
                             pool.shutdown(wait=False, cancel_futures=True)
@@ -203,11 +304,11 @@ class ExperimentEngine:
         except BrokenProcessPool:
             # A worker died hard enough to take the pool with it (OOM kill,
             # segfault).  Resubmitting to the broken pool cannot work, so the
-            # surviving cells fall back to the serial executor — this *is*
+            # surviving jobs fall back to the serial executor — this *is*
             # their transient-failure retry.
-            remaining = [idx for idx in pending if results[idx] is None]
+            remaining = [job for job in jobs if results[job.indices[0]] is None]
             report.retried += len(remaining)
-            self._run_serial(run_fn, plan, remaining, results, report)
+            self._run_serial(plan, remaining, results, report)
 
 
 def run_configs(
@@ -216,7 +317,10 @@ def run_configs(
     cache_dir: str | Path | None = None,
     run_fn: RunFn | None = None,
     store: RunStore | None = None,
+    batch_seeds: bool = False,
 ) -> RunStore:
     """One-shot convenience wrapper: build an engine, run the configs."""
-    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_fn)
+    engine = ExperimentEngine(
+        cache=cache_dir, max_workers=max_workers, run_fn=run_fn, batch_seeds=batch_seeds
+    )
     return engine.run(configs, store=store)

@@ -9,6 +9,12 @@ from repro.experiments.settings import (
 )
 from repro.experiments.workloads import Workload, build_workload
 from repro.experiments.runner import RunConfig, run_single, run_budget_sweep, run_setting_table
+from repro.experiments.batched import (
+    BatchedRunCell,
+    is_batchable,
+    run_batched_cell,
+    seedless_fingerprint,
+)
 from repro.experiments.glue_runner import (
     GlueRunConfig,
     GlueTaskCell,
@@ -48,6 +54,10 @@ __all__ = [
     "run_single",
     "run_budget_sweep",
     "run_setting_table",
+    "BatchedRunCell",
+    "is_batchable",
+    "run_batched_cell",
+    "seedless_fingerprint",
     "GlueRunConfig",
     "GlueTaskCell",
     "GlueResult",

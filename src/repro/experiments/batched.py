@@ -1,0 +1,250 @@
+"""Seed-stacked execution of experiment cells.
+
+One :class:`BatchedRunCell` covers every seed of one (setting, schedule,
+optimizer, budget) cell.  :func:`run_batched_cell` trains all of them in a
+single stacked pass (see :mod:`repro.nn.batched`) and splits the result back
+into per-seed :class:`~repro.utils.records.RunRecord`\\ s that are **bitwise
+identical** to what :func:`~repro.experiments.runner.run_single` produces for
+each seed — so the run cache, rankings, reports and fingerprints downstream
+cannot tell (and need not know) that the seeds trained together.
+
+Batchability is conservative: the plateau schedule family reacts to per-seed
+evaluation metrics (seeds would need diverging learning rates), and the GLUE
+setting runs through its own multi-task runner; both stay on the serial path.
+If any stacked seed diverges mid-run, the whole cell falls back to the serial
+runner, which reproduces the paper's stop-that-seed-early protocol exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro import nn
+from repro.data.stacked import StackedLoader
+from repro.execution.cache import fingerprint_payload
+from repro.experiments.runner import RunConfig, _scaled_max_epochs, run_single
+from repro.experiments.workloads import build_workload
+from repro.optim import build_optimizer
+from repro.schedules import WarmupWrapper, build_schedule
+from repro.training.batched import BatchedTrainer, SeedDivergence
+from repro.training.budget import Budget
+from repro.utils.records import RunRecord
+
+__all__ = [
+    "BatchedRunCell",
+    "group_batchable",
+    "is_batchable",
+    "run_batched_cell",
+    "seedless_fingerprint",
+]
+
+#: task types the batched trainer/evaluator implements (see
+#: :func:`repro.training.batched.batched_task_loss`)
+BATCHABLE_TASKS = frozenset({"classification", "vae", "detection"})
+
+
+def _schedule_is_step_deterministic(name: str) -> bool:
+    """Whether a registered schedule's trajectory depends only on the step index.
+
+    Judged by *behaviour*, not by name: anything in (or subclassing) the
+    plateau family reacts to per-seed evaluation feedback, so its seeds could
+    need diverging learning rates mid-run.  Unknown or non-class factories
+    are conservatively unbatchable.
+    """
+    from repro.schedules.plateau import DecayOnPlateauSchedule
+    from repro.schedules.registry import SCHEDULE_REGISTRY
+
+    factory = SCHEDULE_REGISTRY.get(name.lower())
+    if factory is None:
+        return False
+    if isinstance(factory, type):
+        return not issubclass(factory, DecayOnPlateauSchedule)
+    # custom callable factory: cannot prove step-determinism — stay serial
+    return False
+
+
+@dataclass(frozen=True)
+class BatchedRunCell:
+    """All seeds of one (setting, schedule, optimizer, budget) training cell."""
+
+    base: RunConfig
+    seeds: tuple[int, ...]
+
+    def config_for(self, seed: int) -> RunConfig:
+        """The per-seed :class:`RunConfig` this cell covers for ``seed``."""
+        return dataclasses.replace(self.base, seed=seed)
+
+
+def is_batchable(config: object) -> bool:
+    """Whether a cell may join a seed-stacked batch.
+
+    Only :class:`RunConfig` cells qualify (the GLUE and profile-sampling cell
+    types have their own runners), and only with a step-deterministic
+    schedule (nothing in the plateau family, judged by class) over a task
+    type the batched trainer implements.
+    """
+    if not isinstance(config, RunConfig):
+        return False
+    if not _schedule_is_step_deterministic(config.schedule):
+        return False
+    try:
+        setting = config.resolve_setting()
+    except KeyError:
+        return False
+    return setting.task in BATCHABLE_TASKS
+
+
+def seedless_fingerprint(config: RunConfig) -> str:
+    """Content hash of everything about a cell *except* its seed.
+
+    Cells sharing this key are the same training run modulo the RNG streams,
+    i.e. exactly the replicas a :class:`BatchedRunCell` stacks.
+    """
+    payload = fingerprint_payload(config)
+    payload.pop("seed", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def group_batchable(
+    configs: list[tuple[int, object]],
+) -> tuple[list[tuple[BatchedRunCell, list[int]]], list[int]]:
+    """Partition (index, config) pairs into batched cells and serial leftovers.
+
+    Returns ``(groups, singles)``: each group is a :class:`BatchedRunCell`
+    plus the plan indices of its member configs in seed order; ``singles``
+    holds the indices of unbatchable (or lone-seed) configs.  First-occurrence
+    order is preserved so execution remains deterministic.
+    """
+    buckets: dict[str, list[tuple[int, RunConfig]]] = {}
+    order: list[str] = []
+    singles: list[int] = []
+    for idx, config in configs:
+        if not is_batchable(config):
+            singles.append(idx)
+            continue
+        key = seedless_fingerprint(config)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append((idx, config))
+
+    groups: list[tuple[BatchedRunCell, list[int]]] = []
+    for key in order:
+        members = buckets[key]
+        if len(members) < 2:
+            singles.extend(idx for idx, _ in members)
+            continue
+        cell = BatchedRunCell(
+            base=members[0][1], seeds=tuple(config.seed for _, config in members)
+        )
+        groups.append((cell, [idx for idx, _ in members]))
+    singles.sort()
+    return groups, singles
+
+
+def _run_stacked(cell: BatchedRunCell) -> list[RunRecord]:
+    config = cell.base
+    setting = config.resolve_setting()
+    if config.optimizer.lower() not in setting.optimizers:
+        raise ValueError(
+            f"setting {setting.name} is evaluated with optimizers {setting.optimizers}, "
+            f"got {config.optimizer!r}"
+        )
+
+    dtype = config.resolve_dtype()
+    with nn.default_dtype(dtype):
+        workloads = [
+            build_workload(setting, seed=seed, size_scale=config.size_scale)
+            for seed in cell.seeds
+        ]
+        steps = {workload.steps_per_epoch for workload in workloads}
+        if len(steps) != 1:
+            # cannot happen for the synthetic proxies (sizes are seed-free),
+            # but a custom dataset could differ — the serial path handles it
+            raise SeedDivergence(f"per-seed steps_per_epoch disagree: {sorted(steps)}")
+
+        model = nn.stack_modules([workload.model for workload in workloads])
+        lr = config.resolve_lr()
+        optimizer = build_optimizer(config.optimizer, model.parameters(), lr=lr)
+
+        budget = Budget(
+            max_epochs=_scaled_max_epochs(setting, config.epoch_scale),
+            fraction=config.budget_fraction,
+            steps_per_epoch=workloads[0].steps_per_epoch,
+            warmup_steps=setting.warmup_epochs * workloads[0].steps_per_epoch,
+        )
+        schedule = build_schedule(
+            config.schedule,
+            optimizer,
+            total_steps=budget.total_steps,
+            base_lr=lr,
+            steps_per_epoch=workloads[0].steps_per_epoch,
+            **config.schedule_kwargs,
+        )
+        if budget.warmup_steps > 0:
+            schedule = WarmupWrapper(
+                schedule, warmup_steps=budget.warmup_steps, warmup_start_lr=lr * 0.1
+            )
+
+        trainer = BatchedTrainer(
+            model=model,
+            optimizer=optimizer,
+            task=workloads[0].task,
+            train_loader=StackedLoader([workload.train_loader for workload in workloads]),
+            eval_loader=StackedLoader([workload.eval_loader for workload in workloads]),
+            schedule=schedule,
+        )
+        histories = trainer.fit(budget.total_steps_with_warmup)
+
+    metric_name = workloads[0].task.primary_metric
+    records = []
+    for s, seed in enumerate(cell.seeds):
+        metric = histories[s].final_metrics.get(metric_name, float("nan"))
+        records.append(
+            RunRecord(
+                setting=setting.name,
+                optimizer=config.optimizer.lower(),
+                schedule=config.schedule.lower(),
+                budget_fraction=float(config.budget_fraction),
+                learning_rate=lr,
+                seed=seed,
+                metric=float(metric),
+                metric_name=metric_name,
+                higher_is_better=workloads[0].task.higher_is_better,
+                extra={
+                    "total_steps": budget.total_steps,
+                    "warmup_steps": budget.warmup_steps,
+                    "diverged": False,
+                    "dtype": dtype,
+                    "final_metrics": histories[s].final_metrics,
+                },
+            )
+        )
+    return records
+
+
+def run_batched_job(cell: BatchedRunCell) -> tuple[list[RunRecord], bool]:
+    """``(records, stacked)`` for one cell: records in seed order, plus whether
+    the stacked pass actually ran (``False`` on the serial divergence
+    fallback) — the engine's ``batched_cells`` counters report only real
+    stacked execution.
+
+    Falls back to the serial :func:`run_single` loop when any seed diverges,
+    so divergence handling (stop early, sentinel metric) matches the serial
+    protocol byte for byte.
+    """
+    if len(cell.seeds) == 1:
+        return [run_single(cell.config_for(cell.seeds[0]))], False
+    try:
+        return _run_stacked(cell), True
+    except SeedDivergence:
+        return [run_single(cell.config_for(seed)) for seed in cell.seeds], False
+
+
+def run_batched_cell(cell: BatchedRunCell) -> list[RunRecord]:
+    """Train every seed of ``cell``; records in seed order (see :func:`run_batched_job`)."""
+    return run_batched_job(cell)[0]

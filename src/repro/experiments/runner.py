@@ -156,13 +156,16 @@ def run_budget_sweep(
     dtype: str | None = None,
     max_workers: int = 1,
     cache_dir: str | Path | None = None,
+    batch_seeds: bool = False,
 ) -> RunStore:
     """Train one schedule/optimizer across a budget grid and seeds.
 
     ``max_workers > 1`` fans the cells out to a process pool; ``cache_dir``
     enables the content-addressed run cache so previously trained cells are
-    loaded instead of retrained.  Both are off by default, and the returned
-    store is record-for-record identical regardless of either option.
+    loaded instead of retrained; ``batch_seeds`` trains all seeds of a cell in
+    one seed-stacked pass (:mod:`repro.experiments.batched`).  All are off by
+    default, and the returned store is record-for-record identical regardless
+    of any of them.
     """
     # Imported here, not at module top: repro.execution.plan imports RunConfig
     # from this module, so the dependency must stay one-way at import time.
@@ -180,7 +183,8 @@ def run_budget_sweep(
         schedule_kwargs=schedule_kwargs,
         dtype=dtype,
     )
-    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds)
+    return engine.run(plan)
 
 
 def run_setting_table(
@@ -196,6 +200,7 @@ def run_setting_table(
     max_workers: int = 1,
     cache_dir: str | Path | None = None,
     seeds: Sequence[int] | None = None,
+    batch_seeds: bool = False,
 ) -> RunStore:
     """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget.
 
@@ -205,8 +210,9 @@ def run_setting_table(
     The whole table is planned up front and executed through one
     :class:`~repro.execution.engine.ExperimentEngine`, so with
     ``max_workers > 1`` cells from different schedule/optimizer rows train
-    concurrently, and with ``cache_dir`` a re-run of the same table performs
-    zero training (every cell is a cache hit).
+    concurrently, with ``cache_dir`` a re-run of the same table performs
+    zero training (every cell is a cache hit), and with ``batch_seeds`` every
+    multi-seed cell trains its seeds in one stacked pass.
     """
     from repro.execution import ExperimentEngine, plan_setting_table
 
@@ -222,4 +228,5 @@ def run_setting_table(
         dtype=dtype,
         seeds=seeds,
     )
-    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds)
+    return engine.run(plan)

@@ -53,13 +53,16 @@ class TinyDetector(nn.Module):
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
         features = self.backbone(x)
-        preds = self.head(features)  # (N, 5+C, G, G)
-        if preds.shape[2] != self.grid_size or preds.shape[3] != self.grid_size:
+        preds = self.head(features)  # (N, 5+C, G, G) — (S, N, 5+C, G, G) seed-batched
+        if preds.shape[-2] != self.grid_size or preds.shape[-1] != self.grid_size:
             raise ValueError(
-                f"backbone produced a {preds.shape[2]}x{preds.shape[3]} grid, "
+                f"backbone produced a {preds.shape[-2]}x{preds.shape[-1]} grid, "
                 f"expected {self.grid_size}x{self.grid_size}"
             )
-        grid = preds.transpose(0, 2, 3, 1)  # (N, G, G, 5+C)
+        if x.seed_dim is not None:
+            grid = preds.transpose(0, 1, 3, 4, 2)  # (S, N, G, G, 5+C)
+        else:
+            grid = preds.transpose(0, 2, 3, 1)  # (N, G, G, 5+C)
         # Box coordinates pass through a sigmoid (as YOLO does for the centre
         # offsets) so they start in the right range; objectness and class
         # channels stay as logits for their BCE / cross-entropy losses.

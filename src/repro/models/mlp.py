@@ -42,6 +42,12 @@ class MLP(nn.Module):
         self.net = nn.Sequential(*layers)
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if x.seed_dim is not None:
+            if x.ndim > 3:
+                x = x.reshape(x.shape[0], x.shape[1], -1)
+            if x.shape[-1] != self.in_features:
+                raise ValueError(f"MLP expects {self.in_features} features, got {x.shape[-1]}")
+            return self.net(x)
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         if x.shape[1] != self.in_features:

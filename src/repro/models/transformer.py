@@ -71,14 +71,16 @@ class TinyTransformer(nn.Module):
         attention_mask: np.ndarray | None = None,
     ) -> nn.Tensor:
         tokens = np.asarray(tokens, dtype=np.int64)
-        if tokens.ndim != 2:
-            raise ValueError(f"tokens must be (N, T), got shape {tokens.shape}")
-        n, t = tokens.shape
+        batched = self.token_embedding.weight.seed_dim is not None
+        if tokens.ndim != (3 if batched else 2):
+            expected = "(S, N, T)" if batched else "(N, T)"
+            raise ValueError(f"tokens must be {expected}, got shape {tokens.shape}")
+        t = tokens.shape[-1]
         if t > self.config.max_seq_len:
             raise ValueError(f"sequence length {t} exceeds max_seq_len {self.config.max_seq_len}")
         if segments is None:
             segments = np.zeros_like(tokens)
-        positions = np.broadcast_to(np.arange(t), (n, t))
+        positions = np.broadcast_to(np.arange(t), tokens.shape)
         x = (
             self.token_embedding(tokens)
             + self.position_embedding(positions)
@@ -95,7 +97,10 @@ class TinyTransformer(nn.Module):
         attention_mask: np.ndarray | None = None,
     ) -> nn.Tensor:
         hidden = self.encode(tokens, segments, attention_mask)
-        cls = hidden[:, 0, :]  # first token acts as [CLS]
+        if hidden.seed_dim is not None:
+            cls = hidden[:, :, 0, :]  # first token acts as [CLS], per seed
+        else:
+            cls = hidden[:, 0, :]  # first token acts as [CLS]
         return self.classifier(cls)
 
     # -- lightweight "pre-training" ---------------------------------------------------

@@ -32,6 +32,8 @@ class VAE(nn.Module):
         self.input_dim = channels * image_size * image_size
         self.latent_dim = latent_dim
         self._sample_rng = spawn_rng("vae_sampling", seed=seed)
+        #: one sampling stream per seed replica when the model is seed-stacked
+        self._sample_rngs: list[np.random.Generator] | None = None
 
         self.encoder = nn.Sequential(
             nn.Linear(self.input_dim, hidden_dim, rng=rng),
@@ -49,10 +51,16 @@ class VAE(nn.Module):
             nn.Linear(hidden_dim, self.input_dim, rng=rng),
         )
 
+    def _stack_seed_state(self, replicas) -> None:
+        self._sample_rngs = [replica._sample_rng for replica in replicas]
+
     def encode(self, x: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor]:
-        flat = x.reshape(x.shape[0], -1)
-        if flat.shape[1] != self.input_dim:
-            raise ValueError(f"VAE expects {self.input_dim} input features, got {flat.shape[1]}")
+        if x.seed_dim is not None:
+            flat = x.reshape(x.shape[0], x.shape[1], -1)
+        else:
+            flat = x.reshape(x.shape[0], -1)
+        if flat.shape[-1] != self.input_dim:
+            raise ValueError(f"VAE expects {self.input_dim} input features, got {flat.shape[-1]}")
         hidden = self.encoder(flat)
         return self.fc_mu(hidden), self.fc_logvar(hidden)
 
@@ -60,7 +68,13 @@ class VAE(nn.Module):
         if not self.training:
             return mu
         std = (logvar * 0.5).exp()
-        eps = nn.Tensor(self._sample_rng.standard_normal(mu.shape))
+        if mu.seed_dim is not None and self._sample_rngs is not None:
+            # per-seed noise streams: seed s draws exactly what it would alone
+            eps = nn.Tensor(
+                np.stack([rng.standard_normal(mu.shape[1:]) for rng in self._sample_rngs])
+            )
+        else:
+            eps = nn.Tensor(self._sample_rng.standard_normal(mu.shape))
         return mu + std * eps
 
     def decode(self, z: nn.Tensor) -> nn.Tensor:

@@ -16,6 +16,7 @@ from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack
 from repro.nn import functional
 from repro.nn import init
 from repro.nn import losses
+from repro.nn.batched import seed_slice_state, seed_stacked, stack_modules
 from repro.nn.modules import (
     Module,
     Parameter,
@@ -54,6 +55,9 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "seed_slice_state",
+    "seed_stacked",
+    "stack_modules",
     "functional",
     "init",
     "losses",

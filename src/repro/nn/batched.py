@@ -1,0 +1,106 @@
+"""Seed-stacked model batching (vmap-style multi-seed training).
+
+The paper's artifacts average every cell over multiple seeds; trained one at a
+time, S seeds cost S python-interpreter passes over the same tiny model.  This
+module merges S independently initialised replicas of a model into *one*
+module whose parameters and buffers carry a leading seed axis (shape
+``(S, ...)``), so one forward/backward/optimizer step trains all seeds at
+once through stacked BLAS calls.
+
+The contract is exactness, not approximation: every batched kernel (see
+:mod:`repro.nn.functional` and the module gates) performs the same per-seed
+floating-point operations in the same order as the serial path, so seed *s*'s
+slice of a stacked run is bitwise identical to the run it would produce alone.
+The differential suite (``tests/test_batched_equivalence.py``) enforces this
+for every model in the registry.
+
+Usage::
+
+    models = [build_model(seed=s) for s in seeds]       # per-seed RNG streams
+    batched = stack_modules(models)                     # (S, ...) parameters
+    optimizer = build_optimizer(name, batched.parameters(), lr=lr)
+    x = seed_stacked(np.stack(per_seed_batches))        # tag the seed axis
+    loss = cross_entropy(batched(x), stacked_labels)    # (S,) per-seed losses
+    loss.backward(np.ones(len(seeds)))                  # grad 1 per seed
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["stack_modules", "seed_stacked", "seed_slice_state"]
+
+
+def stack_modules(modules: Sequence[Module]) -> Module:
+    """Merge S structurally identical modules into one seed-stacked module.
+
+    Every parameter and buffer of the result is the ``np.stack`` of the
+    replicas' arrays along a new leading axis, tagged with ``seed_dim = S`` so
+    downstream ops dispatch to their batched kernels.  Modules holding
+    non-parameter per-seed state (dropout/VAE RNG streams) collect it through
+    :meth:`Module._stack_seed_state`.
+
+    The first replica is mutated in place and returned; the remaining
+    replicas' arrays are only read.  Build throwaway replicas (one per seed)
+    specifically for stacking.
+    """
+    modules = list(modules)
+    if not modules:
+        raise ValueError("stack_modules needs at least one module")
+    num_seeds = len(modules)
+    walks = [list(m.modules()) for m in modules]
+    if len({len(w) for w in walks}) != 1:
+        raise ValueError("cannot stack modules with different structures")
+    template_walk = walks[0]
+    for position, merged in enumerate(template_walk):
+        group = [walk[position] for walk in walks]
+        if any(type(member) is not type(merged) for member in group):
+            raise ValueError(
+                f"cannot stack structurally different modules: "
+                f"{[type(m).__name__ for m in group]}"
+            )
+        for name, param in merged._parameters.items():
+            stacks = [member._parameters[name].data for member in group]
+            if len({a.shape for a in stacks}) != 1:
+                raise ValueError(f"parameter {name!r} has mismatched shapes across seeds")
+            param.data = np.stack(stacks)
+            param.grad = None
+            param.seed_dim = num_seeds
+        for name in list(merged._buffers):
+            stacked = np.stack([member._buffers[name] for member in group])
+            merged._buffers[name] = stacked
+            object.__setattr__(merged, name, stacked)
+        merged._stack_seed_state(group)
+    return modules[0]
+
+
+def seed_stacked(data: object, num_seeds: int | None = None, dtype: object = None) -> Tensor:
+    """Wrap an already seed-stacked array as a Tensor tagged with its seed axis.
+
+    ``num_seeds`` defaults to the array's leading dimension.
+    """
+    tensor = Tensor(data, dtype=dtype)
+    if tensor.ndim < 1:
+        raise ValueError("a seed-stacked tensor needs at least one dimension")
+    tensor.seed_dim = int(num_seeds) if num_seeds is not None else tensor.shape[0]
+    if tensor.shape[0] != tensor.seed_dim:
+        raise ValueError(
+            f"leading axis {tensor.shape[0]} does not match num_seeds={tensor.seed_dim}"
+        )
+    return tensor
+
+
+def seed_slice_state(module: Module, seed_index: int) -> dict[str, np.ndarray]:
+    """One seed's parameter/buffer state from a stacked module (a ``state_dict``).
+
+    The returned arrays are copies shaped like the original (un-stacked)
+    model, so they can be loaded into a plain replica with
+    :meth:`Module.load_state_dict`.
+    """
+    state = module.state_dict()
+    return {name: np.ascontiguousarray(array[seed_index]) for name, array in state.items()}

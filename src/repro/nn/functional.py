@@ -6,6 +6,8 @@ BLAS-backed matmul (per the project's "vectorize, don't loop" guideline).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.nn.dtype import get_default_dtype
@@ -28,7 +30,25 @@ __all__ = [
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in).
+
+    Seed-batched path: a weight of shape (S, out, in) (``weight.seed_dim = S``)
+    maps an (S, ..., in) input with one stacked ``np.matmul`` — per seed the
+    BLAS call sees exactly the shapes of the serial path, so each seed's slice
+    is bitwise identical to its stand-alone run.
+    """
+    if weight.seed_dim is not None:
+        w = weight.swapaxes(-1, -2)  # (S, in, out)
+        if x.ndim > 3:
+            # align the seed axis for batched matmul over extra leading dims
+            # (e.g. (S, N, T, in) @ (S, 1, in, out))
+            w = w.reshape(w.shape[0], *([1] * (x.ndim - 3)), w.shape[-2], w.shape[-1])
+        out = x @ w
+        if bias is not None:
+            # (S, out) -> (S, 1, ..., 1, out) so broadcasting stays per-seed
+            shape = (bias.shape[0],) + (1,) * (out.ndim - 2) + (bias.shape[-1],)
+            out = out + bias.reshape(*shape)
+        return out
     out = x @ weight.T
     if bias is not None:
         out = out + bias
@@ -118,6 +138,81 @@ def col2im(
     return padded
 
 
+def _conv2d_batched(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    stride: int,
+    padding: int,
+) -> Tensor:
+    """Seed-batched convolution: (S, N, C, H, W) input, (S, O, C, kh, kw) weight.
+
+    One graph node covers all S seeds (amortising the python/autograd
+    dispatch), but the heavy kernels run *chunked per seed*: each seed's
+    im2col/GEMM/col2im operates on exactly the serial path's array shapes.
+    This keeps the produce-then-consume temporaries cache-resident (a stacked
+    S-times-larger ``cols`` thrashes small L2 caches) and makes bitwise
+    per-seed equality with the serial path immediate — it *is* the serial
+    sequence of kernels, minus the per-seed graph bookkeeping.
+    """
+    if x.ndim != 5:
+        raise ValueError(f"seed-batched conv2d expects (S, N, C, H, W) input, got {x.shape}")
+    s, n, c, h, w = x.shape
+    _, out_c, in_c, kh, kw = weight.shape
+    if in_c != c:
+        raise ValueError(f"input has {c} channels but weight expects {in_c}")
+
+    feat = c * kh * kw
+    x_data = x.data
+    w_mats = weight.data.reshape(s, out_c, feat)
+    seed_cols: list[np.ndarray] = []
+    out_data: np.ndarray | None = None
+    out_h = out_w = 0
+    for i in range(s):
+        cols, out_h, out_w = im2col(x_data[i], kh, kw, stride, padding)
+        seed_cols.append(cols)
+        if out_data is None:
+            out_data = np.empty((s, n, out_c, out_h * out_w), dtype=x_data.dtype)
+        np.matmul(w_mats[i], cols, out=out_data[i])
+    assert out_data is not None
+    out_data = out_data.reshape(s, n, out_c, out_h, out_w)
+    if bias is not None:
+        out_data += bias.data.reshape(s, 1, out_c, 1, 1)
+
+    requires_grad = x.requires_grad or weight.requires_grad or (
+        bias is not None and bias.requires_grad
+    )
+    prev = (x, weight) + ((bias,) if bias is not None else ())
+    out = Tensor(out_data, requires_grad=requires_grad, _prev=prev)
+    final_h, final_w = out_h, out_w
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        grad_out = out.grad.reshape(s, n, out_c, final_h * final_w)
+        if bias is not None and bias.requires_grad:
+            grad_b = np.empty((s, out_c), dtype=grad_out.dtype)
+            for i in range(s):
+                grad_b[i] = grad_out[i].sum(axis=(0, 2))
+            bias._accumulate(grad_b, own=True)
+        if weight.requires_grad:
+            grad_w = np.empty((s, out_c, feat), dtype=grad_out.dtype)
+            for i in range(s):
+                np.matmul(
+                    grad_out[i], seed_cols[i].transpose(0, 2, 1), out=None
+                ).sum(axis=0, out=grad_w[i])
+            weight._accumulate(grad_w.reshape(weight.shape), own=True)
+        if x.requires_grad:
+            grad_x = np.empty_like(x_data)
+            for i in range(s):
+                grad_cols = np.matmul(w_mats[i].T, grad_out[i])
+                grad_x[i] = col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
+            x._accumulate(grad_x, own=True)
+
+    out._backward = _backward
+    return out
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -125,7 +220,14 @@ def conv2d(
     stride: int = 1,
     padding: int = 0,
 ) -> Tensor:
-    """2D convolution for NCHW input and (out_c, in_c, kh, kw) weights."""
+    """2D convolution for NCHW input and (out_c, in_c, kh, kw) weights.
+
+    With a seed-stacked weight (``weight.seed_dim = S``) the input carries a
+    leading seed axis and the work is dispatched as one grouped matmul; see
+    :func:`_conv2d_batched`.
+    """
+    if weight.seed_dim is not None:
+        return _conv2d_batched(x, weight, bias, stride, padding)
     if x.ndim != 4:
         raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
     if weight.ndim != 4:
@@ -174,64 +276,110 @@ def conv2d(
 # pooling
 # ---------------------------------------------------------------------------
 
-def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
-    """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
-    stride = stride or kernel_size
+def _seed_slabs(x: Tensor) -> list[np.ndarray]:
+    """Per-seed (N*C, 1, H, W) views of a pooling input, or one for serial input.
+
+    Pooling is per-image work; processing one serial-shaped slab at a time
+    keeps its im2col temporaries cache-resident and makes each seed's values
+    bitwise identical to its stand-alone run.
+    """
+    if x.seed_dim is not None:
+        if x.ndim != 5:
+            raise ValueError(f"pooling expects (S, N, C, H, W) input, got shape {x.shape}")
+        s, n, c, h, w = x.shape
+        return [x.data[i].reshape(n * c, 1, h, w) for i in range(s)]
+    if x.ndim != 4:
+        raise ValueError(f"pooling expects NCHW input, got shape {x.shape}")
     n, c, h, w = x.shape
-    cols, out_h, out_w = im2col(
-        x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride, 0
-    )
-    cols = cols.reshape(n * c, kernel_size * kernel_size, out_h * out_w)
-    argmax = cols.argmax(axis=1)
-    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
-    out_data = out_data.reshape(n, c, out_h, out_w)
+    return [x.data.reshape(n * c, 1, h, w)]
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over windows of an NCHW (or seed-batched S,N,C,H,W) tensor."""
+    stride = stride or kernel_size
+    slabs = _seed_slabs(x)
+    h, w = x.shape[-2:]
+    seed_cols: list[np.ndarray] = []
+    seed_argmax: list[np.ndarray] = []
+    pooled: list[np.ndarray] = []
+    out_h = out_w = 0
+    for slab in slabs:
+        cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
+        argmax = cols.argmax(axis=1)
+        pooled.append(np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1))
+        seed_cols.append(cols)
+        seed_argmax.append(argmax)
+    out_shape = x.shape[:-2] + (out_h, out_w)
+    out_data = (pooled[0] if len(slabs) == 1 else np.stack(pooled)).reshape(out_shape)
     out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is None or not x.requires_grad:
             return
-        grad_cols = np.zeros_like(cols)
-        flat_grad = out.grad.reshape(n * c, 1, out_h * out_w)
-        np.put_along_axis(grad_cols, argmax[:, None, :], flat_grad, axis=1)
-        grad_x = col2im(
-            grad_cols.reshape(n * c, kernel_size * kernel_size, out_h * out_w),
-            (n * c, 1, h, w),
-            kernel_size,
-            kernel_size,
-            stride,
-            0,
-        )
-        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
+        grad_view = out.grad.reshape(len(slabs), -1, 1, out_h * out_w)
+        folded = []
+        for i, (cols, argmax) in enumerate(zip(seed_cols, seed_argmax)):
+            grad_cols = np.zeros_like(cols)
+            np.put_along_axis(grad_cols, argmax[:, None, :], grad_view[i], axis=1)
+            folded.append(col2im(grad_cols, slabs[i].shape, kernel_size, kernel_size, stride, 0))
+        if len(folded) == 1:
+            # serial path: hand col2im's fresh array over without a copy
+            x._accumulate(folded[0].reshape(x.shape), own=True)
+        else:
+            x._accumulate(
+                np.stack([g.reshape(x.shape[1:]) for g in folded]), own=True
+            )
 
     out._backward = _backward
     return out
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
-    """Average pooling over windows of an NCHW tensor."""
+    """Average pooling over windows of an NCHW (or seed-batched) tensor."""
     stride = stride or kernel_size
-    n, c, h, w = x.shape
-    cols, out_h, out_w = im2col(
-        x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride, 0
-    )
-    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
-    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
+    slabs = _seed_slabs(x)
+    h, w = x.shape[-2:]
     window = kernel_size * kernel_size
+    pooled: list[np.ndarray] = []
+    out_h = out_w = 0
+    for slab in slabs:
+        cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
+        pooled.append(cols.mean(axis=1))
+    out_shape = x.shape[:-2] + (out_h, out_w)
+    out_data = (pooled[0] if len(slabs) == 1 else np.stack(pooled)).reshape(out_shape)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is None or not x.requires_grad:
             return
-        flat_grad = out.grad.reshape(n * c, 1, out_h * out_w) / window
-        grad_cols = np.broadcast_to(flat_grad, (n * c, window, out_h * out_w)).copy()
-        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, kernel_size, stride, 0)
-        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
+        grad_view = out.grad.reshape(len(slabs), -1, 1, out_h * out_w)
+        folded = []
+        for i, slab in enumerate(slabs):
+            flat_grad = grad_view[i] / window
+            grad_cols = np.broadcast_to(
+                flat_grad, (slab.shape[0], window, out_h * out_w)
+            ).copy()
+            folded.append(col2im(grad_cols, slab.shape, kernel_size, kernel_size, stride, 0))
+        if len(folded) == 1:
+            # serial path: hand col2im's fresh array over without a copy
+            x._accumulate(folded[0].reshape(x.shape), own=True)
+        else:
+            x._accumulate(
+                np.stack([g.reshape(x.shape[1:]) for g in folded]), own=True
+            )
 
     out._backward = _backward
     return out
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
-    """Average over spatial dimensions, returning an (N, C) tensor."""
+    """Average over spatial dimensions, returning (N, C) — or (S, N, C) batched."""
+    if x.seed_dim is not None:
+        if x.ndim != 5:
+            raise ValueError(
+                f"seed-batched global_avg_pool2d expects (S, N, C, H, W), got shape {x.shape}"
+            )
+        return x.mean(axis=(3, 4))
     if x.ndim != 4:
         raise ValueError(f"global_avg_pool2d expects NCHW input, got shape {x.shape}")
     pooled = x.mean(axis=(2, 3))
@@ -243,8 +391,38 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # ---------------------------------------------------------------------------
 
 def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
-    """Look up rows of ``weight`` for integer ``indices`` (any leading shape)."""
+    """Look up rows of ``weight`` for integer ``indices`` (any leading shape).
+
+    With a seed-stacked weight (S, vocab, dim), ``indices`` carries a leading
+    seed axis (S, ...) and seed *s* gathers from its own table ``weight[s]``.
+    """
     indices = np.asarray(indices, dtype=np.int64)
+    if weight.seed_dim is not None:
+        num_seeds = weight.seed_dim
+        vocab, dim = weight.shape[1], weight.shape[2]
+        if indices.ndim < 1 or indices.shape[0] != num_seeds:
+            raise ValueError(
+                f"seed-batched embedding expects (S, ...) indices with S={num_seeds}, "
+                f"got shape {indices.shape}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+            raise ValueError(f"token index out of range [0, {vocab})")
+        seed_sel = np.arange(num_seeds).reshape((num_seeds,) + (1,) * (indices.ndim - 1))
+        out = Tensor(
+            weight.data[seed_sel, indices], requires_grad=weight.requires_grad, _prev=(weight,)
+        )
+
+        def _backward_batched() -> None:
+            if out.grad is None or not weight.requires_grad:
+                return
+            grad = np.zeros_like(weight.data)
+            seeds_flat = np.broadcast_to(seed_sel, indices.shape).reshape(-1)
+            np.add.at(grad, (seeds_flat, indices.reshape(-1)), out.grad.reshape(-1, dim))
+            weight._accumulate(grad, own=True)
+
+        out._backward = _backward_batched
+        return out
+
     vocab = weight.shape[0]
     if indices.size and (indices.min() < 0 or indices.max() >= vocab):
         raise ValueError(f"token index out of range [0, {vocab})")
@@ -261,13 +439,33 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
     return out
 
 
-def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
-    """Inverted dropout: scales surviving activations by 1/(1-p) at train time."""
+def dropout(
+    x: Tensor,
+    p: float,
+    rng: np.random.Generator,
+    training: bool = True,
+    rngs: Sequence[np.random.Generator] | None = None,
+) -> Tensor:
+    """Inverted dropout: scales surviving activations by 1/(1-p) at train time.
+
+    ``rngs`` supplies one generator per seed replica for seed-batched inputs:
+    seed *s* draws its mask from ``rngs[s]`` over the per-seed shape, so every
+    replica consumes exactly the random stream it would consume when trained
+    alone.
+    """
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
+    if rngs is not None:
+        if x.seed_dim is None or x.shape[0] != len(rngs):
+            raise ValueError(
+                f"per-seed dropout expects a seed-batched input with {len(rngs)} seeds, "
+                f"got shape {x.shape}"
+            )
+        mask = np.stack([(r.random(x.shape[1:]) >= p) for r in rngs]).astype(x.data.dtype)
+    else:
+        mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
     mask /= 1.0 - p
     out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,))
 

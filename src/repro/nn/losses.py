@@ -24,8 +24,35 @@ __all__ = [
 ]
 
 
+def _batch_axes(t: Tensor) -> tuple[int, ...]:
+    """All axes except the leading seed axis (for per-seed loss reductions)."""
+    return tuple(range(1, t.ndim))
+
+
 def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
-    """Mean cross-entropy between logits (N, C) and integer targets (N,)."""
+    """Mean cross-entropy between logits (N, C) and integer targets (N,).
+
+    Seed-batched: (S, N, C) logits and (S, N) targets produce an (S,) loss —
+    one mean cross-entropy per seed, each bitwise identical to the scalar the
+    serial path computes for that seed's slice alone.
+    """
+    if logits.seed_dim is not None:
+        if logits.ndim != 3:
+            raise ValueError(
+                f"seed-batched cross_entropy expects (S, N, C) logits, got shape {logits.shape}"
+            )
+        num_seeds, n, num_classes = logits.shape
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape != (num_seeds, n):
+            raise ValueError(
+                f"seed-batched targets must have shape {(num_seeds, n)}, got {targets.shape}"
+            )
+        target_dist = one_hot(targets.reshape(-1), num_classes).reshape(num_seeds, n, num_classes)
+        if label_smoothing > 0.0:
+            target_dist = (1.0 - label_smoothing) * target_dist + label_smoothing / num_classes
+        log_probs = logits.log_softmax(axis=-1)
+        nll = -(log_probs * Tensor(target_dist)).sum(axis=-1)
+        return nll.mean(axis=-1)
     if logits.ndim != 2:
         raise ValueError(f"cross_entropy expects 2D logits, got shape {logits.shape}")
     n, num_classes = logits.shape
@@ -41,28 +68,36 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 
 
 
 def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
-    """Mean squared error."""
+    """Mean squared error (per-seed (S,) vector for seed-batched predictions)."""
     target_t = target if isinstance(target, Tensor) else Tensor(target, dtype=pred.data.dtype)
     diff = pred - target_t
+    if pred.seed_dim is not None:
+        return (diff * diff).mean(axis=_batch_axes(diff))
     return (diff * diff).mean()
 
 
 def l1_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
-    """Mean absolute error."""
+    """Mean absolute error (per-seed (S,) vector for seed-batched predictions)."""
     target_t = target if isinstance(target, Tensor) else Tensor(target, dtype=pred.data.dtype)
-    return (pred - target_t).abs().mean()
+    diff = (pred - target_t).abs()
+    if pred.seed_dim is not None:
+        return diff.mean(axis=_batch_axes(diff))
+    return diff.mean()
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
     """Numerically stable BCE on logits, averaged over all elements.
 
-    Uses the identity ``bce = max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    Uses the identity ``bce = max(x, 0) - x*t + log(1 + exp(-|x|))``.  For
+    seed-batched logits the average is taken per seed, yielding an (S,) loss.
     """
     t = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=logits.data.dtype)
     x = logits
     relu_x = x.relu()
     abs_x = x.abs()
     loss = relu_x - x * Tensor(t) + ((-abs_x).exp() + 1.0).log()
+    if logits.seed_dim is not None:
+        return loss.mean(axis=_batch_axes(loss))
     return loss.mean()
 
 
@@ -76,8 +111,19 @@ def vae_loss(
     """Negative ELBO: Bernoulli reconstruction BCE (summed per sample) + beta * KL.
 
     Matches the standard VAE-on-MNIST objective the paper trains (lower is
-    better; the paper's Table 7 reports this generalization loss).
+    better; the paper's Table 7 reports this generalization loss).  A
+    seed-batched (S, N, ...) reconstruction yields an (S,) loss vector.
     """
+    if reconstruction.seed_dim is not None:
+        num_seeds, n = reconstruction.shape[0], reconstruction.shape[1]
+        target_arr = np.asarray(target, dtype=reconstruction.data.dtype).reshape(num_seeds, n, -1)
+        recon_flat = reconstruction.reshape(num_seeds, n, -1)
+        relu_x = recon_flat.relu()
+        abs_x = recon_flat.abs()
+        bce = relu_x - recon_flat * Tensor(target_arr) + ((-abs_x).exp() + 1.0).log()
+        recon_term = bce.sum(axis=-1).mean(axis=-1)
+        kl = (-0.5) * (1.0 + logvar - mu * mu - logvar.exp()).sum(axis=-1).mean(axis=-1)
+        return recon_term + beta * kl
     n = reconstruction.shape[0]
     target_arr = np.asarray(target, dtype=reconstruction.data.dtype).reshape(n, -1)
     recon_flat = reconstruction.reshape(n, -1)
@@ -104,24 +150,42 @@ def detection_loss(
     ``[tx, ty, tw, th, objectness, class logits...]``; ``targets`` has the same
     shape with a 0/1 objectness channel.  This mirrors the YOLO-style loss
     structure (box regression + objectness + classification) at proxy scale.
+
+    Seed-batched predictions (S, N, G, G, 5+C) produce an (S,) loss; the
+    object-count normalisers are then per-seed vectors, so each seed's loss is
+    exactly the scalar its own serial run would compute.
     """
-    if predictions.ndim != 4:
-        raise ValueError(f"detection_loss expects (N, G, G, 5+C), got {predictions.shape}")
+    batched = predictions.seed_dim is not None
+    if predictions.ndim != (5 if batched else 4):
+        expected = "(S, N, G, G, 5+C)" if batched else "(N, G, G, 5+C)"
+        raise ValueError(f"detection_loss expects {expected}, got {predictions.shape}")
     targets = np.asarray(targets, dtype=predictions.data.dtype)
     if targets.shape != predictions.shape:
         raise ValueError(
             f"target shape {targets.shape} does not match predictions {predictions.shape}"
         )
-    obj_mask = targets[..., 4:5]  # (N, G, G, 1)
-    n_cells = float(np.prod(predictions.shape[:3]))
-    n_obj = max(float(obj_mask.sum()), 1.0)
+    obj_mask = targets[..., 4:5]  # (..., G, G, 1)
+    if batched:
+        reduce_axes: tuple[int, ...] = (1, 2, 3, 4)
+        n_cells = float(np.prod(predictions.shape[1:4]))
+        n_obj = np.maximum(obj_mask.sum(axis=reduce_axes), 1.0)  # (S,)
+        dtype = predictions.data.dtype
+
+        def _scaled(term_sum: Tensor, scale: np.ndarray | float) -> Tensor:
+            # Match the serial path's arithmetic: the python-float scale is
+            # computed in float64 and cast once to the prediction dtype.
+            return term_sum * Tensor(np.asarray(scale, dtype=np.float64), dtype=dtype)
+    else:
+        reduce_axes = ()
+        n_cells = float(np.prod(predictions.shape[:3]))
+        n_obj = max(float(obj_mask.sum()), 1.0)
 
     pred_boxes = predictions[..., 0:4]
     pred_obj = predictions[..., 4:5]
     pred_cls = predictions[..., 5:]
 
     box_diff = (pred_boxes - Tensor(targets[..., 0:4])) * Tensor(obj_mask)
-    box_term = (box_diff * box_diff).sum() * (box_weight / n_obj)
+    box_sq = box_diff * box_diff
 
     # Objectness BCE, weighting no-object cells down as in YOLO.
     t_obj = obj_mask
@@ -129,11 +193,21 @@ def detection_loss(
     abs_x = pred_obj.abs()
     bce = relu_x - pred_obj * Tensor(t_obj) + ((-abs_x).exp() + 1.0).log()
     weights = np.where(obj_mask > 0.5, 1.0, noobj_weight).astype(targets.dtype)
-    obj_term = (bce * Tensor(weights, dtype=targets.dtype)).sum() * (1.0 / n_cells)
+    weighted_bce = bce * Tensor(weights, dtype=targets.dtype)
 
     # Classification cross-entropy only on object cells.
     cls_targets = targets[..., 5:]
     log_probs = pred_cls.log_softmax(axis=-1)
+    cls_prod = log_probs * Tensor(cls_targets * obj_mask)
+
+    if batched:
+        box_term = _scaled(box_sq.sum(axis=reduce_axes), box_weight / n_obj)
+        obj_term = _scaled(weighted_bce.sum(axis=reduce_axes), 1.0 / n_cells)
+        cls_term = _scaled(-(cls_prod.sum(axis=reduce_axes)), 1.0 / n_obj)
+        return box_term + obj_term + cls_term
+
+    box_term = box_sq.sum() * (box_weight / n_obj)
+    obj_term = weighted_bce.sum() * (1.0 / n_cells)
     cls_term = -(log_probs * Tensor(cls_targets * obj_mask)).sum() * (1.0 / n_obj)
 
     return box_term + obj_term + cls_term

@@ -43,39 +43,50 @@ class MultiHeadSelfAttention(Module):
         self.dropout = Dropout(dropout, rng=rng)
 
     def _split_heads(self, x: Tensor) -> Tensor:
+        if x.seed_dim is not None:
+            s, n, t, _ = x.shape
+            return x.reshape(s, n, t, self.num_heads, self.head_dim).transpose(0, 1, 3, 2, 4)
         n, t, _ = x.shape
         return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
     def _merge_heads(self, x: Tensor) -> Tensor:
+        if x.seed_dim is not None:
+            s, n, h, t, d = x.shape
+            return x.transpose(0, 1, 3, 2, 4).reshape(s, n, t, h * d)
         n, h, t, d = x.shape
         return x.transpose(0, 2, 1, 3).reshape(n, t, h * d)
 
     def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        """Attend over sequence ``x`` of shape (N, T, D).
+        """Attend over sequence ``x`` of shape (N, T, D) — (S, N, T, D) seed-batched.
 
         ``attention_mask`` is an optional (N, T) array with 1 for real tokens
-        and 0 for padding; padded keys are masked out of the softmax.
+        and 0 for padding ((S, N, T) for seed-batched input); padded keys are
+        masked out of the softmax.
         """
-        if x.ndim != 3:
-            raise ValueError(f"attention expects (N, T, D) input, got shape {x.shape}")
+        batched = x.seed_dim is not None
+        if x.ndim != (4 if batched else 3):
+            raise ValueError(
+                f"attention expects {'(S, N, T, D)' if batched else '(N, T, D)'} input, "
+                f"got shape {x.shape}"
+            )
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(x))
         v = self._split_heads(self.v_proj(x))
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, T, T)
+        scores = (q @ k.swapaxes(-1, -2)) * scale  # (..., H, T, T)
         if attention_mask is not None:
             mask = np.asarray(attention_mask, dtype=scores.data.dtype)
-            if mask.shape != (x.shape[0], x.shape[1]):
+            expected = x.shape[:-1]
+            if mask.shape != expected:
                 raise ValueError(
-                    f"attention_mask shape {mask.shape} does not match (N, T)="
-                    f"{(x.shape[0], x.shape[1])}"
+                    f"attention_mask shape {mask.shape} does not match {expected}"
                 )
-            bias = (1.0 - mask)[:, None, None, :] * -1e9
+            bias = (1.0 - mask)[..., None, None, :] * -1e9  # (..., 1, 1, T)
             scores = scores + Tensor(bias, dtype=scores.data.dtype)
         weights = scores.softmax(axis=-1)
         weights = self.dropout(weights)
-        attended = weights @ v  # (N, H, T, head_dim)
+        attended = weights @ v  # (..., H, T, head_dim)
         return self.out_proj(self._merge_heads(attended))
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -125,6 +125,32 @@ class Module:
             self._buffers[name][...] = state[key]
         for mod_name, module in self._modules.items():
             module.load_state_dict(state, prefix=f"{prefix}{mod_name}.")
+
+    # -- seed batching -----------------------------------------------------------
+    @property
+    def seed_dim(self) -> int | None:
+        """Number of stacked seed replicas, or ``None`` for a plain module.
+
+        Set by :func:`repro.nn.batched.stack_modules`, which stacks every
+        parameter and buffer along a new leading axis.
+        """
+        for param in self._parameters.values():
+            if param is not None:
+                return param.seed_dim
+        for child in self._modules.values():
+            dim = child.seed_dim
+            if dim is not None:
+                return dim
+        return None
+
+    def _stack_seed_state(self, replicas: "Sequence[Module]") -> None:
+        """Hook for modules with non-parameter per-seed state (RNG streams).
+
+        Called by :func:`repro.nn.batched.stack_modules` on each merged module
+        with the aligned group of source replicas (``replicas[0]`` is the
+        merged module itself).  The default is a no-op; :class:`Dropout` and
+        the VAE override it to collect per-seed generators.
+        """
 
     # -- forward ---------------------------------------------------------------------
     def forward(self, *args: object, **kwargs: object) -> Tensor:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.nn import functional as F
@@ -12,7 +14,12 @@ __all__ = ["Dropout"]
 
 
 class Dropout(Module):
-    """Inverted dropout; active only in training mode."""
+    """Inverted dropout; active only in training mode.
+
+    When the owning model is seed-stacked (:func:`repro.nn.batched.stack_modules`),
+    ``rngs`` holds one generator per seed replica and each replica draws its
+    mask from its own stream — exactly the draws it would make trained alone.
+    """
 
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
         super().__init__()
@@ -20,9 +27,14 @@ class Dropout(Module):
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
         self.rng = rng or np.random.default_rng()
+        self.rngs: list[np.random.Generator] | None = None
+
+    def _stack_seed_state(self, replicas: Sequence[Module]) -> None:
+        self.rngs = [replica.rng for replica in replicas]
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.dropout(x, self.p, self.rng, training=self.training)
+        rngs = self.rngs if (self.rngs is not None and x.seed_dim is not None) else None
+        return F.dropout(x, self.p, self.rng, training=self.training, rngs=rngs)
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

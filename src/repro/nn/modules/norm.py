@@ -33,6 +33,9 @@ class _BatchNorm(Module):
             )
 
     def _normalise(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
+        # ``axes`` never includes the seed axis when the module is stacked, so
+        # statistics (and the running buffers, which are then (S, C)) stay
+        # strictly per-seed.
         if self.training:
             mean = x.data.mean(axis=axes)
             var = x.data.var(axis=axes)
@@ -54,9 +57,16 @@ class _BatchNorm(Module):
 
 
 class BatchNorm1d(_BatchNorm):
-    """Batch normalisation for (N, C) activations."""
+    """Batch normalisation for (N, C) activations (seed-batched: (S, N, C))."""
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.seed_dim is not None:
+            if x.ndim != 3:
+                raise ValueError(
+                    f"seed-batched BatchNorm1d expects (S, N, C) input, got shape {x.shape}"
+                )
+            self._check_channels(x, 2)
+            return self._normalise(x, axes=(1,), shape=(self.seed_dim, 1, self.num_features))
         if x.ndim != 2:
             raise ValueError(f"BatchNorm1d expects (N, C) input, got shape {x.shape}")
         self._check_channels(x, 1)
@@ -64,9 +74,18 @@ class BatchNorm1d(_BatchNorm):
 
 
 class BatchNorm2d(_BatchNorm):
-    """Batch normalisation for NCHW activations."""
+    """Batch normalisation for NCHW activations (seed-batched: (S, N, C, H, W))."""
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.seed_dim is not None:
+            if x.ndim != 5:
+                raise ValueError(
+                    f"seed-batched BatchNorm2d expects (S, N, C, H, W) input, got shape {x.shape}"
+                )
+            self._check_channels(x, 2)
+            return self._normalise(
+                x, axes=(1, 3, 4), shape=(self.seed_dim, 1, self.num_features, 1, 1)
+            )
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
         self._check_channels(x, 1)
@@ -93,4 +112,8 @@ class LayerNorm(Module):
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        if self.weight.seed_dim is not None:
+            # (S, D) affine params broadcast per-seed against (S, ..., D)
+            shape = (self.weight.shape[0],) + (1,) * (x.ndim - 2) + (self.normalized_shape,)
+            return x_hat * self.weight.reshape(*shape) + self.bias.reshape(*shape)
         return x_hat * self.weight + self.bias

@@ -37,7 +37,9 @@ class GlobalAvgPool2d(Module):
 
 
 class Flatten(Module):
-    """Flatten all non-batch dimensions."""
+    """Flatten all non-batch dimensions (preserving a leading seed axis)."""
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.seed_dim is not None:
+            return x.reshape(x.shape[0], x.shape[1], -1)
         return x.reshape(x.shape[0], -1)

@@ -22,6 +22,13 @@ Design notes
   a gradient back down to the shape of the operand it belongs to.
 * Only operations needed by the model zoo are implemented, but each is
   implemented fully (correct gradients, shape checks, no silent fallbacks).
+* A tensor may carry a *seed axis*: ``seed_dim = S`` declares that axis 0
+  stacks S independent seed replicas (vmap-style batched multi-seed training,
+  see :mod:`repro.nn.batched`).  The flag propagates through every op — an op
+  with at least one seed-stacked parent produces a seed-stacked result — so
+  rank-sensitive layers (conv, norm, pooling, attention) can detect the extra
+  leading axis without any out-of-band signalling.  All batched kernels keep
+  each seed's slice bitwise identical to the run it would produce alone.
 """
 
 from __future__ import annotations
@@ -87,7 +94,7 @@ def _as_array(data: object, dtype: np.dtype | None = None) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor that records a computation graph for autograd."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name", "seed_dim")
 
     def __init__(
         self,
@@ -113,6 +120,14 @@ class Tensor:
         self._backward: Callable[[], None] = lambda: None
         self._prev: tuple[Tensor, ...] = _prev if _GRAD_ENABLED else ()
         self.name = name
+        # The seed axis is contagious: an op result is seed-stacked when any
+        # operand is (see module docstring).  Ops never mix different seed
+        # counts, so the first tagged parent decides.
+        self.seed_dim: int | None = None
+        for parent in _prev:
+            if parent.seed_dim is not None:
+                self.seed_dim = parent.seed_dim
+                break
 
     # -- construction helpers ----------------------------------------------
     @staticmethod
@@ -577,6 +592,19 @@ class Tensor:
     @property
     def T(self) -> "Tensor":
         return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two axes (used by the seed-batched matmul paths)."""
+        out = Tensor(
+            np.swapaxes(self.data, axis1, axis2), requires_grad=self.requires_grad, _prev=(self,)
+        )
+
+        def _backward() -> None:
+            if out.grad is not None and self.requires_grad:
+                self._accumulate(np.swapaxes(out.grad, axis1, axis2))
+
+        out._backward = _backward
+        return out
 
     def __getitem__(self, index: object) -> "Tensor":
         out = Tensor(self.data[index], requires_grad=self.requires_grad, _prev=(self,))

@@ -241,14 +241,20 @@ def execute_artifact(
     scale: Scale,
     max_workers: int = 1,
     cache: RunCache | InMemoryRunCache | str | None = None,
+    batch_seeds: bool = False,
 ) -> tuple[RunStore, EngineReport]:
     """Plan and execute one artifact's cells; return (records, engine report).
 
     With a cache every previously trained cell is a hit, so re-running an
     artifact (or running one that shares cells with an earlier one) retrains
     nothing.  Records come back in plan order regardless of ``max_workers``.
+    ``batch_seeds`` trains all seeds of each batchable cell in one
+    seed-stacked pass; the resulting records (and therefore reports) are
+    byte-identical to serial execution.
     """
-    engine = ExperimentEngine(cache=cache, max_workers=max_workers, run_fn=run_cell)
+    engine = ExperimentEngine(
+        cache=cache, max_workers=max_workers, run_fn=run_cell, batch_seeds=batch_seeds
+    )
     store = engine.run(artifact.plan(scale))
     return store, engine.last_report
 

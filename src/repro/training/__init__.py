@@ -11,6 +11,7 @@ from repro.training.callbacks import (
     EarlyStopping,
 )
 from repro.training.trainer import Trainer
+from repro.training.batched import BatchedTrainer, SeedDivergence
 from repro.training import metrics
 
 __all__ = [
@@ -28,5 +29,7 @@ __all__ = [
     "ProgressLogger",
     "EarlyStopping",
     "Trainer",
+    "BatchedTrainer",
+    "SeedDivergence",
     "metrics",
 ]

@@ -370,3 +370,167 @@ class TestTieBreaking:
         assert len(first.all_records) == 2
         assert first.best_lr == again.best_lr
         assert stores_equal(first.all_records, again.all_records)
+
+
+class TestSeedBatchedEngine:
+    """The batch_seeds engine path: grouping, cache splitting, seed-list reuse."""
+
+    def _plan(self, seeds, budget=0.05):
+        return plan_budget_sweep(
+            "VAE-MNIST", "cosine", "adam", budgets=(budget,), seeds=seeds, **TINY
+        )
+
+    def test_batched_store_equals_serial(self, tmp_path):
+        plan = self._plan((0, 1, 2))
+        serial = ExperimentEngine().run(plan)
+        engine = ExperimentEngine(batch_seeds=True)
+        batched = engine.run(plan)
+        assert stores_equal(serial, batched)
+        assert engine.last_report.batched_cells == 1
+        assert engine.last_report.batched_records == 3
+        assert engine.last_report.executed == 3
+
+    def test_batched_cell_caches_per_seed_records(self, tmp_path):
+        """A 5-seed batched cell writes one cache entry per seed, individually."""
+        cache = RunCache(tmp_path / "cache")
+        plan = self._plan((0, 1, 2, 3, 4))
+        ExperimentEngine(cache=cache, batch_seeds=True).run(plan)
+        assert len(cache) == 5
+        for config in plan:
+            assert config in cache
+
+    def test_seed_subset_reuses_batched_cache(self, tmp_path, monkeypatch):
+        """A later --seeds 3 run reuses seeds 0-2 from a cached --seeds 5 run."""
+        cache = RunCache(tmp_path / "cache")
+        ExperimentEngine(cache=cache, batch_seeds=True).run(self._plan((0, 1, 2, 3, 4)))
+
+        def bomb(config):
+            raise AssertionError("a cached cell must not retrain")
+
+        monkeypatch.setattr("repro.experiments.runner.run_single", bomb)
+        monkeypatch.setattr("repro.experiments.batched.run_single", bomb)
+        engine = ExperimentEngine(cache=cache, batch_seeds=True)
+        engine.run(self._plan((0, 1, 2)))
+        assert engine.last_report.cache_hits == 3
+        assert engine.last_report.executed == 0
+        # and the reverse: a superset run trains only the new seeds
+        monkeypatch.undo()
+        engine = ExperimentEngine(cache=cache, batch_seeds=True)
+        engine.run(self._plan((0, 1, 2, 3, 4, 5, 6)))
+        assert engine.last_report.cache_hits == 5
+        assert engine.last_report.executed == 2
+        assert engine.last_report.batched_cells == 1
+
+    def test_cache_files_identical_to_serial(self, tmp_path):
+        """Batched and serial caches are byte-identical file for file."""
+        plan = self._plan((0, 1))
+        serial_cache = RunCache(tmp_path / "serial")
+        batched_cache = RunCache(tmp_path / "batched")
+        ExperimentEngine(cache=serial_cache).run(plan)
+        ExperimentEngine(cache=batched_cache, batch_seeds=True).run(plan)
+        serial_files = sorted(p.name for p in (tmp_path / "serial").glob("*.json"))
+        batched_files = sorted(p.name for p in (tmp_path / "batched").glob("*.json"))
+        assert serial_files == batched_files and serial_files
+        for name in serial_files:
+            assert (tmp_path / "serial" / name).read_text() == (
+                tmp_path / "batched" / name
+            ).read_text()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_divergence_fallback_is_not_counted_as_batched(self):
+        """batched_cells reports real stacked execution, not fallen-back groups."""
+        plan = plan_budget_sweep(
+            "VAE-MNIST",
+            "cosine",
+            "sgdm",
+            budgets=(1.0,),
+            seeds=(0, 1),
+            learning_rate=1e6,  # diverges -> SeedDivergence -> serial fallback
+            size_scale=0.12,
+            epoch_scale=0.5,
+        )
+        engine = ExperimentEngine(batch_seeds=True)
+        store = engine.run(plan)
+        assert engine.last_report.batched_cells == 0
+        assert engine.last_report.batched_records == 0
+        assert engine.last_report.executed == 2
+        assert all(record.extra["diverged"] for record in store)
+
+    def test_custom_run_fn_disables_grouping(self):
+        """A non-default run_fn must see every cell: no silent batched bypass."""
+        calls = []
+
+        def fake_run(config):
+            calls.append(config.seed)
+            return make_record(seed=config.seed, budget_fraction=config.budget_fraction)
+
+        plan = self._plan((0, 1, 2))
+        engine = ExperimentEngine(run_fn=fake_run, batch_seeds=True)
+        engine.run(plan)
+        assert sorted(calls) == [0, 1, 2]
+        assert engine.last_report.batched_cells == 0
+
+    def test_feedback_schedules_are_unbatchable_by_class(self):
+        """Batchability is judged by schedule behaviour, not by registry name."""
+        from repro.experiments import is_batchable
+        from repro.schedules.plateau import DecayOnPlateauSchedule
+        from repro.schedules.registry import SCHEDULE_REGISTRY, register_schedule
+
+        try:
+            register_schedule("plateau2", DecayOnPlateauSchedule)
+            assert not is_batchable(tiny_config(schedule="plateau2"))
+            register_schedule("opaque", lambda *a, **k: None)
+            assert not is_batchable(tiny_config(schedule="opaque"))
+            assert not is_batchable(tiny_config(schedule="not-registered"))
+        finally:
+            SCHEDULE_REGISTRY.pop("plateau2", None)
+            SCHEDULE_REGISTRY.pop("opaque", None)
+
+    def test_plateau_cells_stay_serial(self):
+        from repro.experiments import is_batchable
+
+        assert not is_batchable(tiny_config(schedule="plateau"))
+        assert is_batchable(tiny_config(schedule="rex"))
+        plan = plan_budget_sweep(
+            "VAE-MNIST", "plateau", "adam", budgets=(0.05,), seeds=(0, 1), **TINY
+        )
+        engine = ExperimentEngine(batch_seeds=True)
+        store = engine.run(plan)
+        assert engine.last_report.batched_cells == 0
+        assert stores_equal(store, ExperimentEngine().run(plan))
+
+    def test_mixed_plan_preserves_order(self):
+        """Batched groups interleaved with serial cells keep plan order."""
+        plan = (
+            self._plan((0, 1))
+            + plan_budget_sweep("VAE-MNIST", "plateau", "adam", budgets=(0.05,), seeds=(0,), **TINY)
+            + self._plan((2, 3), budget=0.1)
+        )
+        engine = ExperimentEngine(batch_seeds=True)
+        store = engine.run(plan)
+        serial = ExperimentEngine().run(plan)
+        assert stores_equal(store, serial)
+        assert engine.last_report.batched_cells == 2
+
+    @pytest.mark.skipif(os.environ.get("REPRO_SKIP_SLOW") == "1", reason="process pool")
+    def test_parallel_batched_matches_serial(self, tmp_path):
+        """Batched cells survive the process pool (pickling) unchanged."""
+        plan = self._plan((0, 1, 2)) + self._plan((0, 1, 2), budget=0.1)
+        serial = ExperimentEngine().run(plan)
+        engine = ExperimentEngine(max_workers=2, batch_seeds=True)
+        batched = engine.run(plan)
+        assert stores_equal(serial, batched)
+        assert engine.last_report.batched_cells == 2
+
+    def test_run_setting_table_batch_seeds_kwarg(self):
+        kwargs = dict(
+            setting="VAE-MNIST",
+            schedules=("cosine",),
+            optimizers=("adam",),
+            budgets=(0.05,),
+            seeds=(0, 1),
+            **TINY,
+        )
+        assert stores_equal(
+            run_setting_table(**kwargs), run_setting_table(batch_seeds=True, **kwargs)
+        )

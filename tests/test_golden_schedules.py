@@ -1,0 +1,96 @@
+"""Golden regression snapshots of exact schedule values.
+
+The property suite (``test_schedule_properties.py``) asserts *bounds* —
+monotonicity, terminal values, budget rescaling.  This file pins the actual
+closed-form numbers: every (schedule, budget) pair's full learning-rate curve
+is checked in ``golden/schedules.json`` against values captured from the
+paper-faithful implementations, so any future refactor of ``schedules/``
+diffs against the closed forms instead of only property envelopes.
+
+Regenerate (after an *intentional* change) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_schedules.py -q
+
+and review the diff of ``tests/golden/schedules.json`` like any other code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.schedules import build_schedule
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "schedules.json"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") == "1"
+
+#: the schedules snapshot-pinned to their closed forms
+SCHEDULES = ("rex", "linear", "cosine", "step", "onecycle", "polynomial")
+#: canonical budgets: the proxy-scale step counts of the paper's 1%-100% grid
+BUDGETS = (2, 10, 50, 200)
+#: canonical sampling rate (steps per epoch) for the epoch-sampled schedules
+STEPS_PER_EPOCH = 10
+BASE_LR = 0.1
+
+
+def _curve(name: str, total_steps: int) -> list[float]:
+    schedule = build_schedule(
+        name,
+        None,
+        total_steps=total_steps,
+        base_lr=BASE_LR,
+        steps_per_epoch=STEPS_PER_EPOCH,
+    )
+    return [float(v) for v in schedule.sequence()]
+
+
+def _current() -> dict[str, dict[str, list[float]]]:
+    return {
+        name: {str(budget): _curve(name, budget) for budget in BUDGETS}
+        for name in SCHEDULES
+    }
+
+
+def _golden() -> dict[str, dict[str, list[float]]]:
+    if REGEN:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(_current(), indent=1, sort_keys=True) + "\n")
+    if not GOLDEN_PATH.exists():
+        # never regenerate implicitly: comparing a fresh snapshot against the
+        # implementation that just produced it would vacuously pass
+        pytest.fail(
+            f"golden snapshot {GOLDEN_PATH} is missing; restore it from git or "
+            "regenerate deliberately with REPRO_REGEN_GOLDEN=1 and review the diff"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+@pytest.mark.parametrize("name", SCHEDULES)
+def test_schedule_matches_golden_curve(name, budget):
+    golden = _golden()[name][str(budget)]
+    current = _curve(name, budget)
+    assert len(current) == len(golden) == budget
+    # rtol absorbs at most libm ulp differences across platforms; any real
+    # formula change is orders of magnitude larger
+    np.testing.assert_allclose(current, golden, rtol=1e-12, atol=0.0)
+
+
+def test_golden_file_covers_every_case():
+    golden = _golden()
+    assert sorted(golden) == sorted(SCHEDULES)
+    for name in SCHEDULES:
+        assert sorted(golden[name]) == sorted(str(b) for b in BUDGETS)
+
+
+def test_curves_start_at_base_lr_scale():
+    """Sanity anchor on the snapshot itself: no curve exceeds OneCycle's peak."""
+    golden = _golden()
+    for name, by_budget in golden.items():
+        for values in by_budget.values():
+            assert max(values) <= BASE_LR * 10 + 1e-12, name
+            assert min(values) >= 0.0, name
