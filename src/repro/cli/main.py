@@ -116,6 +116,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> N
                 "path — only wall-clock changes (default: off)"
             ),
         )
+        parser.add_argument(
+            "--plan",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help=(
+                "graph planning: capture each cell's step tape once and reuse every "
+                "buffer on later steps; trajectories, records and reports are "
+                "byte-identical with or without it.  --no-plan is the exact-equality "
+                "escape hatch (default: on, or the REPRO_PLAN environment switch)"
+            ),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,7 +204,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     for artifact in artifacts:
         start = time.monotonic()
         _, report = execute_artifact(
-            artifact, scale, max_workers=args.workers, cache=cache, batch_seeds=args.batch_seeds
+            artifact,
+            scale,
+            max_workers=args.workers,
+            cache=cache,
+            batch_seeds=args.batch_seeds,
+            plan=args.plan,
         )
         elapsed = time.monotonic() - start
         batched = (
@@ -218,7 +234,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     cache = _cache_from(args)
     for artifact in artifacts:
         store, engine_report = execute_artifact(
-            artifact, scale, max_workers=args.workers, cache=cache, batch_seeds=args.batch_seeds
+            artifact,
+            scale,
+            max_workers=args.workers,
+            cache=cache,
+            batch_seeds=args.batch_seeds,
+            plan=args.plan,
         )
         result = artifact.build(store, scale)
         paths = write_report(result, scale, args.out)

@@ -13,11 +13,13 @@ regardless of which worker finishes first, so ``max_workers=8`` produces a
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.execution.cache import InMemoryRunCache, RunCache
 from repro.utils.records import RunRecord, RunStore
@@ -39,6 +41,29 @@ class _Job:
     fn: Callable[[Any], RunRecord | list[RunRecord] | tuple[list[RunRecord], bool]]
     payload: Any
     indices: tuple[int, ...]
+
+
+@contextmanager
+def _plan_env(plan: bool | None) -> Iterator[None]:
+    """Scope the ``REPRO_PLAN`` switch around one engine run.
+
+    Graph planning is a pure execution detail (results are bitwise identical
+    either way), so it travels to the workers through the environment — the
+    process pool is created inside the scope and inherits it — instead of
+    through the cell payloads, whose bytes are the cache fingerprint.
+    """
+    if plan is None:
+        yield
+        return
+    previous = os.environ.get("REPRO_PLAN")
+    os.environ["REPRO_PLAN"] = "1" if plan else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_PLAN", None)
+        else:
+            os.environ["REPRO_PLAN"] = previous
 
 
 def _default_run_fn() -> RunFn:
@@ -106,6 +131,14 @@ class ExperimentEngine:
         therefore cache entries, which stay keyed per seed — are bitwise
         identical to serial execution; only wall-clock changes.  Off by
         default.
+    plan:
+        Graph planning (:mod:`repro.nn.plan`) for every cell this run
+        executes: ``True``/``False`` pin the ``REPRO_PLAN`` switch for the
+        duration of :meth:`run` (workers inherit it through the
+        environment), ``None`` (default) leaves the ambient setting — on
+        unless ``REPRO_PLAN`` is falsy — untouched.  Records are bitwise
+        identical either way; like ``batch_seeds`` it only changes
+        wall-clock (and allocation) behaviour.
     """
 
     def __init__(
@@ -115,6 +148,7 @@ class ExperimentEngine:
         retries: int = 1,
         run_fn: RunFn | None = None,
         batch_seeds: bool = False,
+        plan: bool | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -127,6 +161,7 @@ class ExperimentEngine:
         self.retries = retries
         self.run_fn = run_fn
         self.batch_seeds = batch_seeds
+        self.plan = plan
         self.last_report = EngineReport()
 
     # -- execution -----------------------------------------------------------
@@ -154,10 +189,11 @@ class ExperimentEngine:
         if pending:
             run_fn = self.run_fn if self.run_fn is not None else _default_run_fn()
             jobs = self._make_jobs(run_fn, plan, pending, report)
-            if self.max_workers == 1 or len(jobs) == 1:
-                self._run_serial(plan, jobs, results, report)
-            else:
-                self._run_parallel(plan, jobs, results, report)
+            with _plan_env(self.plan):
+                if self.max_workers == 1 or len(jobs) == 1:
+                    self._run_serial(plan, jobs, results, report)
+                else:
+                    self._run_parallel(plan, jobs, results, report)
 
         if store is None:
             store = RunStore()

@@ -60,12 +60,17 @@ def _scaled_max_epochs(setting: ExperimentSetting, epoch_scale: float) -> int:
     return max(1, round(setting.max_epochs * epoch_scale))
 
 
-def run_single(config: RunConfig) -> RunRecord:
+def run_single(config: RunConfig, plan: bool | None = None) -> RunRecord:
     """Train one cell and return its record.
 
     The warmup protocol follows the paper: settings with ``warmup_epochs > 0``
     (YOLO-VOC) prepend a linear warmup that is *not* counted against the
     budget; the inner schedule still decays over exactly the budgeted steps.
+
+    ``plan`` toggles graph planning (buffer reuse across steps; bitwise
+    identical either way); ``None`` defers to ``REPRO_PLAN``.  It is an
+    execution detail like ``max_workers`` and never enters the cell's cache
+    fingerprint.
     """
     setting = config.resolve_setting()
     if setting.task == "glue":
@@ -113,6 +118,7 @@ def run_single(config: RunConfig) -> RunRecord:
             eval_loader=workload.eval_loader,
             schedule=schedule,
             callbacks=[guard],
+            plan=plan,
         )
         history = trainer.fit(budget.total_steps_with_warmup)
 
@@ -157,21 +163,22 @@ def run_budget_sweep(
     max_workers: int = 1,
     cache_dir: str | Path | None = None,
     batch_seeds: bool = False,
+    plan: bool | None = None,
 ) -> RunStore:
     """Train one schedule/optimizer across a budget grid and seeds.
 
     ``max_workers > 1`` fans the cells out to a process pool; ``cache_dir``
     enables the content-addressed run cache so previously trained cells are
     loaded instead of retrained; ``batch_seeds`` trains all seeds of a cell in
-    one seed-stacked pass (:mod:`repro.experiments.batched`).  All are off by
-    default, and the returned store is record-for-record identical regardless
-    of any of them.
+    one seed-stacked pass (:mod:`repro.experiments.batched`); ``plan``
+    overrides the graph-planning default (``REPRO_PLAN``).  All leave the
+    returned store record-for-record identical.
     """
     # Imported here, not at module top: repro.execution.plan imports RunConfig
     # from this module, so the dependency must stay one-way at import time.
     from repro.execution import ExperimentEngine, plan_budget_sweep
 
-    plan = plan_budget_sweep(
+    cells = plan_budget_sweep(
         setting,
         schedule,
         optimizer,
@@ -183,8 +190,10 @@ def run_budget_sweep(
         schedule_kwargs=schedule_kwargs,
         dtype=dtype,
     )
-    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds)
-    return engine.run(plan)
+    engine = ExperimentEngine(
+        cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds, plan=plan
+    )
+    return engine.run(cells)
 
 
 def run_setting_table(
@@ -201,6 +210,7 @@ def run_setting_table(
     cache_dir: str | Path | None = None,
     seeds: Sequence[int] | None = None,
     batch_seeds: bool = False,
+    plan: bool | None = None,
 ) -> RunStore:
     """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget.
 
@@ -216,7 +226,7 @@ def run_setting_table(
     """
     from repro.execution import ExperimentEngine, plan_setting_table
 
-    plan = plan_setting_table(
+    cells = plan_setting_table(
         setting,
         schedules,
         optimizers=optimizers,
@@ -228,5 +238,7 @@ def run_setting_table(
         dtype=dtype,
         seeds=seeds,
     )
-    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds)
-    return engine.run(plan)
+    engine = ExperimentEngine(
+        cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds, plan=plan
+    )
+    return engine.run(cells)

@@ -12,10 +12,12 @@ from repro.nn.dtype import (
     resolve_dtype,
     set_default_dtype,
 )
+from repro.nn.plan import GraphPlan, plan_enabled_default
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack, where
 from repro.nn import functional
 from repro.nn import init
 from repro.nn import losses
+from repro.nn import plan
 from repro.nn.batched import seed_slice_state, seed_stacked, stack_modules
 from repro.nn.modules import (
     Module,
@@ -49,6 +51,9 @@ __all__ = [
     "get_default_dtype",
     "resolve_dtype",
     "set_default_dtype",
+    "GraphPlan",
+    "plan",
+    "plan_enabled_default",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

@@ -2,6 +2,12 @@
 
 Convolution and pooling use im2col so the heavy lifting stays inside numpy's
 BLAS-backed matmul (per the project's "vectorize, don't loop" guideline).
+
+Every workspace here (im2col/col2im buffers, GEMM outputs, dropout masks,
+scatter targets) is drawn from the active :class:`~repro.nn.plan.GraphPlan`'s
+arena when a trainer has one active, so the steady-state training step reuses
+the same memory instead of re-allocating it; with no plan the identical
+kernels run with fresh allocations and produce bitwise-identical values.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.nn import plan as _plan
 from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor
 
@@ -49,9 +56,49 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
             shape = (bias.shape[0],) + (1,) * (out.ndim - 2) + (bias.shape[-1],)
             out = out + bias.reshape(*shape)
         return out
-    out = x @ weight.T
+    if x.ndim < 2 or x.data.dtype != weight.data.dtype or (
+        bias is not None and bias.data.dtype != x.data.dtype
+    ):
+        # rare shapes/dtypes keep the composed ops: matmul handles the rank
+        # cases, and a mixed-dtype layer must *promote* (the fused in-place
+        # bias add below would silently downcast a wider bias)
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+    # Fused serial path: one graph node for ``x @ W.T (+ bias)`` instead of a
+    # transpose node + matmul node + add node rebuilt every step.  Each numpy
+    # call below is exactly the call the composed ops made (the GEMMs see the
+    # same arrays in the same layout), so values — and the per-seed slices of
+    # the batched path above, which mirrors the composed chain — stay bitwise
+    # identical; only the python/graph dispatch shrinks.
+    a, w = x.data, weight.data
+    out_data = _gemm(a, w.T, a.shape[:-1] + (w.shape[0],))
     if bias is not None:
-        out = out + bias
+        out_data += bias.data
+    requires_grad = x.requires_grad or weight.requires_grad or (
+        bias is not None and bias.requires_grad
+    )
+    prev = (x, weight) + ((bias,) if bias is not None else ())
+    out = Tensor(out_data, requires_grad=requires_grad, _prev=prev)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        g = out.grad
+        if x.requires_grad:
+            x._accumulate(_gemm(g, w, g.shape[:-1] + (w.shape[1],)), own=True)
+        if weight.requires_grad:
+            # (x^T @ g) then transpose, matching the composed chain's GEMM and
+            # copy orientation (bitwise-relevant: the batched path reduces the
+            # same way per seed)
+            at = np.swapaxes(a, -1, -2)
+            grad_wt = _gemm(at, g, at.shape[:-1] + (g.shape[-1],))
+            weight._accumulate(np.swapaxes(grad_wt, -1, -2))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g)
+
+    out._backward = _backward
     return out
 
 
@@ -65,7 +112,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}); got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
+    out = _zeros((labels.shape[0], num_classes), get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -76,6 +123,36 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return x.log_softmax(axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# arena-staged workspace helpers (shared by conv, pooling, embedding, dropout)
+# ---------------------------------------------------------------------------
+
+def _empty(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """``np.empty`` from the arena when a plan is active, fresh otherwise."""
+    plan = _plan.ACTIVE
+    if plan is not None:
+        return plan.checkout(shape, dtype)
+    return np.empty(shape, dtype)
+
+
+def _zeros(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """``np.zeros`` from the arena (checked out, then cleared in place)."""
+    plan = _plan.ACTIVE
+    if plan is not None:
+        buf = plan.checkout(shape, dtype)
+        buf.fill(0)
+        return buf
+    return np.zeros(shape, dtype)
+
+
+def _gemm(a: np.ndarray, b: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """``a @ b`` with a known result ``shape``, staged through the arena."""
+    plan = _plan.ACTIVE
+    if plan is not None and a.dtype == b.dtype:
+        return np.matmul(a, b, out=plan.checkout(shape, a.dtype))
+    return np.matmul(a, b)
 
 
 # ---------------------------------------------------------------------------
@@ -99,10 +176,16 @@ def im2col(
     n, c, h, w = x.shape
     out_h = _conv_output_size(h, kernel_h, stride, padding)
     out_w = _conv_output_size(w, kernel_w, stride, padding)
+    plan = _plan.ACTIVE
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if plan is not None:
+            padded = _zeros((n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+            padded[:, :, padding:-padding, padding:-padding] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
 
-    # Strided sliding-window view, then reshape into columns.
+    # Strided sliding-window view, then one gathering copy into column layout.
     s0, s1, s2, s3 = x.strides
     windows = np.lib.stride_tricks.as_strided(
         x,
@@ -110,8 +193,15 @@ def im2col(
         strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
         writeable=False,
     )
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel_h * kernel_w, out_h * out_w)
-    return np.ascontiguousarray(cols), out_h, out_w
+    src = windows.transpose(0, 1, 4, 5, 2, 3)
+    if plan is not None:
+        cols = plan.checkout((n, c * kernel_h * kernel_w, out_h * out_w), x.dtype)
+        np.copyto(cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w), src)
+    else:
+        cols = np.ascontiguousarray(
+            src.reshape(n, c * kernel_h * kernel_w, out_h * out_w)
+        )
+    return cols, out_h, out_w
 
 
 def col2im(
@@ -122,11 +212,15 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Fold columns back into an NCHW array (adjoint of :func:`im2col`)."""
+    """Fold columns back into an NCHW array (adjoint of :func:`im2col`).
+
+    With ``padding > 0`` the returned array is a view into the (possibly
+    arena-owned) padded scatter buffer.
+    """
     n, c, h, w = input_shape
     out_h = _conv_output_size(h, kernel_h, stride, padding)
     out_w = _conv_output_size(w, kernel_w, stride, padding)
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    padded = _zeros((n, c, h + 2 * padding, w + 2 * padding), cols.dtype)
     cols6 = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
     for i in range(kernel_h):
         i_end = i + stride * out_h
@@ -147,13 +241,15 @@ def _conv2d_batched(
 ) -> Tensor:
     """Seed-batched convolution: (S, N, C, H, W) input, (S, O, C, kh, kw) weight.
 
-    One graph node covers all S seeds (amortising the python/autograd
-    dispatch), but the heavy kernels run *chunked per seed*: each seed's
-    im2col/GEMM/col2im operates on exactly the serial path's array shapes.
-    This keeps the produce-then-consume temporaries cache-resident (a stacked
-    S-times-larger ``cols`` thrashes small L2 caches) and makes bitwise
-    per-seed equality with the serial path immediate — it *is* the serial
-    sequence of kernels, minus the per-seed graph bookkeeping.
+    One **stacked GEMM** covers all S seeds: the (S·N)-image batch goes
+    through a single im2col, and one broadcast ``np.matmul`` of
+    ``(S, 1, O, F) @ (S, N, F, P)`` dispatches S·N BLAS GEMMs of exactly the
+    serial path's shapes — so each seed's slice stays bitwise identical to
+    its stand-alone run while the python/graph dispatch is paid once.  (The
+    previous implementation chunked im2col/GEMM/col2im per seed in a python
+    loop, which made seed-batching *slower* than serial for conv models.)
+    The im2col/col2im workspaces and GEMM outputs are arena-staged, shared
+    with the serial path's buffers via :mod:`repro.nn.plan`.
     """
     if x.ndim != 5:
         raise ValueError(f"seed-batched conv2d expects (S, N, C, H, W) input, got {x.shape}")
@@ -163,18 +259,12 @@ def _conv2d_batched(
         raise ValueError(f"input has {c} channels but weight expects {in_c}")
 
     feat = c * kh * kw
-    x_data = x.data
-    w_mats = weight.data.reshape(s, out_c, feat)
-    seed_cols: list[np.ndarray] = []
-    out_data: np.ndarray | None = None
-    out_h = out_w = 0
-    for i in range(s):
-        cols, out_h, out_w = im2col(x_data[i], kh, kw, stride, padding)
-        seed_cols.append(cols)
-        if out_data is None:
-            out_data = np.empty((s, n, out_c, out_h * out_w), dtype=x_data.dtype)
-        np.matmul(w_mats[i], cols, out=out_data[i])
-    assert out_data is not None
+    x_flat = x.data.reshape(s * n, c, h, w)
+    cols, out_h, out_w = im2col(x_flat, kh, kw, stride, padding)
+    pos = out_h * out_w
+    cols4 = cols.reshape(s, n, feat, pos)
+    w_mats = weight.data.reshape(s, 1, out_c, feat)
+    out_data = _gemm(w_mats, cols4, (s, n, out_c, pos))
     out_data = out_data.reshape(s, n, out_c, out_h, out_w)
     if bias is not None:
         out_data += bias.data.reshape(s, 1, out_c, 1, 1)
@@ -184,29 +274,35 @@ def _conv2d_batched(
     )
     prev = (x, weight) + ((bias,) if bias is not None else ())
     out = Tensor(out_data, requires_grad=requires_grad, _prev=prev)
-    final_h, final_w = out_h, out_w
 
     def _backward() -> None:
         if out.grad is None:
             return
-        grad_out = out.grad.reshape(s, n, out_c, final_h * final_w)
+        grad_out = out.grad.reshape(s, n, out_c, pos)
         if bias is not None and bias.requires_grad:
+            # tiny per-seed reduction loop: keeps each seed's summation order
+            # exactly the serial path's
             grad_b = np.empty((s, out_c), dtype=grad_out.dtype)
             for i in range(s):
                 grad_b[i] = grad_out[i].sum(axis=(0, 2))
             bias._accumulate(grad_b, own=True)
         if weight.requires_grad:
-            grad_w = np.empty((s, out_c, feat), dtype=grad_out.dtype)
+            prod = _gemm(grad_out, cols4.transpose(0, 1, 3, 2), (s, n, out_c, feat))
+            grad_w = _empty((s, out_c, feat), prod.dtype)
             for i in range(s):
-                np.matmul(
-                    grad_out[i], seed_cols[i].transpose(0, 2, 1), out=None
-                ).sum(axis=0, out=grad_w[i])
+                np.sum(prod[i], axis=0, out=grad_w[i])
             weight._accumulate(grad_w.reshape(weight.shape), own=True)
         if x.requires_grad:
-            grad_x = np.empty_like(x_data)
-            for i in range(s):
-                grad_cols = np.matmul(w_mats[i].T, grad_out[i])
-                grad_x[i] = col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
+            w_t = w_mats.transpose(0, 1, 3, 2)
+            grad_cols = _gemm(w_t, grad_out, (s, n, feat, pos))
+            folded = col2im(
+                grad_cols.reshape(s * n, feat, pos), (s * n, c, h, w), kh, kw, stride, padding
+            )
+            if folded.flags.c_contiguous:
+                grad_x = folded.reshape(s, n, c, h, w)
+            else:
+                grad_x = _empty((s, n, c, h, w), folded.dtype)
+                np.copyto(grad_x.reshape(s * n, c, h, w), folded)
             x._accumulate(grad_x, own=True)
 
     out._backward = _backward
@@ -223,7 +319,7 @@ def conv2d(
     """2D convolution for NCHW input and (out_c, in_c, kh, kw) weights.
 
     With a seed-stacked weight (``weight.seed_dim = S``) the input carries a
-    leading seed axis and the work is dispatched as one grouped matmul; see
+    leading seed axis and the work is dispatched as one stacked GEMM; see
     :func:`_conv2d_batched`.
     """
     if weight.seed_dim is not None:
@@ -238,11 +334,13 @@ def conv2d(
         raise ValueError(f"input has {c} channels but weight expects {in_c}")
 
     cols, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
-    w_mat = weight.data.reshape(out_c, -1)
+    feat = c * kh * kw
+    pos = out_h * out_w
+    w_mat = weight.data.reshape(out_c, feat)
     # Batched matmul instead of einsum: (o,f) @ (n,f,p) dispatches to BLAS,
     # which is the difference between C loops and vectorised kernels on the
     # hottest op of every conv model.
-    out_data = np.matmul(w_mat, cols)
+    out_data = _gemm(w_mat, cols, (n, out_c, pos))
     out_data = out_data.reshape(n, out_c, out_h, out_w)
     if bias is not None:
         out_data += bias.data.reshape(1, out_c, 1, 1)
@@ -256,15 +354,20 @@ def conv2d(
     def _backward() -> None:
         if out.grad is None:
             return
-        grad_out = out.grad.reshape(n, out_c, out_h * out_w)
+        grad_out = out.grad.reshape(n, out_c, pos)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_out.sum(axis=(0, 2)), own=True)
         if weight.requires_grad:
             # sum_n grad_out[n] @ cols[n].T, again as a BLAS batched matmul
-            grad_w = np.matmul(grad_out, cols.transpose(0, 2, 1)).sum(axis=0)
+            prod = _gemm(grad_out, cols.transpose(0, 2, 1), (n, out_c, feat))
+            plan = _plan.ACTIVE
+            if plan is not None:
+                grad_w = np.sum(prod, axis=0, out=plan.checkout((out_c, feat), prod.dtype))
+            else:
+                grad_w = prod.sum(axis=0)
             weight._accumulate(grad_w.reshape(weight.shape), own=True)
         if x.requires_grad:
-            grad_cols = np.matmul(w_mat.T, grad_out)
+            grad_cols = _gemm(w_mat.T, grad_out, (n, feat, pos))
             grad_x = col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
             x._accumulate(grad_x, own=True)
 
@@ -276,59 +379,51 @@ def conv2d(
 # pooling
 # ---------------------------------------------------------------------------
 
-def _seed_slabs(x: Tensor) -> list[np.ndarray]:
-    """Per-seed (N*C, 1, H, W) views of a pooling input, or one for serial input.
+def _pool_slab(x: Tensor) -> np.ndarray:
+    """A (rows, 1, H, W) view of the pooling input.
 
-    Pooling is per-image work; processing one serial-shaped slab at a time
-    keeps its im2col temporaries cache-resident and makes each seed's values
-    bitwise identical to its stand-alone run.
+    Pooling is per-image, per-channel work, so the batch — and, for a
+    seed-stacked (S, N, C, H, W) input, all S seeds at once — flattens into
+    one slab that a single im2col/scatter pass handles.  Per-seed values are
+    bitwise identical to the serial path's because every kernel involved
+    operates row-independently.
     """
     if x.seed_dim is not None:
         if x.ndim != 5:
             raise ValueError(f"pooling expects (S, N, C, H, W) input, got shape {x.shape}")
         s, n, c, h, w = x.shape
-        return [x.data[i].reshape(n * c, 1, h, w) for i in range(s)]
+        return x.data.reshape(s * n * c, 1, h, w)
     if x.ndim != 4:
         raise ValueError(f"pooling expects NCHW input, got shape {x.shape}")
     n, c, h, w = x.shape
-    return [x.data.reshape(n * c, 1, h, w)]
+    return x.data.reshape(n * c, 1, h, w)
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
     """Max pooling over windows of an NCHW (or seed-batched S,N,C,H,W) tensor."""
     stride = stride or kernel_size
-    slabs = _seed_slabs(x)
-    h, w = x.shape[-2:]
-    seed_cols: list[np.ndarray] = []
-    seed_argmax: list[np.ndarray] = []
-    pooled: list[np.ndarray] = []
-    out_h = out_w = 0
-    for slab in slabs:
-        cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
+    slab = _pool_slab(x)
+    cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
+    rows, _, pos = cols.shape
+    plan = _plan.ACTIVE
+    if plan is not None:
+        argmax = np.argmax(cols, axis=1, out=plan.checkout((rows, pos), np.dtype(np.intp)))
+        pooled = np.amax(cols, axis=1, out=plan.checkout((rows, pos), cols.dtype))
+    else:
         argmax = cols.argmax(axis=1)
-        pooled.append(np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1))
-        seed_cols.append(cols)
-        seed_argmax.append(argmax)
+        pooled = np.amax(cols, axis=1)
     out_shape = x.shape[:-2] + (out_h, out_w)
-    out_data = (pooled[0] if len(slabs) == 1 else np.stack(pooled)).reshape(out_shape)
-    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
+    out = Tensor(pooled.reshape(out_shape), requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is None or not x.requires_grad:
             return
-        grad_view = out.grad.reshape(len(slabs), -1, 1, out_h * out_w)
-        folded = []
-        for i, (cols, argmax) in enumerate(zip(seed_cols, seed_argmax)):
-            grad_cols = np.zeros_like(cols)
-            np.put_along_axis(grad_cols, argmax[:, None, :], grad_view[i], axis=1)
-            folded.append(col2im(grad_cols, slabs[i].shape, kernel_size, kernel_size, stride, 0))
-        if len(folded) == 1:
-            # serial path: hand col2im's fresh array over without a copy
-            x._accumulate(folded[0].reshape(x.shape), own=True)
-        else:
-            x._accumulate(
-                np.stack([g.reshape(x.shape[1:]) for g in folded]), own=True
-            )
+        grad_cols = _zeros(cols.shape, cols.dtype)
+        np.put_along_axis(
+            grad_cols, argmax[:, None, :], out.grad.reshape(rows, 1, pos), axis=1
+        )
+        folded = col2im(grad_cols, slab.shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(folded.reshape(x.shape), own=True)
 
     out._backward = _backward
     return out
@@ -337,36 +432,34 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
 def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
     """Average pooling over windows of an NCHW (or seed-batched) tensor."""
     stride = stride or kernel_size
-    slabs = _seed_slabs(x)
-    h, w = x.shape[-2:]
+    slab = _pool_slab(x)
     window = kernel_size * kernel_size
-    pooled: list[np.ndarray] = []
-    out_h = out_w = 0
-    for slab in slabs:
-        cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
-        pooled.append(cols.mean(axis=1))
+    cols, out_h, out_w = im2col(slab, kernel_size, kernel_size, stride, 0)
+    rows, _, pos = cols.shape
+    plan = _plan.ACTIVE
+    if plan is not None:
+        pooled = np.mean(cols, axis=1, out=plan.checkout((rows, pos), cols.dtype))
+    else:
+        pooled = cols.mean(axis=1)
     out_shape = x.shape[:-2] + (out_h, out_w)
-    out_data = (pooled[0] if len(slabs) == 1 else np.stack(pooled)).reshape(out_shape)
-    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
+    out = Tensor(pooled.reshape(out_shape), requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is None or not x.requires_grad:
             return
-        grad_view = out.grad.reshape(len(slabs), -1, 1, out_h * out_w)
-        folded = []
-        for i, slab in enumerate(slabs):
-            flat_grad = grad_view[i] / window
-            grad_cols = np.broadcast_to(
-                flat_grad, (slab.shape[0], window, out_h * out_w)
-            ).copy()
-            folded.append(col2im(grad_cols, slab.shape, kernel_size, kernel_size, stride, 0))
-        if len(folded) == 1:
-            # serial path: hand col2im's fresh array over without a copy
-            x._accumulate(folded[0].reshape(x.shape), own=True)
-        else:
-            x._accumulate(
-                np.stack([g.reshape(x.shape[1:]) for g in folded]), own=True
+        grad_view = out.grad.reshape(rows, 1, pos)
+        plan_b = _plan.ACTIVE
+        if plan_b is not None:
+            scaled = np.true_divide(
+                grad_view, window, out=plan_b.checkout((rows, 1, pos), grad_view.dtype)
             )
+            grad_cols = plan_b.checkout((rows, window, pos), grad_view.dtype)
+            np.copyto(grad_cols, scaled)
+        else:
+            scaled = grad_view / window
+            grad_cols = np.broadcast_to(scaled, (rows, window, pos)).copy()
+        folded = col2im(grad_cols, slab.shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(folded.reshape(x.shape), own=True)
 
     out._backward = _backward
     return out
@@ -415,7 +508,7 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
         def _backward_batched() -> None:
             if out.grad is None or not weight.requires_grad:
                 return
-            grad = np.zeros_like(weight.data)
+            grad = _zeros(weight.data.shape, weight.data.dtype)
             seeds_flat = np.broadcast_to(seed_sel, indices.shape).reshape(-1)
             np.add.at(grad, (seeds_flat, indices.reshape(-1)), out.grad.reshape(-1, dim))
             weight._accumulate(grad, own=True)
@@ -423,16 +516,23 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
         out._backward = _backward_batched
         return out
 
-    vocab = weight.shape[0]
+    vocab, dim = weight.shape
     if indices.size and (indices.min() < 0 or indices.max() >= vocab):
         raise ValueError(f"token index out of range [0, {vocab})")
-    out = Tensor(weight.data[indices], requires_grad=weight.requires_grad, _prev=(weight,))
+    plan = _plan.ACTIVE
+    if plan is not None:
+        gathered = np.take(
+            weight.data, indices, axis=0, out=plan.checkout(indices.shape + (dim,), weight.dtype)
+        )
+    else:
+        gathered = weight.data[indices]
+    out = Tensor(gathered, requires_grad=weight.requires_grad, _prev=(weight,))
 
     def _backward() -> None:
         if out.grad is None or not weight.requires_grad:
             return
-        grad = np.zeros_like(weight.data)
-        np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.shape[1]))
+        grad = _zeros(weight.data.shape, weight.data.dtype)
+        np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, dim))
         weight._accumulate(grad, own=True)
 
     out._backward = _backward
@@ -457,21 +557,43 @@ def dropout(
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
+    plan = _plan.ACTIVE
     if rngs is not None:
         if x.seed_dim is None or x.shape[0] != len(rngs):
             raise ValueError(
                 f"per-seed dropout expects a seed-batched input with {len(rngs)} seeds, "
                 f"got shape {x.shape}"
             )
-        mask = np.stack([(r.random(x.shape[1:]) >= p) for r in rngs]).astype(x.data.dtype)
+        if plan is not None:
+            draw = plan.checkout(x.shape[1:], np.dtype(np.float64))
+            mask = plan.checkout(x.shape, x.data.dtype)
+            for s, r in enumerate(rngs):
+                r.random(out=draw)
+                np.greater_equal(draw, p, out=mask[s])
+        else:
+            mask = np.stack([(r.random(x.shape[1:]) >= p) for r in rngs]).astype(x.data.dtype)
     else:
-        mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
+        if plan is not None:
+            draw = plan.checkout(x.shape, np.dtype(np.float64))
+            rng.random(out=draw)
+            mask = np.greater_equal(draw, p, out=plan.checkout(x.shape, x.data.dtype))
+        else:
+            mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
     mask /= 1.0 - p
-    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,))
+    out_data = np.multiply(
+        x.data, mask, out=plan.checkout(x.shape, x.data.dtype) if plan is not None else None
+    )
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,))
 
     def _backward() -> None:
         if out.grad is not None and x.requires_grad:
-            x._accumulate(out.grad * mask, own=True)
+            g = out.grad
+            inner = _plan.ACTIVE
+            if inner is not None:
+                grad = np.multiply(g, mask, out=inner.checkout(g.shape, g.dtype))
+            else:
+                grad = g * mask
+            x._accumulate(grad, own=True)
 
     out._backward = _backward
     return out

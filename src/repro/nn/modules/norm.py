@@ -37,15 +37,20 @@ class _BatchNorm(Module):
         # statistics (and the running buffers, which are then (S, C)) stay
         # strictly per-seed.
         if self.training:
-            mean = x.data.mean(axis=axes)
-            var = x.data.var(axis=axes)
-            self._buffers["running_mean"] *= 1.0 - self.momentum
-            self._buffers["running_mean"] += self.momentum * mean
-            self._buffers["running_var"] *= 1.0 - self.momentum
-            self._buffers["running_var"] += self.momentum * var
+            # One centering pass feeds both the variance and the normalised
+            # output (``x.var`` would re-derive the mean and re-subtract it),
+            # and the running buffers reuse the same statistics instead of
+            # separate ``np.mean``/``np.var`` passes over the activation.
             mean_t = x.mean(axis=axes, keepdims=True)
-            var_t = x.var(axis=axes, keepdims=True)
-            x_hat = (x - mean_t) / ((var_t + self.eps) ** 0.5)
+            centered = x - mean_t
+            var_t = (centered * centered).mean(axis=axes, keepdims=True)
+            running_mean = self._buffers["running_mean"]
+            running_var = self._buffers["running_var"]
+            running_mean *= 1.0 - self.momentum
+            running_mean += self.momentum * mean_t.data.reshape(running_mean.shape)
+            running_var *= 1.0 - self.momentum
+            running_var += self.momentum * var_t.data.reshape(running_var.shape)
+            x_hat = centered / ((var_t + self.eps) ** 0.5)
         else:
             mean = self._buffers["running_mean"].reshape(shape)
             var = self._buffers["running_var"].reshape(shape)
@@ -110,8 +115,9 @@ class LayerNorm(Module):
                 f"LayerNorm expected last dim {self.normalized_shape}, got shape {x.shape}"
             )
         mean = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        x_hat = centered / ((var + self.eps) ** 0.5)
         if self.weight.seed_dim is not None:
             # (S, D) affine params broadcast per-seed against (S, ..., D)
             shape = (self.weight.shape[0],) + (1,) * (x.ndim - 2) + (self.normalized_shape,)

@@ -1,0 +1,351 @@
+"""Graph-plan capture and workspace arenas: allocation-free steady-state steps.
+
+A training step executes the *same* op sequence every iteration — same model,
+same batch shapes, same loss — yet the autograd engine historically rebuilt
+the graph and re-allocated every activation, gradient and im2col workspace on
+every one of the ~10^5 steps a full reproduction runs.  This module captures
+the step's shape signature once and then recycles every buffer:
+
+* :class:`GraphPlan` — owns a **workspace arena** (a positional pool of
+  ``(shape, dtype)`` buffers with a generation counter) plus the captured
+  **graph signature** and **topological order** of the step's autograd tape.
+* ``plan.step()`` — a context manager the trainers wrap around one training
+  step (forward + ``zero_grad`` + backward + optimizer update).  Entering it
+  bumps the generation and rewinds the arena cursor; the first step *captures*
+  (allocates and logs every checkout), steps 2..N *replay* (each checkout
+  position hands back the same buffer it handed out last step).
+* :func:`GraphPlan.checkout` — the allocation primitive the ``out=``-rewritten
+  kernels in :mod:`repro.nn.tensor` and :mod:`repro.nn.functional` use in
+  place of ``np.empty``.  Outside a plan it is never called (the kernels pass
+  ``out=None`` and numpy allocates as before), so planned and unplanned runs
+  execute the identical ufunc/GEMM calls and produce bitwise-identical
+  results.
+
+Why positional reuse is safe
+----------------------------
+Within one generation every checkout position returns a *distinct* buffer, so
+no two live arrays of a step alias each other.  Across generations position
+``i`` always returns the *same* buffer, so a buffer's role (activation of
+layer 3, gradient of ``fc2.weight``, conv im2col workspace...) is identical
+every step — by the time it is overwritten in step N+1, step N's use of it is
+dead (its backward and optimizer update have completed).  The one cross-step
+tenant is a parameter's ``.grad``: in planned mode ``zero_grad`` keeps the
+buffer and merely marks it *stale* (a generation bump), and the first
+``_accumulate`` of the next step overwrites it in place.
+
+Divergence and fallback
+-----------------------
+Every checkout (and every registered graph node) is validated against the
+captured signature.  The first mismatch — e.g. a shorter final batch changing
+an activation shape — flips the step to *diverged*: all remaining checkouts
+fall back to fresh ``np.empty`` allocations (never pooled), the captured
+topological order is not replayed, and the step completes with ordinary
+allocating semantics.  A later step whose signature matches again resumes
+reuse.  Divergence is counted in :attr:`GraphPlan.diverged_steps` so tests
+and benchmarks can assert the fallback engaged.
+
+Planned stepping is **per-thread-sequential**: a plan must not be active on
+two threads at once.  The experiment engine parallelises with *processes*, so
+every worker owns its plans outright; the step scope save/restores the
+previously active plan, making nested or interleaved scopes on one thread
+safe.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tensor imports plan)
+    from repro.nn.tensor import Tensor
+
+__all__ = ["GraphPlan", "get_active", "plan_enabled_default"]
+
+
+#: The plan whose arena the kernels currently draw from (``None`` almost
+#: always — only a trainer's step scope activates one).  Module-level rather
+#: than thread-local: reading it sits on the hottest path in the repo, and
+#: planned stepping is process-parallel (see module docstring).
+ACTIVE: "GraphPlan | None" = None
+
+#: process-wide generation source shared by every plan: a tensor's
+#: ``_plan_gen`` stamp must never collide between two plans (e.g. two
+#: sequential ``fit()``s over the same parameters), so steps draw from one
+#: monotonically increasing counter instead of a per-plan one.
+_GENERATION = 0
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def _next_generation() -> int:
+    global _GENERATION
+    _GENERATION += 1
+    return _GENERATION
+
+
+def get_active() -> "GraphPlan | None":
+    """The plan currently activated by a ``plan.step()`` scope, if any."""
+    return ACTIVE
+
+
+def plan_enabled_default() -> bool:
+    """Whether graph planning is on by default (the ``REPRO_PLAN`` switch).
+
+    Planning is **opt-out**: it is enabled unless ``REPRO_PLAN`` is set to a
+    falsy spelling (``0``/``false``/``off``/``no``).  Trainers consult this
+    when their ``plan=`` argument is ``None``.
+    """
+    return os.environ.get("REPRO_PLAN", "1").strip().lower() not in _FALSY
+
+
+class _PlanStep:
+    """One generation of a plan: activates it on entry, finalises on exit."""
+
+    __slots__ = ("_plan", "_prev")
+
+    def __init__(self, plan: "GraphPlan") -> None:
+        self._plan = plan
+        self._prev: GraphPlan | None = None
+
+    def __enter__(self) -> "GraphPlan":
+        global ACTIVE
+        self._prev = ACTIVE
+        ACTIVE = self._plan
+        self._plan._begin_step()
+        return self._plan
+
+    def __exit__(self, *exc: object) -> None:
+        global ACTIVE
+        ACTIVE = self._prev
+        self._plan._end_step()
+
+
+class GraphPlan:
+    """Captured step signature + workspace arena for one training loop.
+
+    Create one per ``fit()`` and wrap each training step in ``plan.step()``.
+    All state is per-instance; discarding the plan frees every buffer.
+    """
+
+    __slots__ = (
+        "generation",
+        "capturing",
+        "_captured",
+        "_match",
+        "_diverged",
+        "_keys",
+        "_buffers",
+        "_pos",
+        "_nodes",
+        "_sigs",
+        "_topo_idx",
+        "_topo_root",
+        "steps",
+        "reused_checkouts",
+        "fresh_checkouts",
+        "diverged_steps",
+        "topo_captures",
+        "topo_replays",
+    )
+
+    def __init__(self) -> None:
+        #: the process-globally unique id of the current step (see
+        #: ``_next_generation``); stamps node registrations
+        self.generation = 0
+        #: True only during the first (signature-capturing) step
+        self.capturing = False
+        self._captured = False
+        #: this generation still matches the captured signature
+        self._match = False
+        self._diverged = False
+        # -- arena: position -> (key, buffer), append-only after capture
+        self._keys: list[tuple[tuple[int, ...], np.dtype]] = []
+        self._buffers: list[np.ndarray] = []
+        self._pos = 0
+        # -- graph signature / captured topological order
+        self._nodes: list[Tensor] = []
+        self._sigs: list[tuple] = []
+        self._topo_idx: list[int] | None = None
+        self._topo_root = -1
+        # -- counters (observability for tests and the microbench)
+        self.steps = 0
+        self.reused_checkouts = 0
+        self.fresh_checkouts = 0
+        self.diverged_steps = 0
+        self.topo_captures = 0
+        self.topo_replays = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def step(self) -> _PlanStep:
+        """Context manager scoping one training step to this plan."""
+        return _PlanStep(self)
+
+    def _begin_step(self) -> None:
+        self.generation = _next_generation()
+        self.steps += 1
+        self._pos = 0
+        self._nodes.clear()
+        self._diverged = False
+        self.capturing = not self._captured
+        self._match = self._captured
+
+    def _end_step(self) -> None:
+        if self.capturing:
+            self._captured = True
+            self.capturing = False
+        if self._diverged:
+            self.diverged_steps += 1
+
+    def _note_divergence(self) -> None:
+        self._diverged = True
+        self._match = False
+
+    # -- the arena ----------------------------------------------------------
+    def checkout(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """A work buffer for this step's next allocation site.
+
+        During capture: allocates, logs ``(shape, dtype)`` and pools the
+        buffer.  During replay: returns the pooled buffer of this position if
+        the key matches the capture, else flags divergence and falls back to
+        a fresh (never pooled) allocation for this and all later sites.
+        """
+        if self.capturing:
+            buf = np.empty(shape, dtype)
+            self._keys.append((shape, np.dtype(dtype)))
+            self._buffers.append(buf)
+            self._pos += 1
+            self.fresh_checkouts += 1
+            return buf
+        pos = self._pos
+        if self._match and pos < len(self._keys):
+            key = self._keys[pos]
+            if key[0] == shape and key[1] == dtype:
+                self._pos = pos + 1
+                self.reused_checkouts += 1
+                return self._buffers[pos]
+        self._note_divergence()
+        self.fresh_checkouts += 1
+        return np.empty(shape, dtype)
+
+    # -- graph signature ----------------------------------------------------
+    def register(self, tensor: "Tensor", prev: Sequence["Tensor"]) -> None:
+        """Record one tape node (called from ``Tensor.__init__`` under a plan).
+
+        Nodes are indexed in creation order; parents created outside the step
+        (parameters, input leaves) are lazily indexed on first appearance, so
+        the signature — ``(shape, dtype, parent indices)`` per node — fully
+        determines the graph's structure, including leaf sharing.  On the
+        capture step the signatures are stored; on replay steps they are
+        *verified in place* (no tuples are built — this runs once per tape
+        node per step).
+        """
+        gen = self.generation
+        nodes = self._nodes
+        sigs = self._sigs
+        if self.capturing:
+            if prev:
+                parent_idx = []
+                for parent in prev:
+                    if parent._plan_gen != gen:
+                        parent._plan_gen = gen
+                        parent._plan_idx = len(nodes)
+                        nodes.append(parent)
+                        sigs.append((parent.data.shape, parent.data.dtype.num, None))
+                    parent_idx.append(parent._plan_idx)
+                sig = (tensor.data.shape, tensor.data.dtype.num, tuple(parent_idx))
+            else:
+                sig = (tensor.data.shape, tensor.data.dtype.num, None)
+            tensor._plan_gen = gen
+            tensor._plan_idx = len(nodes)
+            nodes.append(tensor)
+            sigs.append(sig)
+            return
+        match = self._match
+        total = len(sigs)
+        for parent in prev:
+            if parent._plan_gen != gen:
+                parent._plan_gen = gen
+                idx = len(nodes)
+                parent._plan_idx = idx
+                nodes.append(parent)
+                if match:
+                    if idx >= total:
+                        match = False
+                    else:
+                        sig = sigs[idx]
+                        data = parent.data
+                        if sig[2] is not None or sig[0] != data.shape or sig[1] != data.dtype.num:
+                            match = False
+        idx = len(nodes)
+        tensor._plan_gen = gen
+        tensor._plan_idx = idx
+        nodes.append(tensor)
+        if match:
+            if idx >= total:
+                match = False
+            else:
+                sig = sigs[idx]
+                data = tensor.data
+                if sig[0] != data.shape or sig[1] != data.dtype.num:
+                    match = False
+                else:
+                    expected = sig[2]
+                    if prev:
+                        if expected is None or len(expected) != len(prev):
+                            match = False
+                        else:
+                            for parent, want in zip(prev, expected):
+                                if parent._plan_idx != want:
+                                    match = False
+                                    break
+                    elif expected is not None:
+                        match = False
+        if not match and self._match:
+            self._note_divergence()
+
+    # -- captured topological order -----------------------------------------
+    def topo_order(self, root: "Tensor") -> "list[Tensor] | None":
+        """The captured topo order replayed onto this step's nodes, or ``None``.
+
+        Valid only when this step's registration sequence matched the capture
+        end to end and ``root`` sits at the captured root position; any doubt
+        returns ``None`` and the caller rebuilds with the ordinary DFS.
+        """
+        if (
+            self._topo_idx is not None
+            and self._match
+            and not self.capturing
+            and root._plan_gen == self.generation
+            and root._plan_idx == self._topo_root
+            and len(self._nodes) == len(self._sigs)
+        ):
+            nodes = self._nodes
+            self.topo_replays += 1
+            return [nodes[i] for i in self._topo_idx]
+        return None
+
+    def capture_topo(self, root: "Tensor", topo: "Sequence[Tensor]") -> None:
+        """Remember a DFS-built topo order as creation-order indices.
+
+        Only honoured when the current step's signature is trustworthy
+        (capturing, or still matching the capture) and every node was
+        registered this generation — the indices must line up with
+        :meth:`topo_order`'s replay.
+        """
+        if not (self.capturing or self._match):
+            return
+        gen = self.generation
+        if root._plan_gen != gen or any(n._plan_gen != gen for n in topo):
+            return
+        self._topo_idx = [n._plan_idx for n in topo]
+        self._topo_root = root._plan_idx
+        self.topo_captures += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphPlan(steps={self.steps}, buffers={len(self._buffers)}, "
+            f"reused={self.reused_checkouts}, fresh={self.fresh_checkouts}, "
+            f"diverged_steps={self.diverged_steps})"
+        )

@@ -29,6 +29,11 @@ Design notes
   rank-sensitive layers (conv, norm, pooling, attention) can detect the extra
   leading axis without any out-of-band signalling.  All batched kernels keep
   each seed's slice bitwise identical to the run it would produce alone.
+* The hot kernels stage their results through ``out=`` buffers drawn from the
+  active :class:`~repro.nn.plan.GraphPlan`'s workspace arena when a trainer
+  has one active (see :mod:`repro.nn.plan`); with no plan active the same
+  ufunc/GEMM calls run with ``out=None`` and numpy allocates as before, so
+  planned and unplanned runs are bitwise identical.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.nn import plan as _plan
 from repro.nn.dtype import get_default_dtype, resolve_dtype
 
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
@@ -91,10 +97,79 @@ def _as_array(data: object, dtype: np.dtype | None = None) -> np.ndarray:
     return np.asarray(data, dtype=dtype or get_default_dtype())
 
 
+# ---------------------------------------------------------------------------
+# arena-staged kernel helpers
+#
+# Each returns the same value as the plain numpy expression it replaces; the
+# only difference is *where* the result lives: a workspace-arena buffer when a
+# GraphPlan is active, a fresh allocation otherwise (``out=None``).  Keeping
+# one code path per op is what makes planned-vs-unplanned bitwise equality a
+# structural property rather than a test-enforced hope.
+# ---------------------------------------------------------------------------
+
+def _ew(ufunc: np.ufunc, a: np.ndarray, b: np.ndarray, kinds: str = "fi") -> np.ndarray:
+    """``ufunc(a, b)`` staged through the arena when dtypes are homogeneous."""
+    plan = _plan.ACTIVE
+    if plan is not None and a.dtype == b.dtype and a.dtype.kind in kinds:
+        # result-shape fast paths (bias adds, scalar scales, keepdims stats)
+        # before the generic — and comparatively slow — np.broadcast_shapes
+        if a.shape == b.shape or (a.ndim >= b.ndim and a.shape[a.ndim - b.ndim:] == b.shape):
+            shape = a.shape
+        elif b.ndim > a.ndim and b.shape[b.ndim - a.ndim:] == a.shape:
+            shape = b.shape
+        else:
+            shape = np.broadcast_shapes(a.shape, b.shape)
+        return ufunc(a, b, out=plan.checkout(shape, a.dtype))
+    return ufunc(a, b)
+
+
+def _scalar_ew(ufunc: np.ufunc, a: np.ndarray, scalar: float) -> np.ndarray:
+    """``ufunc(a, scalar)`` staged through the arena for float arrays."""
+    plan = _plan.ACTIVE
+    if plan is not None and a.dtype.kind == "f":
+        return ufunc(a, scalar, out=plan.checkout(a.shape, a.dtype))
+    return ufunc(a, scalar)
+
+
+def _unary(ufunc: np.ufunc, a: np.ndarray) -> np.ndarray:
+    """``ufunc(a)`` staged through the arena for float arrays."""
+    plan = _plan.ACTIVE
+    if plan is not None and a.dtype.kind == "f":
+        return ufunc(a, out=plan.checkout(a.shape, a.dtype))
+    return ufunc(a)
+
+
+def _neg(a: np.ndarray) -> np.ndarray:
+    return _unary(np.negative, a)
+
+
+def _matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with the GEMM result staged through the arena when possible."""
+    plan = _plan.ACTIVE
+    if plan is not None and a.dtype == b.dtype and a.ndim >= 2 and b.ndim >= 2:
+        try:
+            batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        except ValueError:
+            return a @ b
+        out = plan.checkout(batch + (a.shape[-2], b.shape[-1]), a.dtype)
+        return np.matmul(a, b, out=out)
+    return a @ b
+
+
 class Tensor:
     """A numpy-backed tensor that records a computation graph for autograd."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name", "seed_dim")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_prev",
+        "name",
+        "seed_dim",
+        "_plan_gen",
+        "_plan_idx",
+    )
 
     def __init__(
         self,
@@ -120,6 +195,10 @@ class Tensor:
         self._backward: Callable[[], None] = lambda: None
         self._prev: tuple[Tensor, ...] = _prev if _GRAD_ENABLED else ()
         self.name = name
+        # Plan bookkeeping: which generation (if any) indexed this tensor
+        # into the active plan's tape (generations are process-globally
+        # unique, so stamps can never alias across plans).
+        self._plan_gen = 0
         # The seed axis is contagious: an op result is seed-stacked when any
         # operand is (see module docstring).  Ops never mix different seed
         # counts, so the first tagged parent decides.
@@ -128,6 +207,10 @@ class Tensor:
             if parent.seed_dim is not None:
                 self.seed_dim = parent.seed_dim
                 break
+        if _GRAD_ENABLED:
+            plan = _plan.ACTIVE
+            if plan is not None:
+                plan.register(self, self._prev)
 
     # -- construction helpers ----------------------------------------------
     @staticmethod
@@ -223,9 +306,15 @@ class Tensor:
         """Add ``grad`` into ``self.grad`` (created on first use).
 
         ``own=True`` declares that the caller hands over a freshly allocated
-        array nothing else references; it is then adopted directly instead of
-        defensively copied.  The gradient always lives in ``self.data``'s
-        dtype, so a float32 parameter accumulates a float32 gradient.
+        (or arena-owned) array nothing else writes concurrently; it is then
+        adopted directly instead of defensively copied.  The gradient always
+        lives in ``self.data``'s dtype, so a float32 parameter accumulates a
+        float32 gradient.
+
+        Under an active plan a *stale* gradient buffer (kept by a planned
+        ``zero_grad``) is overwritten in place instead of re-allocated, and a
+        first not-owned contribution is copied into an arena buffer — the
+        steady-state backward performs no gradient allocations at all.
         """
         data = self.data
         grad = np.asarray(grad)
@@ -235,12 +324,36 @@ class Tensor:
         if grad.shape != data.shape:
             grad = unbroadcast(grad, data.shape)
             own = True
-        if self.grad is None:
-            self.grad = grad if own else grad.copy()
+        current = self.grad
+        if current is None:
+            # First contribution of this step.  Under a plan the checkout
+            # below returns the *same* pooled buffer this site produced last
+            # step (the arena, not ``self.grad``, keeps it alive across
+            # ``zero_grad``), so the copy is an in-place overwrite and the
+            # checkout sequence stays identical on every step.
+            if own:
+                self.grad = grad
+            else:
+                plan = _plan.ACTIVE
+                if plan is not None:
+                    buf = plan.checkout(grad.shape, grad.dtype)
+                    np.copyto(buf, grad)
+                    self.grad = buf
+                else:
+                    self.grad = grad.copy()
         else:
-            self.grad += grad
+            current += grad
 
     def zero_grad(self) -> None:
+        """Drop the gradient reference (planned or not).
+
+        Identical semantics with a plan active: ``grad`` must become ``None``
+        so a parameter that receives no contribution this step is skipped by
+        the optimizers' ``if p.grad is None`` guard — keeping a stale array
+        here would silently re-apply last step's gradient.  The buffer itself
+        is not lost: the arena still owns it and the next step's first
+        ``_accumulate`` checks it out again at the same position.
+        """
         self.grad = None
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
@@ -258,23 +371,30 @@ class Tensor:
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        # Iterative DFS: deep models (e.g. the transformer proxy) overflow the
-        # recursion limit with a recursive topo sort.
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._prev:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
+        plan = _plan.ACTIVE
+        topo: list[Tensor] | None = plan.topo_order(self) if plan is not None else None
+        if topo is None:
+            topo = []
+            visited: set[int] = set()
+            stack: list[tuple[Tensor, bool]] = [(self, False)]
+            # Iterative DFS: deep models (e.g. the transformer proxy) overflow
+            # the recursion limit with a recursive topo sort.
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    topo.append(node)
+                    continue
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                stack.append((node, True))
+                for parent in node._prev:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+            if plan is not None:
+                # Remember the order as creation-order indices: steps whose
+                # tape signature matches replay it without another DFS.
+                plan.capture_topo(self, topo)
 
         self._accumulate(grad)
         for node in reversed(topo):
@@ -284,7 +404,7 @@ class Tensor:
     def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other = Tensor.ensure(other)
         out = Tensor(
-            self.data + other.data,
+            _ew(np.add, self.data, other.data),
             requires_grad=self.requires_grad or other.requires_grad,
             _prev=(self, other),
         )
@@ -304,25 +424,22 @@ class Tensor:
         return self.__add__(other)  # type: ignore[arg-type]
 
     def __neg__(self) -> "Tensor":
-        out = Tensor(-self.data, requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(_neg(self.data), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(-out.grad, own=True)
+                self._accumulate(_neg(out.grad), own=True)
 
         out._backward = _backward
         return out
 
     def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
-        return self.__add__(Tensor.ensure(other).__neg__())
-
-    def __rsub__(self, other: object) -> "Tensor":
-        return Tensor.ensure(other).__sub__(self)  # type: ignore[arg-type]
-
-    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        # A dedicated node (rather than ``self + (-other)``): one graph node
+        # and one temporary fewer on a path batchnorm/layernorm hit every
+        # step, with bitwise-identical values (a - b == a + (-b) in IEEE754).
         other = Tensor.ensure(other)
         out = Tensor(
-            self.data * other.data,
+            _ew(np.subtract, self.data, other.data),
             requires_grad=self.requires_grad or other.requires_grad,
             _prev=(self, other),
         )
@@ -331,9 +448,31 @@ class Tensor:
             if out.grad is None:
                 return
             if self.requires_grad:
-                self._accumulate(out.grad * other.data, own=True)
+                self._accumulate(out.grad)
             if other.requires_grad:
-                other._accumulate(out.grad * self.data, own=True)
+                other._accumulate(_neg(out.grad), own=True)
+
+        out._backward = _backward
+        return out
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return Tensor.ensure(other).__sub__(self)  # type: ignore[arg-type]
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = Tensor.ensure(other)
+        out = Tensor(
+            _ew(np.multiply, self.data, other.data),
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(_ew(np.multiply, out.grad, other.data), own=True)
+            if other.requires_grad:
+                other._accumulate(_ew(np.multiply, out.grad, self.data), own=True)
 
         out._backward = _backward
         return out
@@ -344,7 +483,7 @@ class Tensor:
     def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other = Tensor.ensure(other)
         out = Tensor(
-            self.data / other.data,
+            _ew(np.true_divide, self.data, other.data, kinds="f"),
             requires_grad=self.requires_grad or other.requires_grad,
             _prev=(self, other),
         )
@@ -353,9 +492,14 @@ class Tensor:
             if out.grad is None:
                 return
             if self.requires_grad:
-                self._accumulate(out.grad / other.data, own=True)
+                self._accumulate(
+                    _ew(np.true_divide, out.grad, other.data, kinds="f"), own=True
+                )
             if other.requires_grad:
-                other._accumulate(-out.grad * self.data / (other.data**2), own=True)
+                # -out.grad * self.data / other.data**2, staged step by step
+                num = _ew(np.multiply, _neg(out.grad), self.data)
+                den = _scalar_ew(np.power, other.data, 2)
+                other._accumulate(_ew(np.true_divide, num, den, kinds="f"), own=True)
 
         out._backward = _backward
         return out
@@ -366,11 +510,17 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
-        out = Tensor(self.data**exponent, requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(
+            _scalar_ew(np.power, self.data, exponent),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+        )
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1), own=True)
+                scaled = _scalar_ew(np.multiply, out.grad, exponent)
+                powed = _scalar_ew(np.power, self.data, exponent - 1)
+                self._accumulate(_ew(np.multiply, scaled, powed), own=True)
 
         out._backward = _backward
         return out
@@ -378,7 +528,7 @@ class Tensor:
     def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
         other = Tensor.ensure(other)
         out = Tensor(
-            self.data @ other.data,
+            _matmul(self.data, other.data),
             requires_grad=self.requires_grad or other.requires_grad,
             _prev=(self, other),
         )
@@ -391,7 +541,7 @@ class Tensor:
                 if b.ndim == 1:
                     grad_a = np.expand_dims(g, -1) * b
                 else:
-                    grad_a = g @ np.swapaxes(b, -1, -2)
+                    grad_a = _matmul(g, np.swapaxes(b, -1, -2))
                 self._accumulate(grad_a, own=True)
             if other.requires_grad:
                 if a.ndim == 1:
@@ -399,7 +549,7 @@ class Tensor:
                 elif b.ndim == 1:
                     grad_b = np.einsum("...i,...->i", a, g)
                 else:
-                    grad_b = np.swapaxes(a, -1, -2) @ g
+                    grad_b = _matmul(np.swapaxes(a, -1, -2), g)
                 other._accumulate(grad_b, own=True)
 
         out._backward = _backward
@@ -407,21 +557,21 @@ class Tensor:
 
     # -- elementwise nonlinearities ------------------------------------------
     def exp(self) -> "Tensor":
-        out = Tensor(np.exp(self.data), requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(_unary(np.exp, self.data), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * out.data, own=True)
+                self._accumulate(_ew(np.multiply, out.grad, out.data), own=True)
 
         out._backward = _backward
         return out
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(_unary(np.log, self.data), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad / self.data, own=True)
+                self._accumulate(_ew(np.true_divide, out.grad, self.data, kinds="f"), own=True)
 
         out._backward = _backward
         return out
@@ -430,23 +580,41 @@ class Tensor:
         return self.__pow__(0.5)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = _unary(np.tanh, self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * (1.0 - out_data**2), own=True)
+                # out.grad * (1 - out_data**2), staged in one buffer
+                sq = _scalar_ew(np.power, out_data, 2)
+                np.subtract(1.0, sq, out=sq)
+                np.multiply(out.grad, sq, out=sq)
+                self._accumulate(sq, own=True)
 
         out._backward = _backward
         return out
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        # 1 / (1 + exp(-x)), staged in one buffer
+        out_data = _neg(self.data)
+        np.exp(out_data, out=out_data)
+        out_data += 1.0
+        np.divide(1.0, out_data, out=out_data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * out_data * (1.0 - out_data), own=True)
+                # out.grad * s * (1 - s), staged in two buffers
+                left = _ew(np.multiply, out.grad, out_data)
+                plan = _plan.ACTIVE
+                if plan is not None:
+                    right = np.subtract(
+                        1.0, out_data, out=plan.checkout(out_data.shape, out_data.dtype)
+                    )
+                else:
+                    right = 1.0 - out_data
+                np.multiply(left, right, out=left)
+                self._accumulate(left, own=True)
 
         out._backward = _backward
         return out
@@ -454,12 +622,25 @@ class Tensor:
     def relu(self) -> "Tensor":
         # Boolean mask (1 byte/element) instead of a float mask, and a single
         # ufunc for the forward value.
-        mask = self.data > 0
-        out = Tensor(np.maximum(self.data, 0), requires_grad=self.requires_grad, _prev=(self,))
+        plan = _plan.ACTIVE
+        a = self.data
+        if plan is not None:
+            mask = np.greater(a, 0, out=plan.checkout(a.shape, np.dtype(bool)))
+            out_data = np.maximum(a, 0, out=plan.checkout(a.shape, a.dtype))
+        else:
+            mask = a > 0
+            out_data = np.maximum(a, 0)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * mask, own=True)
+                g = out.grad
+                inner = _plan.ACTIVE
+                if inner is not None:
+                    grad = np.multiply(g, mask, out=inner.checkout(g.shape, g.dtype))
+                else:
+                    grad = g * mask
+                self._accumulate(grad, own=True)
 
         out._backward = _backward
         return out
@@ -467,22 +648,26 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
         scale = np.where(mask, self.data.dtype.type(1.0), self.data.dtype.type(negative_slope))
-        out = Tensor(self.data * scale, requires_grad=self.requires_grad, _prev=(self,))
+        out = Tensor(
+            _ew(np.multiply, self.data, scale),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+        )
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * scale, own=True)
+                self._accumulate(_ew(np.multiply, out.grad, scale), own=True)
 
         out._backward = _backward
         return out
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
+        sign = _unary(np.sign, self.data)
+        out = Tensor(_unary(np.abs, self.data), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
-                self._accumulate(out.grad * sign, own=True)
+                self._accumulate(_ew(np.multiply, out.grad, sign), own=True)
 
         out._backward = _backward
         return out
@@ -612,7 +797,12 @@ class Tensor:
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
-            grad = np.zeros_like(self.data)
+            plan = _plan.ACTIVE
+            if plan is not None:
+                grad = plan.checkout(self.data.shape, self.data.dtype)
+                grad.fill(0)
+            else:
+                grad = np.zeros_like(self.data)
             np.add.at(grad, index, out.grad)
             self._accumulate(grad, own=True)
 
@@ -651,7 +841,8 @@ class Tensor:
     # the hot path of every classifier loss and every attention layer, so both
     # are fused into a single graph node with a closed-form backward.
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        a = self.data
+        shifted = _ew(np.subtract, a, a.max(axis=axis, keepdims=True))
         np.exp(shifted, out=shifted)
         shifted /= shifted.sum(axis=axis, keepdims=True)
         out = Tensor(shifted, requires_grad=self.requires_grad, _prev=(self,))
@@ -661,16 +852,18 @@ class Tensor:
             if out.grad is None or not self.requires_grad:
                 return
             # dL/dx = s * (g - sum(g * s))
-            grad = out.grad * out_data
-            grad -= out_data * grad.sum(axis=axis, keepdims=True)
+            grad = _ew(np.multiply, out.grad, out_data)
+            grad -= _ew(np.multiply, out_data, grad.sum(axis=axis, keepdims=True))
             self._accumulate(grad, own=True)
 
         out._backward = _backward
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        logsumexp = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+        a = self.data
+        shifted = _ew(np.subtract, a, a.max(axis=axis, keepdims=True))
+        exp = _unary(np.exp, shifted)
+        logsumexp = np.log(np.sum(exp, axis=axis, keepdims=True))
         shifted -= logsumexp
         out = Tensor(shifted, requires_grad=self.requires_grad, _prev=(self,))
         out_data = out.data
@@ -679,7 +872,7 @@ class Tensor:
             if out.grad is None or not self.requires_grad:
                 return
             # dL/dx = g - softmax * sum(g)
-            grad = np.exp(out_data)
+            grad = _unary(np.exp, out_data)
             grad *= -out.grad.sum(axis=axis, keepdims=True)
             grad += out.grad
             self._accumulate(grad, own=True)

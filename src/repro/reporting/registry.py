@@ -242,6 +242,7 @@ def execute_artifact(
     max_workers: int = 1,
     cache: RunCache | InMemoryRunCache | str | None = None,
     batch_seeds: bool = False,
+    plan: bool | None = None,
 ) -> tuple[RunStore, EngineReport]:
     """Plan and execute one artifact's cells; return (records, engine report).
 
@@ -249,11 +250,12 @@ def execute_artifact(
     artifact (or running one that shares cells with an earlier one) retrains
     nothing.  Records come back in plan order regardless of ``max_workers``.
     ``batch_seeds`` trains all seeds of each batchable cell in one
-    seed-stacked pass; the resulting records (and therefore reports) are
-    byte-identical to serial execution.
+    seed-stacked pass; ``plan`` pins the graph-planning switch (the CLI's
+    ``--no-plan``; ``None`` defers to ``REPRO_PLAN``).  The resulting records
+    — and therefore reports — are byte-identical whatever the combination.
     """
     engine = ExperimentEngine(
-        cache=cache, max_workers=max_workers, run_fn=run_cell, batch_seeds=batch_seeds
+        cache=cache, max_workers=max_workers, run_fn=run_cell, batch_seeds=batch_seeds, plan=plan
     )
     store = engine.run(artifact.plan(scale))
     return store, engine.last_report

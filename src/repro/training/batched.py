@@ -15,6 +15,7 @@ cell's seeds serially.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 import numpy as np
@@ -180,6 +181,11 @@ class BatchedTrainer:
     the batched divergence check can never drift apart: a non-finite or
     out-of-range per-seed loss raises :class:`SeedDivergence` instead of
     recording a poisoned trajectory.
+
+    ``plan`` mirrors :class:`~repro.training.trainer.Trainer`'s graph-planning
+    switch (``None`` defers to ``REPRO_PLAN``): the stacked step's buffers —
+    including the shared (S·N)-batch im2col/GEMM workspaces of the batched
+    conv kernels — are captured once and reused on every later step.
     """
 
     def __init__(
@@ -191,6 +197,7 @@ class BatchedTrainer:
         eval_loader: StackedLoader | None = None,
         schedule: Schedule | None = None,
         loss_ceiling: float | None = None,
+        plan: bool | None = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -199,6 +206,8 @@ class BatchedTrainer:
         self.eval_loader = eval_loader
         self.schedule = schedule
         self.loss_ceiling = LossNaNGuard().ceiling if loss_ceiling is None else loss_ceiling
+        self.plan = nn.plan_enabled_default() if plan is None else bool(plan)
+        self.last_plan: nn.GraphPlan | None = None
         self.num_seeds = train_loader.num_seeds
         self.histories = [History() for _ in range(self.num_seeds)]
 
@@ -210,6 +219,8 @@ class BatchedTrainer:
         if total_steps < 1:
             raise ValueError(f"total_steps must be at least 1, got {total_steps}")
         self.model.train()
+        graph_plan = nn.GraphPlan() if self.plan else None
+        self.last_plan = graph_plan
         batches = self._batches()
         ones = None
         for _ in range(total_steps):
@@ -218,14 +229,16 @@ class BatchedTrainer:
             else:
                 lr = self.optimizer.get_lr()
             batch = next(batches)
-            loss = batched_task_loss(self.task, self.model, batch)
-            self.optimizer.zero_grad()
-            if ones is None or ones.dtype != loss.data.dtype:
-                # d(sum of per-seed losses)/d(loss_s) = 1: each seed's subgraph
-                # receives exactly the serial trainer's scalar backward seed.
-                ones = np.ones(self.num_seeds, dtype=loss.data.dtype)
-            loss.backward(ones)
-            self.optimizer.step()
+            with graph_plan.step() if graph_plan is not None else nullcontext():
+                loss = batched_task_loss(self.task, self.model, batch)
+                self.optimizer.zero_grad()
+                if ones is None or ones.dtype != loss.data.dtype:
+                    # d(sum of per-seed losses)/d(loss_s) = 1: each seed's
+                    # subgraph receives exactly the serial trainer's scalar
+                    # backward seed.
+                    ones = np.ones(self.num_seeds, dtype=loss.data.dtype)
+                loss.backward(ones)
+                self.optimizer.step()
             values = loss.data
             if not np.all(np.isfinite(values)) or np.any(np.abs(values) > self.loss_ceiling):
                 raise SeedDivergence(

@@ -8,6 +8,7 @@ exactly the allocated budget, sampled according to its own sampling policy.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -51,6 +52,15 @@ class Trainer:
         dtype (e.g. with ``nn.default_dtype``) — a mismatched model/trainer
         dtype silently promotes every intermediate to the wider of the two,
         defeating the float32 fast path.
+    plan:
+        Graph planning (:mod:`repro.nn.plan`): capture the first step's tape
+        signature and reuse every activation/gradient/workspace buffer on
+        steps 2..N.  Planned and unplanned runs are bitwise identical; only
+        allocation behaviour (and therefore wall-clock) changes.  ``None``
+        (default) defers to the ``REPRO_PLAN`` environment switch, which is
+        **on** unless set to a falsy value — pass ``False`` (or run with
+        ``REPRO_PLAN=0`` / the CLI's ``--no-plan``) as the exact-equality
+        escape hatch.
     """
 
     def __init__(
@@ -64,6 +74,7 @@ class Trainer:
         callbacks: Sequence[Callback] = (),
         eval_every_epoch: bool = False,
         dtype: str | np.dtype | None = None,
+        plan: bool | None = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -74,6 +85,10 @@ class Trainer:
         self.callbacks = list(callbacks)
         self.eval_every_epoch = eval_every_epoch
         self.dtype = nn.resolve_dtype(dtype) if dtype is not None else None
+        self.plan = nn.plan_enabled_default() if plan is None else bool(plan)
+        #: the :class:`~repro.nn.plan.GraphPlan` of the most recent ``fit``
+        #: (``None`` when planning is disabled); exposes reuse counters
+        self.last_plan: nn.GraphPlan | None = None
         self.history = History()
 
     # -- internals -------------------------------------------------------------
@@ -120,6 +135,9 @@ class Trainer:
         for cb in self.callbacks:
             cb.on_train_begin(self)
 
+        graph_plan = nn.GraphPlan() if self.plan else None
+        self.last_plan = graph_plan
+
         batches = self._batches()
         for step in range(total_steps):
             if self.schedule is not None:
@@ -128,10 +146,13 @@ class Trainer:
                 lr = self.optimizer.get_lr()
 
             batch = next(batches)
-            loss = self.task.compute_loss(self.model, batch)
-            self.optimizer.zero_grad()
-            loss.backward()
-            self.optimizer.step()
+            # the plan scope covers exactly one forward + backward + update;
+            # evaluation and callbacks run unplanned outside it
+            with graph_plan.step() if graph_plan is not None else nullcontext():
+                loss = self.task.compute_loss(self.model, batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
 
             loss_value = float(loss.data)
             self.history.record_step(lr, loss_value)

@@ -1,0 +1,89 @@
+"""The perf gate: ``tools/bench_compare.py`` must catch step-loop regressions."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOL = REPO_ROOT / "tools" / "bench_compare.py"
+BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_hotpath.json"
+
+
+def _payload(**entries) -> dict:
+    return {"scale": "small", "steps": 40, "numpy": "0", "results": entries}
+
+
+def _run(baseline: Path, current: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOL), str(baseline), str(current), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _write(path: Path, payload: dict) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_identical_artifacts_pass(tmp_path):
+    entry = {"float32_speedup": 1.5, "float32_seconds": 0.05}
+    path = _write(tmp_path / "a.json", _payload(mlp=entry))
+    result = _run(path, path)
+    assert result.returncode == 0, result.stderr
+    assert "no step-loop regressions" in result.stdout
+
+
+def test_speedup_regression_fails(tmp_path):
+    base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": 1.6}))
+    cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.2}))
+    result = _run(base, cur)
+    assert result.returncode == 1
+    assert "mlp.float32_speedup" in result.stderr
+
+
+def test_small_drift_within_tolerance_passes(tmp_path):
+    base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": 1.6}))
+    cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.45}))
+    assert _run(base, cur).returncode == 0
+
+
+def test_missing_entry_fails(tmp_path):
+    base = _write(
+        tmp_path / "base.json",
+        _payload(mlp={"float32_speedup": 1.6}, resnet20={"float32_speedup": 1.4}),
+    )
+    cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.6}))
+    result = _run(base, cur)
+    assert result.returncode == 1
+    assert "resnet20: entry missing" in result.stderr
+
+
+def test_alloc_peak_reduction_is_gated(tmp_path):
+    base_entry = {"planned_step_alloc_peak_kb": 100.0, "unplanned_step_alloc_peak_kb": 2000.0}
+    cur_entry = {"planned_step_alloc_peak_kb": 1900.0, "unplanned_step_alloc_peak_kb": 2000.0}
+    base = _write(tmp_path / "base.json", _payload(mlp_plan=base_entry))
+    cur = _write(tmp_path / "cur.json", _payload(mlp_plan=cur_entry))
+    result = _run(base, cur)
+    assert result.returncode == 1
+    assert "alloc_peak_reduction" in result.stderr
+
+
+def test_seconds_are_context_not_gated(tmp_path):
+    base = _write(
+        tmp_path / "base.json", _payload(mlp={"float32_speedup": 1.5, "float32_seconds": 0.01})
+    )
+    cur = _write(
+        tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.5, "float32_seconds": 9.0})
+    )
+    assert _run(base, cur).returncode == 0
+
+
+def test_committed_baseline_is_self_consistent():
+    """The repo's own artifacts must pass the gate against the committed baseline."""
+    assert BASELINE.is_file(), "committed baseline missing"
+    result = _run(BASELINE, REPO_ROOT / "BENCH_hotpath.json")
+    assert result.returncode == 0, result.stdout + result.stderr

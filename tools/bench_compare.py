@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_hotpath.json`` artifacts and fail on step-loop regressions.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE CURRENT [--max-regression 0.15]
+
+The gate compares the **dimensionless** metrics of every baseline entry —
+speedup ratios (``*_speedup``) and the planned-vs-unplanned allocation-peak
+reduction derived from the ``*_plan`` entries — because those are the numbers
+that survive a machine change: absolute seconds and steps/second depend on
+the host and are printed for context only, never gated.
+
+A metric regresses when ``current < baseline * (1 - max_regression)`` (every
+gated metric is higher-is-better).  A baseline entry missing from the current
+artifact is always a failure: a silently dropped benchmark is how perf
+regressions hide.  Exit status: 0 clean, 1 regression(s), 2 usage error.
+
+CI runs this in the perf-smoke job against the committed baseline in
+``benchmarks/baselines/BENCH_hotpath.json``; refresh that file (run the
+microbench at small scale and copy the artifact) when a PR intentionally
+moves the floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: informational-only keys (machine-dependent); everything ``*_speedup`` plus
+#: the derived allocation reduction is gated
+_CONTEXT_SUFFIXES = ("_seconds", "_steps_per_second")
+
+
+def load_results(path: Path) -> tuple[dict, dict]:
+    """Return ``(payload, results)`` for one artifact, with schema sanity checks."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        raise SystemExit(f"error: {path} has no 'results' section")
+    return payload, results
+
+
+def gated_metrics(entry: dict) -> dict[str, float]:
+    """The higher-is-better dimensionless metrics of one bench entry."""
+    metrics = {
+        key: float(value)
+        for key, value in entry.items()
+        if key.endswith("_speedup") and isinstance(value, (int, float))
+    }
+    planned = entry.get("planned_step_alloc_peak_kb")
+    unplanned = entry.get("unplanned_step_alloc_peak_kb")
+    if planned and unplanned:
+        # how many times smaller the planned loop's allocation high-water is
+        metrics["alloc_peak_reduction"] = float(unplanned) / float(planned)
+    return metrics
+
+
+def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
+    """Return a list of regression descriptions (empty when the gate passes)."""
+    problems: list[str] = []
+    for name, base_entry in sorted(baseline.items()):
+        cur_entry = current.get(name)
+        if cur_entry is None:
+            problems.append(f"{name}: entry missing from current artifact")
+            continue
+        cur_metrics = gated_metrics(cur_entry)
+        for metric, base_value in sorted(gated_metrics(base_entry).items()):
+            cur_value = cur_metrics.get(metric)
+            if cur_value is None:
+                problems.append(f"{name}.{metric}: metric missing from current artifact")
+                continue
+            floor = base_value * (1.0 - max_regression)
+            verdict = "REGRESSED" if cur_value < floor else "ok"
+            print(
+                f"  {name}.{metric}: baseline {base_value:.3f} -> current "
+                f"{cur_value:.3f} (floor {floor:.3f}) {verdict}"
+            )
+            if cur_value < floor:
+                problems.append(
+                    f"{name}.{metric}: {cur_value:.3f} < {floor:.3f} "
+                    f"(baseline {base_value:.3f}, tolerance {max_regression:.0%})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_compare.py",
+        description="Fail when the current hotpath artifact regresses on the baseline.",
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline BENCH_hotpath.json")
+    parser.add_argument("current", type=Path, help="freshly produced BENCH_hotpath.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed relative drop in each gated metric (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error(f"--max-regression must be in [0, 1), got {args.max_regression}")
+
+    base_payload, base_results = load_results(args.baseline)
+    cur_payload, cur_results = load_results(args.current)
+    if base_payload.get("scale") != cur_payload.get("scale"):
+        print(
+            f"note: scales differ (baseline {base_payload.get('scale')!r}, "
+            f"current {cur_payload.get('scale')!r}); ratio gates still apply but "
+            "short loops are noisier"
+        )
+    print(
+        f"comparing {len(base_results)} baseline entries "
+        f"(tolerance {args.max_regression:.0%}):"
+    )
+    problems = compare(base_results, cur_results, args.max_regression)
+
+    # context: absolute timings, informational only
+    for name in sorted(set(base_results) & set(cur_results)):
+        for key in sorted(base_results[name]):
+            if key.endswith(_CONTEXT_SUFFIXES) and key in cur_results[name]:
+                print(
+                    f"  (context) {name}.{key}: {base_results[name][key]} -> "
+                    f"{cur_results[name][key]}"
+                )
+
+    if problems:
+        print(f"\nFAIL: {len(problems)} step-loop regression(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nOK: no step-loop regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
