@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
-from repro.execution import InMemoryRunCache, RunCache
+from repro.execution import ExecutionContext, InMemoryRunCache
 from repro.reporting import ArtifactResult, SCALES, Scale, execute_artifact, get_artifact
 from repro.utils.records import RunStore
 
@@ -38,6 +38,7 @@ __all__ = [
     "artifact_result",
     "artifact_store",
     "bench_cache",
+    "bench_context",
     "bench_scale",
     "bench_workers",
 ]
@@ -56,23 +57,34 @@ def bench_scale() -> Scale:
     return SCALES[name]
 
 
+def bench_context() -> ExecutionContext:
+    """The session's execution context, resolved from the ``REPRO_*`` environment.
+
+    :meth:`ExecutionContext.from_env` owns the variable parsing
+    (``REPRO_BENCH_WORKERS``, ``REPRO_BENCH_CACHE_DIR``, ``REPRO_PLAN``, ...);
+    this helper only substitutes the session-wide in-memory memo when no cache
+    directory (or store URL) was configured.
+    """
+    context = ExecutionContext.from_env()
+    if context.cache is None:
+        context = context.replace(cache=_MEMO)
+    return context
+
+
 def bench_workers() -> int:
     """Worker-process count from ``REPRO_BENCH_WORKERS`` (default: serial)."""
-    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    return bench_context().workers
 
 
-def bench_cache() -> RunCache | InMemoryRunCache:
+def bench_cache():
     """The run cache: ``REPRO_BENCH_CACHE_DIR`` if set, else the session memo."""
-    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
-    return RunCache(cache_dir) if cache_dir else _MEMO
+    return bench_context().resolve_cache()
 
 
 @lru_cache(maxsize=None)
 def artifact_store(name: str) -> RunStore:
     """Execute (or fetch from cache) every cell of one registered artifact."""
-    store, _ = execute_artifact(
-        get_artifact(name), bench_scale(), max_workers=bench_workers(), cache=bench_cache()
-    )
+    store, _ = execute_artifact(get_artifact(name), bench_scale(), context=bench_context())
     return store
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ExecutionContext
 from repro.experiments import format_setting_table, run_setting_table
 
 
@@ -34,8 +35,7 @@ def main(quick: bool = False, max_workers: int = 1, cache_dir: str | None = None
         optimizers=("sgdm",),
         budgets=budgets,
         seeds=(0,),  # the seed this example has always trained with
-        max_workers=max_workers,
-        cache_dir=cache_dir,
+        context=ExecutionContext(workers=max_workers, cache=cache_dir),
         **scale,
     )
     for record in store:

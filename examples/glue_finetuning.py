@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ExecutionContext
 from repro.experiments import GlueRunConfig, run_glue_benchmark
 from repro.utils.textplot import ascii_table
 
@@ -25,11 +26,12 @@ def main(quick: bool = False, max_workers: int = 1, cache_dir: str | None = None
     schedules = ("rex", "linear", "cosine") if quick else ("rex", "linear", "cosine", "step", "none")
     size_scale = 0.25 if quick else 0.5
 
+    context = ExecutionContext(workers=max_workers, cache=cache_dir)
     rows = []
     per_task_rows = []
     for schedule in schedules:
         config = GlueRunConfig(schedule=schedule, size_scale=size_scale, pretrain_steps=10)
-        result = run_glue_benchmark(config, max_workers=max_workers, cache_dir=cache_dir)
+        result = run_glue_benchmark(config, context=context)
         means = result.mean_scores()
         rows.append([schedule, *(f"{m:.1f}" for m in means)])
         per_task_rows.append(

@@ -75,6 +75,7 @@ def train_toy_model() -> None:
 
 def run_engine_sweep(max_workers: int = 1, cache_dir: str | None = None) -> None:
     """The same budget idea, run as cached/parallel experiment cells."""
+    from repro.api import ExecutionContext
     from repro.experiments import run_budget_sweep
 
     store = run_budget_sweep(
@@ -84,8 +85,7 @@ def run_engine_sweep(max_workers: int = 1, cache_dir: str | None = None) -> None
         budgets=(0.05, 0.25, 1.0),
         size_scale=0.2,
         epoch_scale=0.15,
-        max_workers=max_workers,
-        cache_dir=cache_dir,
+        context=ExecutionContext(workers=max_workers, cache=cache_dir),
     )
     print("\nREX on the CIFAR-10 proxy across budgets (via the execution engine):")
     for record in store:

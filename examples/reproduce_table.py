@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ExecutionContext
 from repro.reporting import SCALES, execute_artifact, get_artifact, render_markdown
 
 
@@ -37,9 +38,8 @@ def main() -> None:
     plan = artifact.plan(scale)
     print(f"{artifact.paper_ref} ({artifact.title}): {len(plan)} cells at scale '{scale.name}'")
 
-    store, report = execute_artifact(
-        artifact, scale, max_workers=args.workers, cache=args.cache_dir
-    )
+    context = ExecutionContext(workers=args.workers, cache=args.cache_dir)
+    store, report = execute_artifact(artifact, scale, context=context)
     print(
         f"engine: {report.cache_hits} cache hits, {report.executed} executed, "
         f"{report.retried} retried"

@@ -44,6 +44,7 @@ from repro import execution
 from repro import analysis
 from repro import reporting
 from repro import utils
+from repro import api
 
 __version__ = "1.0.0"
 
@@ -59,5 +60,6 @@ __all__ = [
     "analysis",
     "reporting",
     "utils",
+    "api",
     "__version__",
 ]

@@ -10,10 +10,14 @@ across the budget grid for the Figure 3 settings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.experiments.runner import RunConfig
 from repro.utils.records import RunRecord, RunStore
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 
 __all__ = [
     "DelayedLinearStudyConfig",
@@ -94,18 +98,23 @@ def relabel_delayed_records(plan: list[RunConfig], store: RunStore) -> RunStore:
 
 def run_delayed_linear_study(
     config: DelayedLinearStudyConfig,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> RunStore:
     """Train REX, linear, step and each delayed-linear variant across budgets.
 
-    Runs through the cache-aware execution engine (``max_workers``/``cache_dir``
-    as in :func:`repro.experiments.run_setting_table`).
+    Runs through the cache-aware execution engine, configured by ``context``
+    (the bare ``max_workers=``/``cache_dir=`` kwargs are the deprecated legacy
+    spelling, as in :func:`repro.experiments.run_setting_table`).
     """
-    from repro.execution import ExperimentEngine
+    from repro.execution import ExperimentEngine, context_from_legacy
 
+    context = context_from_legacy(
+        context, "run_delayed_linear_study", max_workers=max_workers, cache_dir=cache_dir
+    )
     plan = plan_delayed_linear_study(config)
-    store = ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    store = ExperimentEngine(context=context).run(plan)
     return relabel_delayed_records(plan, store)
 
 

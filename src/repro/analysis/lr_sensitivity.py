@@ -10,12 +10,16 @@ curves for most learning rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.experiments.grid import lr_grid
 from repro.experiments.runner import RunConfig
 from repro.experiments.settings import get_setting
 from repro.utils.records import RunStore
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 
 __all__ = ["LRSensitivityConfig", "plan_lr_sensitivity", "run_lr_sensitivity", "lr_sensitivity_series"]
 
@@ -72,18 +76,23 @@ def plan_lr_sensitivity(config: LRSensitivityConfig) -> list[RunConfig]:
 
 def run_lr_sensitivity(
     config: LRSensitivityConfig,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> RunStore:
     """Train every schedule at every learning rate in the grid.
 
-    Runs through the cache-aware execution engine (``max_workers``/``cache_dir``
-    as in :func:`repro.experiments.run_setting_table`).
+    Runs through the cache-aware execution engine, configured by ``context``
+    (the bare ``max_workers=``/``cache_dir=`` kwargs are the deprecated legacy
+    spelling, as in :func:`repro.experiments.run_setting_table`).
     """
-    from repro.execution import ExperimentEngine
+    from repro.execution import ExperimentEngine, context_from_legacy
 
+    context = context_from_legacy(
+        context, "run_lr_sensitivity", max_workers=max_workers, cache_dir=cache_dir
+    )
     plan = plan_lr_sensitivity(config)
-    return ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    return ExperimentEngine(context=context).run(plan)
 
 
 def lr_sensitivity_series(store: RunStore) -> dict[str, dict[float, float]]:

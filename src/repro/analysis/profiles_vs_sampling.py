@@ -9,8 +9,7 @@ rates.  This module reproduces that grid on the proxy workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import nn
 from repro.analysis.profile_curves import PAPER_PROFILES
@@ -23,6 +22,10 @@ from repro.training.budget import Budget
 from repro.training.callbacks import LossNaNGuard
 from repro.training.trainer import Trainer
 from repro.utils.records import RunRecord, RunStore
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 
 __all__ = [
     "ProfileSamplingCell",
@@ -191,19 +194,25 @@ def _run_profile_sampling_cell(
 
 def run_profile_sampling_grid(
     config: ProfileSamplingConfig,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> RunStore:
     """Run the full Table 2 grid for one setting and return all records.
 
-    The grid goes through the cache-aware execution engine: ``max_workers > 1``
-    trains cells on a process pool, ``cache_dir`` makes repeat grids free, and
-    the returned store is identical to the legacy serial loops either way.
+    The grid goes through the cache-aware execution engine, configured by
+    ``context``: multiple workers train cells on a process pool, a cache makes
+    repeat grids free, and the returned store is identical to the legacy
+    serial loops either way.  The bare ``max_workers=``/``cache_dir=`` kwargs
+    are the deprecated legacy spelling.
     """
-    from repro.execution import ExperimentEngine
+    from repro.execution import ExperimentEngine, context_from_legacy
 
+    context = context_from_legacy(
+        context, "run_profile_sampling_grid", max_workers=max_workers, cache_dir=cache_dir
+    )
     plan = plan_profile_sampling_grid(config)
-    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_profile_cell)
+    engine = ExperimentEngine(context=context, run_fn=run_profile_cell)
     return engine.run(plan)
 
 

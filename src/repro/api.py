@@ -1,0 +1,114 @@
+"""The stable public surface of the reproduction library, in one import.
+
+Everything here is covered by the deprecation policy: legacy spellings keep
+working for at least one release after a replacement lands (e.g. the
+per-function ``max_workers=``/``cache_dir=`` kwargs superseded by
+:class:`ExecutionContext`).  Downstream code should import from
+``repro.api`` rather than reaching into submodules, whose internals may move.
+
+Typical use::
+
+    from repro import api
+
+    context = api.ExecutionContext(workers=4, cache="runs/cache")
+    store = api.run_setting_table("RN20-CIFAR10", ["rex", "linear"], context=context)
+
+or, resolving everything from the documented ``REPRO_*`` environment
+variables::
+
+    context = api.ExecutionContext.from_env()
+"""
+
+from repro.execution import (
+    CacheServer,
+    CacheStats,
+    EngineReport,
+    ExecutionContext,
+    ExperimentEngine,
+    HTTPRunCache,
+    InMemoryRunCache,
+    QueueWorker,
+    RunCache,
+    ShardedRunCache,
+    SingleFlight,
+    TieredRunCache,
+    WorkQueue,
+    config_fingerprint,
+    plan_budget_sweep,
+    plan_lr_grid,
+    plan_setting_table,
+)
+from repro.experiments.glue_runner import (
+    GlueRunConfig,
+    GlueTaskCell,
+    plan_glue_benchmark,
+    run_glue_benchmark,
+)
+from repro.experiments.grid import TuningResult, lr_grid, select_best_record, tune_learning_rate
+from repro.experiments.runner import RunConfig, run_budget_sweep, run_setting_table, run_single
+from repro.reporting.registry import (
+    ARTIFACTS,
+    Artifact,
+    ArtifactResult,
+    SCALES,
+    Scale,
+    available_artifacts,
+    execute_artifact,
+    get_artifact,
+    resolve_artifacts,
+    resolve_scale,
+)
+from repro.reporting.report import render_json, render_markdown, write_report
+from repro.utils.records import RunRecord, RunStore
+
+__all__ = [
+    # execution fabric
+    "CacheServer",
+    "CacheStats",
+    "EngineReport",
+    "ExecutionContext",
+    "ExperimentEngine",
+    "HTTPRunCache",
+    "InMemoryRunCache",
+    "QueueWorker",
+    "RunCache",
+    "ShardedRunCache",
+    "SingleFlight",
+    "TieredRunCache",
+    "WorkQueue",
+    "config_fingerprint",
+    # cell planning
+    "plan_budget_sweep",
+    "plan_glue_benchmark",
+    "plan_lr_grid",
+    "plan_setting_table",
+    # runners
+    "GlueRunConfig",
+    "GlueTaskCell",
+    "RunConfig",
+    "TuningResult",
+    "lr_grid",
+    "run_budget_sweep",
+    "run_glue_benchmark",
+    "run_setting_table",
+    "run_single",
+    "select_best_record",
+    "tune_learning_rate",
+    # artifacts / reporting
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactResult",
+    "SCALES",
+    "Scale",
+    "available_artifacts",
+    "execute_artifact",
+    "get_artifact",
+    "render_json",
+    "render_markdown",
+    "resolve_artifacts",
+    "resolve_scale",
+    "write_report",
+    # records
+    "RunRecord",
+    "RunStore",
+]

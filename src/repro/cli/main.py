@@ -1,6 +1,7 @@
 """Implementation of the ``python -m repro`` command-line interface.
 
-Four subcommands drive the whole reproduction through the artifact registry:
+Four local subcommands drive the whole reproduction through the artifact
+registry:
 
 ``list``
     Enumerate every registered table/figure and its cell count at a scale.
@@ -18,6 +19,28 @@ Four subcommands drive the whole reproduction through the artifact registry:
     against the paper's published numbers.
 ``clean``
     Drop the run cache (and, with ``--reports``, the rendered reports).
+
+Four more turn the same machinery into a distributed experiment fabric
+(see :mod:`repro.cli.serve` and ``ARCHITECTURE.md``):
+
+``serve``
+    An HTTP front-end accepting artifact requests from many concurrent
+    clients, deduping identical in-flight cells (single-flight), streaming
+    NDJSON progress, and finishing each stream with a report byte-identical
+    to a local ``report``.
+``worker``
+    A queue consumer: lease cells from a sqlite work queue, train them,
+    publish records to the shared cache, heartbeat and complete the lease.
+``request``
+    The client half of ``serve``: stream one artifact request and write the
+    served report bytes to disk.
+``cache-server``
+    Serve a local cache directory over HTTP by content hash, so remote
+    engines and workers can share it (``--cache-dir http://...`` anywhere).
+
+``run``/``report``/``serve`` resolve their execution options into one
+:class:`repro.execution.ExecutionContext`; ``--cache-dir`` accepts either a
+directory or an ``http(s)://`` cache-server URL everywhere it appears.
 """
 
 from __future__ import annotations
@@ -103,8 +126,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> N
         parser.add_argument(
             "--cache-dir",
             default=DEFAULT_CACHE_DIR,
-            metavar="DIR",
-            help=f"content-addressed run cache; '' disables caching (default: {DEFAULT_CACHE_DIR})",
+            metavar="DIR|URL",
+            help=(
+                "content-addressed run cache: a directory or an http(s):// "
+                f"cache-server URL; '' disables caching (default: {DEFAULT_CACHE_DIR})"
+            ),
         )
         parser.add_argument(
             "--batch-seeds",
@@ -140,7 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
             "has not seen."
         ),
     )
-    sub = parser.add_subparsers(dest="command", required=True, metavar="{list,run,report,clean}")
+    sub = parser.add_subparsers(
+        dest="command",
+        required=True,
+        metavar="{list,run,report,clean,serve,worker,request,cache-server}",
+    )
 
     p_list = sub.add_parser("list", help="enumerate the registered tables and figures")
     _add_common_arguments(p_list, execution=False)
@@ -165,6 +195,108 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also delete the rendered markdown/JSON reports under --out",
     )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve artifact requests over HTTP with single-flight dedup"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", metavar="HOST")
+    p_serve.add_argument("--port", type=int, default=8765, metavar="PORT")
+    p_serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR|URL",
+        help=(
+            "shared run cache every request reads/writes: a directory or an "
+            f"http(s):// cache-server URL (default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="process-pool width for inline training (default: 1, serial)",
+    )
+    p_serve.add_argument(
+        "--queue",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sqlite work-queue file: misses become leased jobs that external "
+            "'repro worker' processes train (default: train inline)"
+        ),
+    )
+    p_serve.add_argument(
+        "--inline",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "with --queue, also lease and train jobs in the server itself; "
+            "--no-inline leaves all training to external workers (default: on)"
+        ),
+    )
+    p_serve.add_argument("--batch-seeds", action=argparse.BooleanOptionalAction, default=False)
+    p_serve.add_argument("--plan", action=argparse.BooleanOptionalAction, default=None)
+
+    p_worker = sub.add_parser(
+        "worker", help="lease cells from a work queue, train them, publish to the cache"
+    )
+    p_worker.add_argument("--queue", required=True, metavar="PATH", help="sqlite work-queue file")
+    p_worker.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR|URL",
+        help=f"shared cache records are published to (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_worker.add_argument(
+        "--visibility-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease length; an expired lease re-queues the job (default: 60)",
+    )
+    p_worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after the queue has been empty this long (default: run forever)",
+    )
+    p_worker.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after processing N jobs (default: unbounded)",
+    )
+
+    p_request = sub.add_parser(
+        "request", help="request artifacts from a running 'repro serve' instance"
+    )
+    p_request.add_argument(
+        "--url", default="http://127.0.0.1:8765", metavar="URL", help="server base URL"
+    )
+    _add_common_arguments(p_request, execution=False)
+    p_request.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write the served report bytes as <DIR>/<name>.md and .json (default: print events only)",
+    )
+    p_request.add_argument(
+        "--timeout",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="give up on the stream after this long (default: 3600)",
+    )
+
+    p_cache = sub.add_parser(
+        "cache-server", help="serve a cache directory over HTTP by content hash"
+    )
+    p_cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR")
+    p_cache.add_argument("--host", default="127.0.0.1", metavar="HOST")
+    p_cache.add_argument("--port", type=int, default=8766, metavar="PORT")
     return parser
 
 
@@ -179,8 +311,21 @@ def _selection(args: argparse.Namespace):
         raise CLIError(message) from exc
 
 
-def _cache_from(args: argparse.Namespace) -> RunCache | None:
-    return RunCache(args.cache_dir) if getattr(args, "cache_dir", "") else None
+def _context_from(args: argparse.Namespace) -> "ExecutionContext":
+    """Fold the execution flags of one parsed command line into a context."""
+    from repro.execution import ExecutionContext
+
+    return ExecutionContext(
+        workers=getattr(args, "workers", 1),
+        cache=getattr(args, "cache_dir", "") or None,
+        batch_seeds=getattr(args, "batch_seeds", False),
+        plan=getattr(args, "plan", None),
+    )
+
+
+def _print_cache_line(cache: object) -> None:
+    location = getattr(cache, "cache_dir", None) or getattr(cache, "base_url", cache)
+    print(f"cache: {len(cache)} records under {location}")  # type: ignore[arg-type]
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -200,17 +345,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.reporting.registry import execute_artifact
 
     artifacts, scale = _selection(args)
-    cache = _cache_from(args)
+    context = _context_from(args)
+    cache = context.resolve_cache()
+    # one resolved cache instance across all artifacts, so cross-artifact cell
+    # reuse shows up as hits rather than re-resolution
+    context = context.replace(cache=cache) if cache is not None else context
     for artifact in artifacts:
         start = time.monotonic()
-        _, report = execute_artifact(
-            artifact,
-            scale,
-            max_workers=args.workers,
-            cache=cache,
-            batch_seeds=args.batch_seeds,
-            plan=args.plan,
-        )
+        _, report = execute_artifact(artifact, scale, context=context)
         elapsed = time.monotonic() - start
         batched = (
             f", {report.batched_records} in {report.batched_cells} seed-batched cells"
@@ -222,7 +364,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{report.executed} executed{batched}, {report.retried} retried ({elapsed:.1f}s)"
         )
     if cache is not None:
-        print(f"cache: {len(cache)} records under {cache.cache_dir}")
+        _print_cache_line(cache)
     return 0
 
 
@@ -231,16 +373,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.reporting.registry import execute_artifact
 
     artifacts, scale = _selection(args)
-    cache = _cache_from(args)
+    context = _context_from(args)
+    cache = context.resolve_cache()
+    context = context.replace(cache=cache) if cache is not None else context
     for artifact in artifacts:
-        store, engine_report = execute_artifact(
-            artifact,
-            scale,
-            max_workers=args.workers,
-            cache=cache,
-            batch_seeds=args.batch_seeds,
-            plan=args.plan,
-        )
+        store, engine_report = execute_artifact(artifact, scale, context=context)
         result = artifact.build(store, scale)
         paths = write_report(result, scale, args.out)
         cached = (
@@ -278,7 +415,98 @@ def cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {"list": cmd_list, "run": cmd_run, "report": cmd_report, "clean": cmd_clean}
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the HTTP experiment front-end until interrupted."""
+    from repro.cli.serve import serve_forever
+    from repro.execution import ExecutionContext
+
+    if not args.cache_dir:
+        raise CLIError("serve requires a cache (--cache-dir DIR or http(s):// URL)")
+    context = ExecutionContext(
+        workers=args.workers,
+        cache=args.cache_dir,
+        batch_seeds=args.batch_seeds,
+        plan=args.plan,
+        executor="queue" if args.queue else "auto",
+        queue=args.queue,
+        queue_inline=args.inline,
+    )
+    serve_forever(context, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``worker``: consume the work queue until idle-exit/max-jobs (or forever)."""
+    from repro.cli.serve import run_worker
+
+    if not args.cache_dir:
+        raise CLIError("worker requires a cache (--cache-dir DIR or http(s):// URL)")
+    run_worker(
+        args.queue,
+        args.cache_dir,
+        visibility_timeout=args.visibility_timeout,
+        idle_exit=args.idle_exit,
+        max_jobs=args.max_jobs,
+    )
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    """``request``: stream artifact reports from a running server."""
+    from repro.cli.serve import request_report
+    from repro.reporting.registry import resolve_artifacts
+
+    try:
+        artifacts = resolve_artifacts(args.only)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(exc.args[0] if exc.args else str(exc)) from exc
+    seeds = ",".join(str(seed) for seed in args.seeds) if args.seeds else None
+    for artifact in artifacts:
+        try:
+            event = request_report(
+                args.url,
+                artifact.name,
+                scale=args.scale,
+                seeds=seeds,
+                dtype=args.dtype,
+                out_dir=args.out,
+                timeout=args.timeout,
+                progress=lambda line: print(f"  {line}"),
+            )
+        except (OSError, RuntimeError) as exc:
+            raise CLIError(f"{artifact.name}: {exc}") from exc
+        where = f" -> {args.out}/{artifact.name}.md" if args.out else ""
+        print(f"{artifact.name}: report received ({len(event['markdown'])} md bytes){where}")
+    return 0
+
+
+def cmd_cache_server(args: argparse.Namespace) -> int:
+    """``cache-server``: serve one cache directory by content hash until interrupted."""
+    from repro.execution import CacheServer
+
+    if not args.cache_dir:
+        raise CLIError("cache-server requires a non-empty --cache-dir")
+    server = CacheServer(args.cache_dir, host=args.host, port=args.port)
+    print(f"repro cache-server serving {args.cache_dir} on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro cache-server: shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "report": cmd_report,
+    "clean": cmd_clean,
+    "serve": cmd_serve,
+    "worker": cmd_worker,
+    "request": cmd_request,
+    "cache-server": cmd_cache_server,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:

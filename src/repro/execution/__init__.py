@@ -1,4 +1,4 @@
-"""Deterministic, cache-aware experiment execution.
+"""Deterministic, cache-aware — and now distributable — experiment execution.
 
 This package is the machinery under :mod:`repro.experiments`:
 
@@ -9,21 +9,55 @@ This package is the machinery under :mod:`repro.experiments`:
     cell's resolved configuration (*what already ran*).
 ``repro.execution.engine``
     The :class:`ExperimentEngine` that consults the cache and dispatches
-    misses serially or to a process pool (*how to run it*).
+    misses to an executor backend — serial, process pool, or the distributed
+    work queue (*how to run it*).
+``repro.execution.context``
+    :class:`ExecutionContext`, the single object describing the *how*
+    (workers, cache, dtype, planning, executor backend) that every public
+    runner accepts as ``context=``.
+``repro.execution.queue``
+    The sqlite-backed :class:`WorkQueue` (cells as leased jobs with
+    heartbeat, visibility-timeout re-lease, bounded retry and dead-letters),
+    the :class:`QueueWorker` consumer loop, and the in-process
+    :class:`SingleFlight` request deduper.
+``repro.execution.remote_cache``
+    Location-transparent cache backends: the HTTP :class:`CacheServer` /
+    :class:`HTTPRunCache` pair, read-through/write-back :class:`TieredRunCache`
+    composition, and hash-routed :class:`ShardedRunCache`.
 
-Together they make table reproduction parallel and incremental: identical
-cells are trained exactly once, ever, per cache directory.
+Together they make table reproduction parallel, incremental and
+fleet-shareable: identical cells are trained exactly once, ever, per cache —
+whether requested by one process or by thousands of concurrent clients.
 """
 
 from repro.execution.cache import CacheStats, InMemoryRunCache, RunCache, config_fingerprint
+from repro.execution.context import ExecutionContext, context_from_legacy, resolve_cache_spec
 from repro.execution.engine import EngineReport, ExperimentEngine, run_configs
 from repro.execution.plan import plan_budget_sweep, plan_lr_grid, plan_setting_table
+from repro.execution.queue import LeasedJob, QueueWorker, SingleFlight, WorkQueue
+from repro.execution.remote_cache import (
+    CacheServer,
+    HTTPRunCache,
+    ShardedRunCache,
+    TieredRunCache,
+)
 
 __all__ = [
+    "CacheServer",
     "CacheStats",
+    "ExecutionContext",
+    "HTTPRunCache",
     "InMemoryRunCache",
+    "LeasedJob",
+    "QueueWorker",
     "RunCache",
+    "ShardedRunCache",
+    "SingleFlight",
+    "TieredRunCache",
+    "WorkQueue",
     "config_fingerprint",
+    "context_from_legacy",
+    "resolve_cache_spec",
     "EngineReport",
     "ExperimentEngine",
     "run_configs",

@@ -114,6 +114,9 @@ class RunCache:
         Created on first use.
     """
 
+    #: tier label reported by :class:`~repro.execution.engine.EngineReport`
+    tier_name = "local"
+
     def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
         self.stats = CacheStats()
@@ -154,16 +157,36 @@ class RunCache:
         if path.exists():
             self.stats.skips += 1
             return path
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = {
             "fingerprint": path.stem,
             "config": fingerprint_payload(config),
             "record": record.to_dict(),
         }
         blob = json.dumps(payload, indent=2, sort_keys=True)
+        self.write_blob(path.stem, blob.encode("utf-8"))
+        return path
+
+    # -- content-addressed transport -----------------------------------------
+    # The remote store (repro.execution.remote_cache) moves entries between
+    # machines as opaque bytes keyed by fingerprint; exposing the byte level
+    # here keeps a served directory and a locally mounted one file-identical.
+    def read_blob(self, fingerprint: str) -> bytes | None:
+        """The exact stored bytes for ``fingerprint``, or ``None`` if absent."""
+        try:
+            return (self.cache_dir / f"{fingerprint}.json").read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def write_blob(self, fingerprint: str, blob: bytes) -> Path:
+        """Atomically store ``blob`` under ``fingerprint`` (first write wins)."""
+        path = self.cache_dir / f"{fingerprint}.json"
+        if path.exists():
+            self.stats.skips += 1
+            return path
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
+            with os.fdopen(fd, "wb") as fh:
                 fh.write(blob)
             os.replace(tmp_name, path)
         except BaseException:
@@ -203,6 +226,9 @@ class InMemoryRunCache:
     e.g. one benchmark session sharing training runs between Table 4 and the
     Table 1 aggregate without a ``--cache-dir``.
     """
+
+    #: tier label reported by :class:`~repro.execution.engine.EngineReport`
+    tier_name = "memory"
 
     def __init__(self) -> None:
         """Create an empty cache."""

@@ -14,6 +14,8 @@ regardless of which worker finishes first, so ``max_workers=8`` produces a
 from __future__ import annotations
 
 import os
+import time
+import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -21,7 +23,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.execution.cache import InMemoryRunCache, RunCache
+from repro.execution.cache import InMemoryRunCache, RunCache, config_fingerprint
+from repro.execution.context import ExecutionContext, resolve_cache_spec
 from repro.utils.records import RunRecord, RunStore
 
 __all__ = ["EngineReport", "ExperimentEngine", "run_configs"]
@@ -87,6 +90,14 @@ class EngineReport:
     batched_cells: int = 0
     #: configs whose record came out of a seed-stacked cell
     batched_records: int = 0
+    #: records trained by external queue workers rather than this process
+    remote: int = 0
+    #: executor backend the misses ran on: "serial", "process", "queue" — or
+    #: "cache" when every record was a hit and nothing executed at all
+    executor: str = "cache"
+    #: per-cache-tier hit/miss/store deltas for this run (empty without a
+    #: cache); lets equivalence tests assert *where* records came from
+    cache_tiers: dict[str, dict[str, int]] = field(default_factory=dict)
     failures: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
@@ -98,8 +109,44 @@ class EngineReport:
             "retried": self.retried,
             "batched_cells": self.batched_cells,
             "batched_records": self.batched_records,
+            "remote": self.remote,
+            "executor": self.executor,
+            "cache_tiers": {tier: dict(c) for tier, c in self.cache_tiers.items()},
             "failures": list(self.failures),
         }
+
+
+def _tier_stats(cache: Any) -> dict[str, dict[str, int]]:
+    """Snapshot the stats counters of ``cache`` and any tiers/shards it composes."""
+    snapshot: dict[str, dict[str, int]] = {}
+
+    def add(obj: Any) -> None:
+        name = getattr(obj, "tier_name", type(obj).__name__)
+        base, n = name, 1
+        while name in snapshot:
+            n += 1
+            name = f"{base}{n}"
+        stats = getattr(obj, "stats", None)
+        snapshot[name] = stats.as_dict() if stats is not None else {}
+
+    if cache is None:
+        return snapshot
+    add(cache)
+    for member in getattr(cache, "tiers", None) or []:
+        add(member)
+    for member in getattr(cache, "shards", None) or []:
+        add(member)
+    return snapshot
+
+
+def _tier_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    """Per-tier counter difference ``after - before`` (what *this run* did)."""
+    return {
+        name: {key: value - before.get(name, {}).get(key, 0) for key, value in counters.items()}
+        for name, counters in after.items()
+    }
 
 
 class ExperimentEngine:
@@ -139,6 +186,20 @@ class ExperimentEngine:
         unless ``REPRO_PLAN`` is falsy — untouched.  Records are bitwise
         identical either way; like ``batch_seeds`` it only changes
         wall-clock (and allocation) behaviour.
+    context:
+        An :class:`~repro.execution.context.ExecutionContext` supplying every
+        field above (plus the executor backend) in one object — the preferred
+        construction path.  When given, the legacy kwargs must stay at their
+        defaults.
+    executor:
+        Backend override: ``"auto"`` (serial for one worker, else a process
+        pool), ``"serial"``, ``"process"``, or ``"queue"`` — the distributed
+        work-queue backend, which submits misses as leased jobs and collects
+        records through the shared cache (see :mod:`repro.execution.queue`).
+    queue / queue_inline:
+        Work queue (or sqlite path) for the ``queue`` executor, and whether
+        this engine also leases jobs itself (``True``) or leaves training to
+        external ``repro worker`` processes (``False``).
     """
 
     def __init__(
@@ -149,19 +210,48 @@ class ExperimentEngine:
         run_fn: RunFn | None = None,
         batch_seeds: bool = False,
         plan: bool | None = None,
+        context: ExecutionContext | None = None,
+        executor: str = "auto",
+        queue: Any = None,
+        queue_inline: bool = True,
+        poll_interval: float = 0.05,
     ) -> None:
+        if context is not None:
+            cache = context.resolve_cache()
+            max_workers = context.workers
+            retries = context.retries
+            batch_seeds = context.batch_seeds
+            plan = context.plan
+            executor = context.executor
+            queue = context.resolve_queue()
+            queue_inline = context.queue_inline
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        if isinstance(cache, (str, Path)):
-            cache = RunCache(cache)
-        self.cache = cache
+        from repro.execution.context import EXECUTORS
+
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.cache = resolve_cache_spec(cache)
         self.max_workers = max_workers
         self.retries = retries
         self.run_fn = run_fn
         self.batch_seeds = batch_seeds
         self.plan = plan
+        self.executor = executor
+        if isinstance(queue, (str, Path)):
+            from repro.execution.queue import WorkQueue
+
+            queue = WorkQueue(queue)
+        self.queue = queue
+        self.queue_inline = queue_inline
+        self.poll_interval = poll_interval
+        if self.executor == "queue":
+            if self.queue is None:
+                raise ValueError("executor='queue' requires a work queue (path or WorkQueue)")
+            if self.cache is None:
+                raise ValueError("executor='queue' requires a shared cache to collect records")
         self.last_report = EngineReport()
 
     # -- execution -----------------------------------------------------------
@@ -176,24 +266,32 @@ class ExperimentEngine:
         # raised failure, not just a clean run.
         report = self.last_report = EngineReport(total=len(plan))
         results: list[RunRecord | None] = [None] * len(plan)
+        tier_before = _tier_stats(self.cache)
 
-        pending: list[int] = []
-        for idx, config in enumerate(plan):
-            record = self.cache.get(config) if self.cache is not None else None
-            if record is not None:
-                results[idx] = record
-                report.cache_hits += 1
-            else:
-                pending.append(idx)
-
-        if pending:
-            run_fn = self.run_fn if self.run_fn is not None else _default_run_fn()
-            jobs = self._make_jobs(run_fn, plan, pending, report)
-            with _plan_env(self.plan):
-                if self.max_workers == 1 or len(jobs) == 1:
-                    self._run_serial(plan, jobs, results, report)
+        try:
+            pending: list[int] = []
+            for idx, config in enumerate(plan):
+                record = self.cache.get(config) if self.cache is not None else None
+                if record is not None:
+                    results[idx] = record
+                    report.cache_hits += 1
                 else:
-                    self._run_parallel(plan, jobs, results, report)
+                    pending.append(idx)
+
+            if pending:
+                run_fn = self.run_fn if self.run_fn is not None else _default_run_fn()
+                jobs = self._make_jobs(run_fn, plan, pending, report)
+                backend = self._resolve_backend(len(jobs))
+                report.executor = backend
+                with _plan_env(self.plan):
+                    if backend == "queue":
+                        self._run_queue(plan, jobs, results, report)
+                    elif backend == "serial":
+                        self._run_serial(plan, jobs, results, report)
+                    else:
+                        self._run_parallel(plan, jobs, results, report)
+        finally:
+            report.cache_tiers = _tier_delta(tier_before, _tier_stats(self.cache))
 
         if store is None:
             store = RunStore()
@@ -201,6 +299,16 @@ class ExperimentEngine:
             assert record is not None
             store.add(record)
         return store
+
+    def _resolve_backend(self, num_jobs: int) -> str:
+        """Pick the executor backend for this run's cache misses.
+
+        ``auto`` keeps the historical behaviour: serial for one worker or a
+        single job, a process pool otherwise.  Explicit names pin the backend.
+        """
+        if self.executor != "auto":
+            return self.executor
+        return "serial" if self.max_workers == 1 or num_jobs <= 1 else "process"
 
     def _run_fn_supports_batching(self) -> bool:
         """Whether seed-grouping is numerically equivalent to ``self.run_fn``.
@@ -227,9 +335,12 @@ class ExperimentEngine:
         A job maps one payload to the records of one or more plan indices.
         Without ``batch_seeds`` every pending config is its own job; with it,
         batchable configs sharing a seedless fingerprint merge into one
-        :class:`~repro.experiments.batched.BatchedRunCell` job.
+        :class:`~repro.experiments.batched.BatchedRunCell` job.  The queue
+        backend always ships plain per-config jobs: queue workers dispatch
+        through the registry's cell runner, which speaks configs, not
+        seed-batched cells.
         """
-        if not self.batch_seeds or not self._run_fn_supports_batching():
+        if self.executor == "queue" or not self.batch_seeds or not self._run_fn_supports_batching():
             return [_Job(run_fn, plan[idx], (idx,)) for idx in pending]
         # Imported lazily for the same reason as _default_run_fn: the batched
         # runner sits on top of repro.experiments, which imports this engine.
@@ -345,6 +456,113 @@ class ExperimentEngine:
             remaining = [job for job in jobs if results[job.indices[0]] is None]
             report.retried += len(remaining)
             self._run_serial(plan, remaining, results, report)
+
+    def _run_queue(
+        self,
+        plan: Sequence[Any],
+        jobs: Sequence["_Job"],
+        results: list[RunRecord | None],
+        report: EngineReport,
+    ) -> None:
+        """Submit misses to the work queue; collect records through the cache.
+
+        Every miss becomes a leased job (single-flight by fingerprint, so
+        concurrent engines sharing the queue submit each unique cell once).
+        With ``queue_inline`` this engine leases and runs jobs itself — the
+        single-process posture; without it, training is left entirely to
+        external ``repro worker`` processes and this loop only watches job
+        states, pulling finished records out of the shared cache.
+        """
+        queue = self.queue
+        owner = f"engine:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+        max_attempts = self.retries + 1
+        job_ids = {i: queue.submit(job.payload, max_attempts=max_attempts) for i, job in enumerate(jobs)}
+        pending = set(range(len(jobs)))
+        while pending:
+            queue.requeue_expired()
+            progressed = False
+            if self.queue_inline:
+                leased = queue.lease(owner)
+                if leased is not None:
+                    progressed = True
+                    self._run_leased(plan, jobs, leased, results, report, queue, owner)
+            # inline execution fills results directly; settle those first
+            for i in list(pending):
+                if results[jobs[i].indices[0]] is not None:
+                    pending.discard(i)
+                    progressed = True
+            states = queue.states([job_ids[i] for i in pending])
+            for i in sorted(pending):
+                state = states.get(job_ids[i])
+                if state == "done":
+                    record = self.cache.get(jobs[i].payload)
+                    if record is None:
+                        # Done without a published record should be impossible
+                        # (workers publish before completing) — re-enqueue the
+                        # lost result rather than hanging forever.
+                        job_ids[i] = queue.submit(jobs[i].payload, max_attempts=max_attempts)
+                        continue
+                    for idx in jobs[i].indices:
+                        results[idx] = record
+                    report.remote += len(jobs[i].indices)
+                    pending.discard(i)
+                    progressed = True
+                elif state == "dead":
+                    letters = {dead["fingerprint"]: dead for dead in queue.dead_letters()}
+                    error = letters.get(config_fingerprint(jobs[i].payload), {}).get(
+                        "last_error", "unknown error"
+                    )
+                    message = (
+                        f"cell {jobs[i].indices[0]}: dead-lettered after "
+                        f"{max_attempts} attempts: {error}"
+                    )
+                    report.failures.append(message)
+                    raise RuntimeError(message)
+            if pending and not progressed:
+                time.sleep(self.poll_interval)
+
+    def _run_leased(
+        self,
+        plan: Sequence[Any],
+        jobs: Sequence["_Job"],
+        leased: Any,
+        results: list[RunRecord | None],
+        report: EngineReport,
+        queue: Any,
+        owner: str,
+    ) -> None:
+        """Run one inline-leased job; publish to the cache and complete the lease.
+
+        The leased job is usually one of this engine's own, matched by
+        fingerprint so its ``run_fn`` (possibly custom) applies; a foreign
+        job — submitted by another engine sharing the queue — is executed
+        through the registry's generic cell runner instead (work stealing).
+        """
+        mine: "_Job | None" = None
+        for job in jobs:
+            if config_fingerprint(job.payload) == leased.fingerprint:
+                mine = job
+                break
+        try:
+            if mine is not None:
+                outcome = mine.fn(mine.payload)
+            else:
+                from repro.reporting.registry import run_cell
+
+                outcome = run_cell(leased.config)
+        except Exception as exc:
+            state = queue.fail(leased.id, owner, repr(exc))
+            if state == "dead":
+                indices = mine.indices if mine is not None else ()
+                report.failures.extend(f"cell {idx}: {exc!r}" for idx in indices)
+                raise
+            report.retried += 1
+            return
+        if mine is not None:
+            self._complete(plan, mine, outcome, results, report)
+        else:
+            self.cache.put(leased.config, outcome)
+        queue.complete(leased.id, owner)
 
 
 def run_configs(

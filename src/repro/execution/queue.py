@@ -1,0 +1,445 @@
+"""Sqlite-backed work queue: experiment cells as leased, heartbeaten jobs.
+
+One sqlite file *is* the queue, so "distributed" starts at two processes
+sharing a directory and scales to any fleet that can reach the same file (or
+a network filesystem).  The protocol:
+
+* :meth:`WorkQueue.submit` enqueues one cell, **single-flight by
+  fingerprint**: an active (pending/leased) job for the same content hash is
+  returned instead of inserting a duplicate, so N clients requesting the same
+  cell cost one training run.
+* :meth:`WorkQueue.lease` atomically claims the oldest pending job for one
+  worker, with a *visibility timeout*: a worker that stops heartbeating
+  (crash, OOM kill, network partition) loses the lease and the job is
+  re-queued by :meth:`WorkQueue.requeue_expired`.
+* :meth:`WorkQueue.complete` / :meth:`WorkQueue.fail` finish a job; failures
+  are retried up to ``max_attempts``, after which the job is **dead-lettered**
+  (state ``"dead"``, inspectable via :meth:`WorkQueue.dead_letters`) instead
+  of poisoning the queue.
+
+Results never travel through the queue: a worker writes its record to the
+shared content-addressed cache and the queue only tracks job state.  Because
+cache entries are content-addressed and training is deterministic, a job that
+is leased twice (expiry + re-run) writes byte-identical bytes the second time
+— the cache's first-write-wins protocol makes double execution harmless.
+
+:class:`QueueWorker` is the matching consumer loop (``python -m repro
+worker``), and :class:`SingleFlight` is the in-process analogue the serve
+front-end uses to dedupe concurrent requests before they ever reach an
+executor.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.execution.cache import config_fingerprint
+
+__all__ = ["LeasedJob", "QueueWorker", "SingleFlight", "WorkQueue"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint TEXT NOT NULL UNIQUE,
+    payload BLOB NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    lease_owner TEXT,
+    lease_deadline REAL,
+    last_error TEXT,
+    enqueued_at REAL NOT NULL,
+    completed_at REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state, id);
+"""
+
+#: job lifecycle states
+STATES = ("pending", "leased", "done", "dead")
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One claimed job: the config to run plus the lease bookkeeping."""
+
+    id: int
+    fingerprint: str
+    config: Any
+    attempts: int
+    max_attempts: int
+    lease_deadline: float
+
+
+class WorkQueue:
+    """A persistent, crash-tolerant job queue over one sqlite file.
+
+    Parameters
+    ----------
+    path:
+        The sqlite database file (created on first use, parents included).
+    visibility_timeout:
+        Default seconds a lease stays valid without a heartbeat.
+    clock:
+        Wall-clock source; injectable for deterministic expiry tests.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        visibility_timeout: float = 60.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.visibility_timeout = float(visibility_timeout)
+        self.clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        # One short-lived connection per operation: no cross-thread sharing
+        # problems, and WAL + busy_timeout make concurrent workers safe.
+        conn = sqlite3.connect(self.path, timeout=10.0, isolation_level=None)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=10000")
+            conn.row_factory = sqlite3.Row
+            yield conn
+        finally:
+            conn.close()
+
+    # -- producer ------------------------------------------------------------
+    def submit(self, config: Any, max_attempts: int = 2) -> int:
+        """Enqueue ``config``; return the job id (single-flight by fingerprint).
+
+        An *active* (pending/leased) job for the same fingerprint is reused
+        as-is.  A finished one (``done``/``dead``) is reset to pending — a new
+        request is a fresh intent to run, e.g. after the cache was cleared or
+        to retry a dead-lettered cell.
+        """
+        fingerprint = config_fingerprint(config)
+        payload = pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+        now = self.clock()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT id, state FROM jobs WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            if row is None:
+                cur = conn.execute(
+                    "INSERT INTO jobs (fingerprint, payload, max_attempts, enqueued_at)"
+                    " VALUES (?, ?, ?, ?)",
+                    (fingerprint, payload, int(max_attempts), now),
+                )
+                conn.execute("COMMIT")
+                return int(cur.lastrowid)
+            if row["state"] in ("done", "dead"):
+                conn.execute(
+                    "UPDATE jobs SET state='pending', attempts=0, max_attempts=?,"
+                    " lease_owner=NULL, lease_deadline=NULL, last_error=NULL,"
+                    " enqueued_at=?, completed_at=NULL WHERE id=?",
+                    (int(max_attempts), now, row["id"]),
+                )
+            conn.execute("COMMIT")
+            return int(row["id"])
+
+    # -- consumer ------------------------------------------------------------
+    def lease(self, owner: str, visibility_timeout: float | None = None) -> LeasedJob | None:
+        """Atomically claim the oldest pending job for ``owner``, or ``None``.
+
+        The claim increments the attempt counter and sets a lease deadline;
+        the worker must :meth:`heartbeat` before the deadline (or finish) to
+        keep the job.
+        """
+        timeout = self.visibility_timeout if visibility_timeout is None else visibility_timeout
+        deadline = self.clock() + timeout
+        with self._connect() as conn:
+            row = conn.execute(
+                "UPDATE jobs SET state='leased', lease_owner=?, lease_deadline=?,"
+                " attempts=attempts+1"
+                " WHERE id = (SELECT id FROM jobs WHERE state='pending' ORDER BY id LIMIT 1)"
+                " RETURNING id, fingerprint, payload, attempts, max_attempts",
+                (owner, deadline),
+            ).fetchone()
+        if row is None:
+            return None
+        return LeasedJob(
+            id=int(row["id"]),
+            fingerprint=row["fingerprint"],
+            config=pickle.loads(row["payload"]),
+            attempts=int(row["attempts"]),
+            max_attempts=int(row["max_attempts"]),
+            lease_deadline=deadline,
+        )
+
+    def heartbeat(self, job_id: int, owner: str, extend: float | None = None) -> bool:
+        """Extend ``owner``'s lease on ``job_id``; ``False`` means the lease is lost."""
+        timeout = self.visibility_timeout if extend is None else extend
+        with self._connect() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET lease_deadline=? WHERE id=? AND lease_owner=? AND state='leased'",
+                (self.clock() + timeout, job_id, owner),
+            )
+            return cur.rowcount == 1
+
+    def complete(self, job_id: int, owner: str) -> bool:
+        """Mark ``job_id`` done; ``False`` if ``owner`` no longer holds the lease."""
+        with self._connect() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state='done', completed_at=?, lease_owner=NULL,"
+                " lease_deadline=NULL WHERE id=? AND lease_owner=? AND state='leased'",
+                (self.clock(), job_id, owner),
+            )
+            return cur.rowcount == 1
+
+    def fail(self, job_id: int, owner: str, error: str) -> str:
+        """Record a failed attempt; re-queue or dead-letter per the retry budget.
+
+        Returns the job's new state (``"pending"`` for a retry, ``"dead"``
+        once the attempts are spent, or its current state if the lease was
+        already lost).
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs WHERE id=? AND lease_owner=?"
+                " AND state='leased'",
+                (job_id, owner),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return self.state(job_id) or "unknown"
+            new_state = "dead" if row["attempts"] >= row["max_attempts"] else "pending"
+            conn.execute(
+                "UPDATE jobs SET state=?, lease_owner=NULL, lease_deadline=NULL, last_error=?,"
+                " completed_at=? WHERE id=?",
+                (new_state, error, self.clock() if new_state == "dead" else None, job_id),
+            )
+            conn.execute("COMMIT")
+            return new_state
+
+    def requeue_expired(self) -> int:
+        """Reclaim every lease past its deadline; return how many jobs moved.
+
+        A job whose attempts are spent dead-letters instead of re-queueing —
+        the lease expiry *was* its last failure.
+        """
+        now = self.clock()
+        with self._connect() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET"
+                " state = CASE WHEN attempts >= max_attempts THEN 'dead' ELSE 'pending' END,"
+                " last_error = COALESCE(last_error, 'lease expired'),"
+                " lease_owner=NULL, lease_deadline=NULL"
+                " WHERE state='leased' AND lease_deadline < ?",
+                (now,),
+            )
+            return cur.rowcount
+
+    # -- introspection -------------------------------------------------------
+    def state(self, job_id: int) -> str | None:
+        """The lifecycle state of one job, or ``None`` for an unknown id."""
+        with self._connect() as conn:
+            row = conn.execute("SELECT state FROM jobs WHERE id=?", (job_id,)).fetchone()
+        return None if row is None else row["state"]
+
+    def states(self, job_ids: Iterable[int]) -> dict[int, str]:
+        """Map each known job id to its state."""
+        ids = list(job_ids)
+        if not ids:
+            return {}
+        marks = ",".join("?" for _ in ids)
+        with self._connect() as conn:
+            rows = conn.execute(f"SELECT id, state FROM jobs WHERE id IN ({marks})", ids).fetchall()
+        return {int(r["id"]): r["state"] for r in rows}
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per state (absent states count zero)."""
+        with self._connect() as conn:
+            rows = conn.execute("SELECT state, COUNT(*) AS n FROM jobs GROUP BY state").fetchall()
+        out = {state: 0 for state in STATES}
+        out.update({r["state"]: int(r["n"]) for r in rows})
+        return out
+
+    def dead_letters(self) -> list[dict[str, Any]]:
+        """Every dead-lettered job: id, fingerprint, attempts and last error."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id, fingerprint, attempts, max_attempts, last_error FROM jobs"
+                " WHERE state='dead' ORDER BY id"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def __len__(self) -> int:
+        with self._connect() as conn:
+            return int(conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0])
+
+
+class QueueWorker:
+    """The consumer half of the fabric: lease → train → cache → complete.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`WorkQueue` (or sqlite path) to lease jobs from.
+    cache:
+        Shared cache spec the records are written to (a directory, an
+        ``http(s)://`` store URL, or a duck-typed cache object).  Required —
+        results travel through the cache, never through the queue.
+    run_fn:
+        Maps one config to one record; defaults to the registry's
+        :func:`~repro.reporting.registry.run_cell` dispatcher so one worker
+        can serve every cell kind.
+    owner:
+        Lease-owner id; defaults to ``hostname:pid:random``.
+    visibility_timeout / heartbeat_interval:
+        Lease length and how often the background heartbeat renews it while a
+        cell trains (default: a third of the timeout).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue | str | Path,
+        cache: Any,
+        run_fn: Callable[[Any], Any] | None = None,
+        owner: str | None = None,
+        visibility_timeout: float = 60.0,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = 0.2,
+    ) -> None:
+        from repro.execution.context import resolve_cache_spec
+
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.cache = resolve_cache_spec(cache)
+        if self.cache is None:
+            raise ValueError("QueueWorker requires a shared cache to publish records to")
+        self.run_fn = run_fn
+        self.owner = owner or f"{os.uname().nodename}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+        self.visibility_timeout = visibility_timeout
+        self.heartbeat_interval = heartbeat_interval or max(0.5, visibility_timeout / 3.0)
+        self.poll_interval = poll_interval
+        #: jobs this worker completed / failed over its lifetime
+        self.completed = 0
+        self.failed = 0
+
+    def _resolve_run_fn(self) -> Callable[[Any], Any]:
+        if self.run_fn is not None:
+            return self.run_fn
+        # Lazy: the registry sits above this package in the import graph.
+        from repro.reporting.registry import run_cell
+
+        return run_cell
+
+    def run_once(self) -> bool:
+        """Lease and run one job; ``False`` when the queue had nothing pending."""
+        self.queue.requeue_expired()
+        job = self.queue.lease(self.owner, self.visibility_timeout)
+        if job is None:
+            return False
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(self.heartbeat_interval):
+                if not self.queue.heartbeat(job.id, self.owner):
+                    return  # lease lost; the result is still safe to publish
+
+        beater = threading.Thread(target=_beat, name=f"heartbeat-{job.id}", daemon=True)
+        beater.start()
+        try:
+            record = self._resolve_run_fn()(job.config)
+        except Exception as exc:
+            stop.set()
+            beater.join()
+            self.failed += 1
+            self.queue.fail(job.id, self.owner, repr(exc))
+            return True
+        stop.set()
+        beater.join()
+        # Publish before completing: a crash between the two leaves a done
+        # record with a re-queued job, and the re-run's first-write-wins cache
+        # put is a no-op on identical bytes.
+        self.cache.put(job.config, record)
+        self.queue.complete(job.id, self.owner)
+        self.completed += 1
+        return True
+
+    def run_forever(
+        self, idle_exit: float | None = None, max_jobs: int | None = None
+    ) -> int:
+        """Consume jobs until ``max_jobs`` are done or the queue idles ``idle_exit`` seconds.
+
+        With neither bound the loop runs until the process is killed (the
+        production posture).  Returns the number of jobs processed this call.
+        """
+        processed = 0
+        idle_since = time.monotonic()
+        while True:
+            if max_jobs is not None and processed >= max_jobs:
+                return processed
+            if self.run_once():
+                processed += 1
+                idle_since = time.monotonic()
+                continue
+            if idle_exit is not None and time.monotonic() - idle_since >= idle_exit:
+                return processed
+            time.sleep(self.poll_interval)
+
+
+class SingleFlight:
+    """In-process fingerprint claims: N concurrent requests, one execution.
+
+    The serve front-end plans each request's cells, then :meth:`claim`\\ s
+    their fingerprints — keys nobody holds become *mine* (this request
+    executes them), keys already held come back with the holder's event to
+    :meth:`wait` on.  Holders :meth:`release` after their records are in the
+    shared cache, waking every waiter.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty claim table."""
+        self._lock = threading.Lock()
+        self._events: dict[str, threading.Event] = {}
+
+    def claim(self, keys: Sequence[str]) -> tuple[list[str], dict[str, threading.Event]]:
+        """Partition ``keys`` into (claimed by me, held elsewhere → event to wait on)."""
+        mine: list[str] = []
+        theirs: dict[str, threading.Event] = {}
+        with self._lock:
+            for key in keys:
+                event = self._events.get(key)
+                if event is None:
+                    self._events[key] = threading.Event()
+                    mine.append(key)
+                else:
+                    theirs[key] = event
+        return mine, theirs
+
+    def release(self, keys: Iterable[str]) -> None:
+        """Drop my claims and wake everyone waiting on them (call from ``finally``)."""
+        with self._lock:
+            for key in keys:
+                event = self._events.pop(key, None)
+                if event is not None:
+                    event.set()
+
+    def wait(self, events: dict[str, threading.Event], timeout: float | None = None) -> bool:
+        """Wait for every event; ``False`` if any timed out."""
+        ok = True
+        for event in events.values():
+            ok = event.wait(timeout) and ok
+        return ok
+
+    def in_flight(self) -> int:
+        """How many fingerprints are currently claimed."""
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,365 @@
+"""Remote, tiered and sharded backends for the content-addressed run cache.
+
+Content addressing makes every cache entry location-transparent: a record is
+identified by the SHA-256 fingerprint of its resolved config, writers of the
+same cell write identical bytes, and first-write-wins is safe everywhere.
+This module exploits that to move the cache off one machine:
+
+:class:`CacheServer`
+    A stdlib ``http.server`` daemon exposing a :class:`~repro.execution.cache.RunCache`
+    directory over GET/PUT-by-fingerprint (``python -m repro cache-server``
+    via ``repro serve``'s machinery, or embedded in tests).  The on-disk
+    layout is exactly the local cache's ``<fingerprint>.json``, so a directory
+    can be served remotely and mounted locally at the same time.
+:class:`HTTPRunCache`
+    The matching client with the duck-typed ``get``/``put`` cache surface —
+    a drop-in wherever ``cache_dir=`` goes today.
+:class:`TieredRunCache`
+    Read-through/write-back composition of caches (typically local in front
+    of remote): gets fall through the tiers and backfill the nearer ones,
+    puts write through to every tier.
+:class:`ShardedRunCache`
+    Fingerprint-hash routing across N backends, for horizontal scale-out of
+    the store itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.execution.cache import CacheStats, RunCache, config_fingerprint, fingerprint_payload
+from repro.utils.records import RunRecord
+
+__all__ = ["CacheServer", "HTTPRunCache", "ShardedRunCache", "TieredRunCache"]
+
+_RECORD_ROUTE = "/records/"
+
+
+def _is_fingerprint(token: str) -> bool:
+    return len(token) == 64 and all(c in "0123456789abcdef" for c in token)
+
+
+class _CacheHandler(BaseHTTPRequestHandler):
+    """Request handler speaking the fingerprint store protocol.
+
+    Routes: ``GET/HEAD /records/<fp>``, ``PUT /records/<fp>``,
+    ``DELETE /records`` (clear), ``GET /stats`` and ``GET /healthz``.
+    """
+
+    server: "CacheServer"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the daemon is traffic-facing)."""
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _fingerprint_or_404(self) -> str | None:
+        if self.path.startswith(_RECORD_ROUTE):
+            token = self.path[len(_RECORD_ROUTE):]
+            if _is_fingerprint(token):
+                return token
+        self._send_json(404, {"error": f"no route {self.path!r}"})
+        return None
+
+    def do_GET(self) -> None:
+        """Serve a record's exact cached bytes, the stats counters, or health."""
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if self.path == "/stats":
+            store = self.server.store
+            self._send_json(200, {"count": len(store), **store.stats.as_dict()})
+            return
+        fingerprint = self._fingerprint_or_404()
+        if fingerprint is None:
+            return
+        blob = self.server.store.read_blob(fingerprint)
+        if blob is None:
+            self._send_json(404, {"error": "miss", "fingerprint": fingerprint})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def do_HEAD(self) -> None:
+        """Existence probe for one fingerprint (no body either way)."""
+        if not self.path.startswith(_RECORD_ROUTE):
+            self.send_response(404)
+            self.end_headers()
+            return
+        token = self.path[len(_RECORD_ROUTE):]
+        exists = _is_fingerprint(token) and self.server.store.read_blob(token) is not None
+        self.send_response(200 if exists else 404)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def do_PUT(self) -> None:
+        """Store the request body under its fingerprint (atomic, first write wins)."""
+        fingerprint = self._fingerprint_or_404()
+        if fingerprint is None:
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        blob = self.rfile.read(length)
+        try:
+            payload = json.loads(blob)
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("payload fingerprint does not match the URL")
+            RunRecord.from_dict(payload["record"])
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": f"malformed record payload: {exc}"})
+            return
+        self.server.store.write_blob(fingerprint, blob)
+        self._send_json(200, {"stored": fingerprint})
+
+    def do_DELETE(self) -> None:
+        """``DELETE /records`` drops every entry (test/maintenance surface)."""
+        if self.path.rstrip("/") != "/records":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        removed = self.server.store.clear()
+        self._send_json(200, {"removed": removed})
+
+
+class CacheServer(ThreadingHTTPServer):
+    """HTTP daemon serving one :class:`RunCache` directory by content hash.
+
+    ``port=0`` binds an ephemeral port (the test default); :attr:`url` reports
+    the bound address.  :meth:`start` runs the accept loop on a daemon thread
+    so the server embeds in the serve front-end and in tests.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, cache_dir: str | Path, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.store = RunCache(cache_dir)
+        super().__init__((host, port), _CacheHandler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should point an :class:`HTTPRunCache` at."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CacheServer":
+        """Serve on a background daemon thread; returns ``self`` for chaining."""
+        self._thread = threading.Thread(target=self.serve_forever, name="cache-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the accept loop down and join the background thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+
+class HTTPRunCache:
+    """Client half of the remote store: ``get``/``put`` over GET/PUT by hash.
+
+    Drop-in for :class:`~repro.execution.cache.RunCache` wherever the engine,
+    workers or the serve front-end accept a cache.  A connection failure on
+    ``get`` counts as a miss (the caller can still train); on ``put`` it
+    raises, because silently dropping a finished record would waste the work.
+    """
+
+    tier_name = "remote"
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.stats = CacheStats()
+
+    def _url(self, fingerprint: str) -> str:
+        return f"{self.base_url}{_RECORD_ROUTE}{fingerprint}"
+
+    def fingerprint(self, config: Any) -> str:
+        """Content hash addressing ``config`` (same hash as every other backend)."""
+        return config_fingerprint(config)
+
+    def get(self, config: Any) -> RunRecord | None:
+        """Fetch the record for ``config`` from the store, or ``None`` on a miss."""
+        request = urllib.request.Request(self._url(config_fingerprint(config)), method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read())
+            record = RunRecord.from_dict(payload["record"])
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            self.stats.misses += 1
+            return None
+        except (urllib.error.URLError, OSError, json.JSONDecodeError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, config: Any, record: RunRecord) -> None:
+        """Upload ``record`` under ``config``'s fingerprint (idempotent server-side)."""
+        fingerprint = config_fingerprint(config)
+        payload = {
+            "fingerprint": fingerprint,
+            "config": fingerprint_payload(config),
+            "record": record.to_dict(),
+        }
+        blob = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            self._url(fingerprint),
+            data=blob,
+            method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            response.read()
+        self.stats.stores += 1
+
+    def __contains__(self, config: Any) -> bool:
+        request = urllib.request.Request(self._url(config_fingerprint(config)), method="HEAD")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status == 200
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            return False
+        except (urllib.error.URLError, OSError):
+            return False
+
+    def __len__(self) -> int:
+        try:
+            with urllib.request.urlopen(f"{self.base_url}/stats", timeout=self.timeout) as response:
+                return int(json.loads(response.read())["count"])
+        except (urllib.error.URLError, OSError, json.JSONDecodeError, KeyError, ValueError):
+            return 0
+
+    def clear(self) -> int:
+        """Drop every entry in the remote store; return how many were removed."""
+        request = urllib.request.Request(f"{self.base_url}/records", method="DELETE")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return int(json.loads(response.read())["removed"])
+
+    def ping(self) -> bool:
+        """Whether the store answers its health check."""
+        try:
+            with urllib.request.urlopen(f"{self.base_url}/healthz", timeout=self.timeout) as response:
+                return response.status == 200
+        except (urllib.error.URLError, OSError):
+            return False
+
+
+class TieredRunCache:
+    """Read-through / write-back composition of caches, nearest tier first.
+
+    ``get`` consults the tiers in order; a hit at tier *i* backfills every
+    nearer tier before returning, so the next lookup is local.  ``put`` writes
+    through to every tier, publishing fresh records fleet-wide while keeping
+    the local copy hot.  The composite exposes its own :class:`CacheStats`;
+    per-tier counters stay on the member caches (the engine reports both).
+    """
+
+    tier_name = "tiered"
+
+    def __init__(self, *tiers: Any) -> None:
+        if not tiers:
+            raise ValueError("TieredRunCache needs at least one tier")
+        from repro.execution.context import resolve_cache_spec
+
+        self.tiers = [resolve_cache_spec(tier) for tier in tiers]
+        self.stats = CacheStats()
+
+    def fingerprint(self, config: Any) -> str:
+        """Content hash addressing ``config`` (shared by every tier)."""
+        return config_fingerprint(config)
+
+    def get(self, config: Any) -> RunRecord | None:
+        """Nearest hit wins; backfill the tiers in front of it (read-through)."""
+        for i, tier in enumerate(self.tiers):
+            record = tier.get(config)
+            if record is not None:
+                for nearer in self.tiers[:i]:
+                    nearer.put(config, record)
+                self.stats.hits += 1
+                return record
+        self.stats.misses += 1
+        return None
+
+    def put(self, config: Any, record: RunRecord) -> None:
+        """Write ``record`` through to every tier."""
+        for tier in self.tiers:
+            tier.put(config, record)
+        self.stats.stores += 1
+
+    def __contains__(self, config: Any) -> bool:
+        return any(config in tier for tier in self.tiers)
+
+    def __len__(self) -> int:
+        return max(len(tier) for tier in self.tiers)
+
+    def clear(self) -> int:
+        """Clear every tier; return the largest per-tier removal count."""
+        return max(tier.clear() for tier in self.tiers)
+
+
+class ShardedRunCache:
+    """Route each fingerprint to one of N backends by content hash.
+
+    The router is stateless and deterministic (``int(fp[:8], 16) % N``), so
+    any client with the same shard list reads and writes the same placement —
+    horizontal scale-out with no coordination.
+    """
+
+    tier_name = "sharded"
+
+    def __init__(self, *shards: Any) -> None:
+        if not shards:
+            raise ValueError("ShardedRunCache needs at least one shard")
+        from repro.execution.context import resolve_cache_spec
+
+        self.shards = [resolve_cache_spec(shard) for shard in shards]
+        self.stats = CacheStats()
+
+    def _shard_for(self, fingerprint: str) -> Any:
+        return self.shards[int(fingerprint[:8], 16) % len(self.shards)]
+
+    def fingerprint(self, config: Any) -> str:
+        """Content hash addressing ``config`` (also the routing key)."""
+        return config_fingerprint(config)
+
+    def get(self, config: Any) -> RunRecord | None:
+        """Look the record up on its owning shard."""
+        record = self._shard_for(config_fingerprint(config)).get(config)
+        if record is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return record
+
+    def put(self, config: Any, record: RunRecord) -> None:
+        """Store the record on its owning shard."""
+        self._shard_for(config_fingerprint(config)).put(config, record)
+        self.stats.stores += 1
+
+    def __contains__(self, config: Any) -> bool:
+        return config in self._shard_for(config_fingerprint(config))
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def clear(self) -> int:
+        """Clear every shard; return the total number of removed entries."""
+        return sum(shard.clear() for shard in self.shards)

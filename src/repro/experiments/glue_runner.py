@@ -11,7 +11,7 @@ every epoch boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -23,6 +23,10 @@ from repro.schedules import build_schedule
 from repro.training.tasks import SequenceTask
 from repro.training.trainer import Trainer
 from repro.utils.records import RunRecord, RunStore
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 
 __all__ = [
     "GlueRunConfig",
@@ -213,18 +217,23 @@ def run_glue_cell(cell: GlueTaskCell) -> RunRecord:
 
 def run_glue_benchmark(
     config: GlueRunConfig,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> GlueResult:
     """Fine-tune on all eight proxy GLUE tasks; return per-task per-epoch scores.
 
-    Tasks are independent cells, so ``max_workers > 1`` fine-tunes them
-    concurrently and ``cache_dir`` makes re-running a schedule free.
+    Tasks are independent cells, so a multi-worker ``context`` fine-tunes them
+    concurrently and its cache makes re-running a schedule free.  The bare
+    ``max_workers=``/``cache_dir=`` kwargs are the deprecated legacy spelling.
     """
-    from repro.execution import ExperimentEngine
+    from repro.execution import ExperimentEngine, context_from_legacy
 
+    context = context_from_legacy(
+        context, "run_glue_benchmark", max_workers=max_workers, cache_dir=cache_dir
+    )
     cells = plan_glue_benchmark(config)
-    engine = ExperimentEngine(cache=cache_dir, max_workers=max_workers, run_fn=run_glue_cell)
+    engine = ExperimentEngine(context=context, run_fn=run_glue_cell)
     store = engine.run(cells)
     per_task = {record.extra["task"]: list(record.extra["scores"]) for record in store}
     return GlueResult(schedule=config.schedule, optimizer=config.optimizer, per_task_scores=per_task)

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.experiments.runner import RunConfig
 from repro.utils.records import RunRecord, RunStore
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 
 __all__ = ["lr_grid", "TuningResult", "tune_learning_rate", "select_best_record"]
 
@@ -78,20 +81,26 @@ def tune_learning_rate(
     num_steps: int = 1,
     factor: float = 3.0,
     candidates: Sequence[float] | None = None,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> TuningResult:
     """Train the cell once per learning-rate candidate and keep the best.
 
     ``candidates`` overrides the automatically generated multiples-of-``factor``
     grid.  Ties resolve via :func:`select_best_record`: non-diverged runs are
     preferred, then the smaller learning rate (more conservative).
-    ``max_workers``/``cache_dir`` are forwarded to the execution engine.
+    ``context`` configures the execution engine the candidates run through;
+    the bare ``max_workers=``/``cache_dir=`` kwargs are the deprecated legacy
+    spelling.
     """
-    from repro.execution import ExperimentEngine, plan_lr_grid
+    from repro.execution import ExperimentEngine, context_from_legacy, plan_lr_grid
 
+    context = context_from_legacy(
+        context, "tune_learning_rate", max_workers=max_workers, cache_dir=cache_dir
+    )
     base_lr = config.resolve_lr()
     grid = list(candidates) if candidates is not None else lr_grid(base_lr, num_steps, factor)
     plan = plan_lr_grid(config, grid)
-    store = ExperimentEngine(cache=cache_dir, max_workers=max_workers).run(plan)
+    store = ExperimentEngine(context=context).run(plan)
     return TuningResult(best_record=select_best_record(store), all_records=store)

@@ -8,11 +8,15 @@ the final evaluation metric as a :class:`~repro.utils.records.RunRecord`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro import nn
+from repro.utils.unset import UNSET
+
+if TYPE_CHECKING:
+    from repro.execution.context import ExecutionContext
 from repro.optim import build_optimizer
 from repro.schedules import WarmupWrapper, build_schedule
 from repro.experiments.settings import ExperimentSetting, get_setting
@@ -60,18 +64,30 @@ def _scaled_max_epochs(setting: ExperimentSetting, epoch_scale: float) -> int:
     return max(1, round(setting.max_epochs * epoch_scale))
 
 
-def run_single(config: RunConfig, plan: bool | None = None) -> RunRecord:
+def run_single(
+    config: RunConfig,
+    plan: bool | None = UNSET,
+    *,
+    context: "ExecutionContext | None" = None,
+) -> RunRecord:
     """Train one cell and return its record.
 
     The warmup protocol follows the paper: settings with ``warmup_epochs > 0``
     (YOLO-VOC) prepend a linear warmup that is *not* counted against the
     budget; the inner schedule still decays over exactly the budgeted steps.
 
-    ``plan`` toggles graph planning (buffer reuse across steps; bitwise
-    identical either way); ``None`` defers to ``REPRO_PLAN``.  It is an
-    execution detail like ``max_workers`` and never enters the cell's cache
-    fingerprint.
+    ``context`` carries the execution options (its ``plan`` field toggles
+    graph planning — buffer reuse across steps, bitwise identical either way,
+    ``None`` defers to ``REPRO_PLAN``; its ``dtype`` field fills in the cell's
+    dtype when the config leaves it unset).  The bare ``plan=`` kwarg is the
+    deprecated legacy spelling.
     """
+    from repro.execution.context import context_from_legacy
+
+    context = context_from_legacy(context, "run_single", plan=plan)
+    plan = context.plan
+    if context.dtype is not None and config.dtype is None:
+        config = dataclasses.replace(config, dtype=context.dtype)
     setting = config.resolve_setting()
     if setting.task == "glue":
         raise ValueError("use repro.experiments.glue_runner for the BERT-GLUE setting")
@@ -160,24 +176,37 @@ def run_budget_sweep(
     epoch_scale: float = 1.0,
     schedule_kwargs: dict | None = None,
     dtype: str | None = None,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
-    batch_seeds: bool = False,
-    plan: bool | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
+    batch_seeds: bool = UNSET,
+    plan: bool | None = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> RunStore:
     """Train one schedule/optimizer across a budget grid and seeds.
 
-    ``max_workers > 1`` fans the cells out to a process pool; ``cache_dir``
-    enables the content-addressed run cache so previously trained cells are
-    loaded instead of retrained; ``batch_seeds`` trains all seeds of a cell in
-    one seed-stacked pass (:mod:`repro.experiments.batched`); ``plan``
-    overrides the graph-planning default (``REPRO_PLAN``).  All leave the
-    returned store record-for-record identical.
+    ``context`` (an :class:`~repro.execution.context.ExecutionContext`) is the
+    one knob for *how* the cells run: workers fan cells out to a process pool,
+    a cache loads previously trained cells instead of retraining, batch_seeds
+    trains all seeds of a cell in one seed-stacked pass
+    (:mod:`repro.experiments.batched`), plan overrides the graph-planning
+    default, and the executor field can route everything through the
+    distributed work queue.  All leave the returned store record-for-record
+    identical.  The bare ``max_workers=``/``cache_dir=``/``batch_seeds=``/
+    ``plan=`` kwargs are the deprecated legacy spelling; ``dtype`` stays a
+    planning argument (it changes the cells), defaulting to the context's.
     """
     # Imported here, not at module top: repro.execution.plan imports RunConfig
     # from this module, so the dependency must stay one-way at import time.
-    from repro.execution import ExperimentEngine, plan_budget_sweep
+    from repro.execution import ExperimentEngine, context_from_legacy, plan_budget_sweep
 
+    context = context_from_legacy(
+        context,
+        "run_budget_sweep",
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        batch_seeds=batch_seeds,
+        plan=plan,
+    )
     cells = plan_budget_sweep(
         setting,
         schedule,
@@ -188,12 +217,9 @@ def run_budget_sweep(
         size_scale=size_scale,
         epoch_scale=epoch_scale,
         schedule_kwargs=schedule_kwargs,
-        dtype=dtype,
+        dtype=dtype if dtype is not None else context.dtype,
     )
-    engine = ExperimentEngine(
-        cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds, plan=plan
-    )
-    return engine.run(cells)
+    return ExperimentEngine(context=context).run(cells)
 
 
 def run_setting_table(
@@ -206,11 +232,12 @@ def run_setting_table(
     size_scale: float = 1.0,
     epoch_scale: float = 1.0,
     dtype: str | None = None,
-    max_workers: int = 1,
-    cache_dir: str | Path | None = None,
+    max_workers: int = UNSET,
+    cache_dir: Any = UNSET,
     seeds: Sequence[int] | None = None,
-    batch_seeds: bool = False,
-    plan: bool | None = None,
+    batch_seeds: bool = UNSET,
+    plan: bool | None = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> RunStore:
     """Reproduce one per-setting table (e.g. Table 4): every schedule x optimizer x budget.
 
@@ -218,14 +245,25 @@ def run_setting_table(
     per-setting seed sequence (``num_seeds``/``base_seed`` are then ignored).
 
     The whole table is planned up front and executed through one
-    :class:`~repro.execution.engine.ExperimentEngine`, so with
-    ``max_workers > 1`` cells from different schedule/optimizer rows train
-    concurrently, with ``cache_dir`` a re-run of the same table performs
-    zero training (every cell is a cache hit), and with ``batch_seeds`` every
-    multi-seed cell trains its seeds in one stacked pass.
+    :class:`~repro.execution.engine.ExperimentEngine` configured by
+    ``context``: with multiple workers cells from different schedule/optimizer
+    rows train concurrently, with a cache a re-run of the same table performs
+    zero training (every cell is a cache hit), with ``batch_seeds`` every
+    multi-seed cell trains its seeds in one stacked pass, and the ``queue``
+    executor distributes cells to external workers.  The bare
+    ``max_workers=``/``cache_dir=``/``batch_seeds=``/``plan=`` kwargs are the
+    deprecated legacy spelling.
     """
-    from repro.execution import ExperimentEngine, plan_setting_table
+    from repro.execution import ExperimentEngine, context_from_legacy, plan_setting_table
 
+    context = context_from_legacy(
+        context,
+        "run_setting_table",
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        batch_seeds=batch_seeds,
+        plan=plan,
+    )
     cells = plan_setting_table(
         setting,
         schedules,
@@ -235,10 +273,7 @@ def run_setting_table(
         base_seed=base_seed,
         size_scale=size_scale,
         epoch_scale=epoch_scale,
-        dtype=dtype,
+        dtype=dtype if dtype is not None else context.dtype,
         seeds=seeds,
     )
-    engine = ExperimentEngine(
-        cache=cache_dir, max_workers=max_workers, batch_seeds=batch_seeds, plan=plan
-    )
-    return engine.run(cells)
+    return ExperimentEngine(context=context).run(cells)

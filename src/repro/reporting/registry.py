@@ -21,10 +21,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.execution.cache import InMemoryRunCache, RunCache
+from repro.execution.cache import InMemoryRunCache, RunCache  # noqa: F401 - re-exported surface
+from repro.execution.context import ExecutionContext, context_from_legacy
 from repro.execution.engine import EngineReport, ExperimentEngine
 from repro.utils.records import RunRecord, RunStore
 from repro.utils.textplot import ascii_table
+from repro.utils.unset import UNSET
 
 __all__ = [
     "ARTIFACTS",
@@ -239,24 +241,34 @@ def run_cell(cell: Any) -> RunRecord:
 def execute_artifact(
     artifact: Artifact,
     scale: Scale,
-    max_workers: int = 1,
-    cache: RunCache | InMemoryRunCache | str | None = None,
-    batch_seeds: bool = False,
-    plan: bool | None = None,
+    max_workers: int = UNSET,
+    cache: Any = UNSET,
+    batch_seeds: bool = UNSET,
+    plan: bool | None = UNSET,
+    context: "ExecutionContext | None" = None,
 ) -> tuple[RunStore, EngineReport]:
     """Plan and execute one artifact's cells; return (records, engine report).
 
-    With a cache every previously trained cell is a hit, so re-running an
-    artifact (or running one that shares cells with an earlier one) retrains
-    nothing.  Records come back in plan order regardless of ``max_workers``.
-    ``batch_seeds`` trains all seeds of each batchable cell in one
-    seed-stacked pass; ``plan`` pins the graph-planning switch (the CLI's
-    ``--no-plan``; ``None`` defers to ``REPRO_PLAN``).  The resulting records
-    — and therefore reports — are byte-identical whatever the combination.
+    ``context`` (an :class:`~repro.execution.context.ExecutionContext`) is the
+    single execution knob.  With a cache every previously trained cell is a
+    hit, so re-running an artifact (or running one that shares cells with an
+    earlier one) retrains nothing.  Records come back in plan order regardless
+    of workers or executor backend.  ``batch_seeds`` trains all seeds of each
+    batchable cell in one seed-stacked pass; ``plan`` pins the graph-planning
+    switch (the CLI's ``--no-plan``; ``None`` defers to ``REPRO_PLAN``).  The
+    resulting records — and therefore reports — are byte-identical whatever
+    the combination.  The bare ``max_workers=``/``cache=``/``batch_seeds=``/
+    ``plan=`` kwargs are the deprecated legacy spelling.
     """
-    engine = ExperimentEngine(
-        cache=cache, max_workers=max_workers, run_fn=run_cell, batch_seeds=batch_seeds, plan=plan
+    context = context_from_legacy(
+        context,
+        "execute_artifact",
+        max_workers=max_workers,
+        cache=cache,
+        batch_seeds=batch_seeds,
+        plan=plan,
     )
+    engine = ExperimentEngine(context=context, run_fn=run_cell)
     store = engine.run(artifact.plan(scale))
     return store, engine.last_report
 

@@ -1,0 +1,34 @@
+"""The ``UNSET`` sentinel: "kwarg not passed", distinct from any real value.
+
+Deprecation shims need to tell *explicitly passed* ``None``/``False`` apart
+from an untouched default (see :func:`repro.execution.context.context_from_legacy`).
+The sentinel lives here — a leaf module with no imports — so the experiment
+runners can use it in their signatures without importing the ``repro.execution``
+package at module load, which would be circular (``repro.execution.plan``
+imports ``RunConfig`` from the runners).
+"""
+
+from typing import Any
+
+__all__ = ["UNSET"]
+
+
+class _Unset:
+    """Singleton type of :data:`UNSET`; falsy and self-describing."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: the not-passed marker for deprecated keyword arguments
+UNSET: Any = _Unset()

@@ -291,7 +291,7 @@ def test_single_seed_cell_delegates_to_run_single():
 # ---------------------------------------------------------------------------
 
 def test_batched_artifact_reports_are_byte_identical():
-    from repro.execution.cache import InMemoryRunCache
+    from repro.execution import ExecutionContext, InMemoryRunCache
     from repro.reporting.registry import execute_artifact, get_artifact, resolve_scale
     from repro.reporting.report import render_json, render_markdown
 
@@ -299,10 +299,12 @@ def test_batched_artifact_reports_are_byte_identical():
     scale = resolve_scale("micro", seeds=(0, 1))
 
     cache_serial = InMemoryRunCache()
-    store_serial, report_serial = execute_artifact(artifact, scale, cache=cache_serial)
+    store_serial, report_serial = execute_artifact(
+        artifact, scale, context=ExecutionContext(cache=cache_serial)
+    )
     cache_batched = InMemoryRunCache()
     store_batched, report_batched = execute_artifact(
-        artifact, scale, cache=cache_batched, batch_seeds=True
+        artifact, scale, context=ExecutionContext(cache=cache_batched, batch_seeds=True)
     )
 
     assert report_batched.batched_cells > 0

@@ -7,6 +7,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 TOOL = REPO_ROOT / "tools" / "bench_compare.py"
 BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_hotpath.json"
@@ -85,5 +87,8 @@ def test_seconds_are_context_not_gated(tmp_path):
 def test_committed_baseline_is_self_consistent():
     """The repo's own artifacts must pass the gate against the committed baseline."""
     assert BASELINE.is_file(), "committed baseline missing"
-    result = _run(BASELINE, REPO_ROOT / "BENCH_hotpath.json")
+    current = REPO_ROOT / "BENCH_hotpath.json"
+    if not current.is_file():
+        pytest.skip("BENCH_hotpath.json not generated (run benchmarks/bench_hotpath.py)")
+    result = _run(BASELINE, current)
     assert result.returncode == 0, result.stdout + result.stderr

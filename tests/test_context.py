@@ -1,0 +1,188 @@
+"""Tests for :class:`ExecutionContext` and the legacy-kwarg compatibility shim.
+
+The API contract under test: every public runner accepts ``context=``, the old
+per-runner execution kwargs still work for one release behind a
+``DeprecationWarning``, mixing the two spellings is a ``TypeError``, and both
+spellings produce record-identical stores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    ExecutionContext,
+    InMemoryRunCache,
+    execute_artifact,
+    get_artifact,
+    resolve_scale,
+    run_budget_sweep,
+    run_setting_table,
+    run_single,
+)
+from repro.execution import HTTPRunCache, RunCache
+from repro.execution.context import context_from_legacy, resolve_cache_spec
+from repro.experiments.grid import tune_learning_rate
+from repro.experiments.runner import RunConfig
+
+TINY = dict(size_scale=0.12, epoch_scale=0.1)
+
+SWEEP = dict(
+    setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budgets=(0.25,), seeds=(0,), **TINY
+)
+
+
+def stores_equal(a, b) -> bool:
+    return [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+
+class TestExecutionContext:
+    def test_defaults(self):
+        context = ExecutionContext()
+        assert context.workers == 1 and context.cache is None
+        assert context.executor == "auto" and context.queue_inline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionContext(retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionContext(executor="carrier-pigeon")
+
+    def test_frozen_with_replace(self):
+        context = ExecutionContext()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            context.workers = 4
+        assert context.replace(workers=4).workers == 4
+        assert context.workers == 1
+
+    def test_resolve_cache_spec(self, tmp_path):
+        assert resolve_cache_spec(None) is None
+        assert isinstance(resolve_cache_spec(tmp_path / "c"), RunCache)
+        assert isinstance(resolve_cache_spec(str(tmp_path / "c")), RunCache)
+        assert isinstance(resolve_cache_spec("http://127.0.0.1:8766"), HTTPRunCache)
+        memo = InMemoryRunCache()
+        assert resolve_cache_spec(memo) is memo
+        with pytest.raises(TypeError):
+            resolve_cache_spec(42)
+
+    def test_resolve_queue(self, tmp_path):
+        from repro.execution import WorkQueue
+
+        assert ExecutionContext().resolve_queue() is None
+        resolved = ExecutionContext(queue=tmp_path / "q.sqlite").resolve_queue()
+        assert isinstance(resolved, WorkQueue)
+        queue = WorkQueue(tmp_path / "q2.sqlite")
+        assert ExecutionContext(queue=queue).resolve_queue() is queue
+
+    def test_from_env_reads_documented_variables(self, tmp_path):
+        environ = {
+            "REPRO_BENCH_WORKERS": "3",
+            "REPRO_BENCH_CACHE_DIR": str(tmp_path / "cache"),
+            "REPRO_PLAN": "0",
+            "REPRO_DTYPE": "float32",
+            "REPRO_EXECUTOR": "serial",
+            "REPRO_QUEUE": str(tmp_path / "q.sqlite"),
+            "REPRO_BATCH_SEEDS": "yes",
+        }
+        context = ExecutionContext.from_env(environ)
+        assert context.workers == 3
+        assert context.cache == str(tmp_path / "cache")
+        assert context.plan is False and context.dtype == "float32"
+        assert context.executor == "serial" and context.batch_seeds
+        assert context.queue == str(tmp_path / "q.sqlite")
+
+    def test_from_env_empty_and_overrides(self):
+        assert ExecutionContext.from_env({}) == ExecutionContext()
+        context = ExecutionContext.from_env({"REPRO_BENCH_WORKERS": "3"}, workers=7)
+        assert context.workers == 7  # explicit override wins
+
+    def test_from_env_accepts_url_cache(self):
+        context = ExecutionContext.from_env({"REPRO_BENCH_CACHE_DIR": "http://127.0.0.1:8766"})
+        assert isinstance(context.resolve_cache(), HTTPRunCache)
+
+
+class TestLegacyShim:
+    def test_context_passthrough(self):
+        context = ExecutionContext(workers=2)
+        assert context_from_legacy(context, "caller") is context
+
+    def test_no_args_builds_default(self):
+        assert context_from_legacy(None, "caller") == ExecutionContext()
+
+    def test_legacy_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="max_workers= .use ExecutionContext.workers."):
+            context = context_from_legacy(None, "caller", max_workers=2)
+        assert context.workers == 2
+
+    def test_both_spellings_raise(self):
+        with pytest.raises(TypeError, match="both context= and legacy"):
+            context_from_legacy(ExecutionContext(), "caller", max_workers=2)
+
+    def test_unknown_legacy_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unexpected legacy kwarg"):
+            context_from_legacy(None, "caller", warp_factor=9)
+
+    def test_runner_equivalence_and_warning(self, tmp_path):
+        """Legacy and context spellings of run_budget_sweep are record-identical."""
+        with pytest.warns(DeprecationWarning, match="run_budget_sweep"):
+            legacy = run_budget_sweep(**SWEEP, cache_dir=tmp_path / "a")
+        modern = run_budget_sweep(**SWEEP, context=ExecutionContext(cache=tmp_path / "b"))
+        assert stores_equal(legacy, modern)
+
+    def test_runner_both_spellings_raise(self, tmp_path):
+        with pytest.raises(TypeError, match="run_budget_sweep.. got both"):
+            run_budget_sweep(**SWEEP, max_workers=1, context=ExecutionContext())
+
+    def test_run_single_applies_context_dtype(self):
+        config = RunConfig(
+            setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.25, **TINY
+        )
+        baseline = run_single(config)
+        via_context = run_single(config, context=ExecutionContext(dtype="float64"))
+        assert via_context.to_dict() == baseline.to_dict()
+
+    def test_setting_table_and_tuner_accept_context(self):
+        context = ExecutionContext(cache=InMemoryRunCache())
+        store = run_setting_table(
+            "RN20-CIFAR10",
+            schedules=("rex",),
+            optimizers=("sgdm",),
+            budgets=(0.25,),
+            context=context,
+            **TINY,
+        )
+        assert len(store) == 1
+        config = RunConfig(
+            setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.25, **TINY
+        )
+        tuning = tune_learning_rate(config, num_steps=1, context=context)
+        assert tuning.best_lr > 0 and len(tuning.all_records) == 3
+
+    def test_execute_artifact_accepts_context_and_legacy(self):
+        artifact = get_artifact("table4")
+        scale = resolve_scale("micro", seeds=(0,))
+        memo = InMemoryRunCache()
+        store, report = execute_artifact(artifact, scale, context=ExecutionContext(cache=memo))
+        with pytest.warns(DeprecationWarning, match="execute_artifact"):
+            store2, report2 = execute_artifact(artifact, scale, cache=memo)
+        assert stores_equal(store, store2)
+        # the warm second pass performs zero training: every cell is a hit
+        assert report2.executed == 0 and report2.cache_hits == report.executed + report.cache_hits
+
+
+class TestStableAPI:
+    def test_api_module_surface(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_engine_accepts_context(self):
+        from repro.execution import ExperimentEngine
+
+        engine = ExperimentEngine(context=ExecutionContext(workers=2, retries=3))
+        assert engine.max_workers == 2 and engine.retries == 3

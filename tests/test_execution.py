@@ -8,6 +8,7 @@ import os
 import pytest
 
 from repro.execution import (
+    ExecutionContext,
     ExperimentEngine,
     RunCache,
     config_fingerprint,
@@ -184,13 +185,17 @@ class TestEngine:
             schedules=("rex", "linear"), optimizers=("sgdm",), budgets=(0.25,), **TINY
         )
         serial = run_setting_table("RN20-CIFAR10", **kwargs)
-        parallel = run_setting_table("RN20-CIFAR10", **kwargs, max_workers=2)
+        parallel = run_setting_table(
+            "RN20-CIFAR10", **kwargs, context=ExecutionContext(workers=2)
+        )
         assert stores_equal(serial, parallel)
 
     def test_second_invocation_is_pure_cache(self, tmp_path, monkeypatch):
         """Same cache_dir twice: second table performs zero training runs."""
         kwargs = dict(schedules=("rex", "linear"), optimizers=("sgdm",), budgets=(0.25,), **TINY)
-        first = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        first = run_setting_table(
+            "RN20-CIFAR10", **kwargs, context=ExecutionContext(cache=tmp_path)
+        )
         assert len(list(tmp_path.glob("*.json"))) == len(first)
 
         def bomb(config):
@@ -199,14 +204,17 @@ class TestEngine:
         # The engine resolves its default run function at run() time, so
         # patching run_single proves no cell was retrained.
         monkeypatch.setattr("repro.experiments.runner.run_single", bomb)
-        second = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        second = run_setting_table(
+            "RN20-CIFAR10", **kwargs, context=ExecutionContext(cache=tmp_path)
+        )
         assert stores_equal(first, second)
 
     def test_cached_equals_uncached(self, tmp_path):
         kwargs = dict(schedules=("rex",), optimizers=("sgdm",), budgets=(0.25,), **TINY)
         plain = run_setting_table("RN20-CIFAR10", **kwargs)
-        cached = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
-        reloaded = run_setting_table("RN20-CIFAR10", **kwargs, cache_dir=tmp_path)
+        context = ExecutionContext(cache=tmp_path)
+        cached = run_setting_table("RN20-CIFAR10", **kwargs, context=context)
+        reloaded = run_setting_table("RN20-CIFAR10", **kwargs, context=context)
         assert stores_equal(plain, cached)
         assert stores_equal(plain, reloaded)
 
@@ -365,8 +373,9 @@ class TestTieBreaking:
 
     def test_tune_learning_rate_through_engine(self, tmp_path):
         config = tiny_config()
-        first = tune_learning_rate(config, candidates=[0.03, 0.1], cache_dir=tmp_path)
-        again = tune_learning_rate(config, candidates=[0.03, 0.1], cache_dir=tmp_path)
+        context = ExecutionContext(cache=tmp_path)
+        first = tune_learning_rate(config, candidates=[0.03, 0.1], context=context)
+        again = tune_learning_rate(config, candidates=[0.03, 0.1], context=context)
         assert len(first.all_records) == 2
         assert first.best_lr == again.best_lr
         assert stores_equal(first.all_records, again.all_records)
@@ -532,5 +541,6 @@ class TestSeedBatchedEngine:
             **TINY,
         )
         assert stores_equal(
-            run_setting_table(**kwargs), run_setting_table(batch_seeds=True, **kwargs)
+            run_setting_table(**kwargs),
+            run_setting_table(context=ExecutionContext(batch_seeds=True), **kwargs),
         )

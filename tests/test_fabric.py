@@ -1,0 +1,430 @@
+"""Tests for the distributed experiment fabric: work queue, remote/tiered caches.
+
+Covers the queue lifecycle contract (lease, heartbeat, visibility-timeout
+re-lease, bounded retry, dead-lettering), byte-identical re-execution after a
+lease expiry, the HTTP cache server/client round trip, tiered
+read-through/write-back, shard routing, and the queue executor backend of the
+engine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.execution import (
+    CacheServer,
+    ExperimentEngine,
+    HTTPRunCache,
+    InMemoryRunCache,
+    QueueWorker,
+    RunCache,
+    ShardedRunCache,
+    TieredRunCache,
+    WorkQueue,
+    config_fingerprint,
+)
+from repro.experiments.runner import RunConfig, run_single
+from repro.utils.records import RunRecord
+
+TINY = dict(size_scale=0.12, epoch_scale=0.1)
+
+
+def tiny_config(**overrides) -> RunConfig:
+    base = dict(
+        setting="RN20-CIFAR10", schedule="rex", optimizer="sgdm", budget_fraction=0.25, **TINY
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def make_record(**overrides) -> RunRecord:
+    base = dict(
+        setting="RN20-CIFAR10",
+        optimizer="sgdm",
+        schedule="rex",
+        budget_fraction=0.25,
+        learning_rate=0.1,
+        seed=0,
+        metric=10.0,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class FakeClock:
+    """Deterministic wall clock so lease expiry needs no real sleeping."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWorkQueue:
+    def test_submit_lease_complete_lifecycle(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config())
+        assert queue.state(job_id) == "pending"
+        leased = queue.lease("w1")
+        assert leased is not None and leased.id == job_id and leased.attempts == 1
+        assert leased.config == tiny_config()
+        assert queue.state(job_id) == "leased"
+        assert queue.complete(job_id, "w1")
+        assert queue.state(job_id) == "done"
+        assert queue.counts()["done"] == 1
+
+    def test_submit_is_single_flight_by_fingerprint(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        first = queue.submit(tiny_config())
+        second = queue.submit(tiny_config())
+        assert first == second and len(queue) == 1
+        # a different cell is a different job
+        assert queue.submit(tiny_config(seed=1)) != first
+        assert len(queue) == 2
+
+    def test_submit_resets_finished_jobs(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config())
+        queue.lease("w1")
+        queue.complete(job_id, "w1")
+        assert queue.state(job_id) == "done"
+        # a fresh request is a fresh intent to run (e.g. cache cleared)
+        assert queue.submit(tiny_config()) == job_id
+        assert queue.state(job_id) == "pending"
+
+    def test_lease_is_exclusive(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        queue.submit(tiny_config())
+        assert queue.lease("w1") is not None
+        assert queue.lease("w2") is None
+
+    def test_complete_guards_ownership(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config())
+        queue.lease("w1")
+        assert not queue.complete(job_id, "imposter")
+        assert queue.state(job_id) == "leased"
+
+    def test_heartbeat_extends_and_expiry_requeues(self, tmp_path):
+        clock = FakeClock()
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=30.0, clock=clock)
+        job_id = queue.submit(tiny_config(), max_attempts=3)
+        queue.lease("w1")
+        clock.advance(20.0)
+        assert queue.heartbeat(job_id, "w1")  # renewed: deadline is now +30
+        clock.advance(20.0)
+        assert queue.requeue_expired() == 0  # still within the renewed lease
+        clock.advance(31.0)
+        assert queue.requeue_expired() == 1
+        assert queue.state(job_id) == "pending"
+        assert not queue.heartbeat(job_id, "w1")  # the old lease is gone
+
+    def test_expiry_with_spent_attempts_dead_letters(self, tmp_path):
+        clock = FakeClock()
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=10.0, clock=clock)
+        job_id = queue.submit(tiny_config(), max_attempts=1)
+        queue.lease("w1")
+        clock.advance(11.0)
+        queue.requeue_expired()
+        assert queue.state(job_id) == "dead"
+        (letter,) = queue.dead_letters()
+        assert letter["last_error"] == "lease expired"
+
+    def test_fail_retries_then_dead_letters(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config(), max_attempts=2)
+        queue.lease("w1")
+        assert queue.fail(job_id, "w1", "boom 1") == "pending"
+        queue.lease("w2")
+        assert queue.fail(job_id, "w2", "boom 2") == "dead"
+        (letter,) = queue.dead_letters()
+        assert letter["last_error"] == "boom 2" and letter["attempts"] == 2
+
+    def test_persistence_across_instances(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        WorkQueue(path).submit(tiny_config())
+        reopened = WorkQueue(path)
+        assert len(reopened) == 1 and reopened.counts()["pending"] == 1
+
+
+class TestQueueWorker:
+    def test_worker_drains_queue_and_publishes_records(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = RunCache(tmp_path / "cache")
+        configs = [tiny_config(seed=seed) for seed in (0, 1)]
+        for config in configs:
+            queue.submit(config)
+        worker = QueueWorker(queue, cache, run_fn=run_single, visibility_timeout=60.0)
+        processed = worker.run_forever(idle_exit=0.01)
+        assert processed == 2 and worker.completed == 2
+        assert queue.counts()["done"] == 2
+        for config in configs:
+            assert cache.get(config) is not None
+
+    def test_worker_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            QueueWorker(WorkQueue(tmp_path / "q.sqlite"), cache=None)
+
+    def test_failing_cell_is_dead_lettered_not_poisonous(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = InMemoryRunCache()
+        queue.submit(tiny_config(), max_attempts=2)
+
+        def explode(config):
+            raise RuntimeError("training diverged hard")
+
+        worker = QueueWorker(queue, cache, run_fn=explode, visibility_timeout=60.0)
+        processed = worker.run_forever(idle_exit=0.01)
+        assert processed == 2 and worker.failed == 2  # two attempts, then dead
+        assert queue.counts()["dead"] == 1
+        assert "diverged" in queue.dead_letters()[0]["last_error"]
+
+    def test_lease_expiry_rerun_writes_identical_bytes(self, tmp_path):
+        """A re-leased job re-trains and publishes byte-identical records."""
+        clock = FakeClock()
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=10.0, clock=clock)
+        cache = RunCache(tmp_path / "cache")
+        config = tiny_config()
+        job_id = queue.submit(config, max_attempts=2)
+
+        # worker 1 trains the cell and publishes, but crashes before complete()
+        first = queue.lease("w1")
+        record = run_single(first.config)
+        cache.put(first.config, record)
+        first_bytes = cache.read_blob(config_fingerprint(config))
+        clock.advance(11.0)
+        assert queue.requeue_expired() == 1
+
+        # worker 2 re-leases and re-runs the whole job; determinism + the
+        # cache's first-write-wins makes the double execution harmless
+        second = queue.lease("w2")
+        assert second is not None and second.attempts == 2
+        rerun = run_single(second.config)
+        assert rerun.to_dict() == record.to_dict()
+        cache.put(second.config, rerun)
+        queue.complete(job_id, "w2")
+        assert cache.read_blob(config_fingerprint(config)) == first_bytes
+        assert len(cache) == 1 and queue.state(job_id) == "done"
+
+
+@pytest.fixture()
+def cache_server(tmp_path):
+    server = CacheServer(tmp_path / "remote-store").start()
+    yield server
+    server.stop()
+
+
+class TestRemoteCache:
+    def test_http_round_trip(self, cache_server):
+        client = HTTPRunCache(cache_server.url)
+        config, record = tiny_config(), make_record()
+        assert client.ping()
+        assert client.get(config) is None and config not in client
+        client.put(config, record)
+        assert client.get(config) == record
+        assert config in client and len(client) == 1
+        assert client.stats.hits == 1 and client.stats.misses == 1
+
+    def test_served_bytes_identical_to_local_layout(self, cache_server, tmp_path):
+        """A served store and a local directory are file-identical per entry."""
+        client = HTTPRunCache(cache_server.url)
+        local = RunCache(tmp_path / "local-store")
+        config, record = tiny_config(), make_record()
+        client.put(config, record)
+        local.put(config, record)
+        fingerprint = config_fingerprint(config)
+        assert cache_server.store.read_blob(fingerprint) == local.read_blob(fingerprint)
+
+    def test_unreachable_store_is_a_miss_on_get(self):
+        client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+        assert client.get(tiny_config()) is None
+        assert not client.ping()
+
+    def test_unreachable_store_raises_on_put(self):
+        client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+        with pytest.raises(OSError):
+            client.put(tiny_config(), make_record())
+
+    def test_malformed_put_rejected(self, cache_server):
+        import urllib.error
+        import urllib.request
+
+        url = f"{cache_server.url}/records/{'0' * 64}"
+        request = urllib.request.Request(url, data=b"not json", method="PUT")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+        assert len(cache_server.store) == 0
+
+    def test_clear(self, cache_server):
+        client = HTTPRunCache(cache_server.url)
+        client.put(tiny_config(), make_record())
+        assert client.clear() == 1
+        assert len(client) == 0
+
+
+class TestTieredCache:
+    def test_read_through_backfills_nearer_tiers(self, tmp_path):
+        near, far = InMemoryRunCache(), RunCache(tmp_path / "far")
+        tiered = TieredRunCache(near, far)
+        config, record = tiny_config(), make_record()
+        far.put(config, record)
+        assert len(near) == 0
+        assert tiered.get(config) == record  # hit at the far tier...
+        assert len(near) == 1  # ...backfilled the near one
+        assert near.get(config) == record
+        assert tiered.stats.hits == 1
+
+    def test_write_back_writes_through_all_tiers(self, tmp_path):
+        near, far = InMemoryRunCache(), RunCache(tmp_path / "far")
+        tiered = TieredRunCache(near, far)
+        config, record = tiny_config(), make_record()
+        tiered.put(config, record)
+        assert near.get(config) == record and far.get(config) == record
+        assert config in tiered and len(tiered) == 1
+
+    def test_remote_tier_round_trip(self, cache_server, tmp_path):
+        """local-in-front-of-remote: the canonical fleet topology."""
+        tiered = TieredRunCache(tmp_path / "near", cache_server.url)
+        config, record = tiny_config(), make_record()
+        tiered.put(config, record)
+        # a second, cold client sees the record through the remote tier and
+        # ends up with a warmed local copy
+        other = TieredRunCache(tmp_path / "other-near", cache_server.url)
+        assert other.get(config) == record
+        assert RunCache(tmp_path / "other-near").get(config) == record
+
+    def test_miss_everywhere(self, tmp_path):
+        tiered = TieredRunCache(InMemoryRunCache(), tmp_path / "far")
+        assert tiered.get(tiny_config()) is None
+        assert tiered.stats.misses == 1
+
+    def test_needs_at_least_one_tier(self):
+        with pytest.raises(ValueError):
+            TieredRunCache()
+
+
+class TestShardedCache:
+    def test_routing_is_deterministic_and_disjoint(self, tmp_path):
+        shards = [InMemoryRunCache() for _ in range(3)]
+        sharded = ShardedRunCache(*shards)
+        configs = [tiny_config(seed=seed) for seed in range(12)]
+        for config in configs:
+            sharded.put(config, make_record(seed=config.seed))
+        assert len(sharded) == len(configs)
+        assert sum(len(s) for s in shards) == len(configs)
+        for config in configs:
+            assert sharded.get(config).seed == config.seed
+            owner = int(config_fingerprint(config)[:8], 16) % 3
+            assert shards[owner].get(config) is not None
+
+    def test_any_client_with_same_shard_list_agrees(self, tmp_path):
+        dirs = [tmp_path / f"shard{i}" for i in range(2)]
+        writer = ShardedRunCache(*dirs)
+        reader = ShardedRunCache(*dirs)
+        config, record = tiny_config(), make_record()
+        writer.put(config, record)
+        assert reader.get(config) == record and config in reader
+
+
+class TestQueueExecutor:
+    def test_inline_queue_backend_matches_serial(self, tmp_path):
+        configs = [tiny_config(seed=seed) for seed in (0, 1)]
+        serial = ExperimentEngine().run(configs)
+        engine = ExperimentEngine(
+            cache=tmp_path / "cache", executor="queue", queue=tmp_path / "q.sqlite"
+        )
+        distributed = engine.run(configs)
+        assert [r.to_dict() for r in distributed] == [r.to_dict() for r in serial]
+        assert engine.last_report.executor == "queue"
+        assert engine.last_report.executed == 2
+
+    def test_external_worker_backend(self, tmp_path):
+        """queue_inline=False: training happens only in the worker thread."""
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = RunCache(tmp_path / "cache")
+        engine = ExperimentEngine(
+            cache=cache, executor="queue", queue=queue, queue_inline=False, poll_interval=0.01
+        )
+        worker = QueueWorker(queue, cache, run_fn=run_single, visibility_timeout=60.0)
+        thread = threading.Thread(target=worker.run_forever, kwargs={"idle_exit": 1.0})
+        thread.start()
+        try:
+            configs = [tiny_config(seed=seed) for seed in (0, 1)]
+            store = engine.run(configs)
+        finally:
+            thread.join()
+        assert len(store) == 2
+        report = engine.last_report
+        assert report.remote == 2 and report.executed == 0
+        assert worker.completed == 2
+        assert [r.to_dict() for r in store] == [
+            r.to_dict() for r in ExperimentEngine().run(configs)
+        ]
+
+    def test_queue_executor_requires_queue_and_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="queue"):
+            ExperimentEngine(cache=tmp_path, executor="queue")
+        with pytest.raises(ValueError, match="cache"):
+            ExperimentEngine(executor="queue", queue=tmp_path / "q.sqlite")
+
+    def test_dead_letter_propagates_as_failure(self, tmp_path):
+        def explode(config):
+            raise RuntimeError("bad cell")
+
+        engine = ExperimentEngine(
+            cache=tmp_path / "cache",
+            executor="queue",
+            queue=tmp_path / "q.sqlite",
+            retries=0,
+            run_fn=explode,
+        )
+        with pytest.raises(RuntimeError):
+            engine.run([tiny_config()])
+        assert engine.last_report.failures
+
+    def test_report_carries_cache_tier_deltas(self, tmp_path):
+        near, far = InMemoryRunCache(), RunCache(tmp_path / "far")
+        engine = ExperimentEngine(cache=TieredRunCache(near, far))
+        config = tiny_config()
+        engine.run([config])
+        first = engine.last_report
+        assert first.executor == "serial"
+        assert first.cache_tiers["tiered"]["misses"] == 1
+        assert first.cache_tiers["memory"]["stores"] == 1
+        assert first.cache_tiers["local"]["stores"] == 1
+        engine.run([config])
+        second = engine.last_report
+        assert second.executor == "cache"  # nothing executed at all
+        assert second.cache_tiers["tiered"]["hits"] == 1
+
+
+class TestSingleFlight:
+    def test_claim_partitions_keys(self):
+        from repro.execution import SingleFlight
+
+        flight = SingleFlight()
+        mine, theirs = flight.claim(["a", "b"])
+        assert mine == ["a", "b"] and not theirs
+        mine2, theirs2 = flight.claim(["b", "c"])
+        assert mine2 == ["c"] and set(theirs2) == {"b"}
+        assert flight.in_flight() == 3
+
+    def test_release_wakes_waiters(self):
+        from repro.execution import SingleFlight
+
+        flight = SingleFlight()
+        flight.claim(["a"])
+        _, theirs = flight.claim(["a"])
+        woke = []
+        waiter = threading.Thread(target=lambda: woke.append(flight.wait(theirs, timeout=5.0)))
+        waiter.start()
+        flight.release(["a"])
+        waiter.join(timeout=5.0)
+        assert woke == [True] and flight.in_flight() == 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.execution import config_fingerprint
+from repro.execution import ExecutionContext, config_fingerprint
 from repro.reporting import (
     ARTIFACTS,
     PAPER_REFERENCE,
@@ -126,9 +126,12 @@ class TestReportDeterminism:
         """The acceptance contract: the rendered report must not depend on how
         the cells were executed."""
         serial_store, serial_report = execute_artifact(micro_artifact, MICRO)
-        parallel_store, parallel_report = execute_artifact(micro_artifact, MICRO, max_workers=2)
-        warm_store, warm_report = execute_artifact(micro_artifact, MICRO, cache=tmp_path)
-        cached_store, cached_report = execute_artifact(micro_artifact, MICRO, cache=tmp_path)
+        parallel_store, parallel_report = execute_artifact(
+            micro_artifact, MICRO, context=ExecutionContext(workers=2)
+        )
+        context = ExecutionContext(cache=tmp_path)
+        warm_store, warm_report = execute_artifact(micro_artifact, MICRO, context=context)
+        cached_store, cached_report = execute_artifact(micro_artifact, MICRO, context=context)
 
         assert serial_report.executed == 2 and parallel_report.executed == 2
         assert warm_report.executed == 2
