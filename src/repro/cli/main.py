@@ -153,6 +153,18 @@ def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> N
                 "escape hatch (default: on, or the REPRO_PLAN environment switch)"
             ),
         )
+        parser.add_argument(
+            "--plan-passes",
+            default=None,
+            metavar="PASSES",
+            help=(
+                "plan compiler passes: a comma-separated subset of "
+                "alias,fuse,dce,parallel, or 'none'/'all'.  Every combination "
+                "is bitwise identical to --no-plan; passes only change "
+                "allocation and wall-clock behaviour (default: the "
+                "REPRO_PLAN_PASSES environment switch, i.e. alias,fuse,dce)"
+            ),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--batch-seeds", action=argparse.BooleanOptionalAction, default=False)
     p_serve.add_argument("--plan", action=argparse.BooleanOptionalAction, default=None)
+    p_serve.add_argument("--plan-passes", default=None, metavar="PASSES")
 
     p_worker = sub.add_parser(
         "worker", help="lease cells from a work queue, train them, publish to the cache"
@@ -315,12 +328,16 @@ def _context_from(args: argparse.Namespace) -> "ExecutionContext":
     """Fold the execution flags of one parsed command line into a context."""
     from repro.execution import ExecutionContext
 
-    return ExecutionContext(
-        workers=getattr(args, "workers", 1),
-        cache=getattr(args, "cache_dir", "") or None,
-        batch_seeds=getattr(args, "batch_seeds", False),
-        plan=getattr(args, "plan", None),
-    )
+    try:
+        return ExecutionContext(
+            workers=getattr(args, "workers", 1),
+            cache=getattr(args, "cache_dir", "") or None,
+            batch_seeds=getattr(args, "batch_seeds", False),
+            plan=getattr(args, "plan", None),
+            plan_passes=getattr(args, "plan_passes", None),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
 
 
 def _print_cache_line(cache: object) -> None:
@@ -422,15 +439,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if not args.cache_dir:
         raise CLIError("serve requires a cache (--cache-dir DIR or http(s):// URL)")
-    context = ExecutionContext(
-        workers=args.workers,
-        cache=args.cache_dir,
-        batch_seeds=args.batch_seeds,
-        plan=args.plan,
-        executor="queue" if args.queue else "auto",
-        queue=args.queue,
-        queue_inline=args.inline,
-    )
+    try:
+        context = ExecutionContext(
+            workers=args.workers,
+            cache=args.cache_dir,
+            batch_seeds=args.batch_seeds,
+            plan=args.plan,
+            plan_passes=args.plan_passes,
+            executor="queue" if args.queue else "auto",
+            queue=args.queue,
+            queue_inline=args.inline,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
     serve_forever(context, host=args.host, port=args.port)
     return 0
 

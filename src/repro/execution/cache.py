@@ -98,10 +98,19 @@ class CacheStats:
     stores: int = 0
     #: ``put`` calls skipped because an identical entry already existed
     skips: int = 0
+    #: lookups that failed for a reason other than absence (e.g. an HTTP 5xx
+    #: from a remote store) — a broken backend, not a cold cache
+    errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for logging / JSON serialisation)."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores, "skips": self.skips}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "skips": self.skips,
+            "errors": self.errors,
+        }
 
 
 class RunCache:

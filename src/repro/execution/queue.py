@@ -232,14 +232,17 @@ class WorkQueue:
         """Reclaim every lease past its deadline; return how many jobs moved.
 
         A job whose attempts are spent dead-letters instead of re-queueing —
-        the lease expiry *was* its last failure.
+        the lease expiry *was* its last failure, so the expiry event is
+        appended to ``last_error`` (``NULL || x`` is ``NULL`` in sqlite, so the
+        ``COALESCE`` falls through to the bare event on a first failure) rather
+        than being masked by a stale earlier error.
         """
         now = self.clock()
         with self._connect() as conn:
             cur = conn.execute(
                 "UPDATE jobs SET"
                 " state = CASE WHEN attempts >= max_attempts THEN 'dead' ELSE 'pending' END,"
-                " last_error = COALESCE(last_error, 'lease expired'),"
+                " last_error = COALESCE(last_error || '; lease expired', 'lease expired'),"
                 " lease_owner=NULL, lease_deadline=NULL"
                 " WHERE state='leased' AND lease_deadline < ?",
                 (now,),
@@ -367,8 +370,15 @@ class QueueWorker:
         beater.join()
         # Publish before completing: a crash between the two leaves a done
         # record with a re-queued job, and the re-run's first-write-wins cache
-        # put is a no-op on identical bytes.
-        self.cache.put(job.config, record)
+        # put is a no-op on identical bytes.  A publish failure (cache server
+        # down) fails the *job* — retried under its attempt budget — instead
+        # of crashing the worker loop with a dangling lease.
+        try:
+            self.cache.put(job.config, record)
+        except Exception as exc:
+            self.failed += 1
+            self.queue.fail(job.id, self.owner, f"publish failed: {exc!r}")
+            return True
         self.queue.complete(job.id, self.owner)
         self.completed += 1
         return True
@@ -433,11 +443,20 @@ class SingleFlight:
                     event.set()
 
     def wait(self, events: dict[str, threading.Event], timeout: float | None = None) -> bool:
-        """Wait for every event; ``False`` if any timed out."""
-        ok = True
+        """Wait for every event; ``False`` as soon as the deadline is exhausted.
+
+        ``timeout`` is a single *total* deadline across all events, not a
+        per-event allowance: a request waiting on N in-flight fingerprints
+        blocks at most ``timeout`` seconds, however many of its holders stall.
+        """
+        if timeout is None:
+            return all(event.wait() for event in events.values())
+        deadline = time.monotonic() + timeout
         for event in events.values():
-            ok = event.wait(timeout) and ok
-        return ok
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not event.wait(remaining):
+                return False
+        return True
 
     def in_flight(self) -> int:
         """How many fingerprints are currently claimed."""

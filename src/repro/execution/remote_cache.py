@@ -194,15 +194,27 @@ class HTTPRunCache:
         return config_fingerprint(config)
 
     def get(self, config: Any) -> RunRecord | None:
-        """Fetch the record for ``config`` from the store, or ``None`` on a miss."""
+        """Fetch the record for ``config`` from the store, or ``None`` on a miss.
+
+        Only a 404 is a *miss* (the entry genuinely is not there); any other
+        HTTP status — a 5xx from a broken backend, a 403 from a misconfigured
+        proxy — counts in :attr:`CacheStats.errors` instead, so a down cache
+        server shows up in ``EngineReport.cache_tiers`` rather than
+        masquerading as a cold cache.  Either way the caller gets ``None`` and
+        can still train.
+        """
         request = urllib.request.Request(self._url(config_fingerprint(config)), method="GET")
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read())
             record = RunRecord.from_dict(payload["record"])
         except urllib.error.HTTPError as exc:
+            status = exc.code
             exc.close()
-            self.stats.misses += 1
+            if status == 404:
+                self.stats.misses += 1
+            else:
+                self.stats.errors += 1
             return None
         except (urllib.error.URLError, OSError, json.JSONDecodeError, KeyError, TypeError):
             self.stats.misses += 1

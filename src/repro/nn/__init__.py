@@ -12,7 +12,7 @@ from repro.nn.dtype import (
     resolve_dtype,
     set_default_dtype,
 )
-from repro.nn.plan import GraphPlan, plan_enabled_default
+from repro.nn.plan import GraphPlan, parse_passes, plan_enabled_default, plan_passes_default
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack, where
 from repro.nn import functional
 from repro.nn import init
@@ -52,8 +52,10 @@ __all__ = [
     "resolve_dtype",
     "set_default_dtype",
     "GraphPlan",
+    "parse_passes",
     "plan",
     "plan_enabled_default",
+    "plan_passes_default",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

@@ -99,6 +99,7 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
             bias._accumulate(g)
 
     out._backward = _backward
+    _plan.tag(out, "linear")
     return out
 
 
@@ -306,6 +307,7 @@ def _conv2d_batched(
             x._accumulate(grad_x, own=True)
 
     out._backward = _backward
+    _plan.tag(out, "conv2d_batched")
     return out
 
 
@@ -372,6 +374,7 @@ def conv2d(
             x._accumulate(grad_x, own=True)
 
     out._backward = _backward
+    _plan.tag(out, "conv2d")
     return out
 
 
@@ -426,6 +429,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         x._accumulate(folded.reshape(x.shape), own=True)
 
     out._backward = _backward
+    _plan.tag(out, "max_pool2d")
     return out
 
 
@@ -462,6 +466,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         x._accumulate(folded.reshape(x.shape), own=True)
 
     out._backward = _backward
+    _plan.tag(out, "avg_pool2d")
     return out
 
 
@@ -514,6 +519,7 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
             weight._accumulate(grad, own=True)
 
         out._backward = _backward_batched
+        _plan.tag(out, "embedding")
         return out
 
     vocab, dim = weight.shape
@@ -536,6 +542,7 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
         weight._accumulate(grad, own=True)
 
     out._backward = _backward
+    _plan.tag(out, "embedding")
     return out
 
 
@@ -596,4 +603,5 @@ def dropout(
             x._accumulate(grad, own=True)
 
     out._backward = _backward
+    _plan.tag(out, "dropout")
     return out

@@ -44,6 +44,25 @@ allocating semantics.  A later step whose signature matches again resumes
 reuse.  Divergence is counted in :attr:`GraphPlan.diverged_steps` so tests
 and benchmarks can assert the fallback engaged.
 
+Compiler passes
+---------------
+The captured tape is an IR, and after the capture step the plan runs a small
+compiler over it (see :mod:`repro.nn.plan_passes`): buffer-lifetime analysis
+remaps arena positions with disjoint live ranges onto shared storage
+(``alias``), single-consumer elementwise chains collapse into fused backward
+kernels (``fuse``), closures that provably no-op are dropped from the
+backward schedule (``dce``), and — opt-in — independent backward nodes
+dispatch across a shared thread pool (``parallel``).  Every pass preserves
+the planned-vs-unplanned bitwise-equality contract; the pass list is
+configurable per plan (``GraphPlan(passes=...)``), per trainer
+(``plan_passes=``) and ambiently (``REPRO_PLAN_PASSES``).
+
+Under the ``alias`` pass an intermediate activation's buffer may be
+overwritten *within* a step once its captured last use has passed; only the
+backward root's forward buffers (the loss a trainer reads after the step
+scope) and leaf gradients (parameter/input ``.grad``, read by optimizers and
+tests after backward) are pinned to stable storage.
+
 Planned stepping is **per-thread-sequential**: a plan must not be active on
 two threads at once.  The experiment engine parallelises with *processes*, so
 every worker owns its plans outright; the step scope save/restores the
@@ -54,14 +73,25 @@ safe.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Sequence
+import threading
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+
+from repro.nn import plan_passes as _passes_mod
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tensor imports plan)
     from repro.nn.tensor import Tensor
 
-__all__ = ["GraphPlan", "get_active", "plan_enabled_default"]
+__all__ = [
+    "DEFAULT_PASSES",
+    "GraphPlan",
+    "KNOWN_PASSES",
+    "get_active",
+    "parse_passes",
+    "plan_enabled_default",
+    "plan_passes_default",
+]
 
 
 #: The plan whose arena the kernels currently draw from (``None`` almost
@@ -90,6 +120,13 @@ def get_active() -> "GraphPlan | None":
     return ACTIVE
 
 
+def tag(tensor: "Tensor", kind: str, meta: object = None) -> None:
+    """Tag an op's output node for the active plan's compiler (no-op otherwise)."""
+    plan = ACTIVE
+    if plan is not None:
+        plan.tag_op(tensor, kind, meta)
+
+
 def plan_enabled_default() -> bool:
     """Whether graph planning is on by default (the ``REPRO_PLAN`` switch).
 
@@ -98,6 +135,61 @@ def plan_enabled_default() -> bool:
     when their ``plan=`` argument is ``None``.
     """
     return os.environ.get("REPRO_PLAN", "1").strip().lower() not in _FALSY
+
+
+#: passes run by default after the capture step — each preserves bitwise
+#: equality with unplanned execution, so they are on unless disabled
+DEFAULT_PASSES: tuple[str, ...] = ("alias", "fuse", "dce")
+
+#: every pass the compiler knows; ``parallel`` is opt-in (it keeps bitwise
+#: determinism but trades single-thread latency for concurrency, which only
+#: pays off on wide graphs)
+KNOWN_PASSES: tuple[str, ...] = ("alias", "fuse", "dce", "parallel")
+
+
+def parse_passes(spec: "str | Iterable[str] | None") -> tuple[str, ...]:
+    """Normalise a pass specification to a validated tuple of pass names.
+
+    Accepts ``None`` (the defaults), a comma-separated string (``"alias,fuse"``,
+    with ``"none"``/``"off"``/``""`` meaning no passes, ``"default"`` the
+    default set, and ``"all"`` every known pass), or any iterable of names.
+    Unknown names raise ``ValueError`` — a typo must not silently disable an
+    optimisation.
+    """
+    if spec is None:
+        return DEFAULT_PASSES
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in {"", "none", "off"}:
+            return ()
+        if text == "default":
+            return DEFAULT_PASSES
+        if text == "all":
+            return KNOWN_PASSES
+        names = [part.strip() for part in text.split(",") if part.strip()]
+    else:
+        names = [str(part).strip().lower() for part in spec]
+    seen: list[str] = []
+    for name in names:
+        if name not in KNOWN_PASSES:
+            known = ", ".join(KNOWN_PASSES)
+            raise ValueError(
+                f"unknown plan pass {name!r}; known passes: {known} (or 'none'/'default'/'all')"
+            )
+        if name not in seen:
+            seen.append(name)
+    return tuple(seen)
+
+
+def plan_passes_default() -> tuple[str, ...]:
+    """The ambient pass list (the ``REPRO_PLAN_PASSES`` switch).
+
+    Unset means :data:`DEFAULT_PASSES`; any spelling accepted by
+    :func:`parse_passes` works, e.g. ``REPRO_PLAN_PASSES=none`` to run plain
+    PR-5 style capture/replay or ``REPRO_PLAN_PASSES=all`` to add parallel
+    dispatch.  Plans created with ``passes=None`` consult this.
+    """
+    return parse_passes(os.environ.get("REPRO_PLAN_PASSES"))
 
 
 class _PlanStep:
@@ -142,15 +234,37 @@ class GraphPlan:
         "_sigs",
         "_topo_idx",
         "_topo_root",
+        "_passes",
+        "_ops",
+        "_reqs",
+        "_node_pos",
+        "_bw_records",
+        "_bw_invalid",
+        "_bw_seen",
+        "_bw_root",
+        "_bw_nodes",
+        "_bw_start",
+        "_bw_seed_end",
+        "_bw_end",
+        "_tags_seen",
+        "_pre_bw_tags",
+        "_schedule",
+        "_waves",
+        "_tls",
+        "_parallel_exec",
+        "_staging_nbytes",
         "steps",
         "reused_checkouts",
         "fresh_checkouts",
         "diverged_steps",
         "topo_captures",
         "topo_replays",
+        "fused_chains",
+        "dce_dropped",
+        "aliased_positions",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, passes: "str | Iterable[str] | None" = None) -> None:
         #: the process-globally unique id of the current step (see
         #: ``_next_generation``); stamps node registrations
         self.generation = 0
@@ -169,6 +283,27 @@ class GraphPlan:
         self._sigs: list[tuple] = []
         self._topo_idx: list[int] | None = None
         self._topo_root = -1
+        # -- compiler inputs (filled during the capture step)
+        self._passes = plan_passes_default() if passes is None else parse_passes(passes)
+        self._ops: dict[int, tuple] = {}
+        self._reqs: list[bool] = []
+        self._node_pos: list[int] = []
+        self._bw_records: list[tuple[int, int, int]] | None = None
+        self._bw_invalid = False
+        self._bw_seen = False
+        self._bw_root = -1
+        self._bw_nodes = 0
+        self._bw_start = 0
+        self._bw_seed_end = 0
+        self._bw_end = 0
+        self._tags_seen = 0
+        self._pre_bw_tags = 0
+        # -- compiler outputs (None until compiled)
+        self._schedule: list | None = None
+        self._waves: list[list] | None = None
+        self._tls: threading.local | None = None
+        self._parallel_exec = False
+        self._staging_nbytes = 0
         # -- counters (observability for tests and the microbench)
         self.steps = 0
         self.reused_checkouts = 0
@@ -176,6 +311,14 @@ class GraphPlan:
         self.diverged_steps = 0
         self.topo_captures = 0
         self.topo_replays = 0
+        self.fused_chains = 0
+        self.dce_dropped = 0
+        self.aliased_positions = 0
+
+    @property
+    def passes(self) -> tuple[str, ...]:
+        """The compiler passes this plan runs after its capture step."""
+        return self._passes
 
     # -- lifecycle ----------------------------------------------------------
     def step(self) -> _PlanStep:
@@ -188,6 +331,8 @@ class GraphPlan:
         self._pos = 0
         self._nodes.clear()
         self._diverged = False
+        self._bw_seen = False
+        self._tags_seen = 0
         self.capturing = not self._captured
         self._match = self._captured
 
@@ -195,6 +340,8 @@ class GraphPlan:
         if self.capturing:
             self._captured = True
             self.capturing = False
+            if self._passes and self._bw_records is not None and not self._bw_invalid:
+                _passes_mod.compile_step(self)
         if self._diverged:
             self.diverged_steps += 1
 
@@ -218,6 +365,21 @@ class GraphPlan:
             self._pos += 1
             self.fresh_checkouts += 1
             return buf
+        if self._parallel_exec:
+            # Parallel dispatch: each worker carries its item's captured start
+            # position in thread-local state (wave scheduling guarantees
+            # distinct items touch distinct positions — see plan_passes).
+            tls = self._tls
+            pos = tls.pos
+            if self._match and pos < len(self._keys):
+                key = self._keys[pos]
+                if key[0] == shape and key[1] == dtype:
+                    tls.pos = pos + 1
+                    self.reused_checkouts += 1
+                    return self._buffers[pos]
+            self._note_divergence()
+            self.fresh_checkouts += 1
+            return np.empty(shape, dtype)
         pos = self._pos
         if self._match and pos < len(self._keys):
             key = self._keys[pos]
@@ -245,6 +407,8 @@ class GraphPlan:
         nodes = self._nodes
         sigs = self._sigs
         if self.capturing:
+            reqs = self._reqs
+            node_pos = self._node_pos
             if prev:
                 parent_idx = []
                 for parent in prev:
@@ -253,6 +417,8 @@ class GraphPlan:
                         parent._plan_idx = len(nodes)
                         nodes.append(parent)
                         sigs.append((parent.data.shape, parent.data.dtype.num, None))
+                        reqs.append(parent.requires_grad)
+                        node_pos.append(self._pos)
                     parent_idx.append(parent._plan_idx)
                 sig = (tensor.data.shape, tensor.data.dtype.num, tuple(parent_idx))
             else:
@@ -261,9 +427,12 @@ class GraphPlan:
             tensor._plan_idx = len(nodes)
             nodes.append(tensor)
             sigs.append(sig)
+            reqs.append(tensor.requires_grad)
+            node_pos.append(self._pos)
             return
         match = self._match
         total = len(sigs)
+        reqs = self._reqs
         for parent in prev:
             if parent._plan_gen != gen:
                 parent._plan_gen = gen
@@ -276,7 +445,12 @@ class GraphPlan:
                     else:
                         sig = sigs[idx]
                         data = parent.data
-                        if sig[2] is not None or sig[0] != data.shape or sig[1] != data.dtype.num:
+                        if (
+                            sig[2] is not None
+                            or sig[0] != data.shape
+                            or sig[1] != data.dtype.num
+                            or reqs[idx] != parent.requires_grad
+                        ):
                             match = False
         idx = len(nodes)
         tensor._plan_gen = gen
@@ -288,7 +462,11 @@ class GraphPlan:
             else:
                 sig = sigs[idx]
                 data = tensor.data
-                if sig[0] != data.shape or sig[1] != data.dtype.num:
+                if (
+                    sig[0] != data.shape
+                    or sig[1] != data.dtype.num
+                    or reqs[idx] != tensor.requires_grad
+                ):
                     match = False
                 else:
                     expected = sig[2]
@@ -304,6 +482,26 @@ class GraphPlan:
                         match = False
         if not match and self._match:
             self._note_divergence()
+
+    def tag_op(self, tensor: "Tensor", kind: str, meta: object = None) -> None:
+        """Label a registered node with its op identity (for the compiler).
+
+        The graph signature alone says "node with these parents and this
+        shape" — fusion additionally needs to know *which* elementwise op a
+        node is.  Capture stores the tag; replay verifies it (a changed op at
+        the same tape position means the captured fused kernels are stale, so
+        the step diverges to the ordinary fallback).
+        """
+        if tensor._plan_gen != self.generation:
+            return
+        idx = tensor._plan_idx
+        if self.capturing:
+            self._ops[idx] = (kind, meta)
+        elif self._match:
+            if self._ops.get(idx) != (kind, meta):
+                self._note_divergence()
+            elif idx < self._bw_nodes:
+                self._tags_seen += 1
 
     # -- captured topological order -----------------------------------------
     def topo_order(self, root: "Tensor") -> "list[Tensor] | None":
@@ -342,6 +540,121 @@ class GraphPlan:
         self._topo_idx = [n._plan_idx for n in topo]
         self._topo_root = root._plan_idx
         self.topo_captures += 1
+
+    # -- backward tape capture (compiler input) -------------------------------
+    # ``Tensor.backward`` instruments the capture step's closure loop with
+    # these hooks.  The arena cursor doubles as a clock: a closure's recorded
+    # ``[start, end)`` positions are exactly the checkouts it performed, which
+    # is what lifetime analysis and schedule replay both key on.
+    def wants_backward_capture(self) -> bool:
+        """Whether this step's backward should be recorded for compilation."""
+        return self.capturing and bool(self._passes) and not self._bw_seen
+
+    def begin_backward(self, root: "Tensor") -> None:
+        """Mark the start of the capture step's backward (before the seed)."""
+        self._bw_seen = True
+        if self._bw_records is not None or root._plan_gen != self.generation:
+            # a second backward in one step (or an unregistered root) breaks
+            # the one-tape-per-step model; refuse to compile rather than guess
+            self._bw_invalid = True
+        self._bw_records = []
+        self._bw_root = root._plan_idx if root._plan_gen == self.generation else -1
+        self._bw_nodes = len(self._nodes)
+        self._bw_start = self._pos
+
+    def note_seed_done(self) -> None:
+        """Mark the end of the root-gradient seed accumulation."""
+        self._bw_seed_end = self._pos
+
+    def note_closure(self, node: "Tensor", start: int) -> None:
+        """Record one executed backward closure and its checkout range."""
+        self._bw_records.append((node._plan_idx, start, self._pos))
+
+    def end_backward(self) -> None:
+        """Mark the end of the capture step's backward loop."""
+        self._bw_end = self._pos
+
+    # -- compiled schedule execution ------------------------------------------
+    def use_compiled(self, root: "Tensor") -> bool:
+        """Whether this step's backward can run the compiled schedule.
+
+        Mirrors :meth:`topo_order`'s validity conditions, plus: every op tag
+        recorded during capture was re-verified this step (so the fused
+        kernels' op-identity assumptions hold), and this is the step's first
+        backward.  On success the caller must seed the root gradient and then
+        call :meth:`execute_schedule`.
+        """
+        if self._schedule is None and self._waves is None:
+            return False
+        if (
+            self._match
+            and not self.capturing
+            and not self._bw_seen
+            and root._plan_gen == self.generation
+            and root._plan_idx == self._bw_root
+            and len(self._nodes) == len(self._sigs)
+            and self._tags_seen == self._pre_bw_tags
+        ):
+            self._bw_seen = True
+            self.topo_replays += 1
+            return True
+        return False
+
+    def execute_schedule(self) -> None:
+        """Run the compiled backward schedule against this step's nodes.
+
+        Each item resets the arena cursor to its captured start position, so
+        positions belonging to fused-away or dead-code-eliminated closures are
+        simply skipped — live checkouts still land exactly where capture put
+        them.
+        """
+        nodes = self._nodes
+        try:
+            if self._waves is not None:
+                self._execute_waves(nodes)
+            else:
+                for start, op in self._schedule:
+                    self._pos = start
+                    if type(op) is int:
+                        nodes[op]._backward()
+                    else:
+                        op.execute(self, nodes)
+        finally:
+            self._pos = self._bw_end
+            self._parallel_exec = False
+
+    def _execute_waves(self, nodes: "list[Tensor]") -> None:
+        pool = _passes_mod.shared_pool()
+        run = self._run_item
+        self._parallel_exec = True
+        for wave in self._waves:
+            if len(wave) == 1:
+                run(wave[0], nodes)
+            else:
+                futures = [pool.submit(run, item, nodes) for item in wave]
+                for future in futures:
+                    future.result()
+
+    def _run_item(self, item: tuple, nodes: "list[Tensor]") -> None:
+        start, op = item
+        self._tls.pos = start
+        if type(op) is int:
+            nodes[op]._backward()
+        else:
+            op.execute(self, nodes)
+
+    # -- arena accounting -----------------------------------------------------
+    def arena_nbytes(self) -> int:
+        """Bytes of unique arena storage (post-aliasing), incl. fused staging."""
+        unique: dict[int, int] = {}
+        for buf in self._buffers:
+            unique[id(buf)] = buf.nbytes
+        return sum(unique.values()) + self._staging_nbytes
+
+    def arena_nbytes_raw(self) -> int:
+        """Bytes the arena would hold with one buffer per position (no aliasing)."""
+        total = sum(int(np.prod(shape, dtype=np.int64)) * dtype.itemsize for shape, dtype in self._keys)
+        return total + self._staging_nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

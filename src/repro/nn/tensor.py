@@ -372,6 +372,13 @@ class Tensor:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
         plan = _plan.ACTIVE
+        if plan is not None and plan.use_compiled(self):
+            # Replay the compiled backward schedule (see repro.nn.plan_passes):
+            # same closures, same checkout positions, same accumulation order
+            # — minus fused-away and dead-code-eliminated dispatches.
+            self._accumulate(grad)
+            plan.execute_schedule()
+            return
         topo: list[Tensor] | None = plan.topo_order(self) if plan is not None else None
         if topo is None:
             topo = []
@@ -396,6 +403,20 @@ class Tensor:
                 # tape signature matches replay it without another DFS.
                 plan.capture_topo(self, topo)
 
+        if plan is not None and plan.wants_backward_capture():
+            # Capture step with compiler passes enabled: record each closure's
+            # checkout range so compile_step can analyse lifetimes and build
+            # the replay schedule.
+            plan.begin_backward(self)
+            self._accumulate(grad)
+            plan.note_seed_done()
+            for node in reversed(topo):
+                start = plan._pos
+                node._backward()
+                plan.note_closure(node, start)
+            plan.end_backward()
+            return
+
         self._accumulate(grad)
         for node in reversed(topo):
             node._backward()
@@ -418,6 +439,7 @@ class Tensor:
                 other._accumulate(out.grad)
 
         out._backward = _backward
+        _plan.tag(out, "add")
         return out
 
     def __radd__(self, other: object) -> "Tensor":
@@ -431,6 +453,7 @@ class Tensor:
                 self._accumulate(_neg(out.grad), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "neg")
         return out
 
     def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
@@ -453,6 +476,7 @@ class Tensor:
                 other._accumulate(_neg(out.grad), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "sub")
         return out
 
     def __rsub__(self, other: object) -> "Tensor":
@@ -475,6 +499,7 @@ class Tensor:
                 other._accumulate(_ew(np.multiply, out.grad, self.data), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "mul")
         return out
 
     def __rmul__(self, other: object) -> "Tensor":
@@ -502,6 +527,7 @@ class Tensor:
                 other._accumulate(_ew(np.true_divide, num, den, kinds="f"), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "div")
         return out
 
     def __rtruediv__(self, other: object) -> "Tensor":
@@ -523,6 +549,7 @@ class Tensor:
                 self._accumulate(_ew(np.multiply, scaled, powed), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "pow", exponent)
         return out
 
     def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
@@ -564,6 +591,7 @@ class Tensor:
                 self._accumulate(_ew(np.multiply, out.grad, out.data), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "exp")
         return out
 
     def log(self) -> "Tensor":
@@ -574,6 +602,7 @@ class Tensor:
                 self._accumulate(_ew(np.true_divide, out.grad, self.data, kinds="f"), own=True)
 
         out._backward = _backward
+        _plan.tag(out, "log")
         return out
 
     def sqrt(self) -> "Tensor":
@@ -592,6 +621,7 @@ class Tensor:
                 self._accumulate(sq, own=True)
 
         out._backward = _backward
+        _plan.tag(out, "tanh")
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -617,6 +647,7 @@ class Tensor:
                 self._accumulate(left, own=True)
 
         out._backward = _backward
+        _plan.tag(out, "sigmoid")
         return out
 
     def relu(self) -> "Tensor":
@@ -643,6 +674,7 @@ class Tensor:
                 self._accumulate(grad, own=True)
 
         out._backward = _backward
+        _plan.tag(out, "relu")
         return out
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":

@@ -428,3 +428,135 @@ class TestSingleFlight:
         flight.release(["a"])
         waiter.join(timeout=5.0)
         assert woke == [True] and flight.in_flight() == 0
+
+    def test_wait_timeout_is_a_total_deadline(self):
+        """Waiting on N stalled holders must block ~timeout, not N x timeout.
+
+        Regression: ``wait`` used to apply ``timeout`` per event, so a serve
+        request waiting on a wedged holder's four fingerprints blocked four
+        times longer than its configured deadline.
+        """
+        import time
+
+        from repro.execution import SingleFlight
+
+        flight = SingleFlight()
+        keys = ["k1", "k2", "k3", "k4"]
+        flight.claim(keys)  # the stalled holder: claims and never releases
+        _, theirs = flight.claim(keys)
+        assert set(theirs) == set(keys)
+        start = time.monotonic()
+        ok = flight.wait(theirs, timeout=0.2)
+        elapsed = time.monotonic() - start
+        assert ok is False
+        # per-event semantics would block >= 0.8s here; a total deadline with
+        # generous scheduling slack stays well under half that
+        assert elapsed < 0.6, f"wait blocked {elapsed:.2f}s for a 0.2s deadline"
+
+    def test_wait_partial_release_still_respects_deadline(self):
+        """A holder releasing some (not all) keys must not restart the clock."""
+        import time
+
+        from repro.execution import SingleFlight
+
+        flight = SingleFlight()
+        flight.claim(["a", "b", "c"])
+        _, theirs = flight.claim(["a", "b", "c"])
+        flight.release(["a"])  # one event already set; two still held
+        start = time.monotonic()
+        ok = flight.wait(theirs, timeout=0.2)
+        elapsed = time.monotonic() - start
+        assert ok is False and elapsed < 0.6
+
+
+class _ExplodingCache(InMemoryRunCache):
+    """A cache whose publish path is down (e.g. remote store unreachable)."""
+
+    def put(self, config, record):  # noqa: D102 - test double
+        raise OSError("cache server unreachable")
+
+
+class TestFabricRegressions:
+    """Failing-first regression tests for the PR 6 deadline/error-report bugs."""
+
+    def test_expired_lease_error_appends_to_prior_failure(self, tmp_path):
+        """Dead-lettering on lease expiry must report the expiry, not only a
+        stale earlier error.
+
+        Regression: ``requeue_expired`` used ``COALESCE(last_error, ...)``, so
+        a job that failed once with a real error and then dead-lettered on a
+        lease expiry reported the old error as its terminal cause.
+        """
+        clock = FakeClock()
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=10.0, clock=clock)
+        job_id = queue.submit(tiny_config(), max_attempts=2)
+        queue.lease("w1")
+        assert queue.fail(job_id, "w1", "boom 1") == "pending"
+        queue.lease("w2")  # second (final) attempt wedges and never heartbeats
+        clock.advance(11.0)
+        assert queue.requeue_expired() == 1
+        assert queue.state(job_id) == "dead"
+        (letter,) = queue.dead_letters()
+        assert "lease expired" in letter["last_error"]
+        assert "boom 1" in letter["last_error"]  # attempt history stays honest
+        assert letter["attempts"] == 2
+
+    def test_worker_survives_cache_publish_failure(self, tmp_path):
+        """A dead cache server fails the *job* (with retries), not the worker.
+
+        Regression: ``run_once`` let ``cache.put`` exceptions propagate out of
+        the loop without ``fail()``, crashing the worker and leaving the lease
+        to dangle until the visibility timeout.
+        """
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = _ExplodingCache()
+        job_id = queue.submit(tiny_config(), max_attempts=2)
+        worker = QueueWorker(queue, cache, run_fn=run_single, visibility_timeout=60.0)
+        processed = worker.run_forever(idle_exit=0.01)  # must not raise
+        assert processed == 2 and worker.failed == 2 and worker.completed == 0
+        assert queue.state(job_id) == "dead"
+        (letter,) = queue.dead_letters()
+        assert "unreachable" in letter["last_error"]
+
+    def test_http_5xx_counts_as_error_not_miss(self):
+        """A broken cache server is not a cold cache.
+
+        Regression: ``HTTPRunCache.get`` counted every HTTP error status as a
+        miss, so a fleet pointed at a 500-ing store silently retrained
+        everything while the stats claimed the cache was simply empty.
+        """
+        import http.server
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                self.send_error(500, "backend exploded")
+
+            def log_message(self, *args):  # keep test output quiet
+                pass
+
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = HTTPRunCache(f"http://127.0.0.1:{server.server_address[1]}")
+            assert client.get(tiny_config()) is None  # caller can still train
+            assert client.stats.errors == 1
+            assert client.stats.misses == 0
+            assert "errors" in client.stats.as_dict()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+
+    def test_http_404_still_counts_as_miss(self, cache_server):
+        client = HTTPRunCache(cache_server.url)
+        assert client.get(tiny_config()) is None
+        assert client.stats.misses == 1 and client.stats.errors == 0
+
+    def test_engine_report_surfaces_cache_errors(self, tmp_path):
+        """The per-tier report carries the new ``errors`` counter."""
+        near = InMemoryRunCache()
+        engine = ExperimentEngine(cache=near)
+        engine.run([tiny_config()])
+        tiers = engine.last_report.cache_tiers
+        assert tiers["memory"]["errors"] == 0

@@ -1,0 +1,293 @@
+"""Per-pass differential oracle for the plan compiler (:mod:`repro.nn.plan_passes`).
+
+The contract: every compiler pass — buffer aliasing, elementwise-chain fusion,
+dead-node elimination, parallel wave dispatch — and every combination of them
+must leave planned training **bitwise identical** to the unplanned loop, for
+every registry model in both dtypes.  Passes may only change allocation and
+wall-clock behaviour; ``--no-plan`` (here: an unplanned baseline) is the
+oracle.  On top of the equality wall, each pass must demonstrably *engage* on
+a workload shaped for it (chains fused, arena positions shared, leaf items
+dropped), and a mid-loop shape divergence must still fall back to allocation
+without ever applying a stale compiled schedule.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+
+from test_batched_equivalence import _as_inputs, _model_case
+from test_plan import _assert_bitwise
+from repro import nn
+from repro.models.registry import MODEL_REGISTRY
+from repro.nn.plan import (
+    DEFAULT_PASSES,
+    KNOWN_PASSES,
+    GraphPlan,
+    parse_passes,
+    plan_passes_default,
+)
+from repro.optim import SGD
+
+DTYPES = ("float64", "float32")
+STEPS = 4
+#: each pass alone, no passes, and everything (including opt-in parallel)
+PASS_SPECS = ("none", "alias", "fuse", "dce", "parallel", "default", "all")
+
+_baselines: dict[tuple[str, str], tuple[list, dict]] = {}
+
+
+def _train(name: str, dtype: str, passes: str | None, steps: int = STEPS):
+    """One serial step loop; ``passes=None`` means unplanned."""
+    build_fn, batch_fn = _model_case(name)
+    losses = []
+    plan = GraphPlan(passes=passes) if passes is not None else None
+    with nn.default_dtype(dtype):
+        batch = batch_fn(np.random.default_rng(7))[0]
+        loss_fn = batch_fn(np.random.default_rng(0))[1]
+        model = build_fn(0)
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        for _ in range(steps):
+            inputs = _as_inputs(batch, stacked=False)
+            with plan.step() if plan is not None else nullcontext():
+                loss = loss_fn(model, *inputs)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            losses.append(loss.data.copy())
+        state = model.state_dict()
+    return losses, state, plan
+
+
+def _baseline(name: str, dtype: str):
+    key = (name, dtype)
+    if key not in _baselines:
+        losses, state, _ = _train(name, dtype, passes=None)
+        _baselines[key] = (losses, state)
+    return _baselines[key]
+
+
+# ---------------------------------------------------------------------------
+# the wall: every pass, alone and combined, for every model in both dtypes
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", PASS_SPECS)
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_pass_trajectory_bitwise_equals_unplanned(name, dtype, spec):
+    plain_losses, plain_state = _baseline(name, dtype)
+    plan_losses, plan_state, plan = _train(name, dtype, passes=spec)
+    for step, (a, b) in enumerate(zip(plan_losses, plain_losses)):
+        _assert_bitwise(a, b, f"{name}/{dtype}/{spec} loss at step {step}")
+    assert plan_state.keys() == plain_state.keys()
+    for key in plain_state:
+        _assert_bitwise(plan_state[key], plain_state[key], f"{name}/{dtype}/{spec} {key}")
+    assert plan.diverged_steps == 0
+    assert plan.topo_captures == 1
+    assert plan.topo_replays == STEPS - 1
+    if "parallel" in plan.passes:
+        assert plan._waves is not None  # wave dispatch actually compiled
+
+
+# ---------------------------------------------------------------------------
+# each pass must engage on a workload shaped for it
+# ---------------------------------------------------------------------------
+
+def _chain_workload(passes: str | None, steps: int = STEPS):
+    """A tanh-GELU MLP dense in single-consumer elementwise chains."""
+    with nn.default_dtype("float64"):
+        rng = np.random.default_rng(5)
+        w1 = nn.Parameter(rng.standard_normal((8, 16)))
+        w2 = nn.Parameter(rng.standard_normal((16, 4)))
+        x = nn.Tensor(rng.standard_normal((12, 8)))
+        optimizer = SGD([w1, w2], lr=0.05, momentum=0.9)
+        plan = GraphPlan(passes=passes) if passes is not None else None
+        losses = []
+        for _ in range(steps):
+            with plan.step() if plan is not None else nullcontext():
+                h = x @ w1
+                h = (h * 0.5) * ((h * 0.797884).tanh() + 1.0)
+                out = -((h @ w2).sigmoid().log())
+                loss = out.sum() / 48.0
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            losses.append(loss.data.copy())
+        return losses, (w1.data.copy(), w2.data.copy()), plan
+
+
+def test_fusion_finds_chains_and_stays_bitwise():
+    plain_losses, plain_params, _ = _chain_workload(None)
+    fused_losses, fused_params, plan = _chain_workload("fuse")
+    assert plan.fused_chains > 0
+    for step, (a, b) in enumerate(zip(fused_losses, plain_losses)):
+        _assert_bitwise(a, b, f"fused loss at step {step}")
+    for got, want in zip(fused_params, plain_params):
+        _assert_bitwise(got, want, "fused parameter")
+
+
+def test_all_passes_on_chain_workload_bitwise():
+    plain_losses, plain_params, _ = _chain_workload(None)
+    losses, params, plan = _chain_workload("all")
+    assert plan.fused_chains > 0 and plan.dce_dropped > 0
+    for step, (a, b) in enumerate(zip(losses, plain_losses)):
+        _assert_bitwise(a, b, f"all-passes loss at step {step}")
+    for got, want in zip(params, plain_params):
+        _assert_bitwise(got, want, "all-passes parameter")
+
+
+@pytest.mark.parametrize("name", ["mlp", "resnet20"])
+def test_alias_pass_shrinks_arena(name):
+    _, _, plain_plan = _train(name, "float32", passes="none")
+    _, _, alias_plan = _train(name, "float32", passes="alias")
+    assert alias_plan.aliased_positions > 0
+    # per-position bytes unchanged, distinct storage strictly smaller
+    assert alias_plan.arena_nbytes_raw() == plain_plan.arena_nbytes_raw()
+    assert alias_plan.arena_nbytes() < plain_plan.arena_nbytes()
+    assert alias_plan.arena_nbytes() < alias_plan.arena_nbytes_raw()
+
+
+def test_dce_drops_leaf_items():
+    _, _, plan = _train("mlp", "float32", passes="dce")
+    assert plan.dce_dropped > 0
+
+
+def test_steady_state_counters_hold_under_all_passes():
+    _, _, plan = _train("mlp", "float32", passes="all", steps=6)
+    assert plan.fresh_checkouts == len(plan._buffers)
+    assert plan.reused_checkouts == (plan.steps - 1) * plan.fresh_checkouts
+
+
+# ---------------------------------------------------------------------------
+# divergence safety: a compiled schedule must never outlive its shapes
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", ["all", "default"])
+def test_shape_change_falls_back_under_passes(spec):
+    build_fn, batch_fn = _model_case("mlp")
+
+    def run(passes: str | None):
+        plan = GraphPlan(passes=passes) if passes is not None else None
+        losses = []
+        with nn.default_dtype("float32"):
+            full = batch_fn(np.random.default_rng(7))[0]
+            partial = tuple(arr[: max(1, len(arr) // 2)] for arr in full)
+            loss_fn = batch_fn(np.random.default_rng(0))[1]
+            model = build_fn(0)
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            for batch in (full, full, partial, full):
+                inputs = _as_inputs(batch, stacked=False)
+                with plan.step() if plan is not None else nullcontext():
+                    loss = loss_fn(model, *inputs)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                losses.append(loss.data.copy())
+            state = model.state_dict()
+        return losses, state, plan
+
+    plain_losses, plain_state, _ = run(None)
+    plan_losses, plan_state, plan = run(spec)
+    for step, (a, b) in enumerate(zip(plan_losses, plain_losses)):
+        _assert_bitwise(a, b, f"loss at step {step}")
+    for key in plain_state:
+        _assert_bitwise(plan_state[key], plain_state[key], f"param {key}")
+    assert plan.diverged_steps == 1
+
+
+# ---------------------------------------------------------------------------
+# configuration surface: parse_passes, env default, trainer/engine plumbing
+# ---------------------------------------------------------------------------
+
+def test_parse_passes_specs():
+    assert parse_passes(None) == DEFAULT_PASSES
+    assert parse_passes("default") == DEFAULT_PASSES
+    assert parse_passes("all") == KNOWN_PASSES
+    for off in ("", "none", "off", "NONE"):
+        assert parse_passes(off) == ()
+    assert parse_passes("fuse, alias") == ("fuse", "alias")
+    assert parse_passes(["dce", "dce", "alias"]) == ("dce", "alias")  # dedupes
+    assert parse_passes(()) == ()
+    with pytest.raises(ValueError, match="unknown plan pass"):
+        parse_passes("alias,bogus")
+
+
+def test_plan_passes_default_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_PASSES", raising=False)
+    assert plan_passes_default() == DEFAULT_PASSES
+    monkeypatch.setenv("REPRO_PLAN_PASSES", "none")
+    assert plan_passes_default() == ()
+    monkeypatch.setenv("REPRO_PLAN_PASSES", "alias")
+    assert plan_passes_default() == ("alias",)
+    # GraphPlan() with no explicit passes defers to the env
+    assert GraphPlan().passes == ("alias",)
+    assert GraphPlan(passes="fuse").passes == ("fuse",)  # explicit wins
+
+
+def test_trainer_threads_plan_passes_to_its_plan():
+    from repro.experiments.settings import get_setting
+    from repro.experiments.workloads import build_workload
+    from repro.training.trainer import Trainer
+    from repro.optim import build_optimizer
+
+    with nn.default_dtype("float32"):
+        workload = build_workload(get_setting("RN20-CIFAR10"), seed=0, size_scale=0.1)
+        optimizer = build_optimizer("sgdm", workload.model.parameters(), lr=0.05)
+        trainer = Trainer(
+            model=workload.model,
+            optimizer=optimizer,
+            task=workload.task,
+            train_loader=workload.train_loader,
+            dtype="float32",
+            plan=True,
+            plan_passes="alias,dce",
+        )
+        trainer.fit(2)
+    assert trainer.last_plan is not None
+    assert trainer.last_plan.passes == ("alias", "dce")
+
+
+def test_context_plan_passes_from_env_and_validation():
+    from repro.execution.context import ExecutionContext
+
+    ctx = ExecutionContext.from_env({"REPRO_PLAN_PASSES": "fuse"})
+    assert ctx.plan_passes == "fuse"
+    assert ExecutionContext.from_env({}).plan_passes is None
+    with pytest.raises(ValueError, match="unknown plan pass"):
+        ExecutionContext(plan_passes="bogus")
+
+
+def test_engine_plan_env_ships_passes(monkeypatch):
+    from repro.execution.engine import _plan_env
+
+    monkeypatch.delenv("REPRO_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_PLAN_PASSES", raising=False)
+    with _plan_env(True, "alias,fuse"):
+        assert os.environ["REPRO_PLAN"] == "1"
+        assert os.environ["REPRO_PLAN_PASSES"] == "alias,fuse"
+    assert "REPRO_PLAN" not in os.environ
+    assert "REPRO_PLAN_PASSES" not in os.environ
+    monkeypatch.setenv("REPRO_PLAN_PASSES", "none")
+    with _plan_env(None, "all"):
+        assert os.environ["REPRO_PLAN_PASSES"] == "all"
+    assert os.environ["REPRO_PLAN_PASSES"] == "none"
+
+
+def test_cli_plan_passes_flag():
+    from repro.cli.main import build_parser
+
+    args = build_parser().parse_args(["run", "--plan-passes", "alias,fuse"])
+    assert args.plan_passes == "alias,fuse"
+    args = build_parser().parse_args(["run"])
+    assert args.plan_passes is None
+
+
+def test_batched_trainer_threads_plan_passes():
+    import inspect
+
+    from repro.training.batched import BatchedTrainer
+
+    assert "plan_passes" in inspect.signature(BatchedTrainer.__init__).parameters

@@ -6,10 +6,12 @@ Usage::
     python tools/bench_compare.py BASELINE CURRENT [--max-regression 0.15]
 
 The gate compares the **dimensionless** metrics of every baseline entry —
-speedup ratios (``*_speedup``) and the planned-vs-unplanned allocation-peak
-reduction derived from the ``*_plan`` entries — because those are the numbers
-that survive a machine change: absolute seconds and steps/second depend on
-the host and are printed for context only, never gated.
+speedup ratios (``*_speedup``), reduction ratios (``*_reduction``, e.g. the
+plan compiler's deterministic ``arena_reduction`` byte-count ratio) and the
+planned-vs-unplanned allocation-peak reduction derived from the ``*_plan``
+entries — because those are the numbers that survive a machine change:
+absolute seconds and steps/second depend on the host and are printed for
+context only, never gated.
 
 A metric regresses when ``current < baseline * (1 - max_regression)`` (every
 gated metric is higher-is-better).  A baseline entry missing from the current
@@ -29,8 +31,8 @@ import json
 import sys
 from pathlib import Path
 
-#: informational-only keys (machine-dependent); everything ``*_speedup`` plus
-#: the derived allocation reduction is gated
+#: informational-only keys (machine-dependent); everything ``*_speedup`` and
+#: ``*_reduction`` plus the derived allocation reduction is gated
 _CONTEXT_SUFFIXES = ("_seconds", "_steps_per_second")
 
 
@@ -53,7 +55,7 @@ def gated_metrics(entry: dict) -> dict[str, float]:
     metrics = {
         key: float(value)
         for key, value in entry.items()
-        if key.endswith("_speedup") and isinstance(value, (int, float))
+        if key.endswith(("_speedup", "_reduction")) and isinstance(value, (int, float))
     }
     planned = entry.get("planned_step_alloc_peak_kb")
     unplanned = entry.get("unplanned_step_alloc_peak_kb")
