@@ -179,6 +179,36 @@ def test_resnet20_step_loop_float32_vs_float64():
         )
 
 
+#: emulated bf16 pays a cast-on-store quantization per stored tensor on top
+#: of the float32 compute, so its throughput is a *fraction* of float32's;
+#: the floor catches the emulation overhead blowing up (e.g. an accidental
+#: extra copy per store), not a speedup that does not exist
+_MIN_BF16_RELATIVE_THROUGHPUT = 0.25 if _STEPS >= 40 else None
+
+
+def test_mlp_step_loop_bfloat16_overhead():
+    """Emulated bf16 step loop: bounded overhead relative to native float32."""
+    float32_seconds = _time_step_loop(_build_mlp, "float32")
+    bf16_seconds = _time_step_loop(_build_mlp, "bfloat16")
+    entry = {
+        "steps": _STEPS,
+        "plan": True,
+        "float32_seconds": round(float32_seconds, 4),
+        "bfloat16_seconds": round(bf16_seconds, 4),
+        # dimensionless, gated by bench_compare: bf16 steps/s over float32
+        # steps/s (< 1.0 by construction — quantization is pure overhead)
+        "bf16_relative_throughput": round(float32_seconds / bf16_seconds, 3),
+        "bfloat16_steps_per_second": round(_STEPS / bf16_seconds, 2),
+    }
+    _record("mlp_bf16", entry)
+    print(f"\n[hotpath] mlp_bf16: {entry}")
+    if _MIN_BF16_RELATIVE_THROUGHPUT is not None:
+        assert entry["bf16_relative_throughput"] >= _MIN_BF16_RELATIVE_THROUGHPUT, (
+            f"emulated bf16 overhead blew up: {entry['bf16_relative_throughput']}x "
+            f"of float32 throughput < {_MIN_BF16_RELATIVE_THROUGHPUT}x"
+        )
+
+
 # ---------------------------------------------------------------------------
 # planned vs unplanned float32 step loops (+ steady-state allocation peaks)
 # ---------------------------------------------------------------------------
@@ -467,6 +497,9 @@ def test_artifact_written_and_well_formed():
         entry = payload["results"].get(model_name)
         assert entry is not None, f"missing {model_name} entry in {RESULTS_PATH}"
         assert entry["float32_seconds"] > 0 and entry["float64_seconds"] > 0
+    bf16 = payload["results"].get("mlp_bf16")
+    assert bf16 is not None, f"missing mlp_bf16 entry in {RESULTS_PATH}"
+    assert bf16["bfloat16_seconds"] > 0 and bf16["bf16_relative_throughput"] > 0
     for entry_name in ("mlp_plan", "resnet20_plan"):
         entry = payload["results"].get(entry_name)
         assert entry is not None, f"missing {entry_name} entry in {RESULTS_PATH}"

@@ -47,7 +47,8 @@ class DelayedLinearStudyConfig:
     seed: int = 0
     size_scale: float = 1.0
     epoch_scale: float = 1.0
-    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    #: "float32" / "float64" / "bfloat16" / "float16"; ``None`` defers to
+    #: the setting's dtype
     dtype: str | None = None
 
 

@@ -50,7 +50,8 @@ class ProfileSamplingConfig:
     learning_rate: float | None = None
     size_scale: float = 1.0
     epoch_scale: float = 1.0
-    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    #: "float32" / "float64" / "bfloat16" / "float16"; ``None`` defers to
+    #: the setting's dtype
     dtype: str | None = None
 
 

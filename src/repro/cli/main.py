@@ -104,9 +104,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser, execution: bool) -> N
     )
     parser.add_argument(
         "--dtype",
-        choices=("float32", "float64"),
+        choices=("float32", "float64", "bfloat16", "float16"),
         default=None,
-        help="train every cell in this dtype (default: each setting's own)",
+        help=(
+            "train every cell in this dtype (default: each setting's own); "
+            "bfloat16/float16 are emulated: float32 storage rounded to the "
+            "half-precision grid on every store, with master weights and "
+            "dynamic loss scaling in the training loop"
+        ),
     )
     parser.add_argument(
         "--seeds",

@@ -29,8 +29,11 @@ __all__ = ["CacheStats", "InMemoryRunCache", "RunCache", "config_fingerprint"]
 
 #: bump when the fingerprint payload layout changes — invalidates old caches
 #: (v2: resolved ``dtype`` joined the payload, so float32 and float64 runs of
-#: the same cell cache separately)
-FINGERPRINT_VERSION = 2
+#: the same cell cache separately; v3: the dtype axis grew the emulated
+#: ``bfloat16``/``float16`` values and those runs follow different training
+#: numerics — master weights, loss scaling — so every pre-v3 entry must be
+#: recomputed rather than risk a stale float32-era hit)
+FINGERPRINT_VERSION = 3
 
 
 def _canonical(value: Any) -> Any:

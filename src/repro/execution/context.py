@@ -94,7 +94,8 @@ class ExecutionContext:
         are an execution detail — every combination is bitwise identical —
         so they never enter cache fingerprints.
     dtype:
-        Default dtype for *planned* cells (``"float32"``/``"float64"``), or
+        Default dtype for *planned* cells (``"float32"``/``"float64"``, or
+        the emulated ``"bfloat16"``/``"float16"``), or
         ``None`` to keep each setting's own.
     executor:
         ``"auto"`` (serial when ``workers == 1``, else process pool),

@@ -53,7 +53,8 @@ class GlueRunConfig:
     size_scale: float = 1.0
     pretrain_steps: int = 10
     schedule_kwargs: dict = field(default_factory=dict)
-    #: float dtype the fine-tune runs in ("float32" / "float64")
+    #: float dtype the fine-tune runs in ("float32" / "float64", or the
+    #: emulated "bfloat16" / "float16")
     dtype: str = "float64"
 
 

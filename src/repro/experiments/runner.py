@@ -42,7 +42,8 @@ class RunConfig:
     size_scale: float = 1.0
     epoch_scale: float = 1.0
     schedule_kwargs: dict = field(default_factory=dict)
-    #: "float32" / "float64"; ``None`` defers to the setting's dtype
+    #: "float32" / "float64" / "bfloat16" / "float16"; ``None`` defers to
+    #: the setting's dtype
     dtype: str | None = None
 
     def resolve_setting(self) -> ExperimentSetting:

@@ -36,7 +36,8 @@ class ExperimentSetting:
     metric_name: str = "error"
     higher_is_better: bool = False
     num_classes: int = 10
-    #: float dtype the setting trains in ("float32" / "float64").  The paper's
+    #: float dtype the setting trains in ("float32" / "float64", or the
+    #: emulated "bfloat16" / "float16").  The paper's
     #: numbers were produced in float64; settings keep that default so results
     #: are bit-for-bit reproducible, while individual runs can override via
     #: :attr:`~repro.experiments.runner.RunConfig.dtype`.

@@ -6,12 +6,18 @@ learning-rate schedules (the paper's contribution) sit on top of
 """
 
 from repro.nn.dtype import (
+    EmulatedDtype,
+    active_emulation,
+    compute_dtype,
     default_dtype,
     dtype_name,
     get_default_dtype,
+    is_emulated,
     resolve_dtype,
     set_default_dtype,
+    storage_dtype,
 )
+from repro.nn.lowprec import LossScaler, LowPrecisionState, MasterWeights
 from repro.nn.plan import GraphPlan, parse_passes, plan_enabled_default, plan_passes_default
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, concatenate, stack, where
 from repro.nn import functional
@@ -46,11 +52,19 @@ from repro.nn.modules import (
 )
 
 __all__ = [
+    "EmulatedDtype",
+    "active_emulation",
+    "compute_dtype",
     "default_dtype",
     "dtype_name",
     "get_default_dtype",
+    "is_emulated",
     "resolve_dtype",
     "set_default_dtype",
+    "storage_dtype",
+    "LossScaler",
+    "LowPrecisionState",
+    "MasterWeights",
     "GraphPlan",
     "parse_passes",
     "plan",

@@ -11,10 +11,18 @@ default dtype is now configurable:
 * :class:`default_dtype` — a context manager scoping the default to one block
   (this is what the experiment runner uses for per-run dtype overrides);
 * :func:`resolve_dtype` — normalise ``"float32"`` / ``np.float32`` /
-  ``np.dtype`` spellings to a canonical :class:`numpy.dtype`.
+  ``np.dtype`` spellings to a canonical :class:`numpy.dtype` or
+  :class:`EmulatedDtype` policy.
 
-Only ``float32`` and ``float64`` are supported: the substrate is numpy on CPU,
-where half precision would be emulated and slower than either.
+Natively supported dtypes are ``float32`` and ``float64`` (the substrate is
+numpy on CPU).  ``bfloat16`` and ``float16`` are supported as **emulated**
+dtypes (:class:`EmulatedDtype`): arrays are *stored* as float32 whose values
+are rounded to the emulated grid on every store (cast-on-store), while every
+kernel *computes* in float32 — the numerics of low-precision training without
+native half-precision hardware.  The split is exposed by
+:func:`storage_dtype` / :func:`compute_dtype`; :func:`active_emulation`
+returns the thread-ambient policy (or ``None``) that
+:class:`~repro.nn.tensor.Tensor` consults on construction.
 """
 
 from __future__ import annotations
@@ -25,14 +33,191 @@ import numpy as np
 
 __all__ = [
     "SUPPORTED_DTYPES",
+    "SUPPORTED_DTYPE_NAMES",
+    "EMULATED_DTYPES",
+    "EmulatedDtype",
+    "active_emulation",
+    "compute_dtype",
     "default_dtype",
     "dtype_name",
     "get_default_dtype",
+    "is_emulated",
     "resolve_dtype",
     "set_default_dtype",
+    "storage_dtype",
 ]
 
+#: dtypes numpy computes in natively
 SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+_U32_ONE = np.uint32(1)
+_U32_HALF = np.uint32(0x7FFF)
+_U32_TRUNC = np.uint32(0xFFFF0000)
+_U32_ULP = np.uint32(0x00010000)
+
+
+class EmulatedDtype:
+    """Policy for a low-precision dtype emulated on a float32 substrate.
+
+    ``storage`` is the numpy dtype arrays are *physically* held in (float32 —
+    half precision in numpy is either absent, for bfloat16, or an order of
+    magnitude slower than float32, for float16); ``compute`` is the dtype
+    every kernel runs in (also float32).  What makes the dtype "emulated" is
+    the **cast-on-store contract**: :meth:`quantize_` rounds an array's values
+    in place to the nearest value representable in the emulated format
+    (round-to-nearest-even, like a hardware cast), and
+    :class:`~repro.nn.tensor.Tensor` applies it to every leaf and every op
+    result created while the policy is ambient.  :meth:`stochastic_round_`
+    is the opt-in alternative used on the optimizer's master-weight store
+    path (see :mod:`repro.nn.lowprec`).
+
+    Instances are stateless singletons (:data:`BFLOAT16` / :data:`FLOAT16`);
+    identity comparison is fine.
+    """
+
+    __slots__ = ("name", "storage", "compute", "mantissa_bits", "max")
+
+    def __init__(self, name: str, mantissa_bits: int, max_value: float) -> None:
+        self.name = name
+        self.storage = np.dtype(np.float32)
+        self.compute = np.dtype(np.float32)
+        #: explicit mantissa bits of the emulated format (bf16: 7, fp16: 10)
+        self.mantissa_bits = mantissa_bits
+        #: largest finite representable value (values beyond round to inf)
+        self.max = max_value
+
+    def __repr__(self) -> str:
+        return f"EmulatedDtype({self.name!r}, storage={self.storage.name})"
+
+    # -- deterministic rounding ---------------------------------------------
+    def quantize_(self, array: np.ndarray) -> np.ndarray:
+        """Round ``array`` (float32, C-contiguous or view) to the emulated grid, in place.
+
+        Round-to-nearest-even, exactly what a hardware ``float32 -> bf16/fp16
+        -> float32`` cast round-trip produces: NaN stays NaN, values beyond
+        :attr:`max` overflow to signed infinity, float16 subnormals flush to
+        the nearest representable subnormal.  Idempotent: on-grid values are
+        returned unchanged, so re-quantizing a view of quantized data is a
+        no-op.
+        """
+        raise NotImplementedError
+
+    def quantize(self, array: np.ndarray) -> np.ndarray:
+        """Allocating variant of :meth:`quantize_` (input left untouched)."""
+        out = np.array(array, dtype=self.storage, copy=True)
+        if out.size:
+            self.quantize_(out)
+        return out
+
+    # -- stochastic rounding -------------------------------------------------
+    def _next_toward(self, grid: np.ndarray, toward_pos: np.ndarray) -> np.ndarray:
+        """The adjacent grid value of each on-grid element, per-element direction."""
+        raise NotImplementedError
+
+    def stochastic_round_(self, array: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Round ``array`` to the emulated grid stochastically, in place.
+
+        Each value rounds to one of its two neighbouring grid points with
+        probability proportional to proximity, making the rounding *unbiased*
+        (``E[SR(x)] == x``) — the property that lets low-precision weight
+        updates avoid systematic stagnation.  Exactly representable values
+        never move; non-finite values pass through untouched.  Consumes one
+        ``rng.random(shape)`` draw, so a fixed seed stream is deterministic.
+        """
+        x = array.astype(np.float64)
+        self.quantize_(array)  # array now holds the nearest grid point q
+        with np.errstate(invalid="ignore"):  # inf - inf is masked out below
+            diff = x - array
+            needs = (diff != 0) & np.isfinite(array)
+        if not np.any(needs):
+            rng.random(array.shape)  # keep the stream consumption uniform
+            return array
+        other = self._next_toward(array, diff > 0)
+        span = other.astype(np.float64) - array
+        prob = np.zeros_like(x)
+        np.divide(diff, span, out=prob, where=needs)
+        pick_other = (rng.random(array.shape) < prob) & needs & np.isfinite(other)
+        np.copyto(array, other, where=pick_other)
+        return array
+
+
+class _Bfloat16(EmulatedDtype):
+    def __init__(self) -> None:
+        # bf16: 8 exponent bits (same range as float32), 7 mantissa bits
+        super().__init__("bfloat16", mantissa_bits=7, max_value=3.38953139e38)
+
+    def quantize_(self, array: np.ndarray) -> np.ndarray:
+        if array.dtype != np.float32:
+            raise TypeError(f"bfloat16 emulation stores float32 arrays, got {array.dtype}")
+        if not array.flags.c_contiguous:
+            # the uint32 bit view below needs contiguity; round-trip a copy
+            array[...] = self.quantize(np.ascontiguousarray(array))
+            return array
+        bits = array.view(np.uint32)
+        # round-to-nearest-even on the low 16 bits; NaNs get rounding increment
+        # 0 so a mantissa carry can never turn them into infinity
+        rnd = (bits >> np.uint32(16)) & _U32_ONE
+        rnd += _U32_HALF
+        nan = np.isnan(array)
+        if nan.any():
+            rnd[nan] = np.uint32(0)
+        bits += rnd
+        bits &= _U32_TRUNC
+        return array
+
+    def _next_toward(self, grid: np.ndarray, toward_pos: np.ndarray) -> np.ndarray:
+        bits = grid.view(np.uint32).copy()
+        sign = (bits >> np.uint32(31)).astype(bool)
+        is_zero = (bits & np.uint32(0x7FFFFFFF)) == 0
+        away = (toward_pos & ~sign) | (~toward_pos & sign)
+        step_up = away & ~is_zero
+        step_down = ~away & ~is_zero
+        bits[step_up] += _U32_ULP
+        bits[step_down] -= _U32_ULP
+        bits[is_zero & toward_pos] = _U32_ULP
+        bits[is_zero & ~toward_pos] = np.uint32(0x80010000)
+        return bits.view(np.float32)
+
+
+class _Float16(EmulatedDtype):
+    def __init__(self) -> None:
+        # IEEE half: 5 exponent bits, 10 mantissa bits
+        super().__init__("float16", mantissa_bits=10, max_value=65504.0)
+
+    def quantize_(self, array: np.ndarray) -> np.ndarray:
+        if array.dtype != np.float32:
+            raise TypeError(f"float16 emulation stores float32 arrays, got {array.dtype}")
+        # numpy's cast is IEEE round-to-nearest-even with correct subnormal
+        # and overflow-to-inf handling; the overflow is the *point* (values
+        # beyond float16 max round to inf, feeding loss-scale backoff), so
+        # the cast warning is suppressed
+        with np.errstate(over="ignore"):
+            array[...] = array.astype(np.float16)
+        return array
+
+    def _next_toward(self, grid: np.ndarray, toward_pos: np.ndarray) -> np.ndarray:
+        half = grid.astype(np.float16)
+        target = np.where(toward_pos, np.float16(np.inf), np.float16(-np.inf))
+        return np.nextafter(half, target).astype(np.float32)
+
+
+BFLOAT16 = _Bfloat16()
+FLOAT16 = _Float16()
+
+#: canonical name -> emulated-dtype policy singleton
+EMULATED_DTYPES: dict[str, EmulatedDtype] = {"bfloat16": BFLOAT16, "float16": FLOAT16}
+
+_EMULATED_ALIASES: dict[str, EmulatedDtype] = {
+    "bfloat16": BFLOAT16,
+    "bf16": BFLOAT16,
+    "float16": FLOAT16,
+    "fp16": FLOAT16,
+    "half": FLOAT16,
+}
+
+#: every accepted canonical dtype spelling, native and emulated — the single
+#: source of truth for error messages and CLI choices
+SUPPORTED_DTYPE_NAMES: tuple[str, ...] = ("float32", "float64", "bfloat16", "float16")
 
 # Thread-local so parallel in-process experiments (and tests running under
 # xdist-style runners) cannot race each other's overrides; worker *processes*
@@ -40,34 +225,84 @@ SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.floa
 _STATE = threading.local()
 
 
-def resolve_dtype(dtype: str | np.dtype | type | None) -> np.dtype:
-    """Normalise a dtype spelling to a supported :class:`numpy.dtype`.
+def resolve_dtype(dtype: "str | np.dtype | type | EmulatedDtype | None") -> "np.dtype | EmulatedDtype":
+    """Normalise a dtype spelling to a :class:`numpy.dtype` or :class:`EmulatedDtype`.
 
-    ``None`` resolves to the current process-wide default.
+    ``None`` resolves to the current process-wide default (the ambient
+    emulated policy when one is active).  ``np.float16`` spellings resolve to
+    the *emulated* float16 policy — there is no native half-precision compute
+    path on this substrate.
     """
     if dtype is None:
-        return get_default_dtype()
-    resolved = np.dtype(dtype)
+        return active_emulation() or get_default_dtype()
+    if isinstance(dtype, EmulatedDtype):
+        return dtype
+    if isinstance(dtype, str):
+        emulated = _EMULATED_ALIASES.get(dtype.strip().lower())
+        if emulated is not None:
+            return emulated
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(
+            f"unsupported dtype {dtype!r}; supported: {', '.join(SUPPORTED_DTYPE_NAMES)}"
+        ) from exc
+    if resolved == np.float16:
+        return FLOAT16
     if resolved not in SUPPORTED_DTYPES:
-        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
-        raise ValueError(f"unsupported dtype {resolved.name!r}; supported: {supported}")
+        raise ValueError(
+            f"unsupported dtype {resolved.name!r}; supported: "
+            f"{', '.join(SUPPORTED_DTYPE_NAMES)}"
+        )
     return resolved
 
 
-def dtype_name(dtype: str | np.dtype | type | None) -> str:
-    """Canonical string name (``"float32"`` / ``"float64"``) for fingerprints."""
+def dtype_name(dtype: "str | np.dtype | type | EmulatedDtype | None") -> str:
+    """Canonical string name (``"float32"`` ... ``"bfloat16"``) for fingerprints."""
     return resolve_dtype(dtype).name
 
 
+def is_emulated(dtype: "str | np.dtype | type | EmulatedDtype | None") -> bool:
+    """Whether the spelling resolves to an emulated low-precision policy."""
+    return isinstance(resolve_dtype(dtype), EmulatedDtype)
+
+
+def storage_dtype(dtype: "str | np.dtype | type | EmulatedDtype | None") -> np.dtype:
+    """The numpy dtype arrays are physically held in (float32 for emulated)."""
+    resolved = resolve_dtype(dtype)
+    return resolved.storage if isinstance(resolved, EmulatedDtype) else resolved
+
+
+def compute_dtype(dtype: "str | np.dtype | type | EmulatedDtype | None") -> np.dtype:
+    """The numpy dtype kernels compute in (float32 for emulated)."""
+    resolved = resolve_dtype(dtype)
+    return resolved.compute if isinstance(resolved, EmulatedDtype) else resolved
+
+
 def get_default_dtype() -> np.dtype:
-    """The dtype new float tensors/parameters are created with."""
+    """The (storage) dtype new float tensors/parameters are created with.
+
+    Always a real :class:`numpy.dtype` — under an emulated policy this is the
+    float32 storage dtype, so every ``np.zeros(..., dtype=get_default_dtype())``
+    call site stays valid; the policy itself is :func:`active_emulation`.
+    """
     return getattr(_STATE, "dtype", np.dtype(np.float64))
 
 
-def set_default_dtype(dtype: str | np.dtype | type) -> np.dtype:
+def active_emulation() -> EmulatedDtype | None:
+    """The thread-ambient emulated-dtype policy, or ``None`` for native dtypes."""
+    return getattr(_STATE, "emulation", None)
+
+
+def set_default_dtype(dtype: "str | np.dtype | type | EmulatedDtype") -> "np.dtype | EmulatedDtype":
     """Set the process-wide (per-thread) default float dtype; returns it."""
     resolved = resolve_dtype(dtype)
-    _STATE.dtype = resolved
+    if isinstance(resolved, EmulatedDtype):
+        _STATE.dtype = resolved.storage
+        _STATE.emulation = resolved
+    else:
+        _STATE.dtype = resolved
+        _STATE.emulation = None
     return resolved
 
 
@@ -76,16 +311,24 @@ class default_dtype:
 
     >>> with default_dtype("float32"):
     ...     model = MLP(...)         # parameters created as float32
+
+    Emulated dtypes scope the cast-on-store policy too:
+
+    >>> with default_dtype("bfloat16"):
+    ...     model = MLP(...)         # float32 storage, values on the bf16 grid
     """
 
-    def __init__(self, dtype: str | np.dtype | type) -> None:
+    def __init__(self, dtype: "str | np.dtype | type | EmulatedDtype") -> None:
         self._dtype = resolve_dtype(dtype)
         self._prev: np.dtype | None = None
+        self._prev_emulation: EmulatedDtype | None = None
 
-    def __enter__(self) -> np.dtype:
+    def __enter__(self) -> "np.dtype | EmulatedDtype":
         self._prev = get_default_dtype()
-        _STATE.dtype = self._dtype
+        self._prev_emulation = active_emulation()
+        set_default_dtype(self._dtype)
         return self._dtype
 
     def __exit__(self, *exc: object) -> None:
         _STATE.dtype = self._prev
+        _STATE.emulation = self._prev_emulation

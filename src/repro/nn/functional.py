@@ -17,7 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.nn import plan as _plan
-from repro.nn.dtype import get_default_dtype
+from repro.nn.dtype import active_emulation, get_default_dtype
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -58,10 +58,14 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
         return out
     if x.ndim < 2 or x.data.dtype != weight.data.dtype or (
         bias is not None and bias.data.dtype != x.data.dtype
-    ):
+    ) or active_emulation() is not None:
         # rare shapes/dtypes keep the composed ops: matmul handles the rank
         # cases, and a mixed-dtype layer must *promote* (the fused in-place
-        # bias add below would silently downcast a wider bias)
+        # bias add below would silently downcast a wider bias).  Emulated
+        # dtypes also take this path: cast-on-store quantizes at every graph
+        # node, and the seed-batched branch above is a matmul node *then* an
+        # add node — the fused single-node path below would round once where
+        # the batched path rounds twice, breaking per-seed bitwise equality.
         out = x @ weight.T
         if bias is not None:
             out = out + bias

@@ -1,0 +1,257 @@
+"""Mixed-precision training helpers for the emulated low-precision dtypes.
+
+When the ambient dtype is an :class:`~repro.nn.dtype.EmulatedDtype`
+(bfloat16 / float16), plain SGD on the quantized weights loses every update
+smaller than half a ULP of the weight's grid and fp16 gradients routinely
+under/overflow.  This module provides the two standard remedies as
+trainer-agnostic building blocks:
+
+* :class:`MasterWeights` — float32 "master" copies of the parameters that the
+  fused optimizer steps run on, with the cast-on-store round back to the
+  emulated grid applied only once per step when the masters are published
+  into ``param.data`` (deterministic round-to-nearest-even, or opt-in
+  stochastic rounding);
+* :class:`LossScaler` — dynamic loss scaling with overflow skip-and-rescale:
+  the backward seed is multiplied by a power-of-two scale, non-finite
+  gradients skip the optimizer step and halve the scale, and a run of
+  ``growth_interval`` clean steps doubles it again.
+
+:class:`LowPrecisionState` bundles both for the trainers.  Design constraints
+inherited from the rest of the stack:
+
+* **Scales are powers of two.**  Scaling the backward seed and unscaling the
+  gradients are then bitwise-exact (pure exponent shifts), so a loss-scaled
+  run that never overflows produces gradients *identical* to an unscaled
+  run — which is what keeps the plan≡no-plan and batched≡serial oracles
+  byte-exact under emulated dtypes.
+* **Scaling rides the backward seed**, not a graph node: ``loss.backward``
+  already accepts an explicit output gradient, so the captured
+  :class:`~repro.nn.plan.GraphPlan` tape is unchanged and replays verbatim.
+* **Buffer identity is preserved.**  Masters are published with
+  ``np.copyto`` into the existing ``param.data`` arrays (never rebinding
+  them), because captured plan closures and optimizer scratch buffers alias
+  those arrays by identity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.nn.dtype import EmulatedDtype
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.nn.modules.base import Parameter
+    from repro.nn.tensor import Tensor
+    from repro.optim.optimizer import Optimizer
+
+__all__ = ["LossScaler", "MasterWeights", "LowPrecisionState", "grads_finite"]
+
+
+def grads_finite(params: "list[Parameter]") -> bool:
+    """Whether every present gradient is finite (the skip-step predicate)."""
+    for p in params:
+        if p.grad is not None and not np.all(np.isfinite(p.grad)):
+            return False
+    return True
+
+
+class LossScaler:
+    """Dynamic loss scaling with overflow skip-and-rescale.
+
+    The scale multiplies the loss gradient before backward; gradients are
+    divided by it before the optimizer step.  A step whose gradients contain
+    ``inf``/``nan`` is *skipped* (no parameter change) and the scale is
+    multiplied by ``backoff_factor``; after ``growth_interval`` consecutive
+    applied steps the scale is multiplied by ``growth_factor``.  All factors
+    and the initial scale must be powers of two so scale/unscale are exact.
+
+    ``applied_steps`` counts only steps that updated parameters —
+    ``skipped_steps`` are excluded, matching ``torch.cuda.amp.GradScaler``'s
+    contract that LR schedulers should not advance on skipped steps.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**15,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ) -> None:
+        for label, value in (
+            ("init_scale", init_scale),
+            ("growth_factor", growth_factor),
+            ("backoff_factor", backoff_factor),
+            ("min_scale", min_scale),
+            ("max_scale", max_scale),
+        ):
+            mant, _ = np.frexp(value)
+            if value <= 0 or mant != 0.5:
+                raise ValueError(f"{label} must be a positive power of two, got {value!r}")
+        if growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must be > 1, got {growth_factor!r}")
+        if not 0.0 < backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be in (0, 1), got {backoff_factor!r}")
+        if growth_interval < 1:
+            raise ValueError(f"growth_interval must be >= 1, got {growth_interval!r}")
+        self.scale = float(np.clip(init_scale, min_scale, max_scale))
+        self.growth_factor = float(growth_factor)
+        self.backoff_factor = float(backoff_factor)
+        self.growth_interval = int(growth_interval)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self.applied_steps = 0
+        self.skipped_steps = 0
+        self.overflows = 0
+        self._growth_tracker = 0
+        #: per-attempt log of (scale used, applied?) — the golden-trajectory
+        #: tests snapshot this
+        self.trajectory: list[dict[str, float | bool]] = []
+
+    def update(self, found_overflow: bool) -> None:
+        """Record one step attempt's outcome and adjust the scale."""
+        self.trajectory.append({"scale": self.scale, "applied": not found_overflow})
+        if found_overflow:
+            self.skipped_steps += 1
+            self.overflows += 1
+            self._growth_tracker = 0
+            self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+        else:
+            self.applied_steps += 1
+            self._growth_tracker += 1
+            if self._growth_tracker >= self.growth_interval:
+                self._growth_tracker = 0
+                self.scale = min(self.scale * self.growth_factor, self.max_scale)
+
+    def state(self) -> dict[str, float | int]:
+        """A summary snapshot (scale + counters) for run records and logs."""
+        return {
+            "scale": self.scale,
+            "applied_steps": self.applied_steps,
+            "skipped_steps": self.skipped_steps,
+            "overflows": self.overflows,
+        }
+
+
+class MasterWeights:
+    """Float32 master copies of a model's parameters.
+
+    The optimizer's fused in-place steps run on ``param.data`` as usual; this
+    class swaps the high-precision masters in before the step and publishes
+    the result back to the emulated grid after it:
+
+    1. :meth:`restore_` — copy masters into ``param.data`` (the optimizer
+       update then accumulates into full float32 precision, so sub-ULP
+       updates are never lost);
+    2. ``optimizer.step()`` — untouched fused kernels;
+    3. :meth:`store_` — copy the stepped values back into the masters, then
+       quantize ``param.data`` in place to the emulated grid (deterministic
+       RNE by default; stochastic rounding when ``stochastic_rounding=True``,
+       with a private, seeded RNG stream so runs are reproducible).
+
+    Every copy goes through ``np.copyto`` — ``param.data`` is never rebound,
+    preserving the array identities captured by graph plans and optimizer
+    scratch buffers.
+    """
+
+    def __init__(
+        self,
+        params: "list[Parameter]",
+        emulation: EmulatedDtype,
+        stochastic_rounding: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.params = list(params)
+        self.emulation = emulation
+        self.stochastic_rounding = bool(stochastic_rounding)
+        self._rng = np.random.default_rng(seed) if stochastic_rounding else None
+        self.masters: list[np.ndarray] = [
+            np.array(p.data, dtype=np.float32, copy=True) for p in self.params
+        ]
+        # Publish the initial values onto the emulated grid (a no-op for
+        # models built under the ambient policy, whose parameters are already
+        # on-grid; a correctness net for models built outside it).
+        for p in self.params:
+            if p.data.dtype == emulation.storage:
+                emulation.quantize_(p.data)
+
+    def restore_(self) -> None:
+        """Publish the float32 masters into ``param.data`` (pre-step)."""
+        for p, master in zip(self.params, self.masters):
+            np.copyto(p.data, master)
+
+    def store_(self) -> None:
+        """Capture stepped values into the masters and re-quantize ``param.data``."""
+        for p, master in zip(self.params, self.masters):
+            np.copyto(master, p.data)
+            if self._rng is not None:
+                self.emulation.stochastic_round_(p.data, self._rng)
+            else:
+                self.emulation.quantize_(p.data)
+
+
+class LowPrecisionState:
+    """Loss scaling + master weights, bundled for the training loops.
+
+    Usage in a step loop::
+
+        lowprec = LowPrecisionState(params, emulation)
+        ...
+        loss.backward(lowprec.grad_seed(loss))
+        optimizer.zero_grad() happened earlier as usual
+        applied = lowprec.step(optimizer)   # False -> step skipped (overflow)
+
+    ``step`` owns the whole overflow protocol: check gradient finiteness,
+    unscale in place, swap masters in, run the fused step, publish back to
+    the emulated grid, and advance the scaler.
+    """
+
+    def __init__(
+        self,
+        params: "list[Parameter]",
+        emulation: EmulatedDtype,
+        loss_scaler: LossScaler | None = None,
+        stochastic_rounding: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.emulation = emulation
+        self.scaler = loss_scaler if loss_scaler is not None else LossScaler()
+        self.masters = MasterWeights(
+            params, emulation, stochastic_rounding=stochastic_rounding, seed=seed
+        )
+        self.params = self.masters.params
+
+    def grad_seed(self, loss: "Tensor") -> np.ndarray:
+        """The scaled backward seed: ``d(loss)/d(loss) * scale``, loss-shaped.
+
+        Works for scalar losses and for the batched trainer's per-seed loss
+        vectors alike — the seed is a ``full_like`` of the loss value.
+        """
+        return np.full(loss.data.shape, self.scaler.scale, dtype=loss.data.dtype)
+
+    def found_overflow(self) -> bool:
+        """Whether the current gradients contain ``inf``/``nan``."""
+        return not grads_finite(self.params)
+
+    def unscale_(self) -> None:
+        """Divide every present gradient by the scale, in place (exact)."""
+        inv = 1.0 / self.scaler.scale
+        for p in self.params:
+            if p.grad is not None:
+                p.grad *= inv
+
+    def step(self, optimizer: "Optimizer") -> bool:
+        """Run one guarded optimizer step; returns ``True`` if it applied."""
+        if self.found_overflow():
+            self.scaler.update(found_overflow=True)
+            return False
+        if self.scaler.scale != 1.0:
+            self.unscale_()
+        self.masters.restore_()
+        optimizer.step()
+        self.masters.store_()
+        self.scaler.update(found_overflow=False)
+        return True

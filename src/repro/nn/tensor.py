@@ -43,7 +43,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn import plan as _plan
-from repro.nn.dtype import get_default_dtype, resolve_dtype
+from repro.nn.dtype import EmulatedDtype, active_emulation, get_default_dtype, resolve_dtype
 
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
@@ -184,12 +184,53 @@ class Tensor:
         # context governs what enters the graph; *interior* results (``_prev``
         # non-empty, i.e. produced by an op) keep the dtype numpy computed, so
         # a float32 graph stays float32 even when touched outside the context.
+        #
+        # Under an emulated dtype (bfloat16/float16) the cast-on-store
+        # contract is enforced here, at the single point every array enters
+        # the graph: leaf data is quantized on a private copy (never mutating
+        # caller/dataset arrays), interior op results are quantized in place
+        # — the closures captured by backward and by graph plans alias
+        # ``out.data``, so in-place is what keeps forward values, backward
+        # inputs, and plan replays all seeing the same grid.  Only interiors
+        # that *own* their memory (fresh ufunc/GEMM results, arena buffers)
+        # are quantized: a view (transpose/reshape/slice) shares its parent's
+        # already-stored values, and quantizing it in place would write
+        # through to the parent — mutating parameters from inside the forward
+        # pass and breaking batched≡serial equivalence wherever the two paths
+        # build different view structures over the same values.
         if dtype is not None:
-            self.data = _as_array(data, resolve_dtype(dtype))
+            resolved = resolve_dtype(dtype)
+            if isinstance(resolved, EmulatedDtype):
+                arr = _as_array(data, resolved.storage)
+                if arr.dtype == resolved.storage:
+                    if _prev:
+                        if arr.base is None and arr.flags.writeable:
+                            resolved.quantize_(arr)
+                    else:
+                        arr = resolved.quantize(arr)
+                self.data = arr
+            else:
+                self.data = _as_array(data, resolved)
         elif _prev:
-            self.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+            arr = data if isinstance(data, np.ndarray) else np.asarray(data)
+            emulation = active_emulation()
+            if (
+                emulation is not None
+                and arr.dtype == emulation.storage
+                and arr.base is None
+                and arr.flags.writeable
+            ):
+                emulation.quantize_(arr)
+            self.data = arr
         else:
-            self.data = _as_array(data)
+            emulation = active_emulation()
+            if emulation is not None:
+                arr = _as_array(data, emulation.storage)
+                if arr.dtype == emulation.storage:
+                    arr = emulation.quantize(arr)
+                self.data = arr
+            else:
+                self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] = lambda: None
@@ -222,14 +263,16 @@ class Tensor:
         cls, *shape: int, requires_grad: bool = False, dtype: str | np.dtype | type | None = None
     ) -> "Tensor":
         resolved = resolve_dtype(dtype)
-        return cls(np.zeros(shape, dtype=resolved), requires_grad=requires_grad, dtype=resolved)
+        storage = resolved.storage if isinstance(resolved, EmulatedDtype) else resolved
+        return cls(np.zeros(shape, dtype=storage), requires_grad=requires_grad, dtype=resolved)
 
     @classmethod
     def ones(
         cls, *shape: int, requires_grad: bool = False, dtype: str | np.dtype | type | None = None
     ) -> "Tensor":
         resolved = resolve_dtype(dtype)
-        return cls(np.ones(shape, dtype=resolved), requires_grad=requires_grad, dtype=resolved)
+        storage = resolved.storage if isinstance(resolved, EmulatedDtype) else resolved
+        return cls(np.ones(shape, dtype=storage), requires_grad=requires_grad, dtype=resolved)
 
     @classmethod
     def randn(
@@ -241,11 +284,13 @@ class Tensor:
     ) -> "Tensor":
         rng = rng or np.random.default_rng()
         resolved = resolve_dtype(dtype)
+        storage = resolved.storage if isinstance(resolved, EmulatedDtype) else resolved
         # Always draw in float64 then cast: the stream of random values is then
         # identical across dtypes, so a float32 run starts from the same
-        # (rounded) weights as its float64 twin.
+        # (rounded) weights as its float64 twin — and a bfloat16 run from the
+        # same weights rounded once more to the emulated grid.
         return cls(
-            rng.standard_normal(shape).astype(resolved, copy=False),
+            rng.standard_normal(shape).astype(storage, copy=False),
             requires_grad=requires_grad,
             dtype=resolved,
         )
@@ -283,9 +328,14 @@ class Tensor:
     def astype(self, dtype: str | np.dtype | type) -> "Tensor":
         """Differentiable cast; the gradient is cast back to this tensor's dtype."""
         target = resolve_dtype(dtype)
-        if target == self.data.dtype:
-            return self
-        out = Tensor(self.data.astype(target), requires_grad=self.requires_grad, _prev=(self,))
+        if isinstance(target, EmulatedDtype):
+            # cast-on-store: storage conversion plus one rounding to the grid
+            out_data = target.quantize(self.data.astype(target.storage, copy=False))
+            out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        else:
+            if target == self.data.dtype:
+                return self
+            out = Tensor(self.data.astype(target), requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is not None and self.requires_grad:
@@ -343,6 +393,16 @@ class Tensor:
                     self.grad = grad.copy()
         else:
             current += grad
+        # Cast-on-store for *leaf* gradients: the gradient a parameter hands
+        # to the optimizer lives on the emulated grid, quantized after every
+        # contribution lands.  Interior gradients deliberately stay float32 —
+        # the fused backward chains compiled by repro.nn.plan_passes replicate
+        # the closure ufunc sequences (not ``_accumulate``), so quantizing
+        # interior accumulations would break the pass≡no-pass bitwise oracle.
+        if self.requires_grad and not self._prev:
+            emulation = active_emulation()
+            if emulation is not None and self.grad.dtype == emulation.storage:
+                emulation.quantize_(self.grad)
 
     def zero_grad(self) -> None:
         """Drop the gradient reference (planned or not).

@@ -67,7 +67,8 @@ class Scale:
         sequences for it, and the single-seed protocols run once per listed
         seed and average.
     dtype:
-        Float dtype override for every cell ("float32"/"float64"), or ``None``
+        Float dtype override for every cell ("float32"/"float64", or the
+        emulated "bfloat16"/"float16"), or ``None``
         to keep each setting's default.
     """
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro import nn
 from repro.data.stacked import StackedLoader
 from repro.nn.losses import cross_entropy, detection_loss, vae_loss
+from repro.nn.lowprec import LowPrecisionState
 from repro.optim.optimizer import Optimizer
 from repro.schedules.schedule import Schedule
 from repro.training import metrics as M
@@ -225,6 +226,19 @@ class BatchedTrainer:
         self.model.train()
         graph_plan = nn.GraphPlan(passes=self.plan_passes) if self.plan else None
         self.last_plan = graph_plan
+        # Under an ambient emulated dtype the stacked loop trains
+        # mixed-precision exactly like the serial trainer.  One scalar loss
+        # scale is shared by all seeds: absent overflows its trajectory is
+        # deterministic (init, growth every interval) and identical to every
+        # seed's serial trajectory, preserving per-seed bitwise equality.
+        # Any seed's overflow would fork the shared trajectory away from the
+        # serial per-seed ones, so it raises SeedDivergence and the engine
+        # re-runs the cell's seeds serially (each with its own scaler).
+        emulation = nn.active_emulation()
+        lowprec: LowPrecisionState | None = None
+        if emulation is not None:
+            params = [p for group in self.optimizer.param_groups for p in group["params"]]
+            lowprec = LowPrecisionState(params, emulation)
         batches = self._batches()
         ones = None
         for _ in range(total_steps):
@@ -236,13 +250,25 @@ class BatchedTrainer:
             with graph_plan.step() if graph_plan is not None else nullcontext():
                 loss = batched_task_loss(self.task, self.model, batch)
                 self.optimizer.zero_grad()
-                if ones is None or ones.dtype != loss.data.dtype:
-                    # d(sum of per-seed losses)/d(loss_s) = 1: each seed's
-                    # subgraph receives exactly the serial trainer's scalar
-                    # backward seed.
-                    ones = np.ones(self.num_seeds, dtype=loss.data.dtype)
-                loss.backward(ones)
-                self.optimizer.step()
+                if lowprec is None:
+                    if ones is None or ones.dtype != loss.data.dtype:
+                        # d(sum of per-seed losses)/d(loss_s) = 1: each seed's
+                        # subgraph receives exactly the serial trainer's scalar
+                        # backward seed.
+                        ones = np.ones(self.num_seeds, dtype=loss.data.dtype)
+                    loss.backward(ones)
+                    self.optimizer.step()
+                else:
+                    # per-seed seed vector filled with the shared scale: each
+                    # seed's subgraph receives exactly the serial trainer's
+                    # scaled scalar seed
+                    loss.backward(lowprec.grad_seed(loss))
+                    if lowprec.found_overflow():
+                        raise SeedDivergence(
+                            "gradients overflowed under the shared loss scale "
+                            f"(scale={lowprec.scaler.scale}); re-run seeds serially"
+                        )
+                    lowprec.step(self.optimizer)
             values = loss.data
             if not np.all(np.isfinite(values)) or np.any(np.abs(values) > self.loss_ceiling):
                 raise SeedDivergence(

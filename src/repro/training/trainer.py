@@ -15,6 +15,7 @@ import numpy as np
 
 from repro import nn
 from repro.data.dataset import DataLoader
+from repro.nn.lowprec import LossScaler, LowPrecisionState
 from repro.optim.optimizer import Optimizer
 from repro.schedules.plateau import DecayOnPlateauSchedule
 from repro.schedules.schedule import Schedule
@@ -45,13 +46,29 @@ class Trainer:
         Force an evaluation at every epoch boundary even when the schedule
         does not require it (the plateau schedule always evaluates).
     dtype:
-        Float dtype (``"float32"`` / ``"float64"``) activated as the process
-        default for the duration of :meth:`fit` and :meth:`_evaluate`, so that
-        batch tensors and intermediates match the model.  ``None`` (default)
-        leaves the ambient default untouched.  Build the model under the same
-        dtype (e.g. with ``nn.default_dtype``) — a mismatched model/trainer
-        dtype silently promotes every intermediate to the wider of the two,
-        defeating the float32 fast path.
+        Float dtype (``"float32"`` / ``"float64"``, or the emulated
+        ``"bfloat16"`` / ``"float16"``) activated as the process default for
+        the duration of :meth:`fit` and :meth:`_evaluate`, so that batch
+        tensors and intermediates match the model.  ``None`` (default) leaves
+        the ambient default untouched.  Build the model under the same dtype
+        (e.g. with ``nn.default_dtype``) — a mismatched model/trainer dtype
+        silently promotes every intermediate to the wider of the two,
+        defeating the float32 fast path.  Under an emulated dtype the loop
+        automatically trains mixed-precision (:mod:`repro.nn.lowprec`):
+        float32 master weights inside the optimizer step, a dynamically
+        loss-scaled backward seed, and overflow steps skipped with the scale
+        halved.  Skipped steps still consume budget and advance the schedule
+        (the budget counts *attempts*, keeping step counts deterministic);
+        the scaler's ``applied_steps`` counter excludes them.
+    loss_scaler:
+        Override the :class:`~repro.nn.lowprec.LossScaler` used under emulated
+        dtypes (tests inject scalers with tiny growth intervals or absurd
+        initial scales to force overflows).  Ignored for native dtypes.
+    stochastic_rounding:
+        Opt-in stochastic rounding on the master-weight store path under
+        emulated dtypes.  Off by default — SR draws from an RNG, so the
+        runner paths keep deterministic round-to-nearest-even to preserve the
+        bitwise plan/batched equivalence oracles.
     plan:
         Graph planning (:mod:`repro.nn.plan`): capture the first step's tape
         signature and reuse every activation/gradient/workspace buffer on
@@ -83,6 +100,8 @@ class Trainer:
         dtype: str | np.dtype | None = None,
         plan: bool | None = None,
         plan_passes: str | Sequence[str] | None = None,
+        loss_scaler: LossScaler | None = None,
+        stochastic_rounding: bool = False,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -95,9 +114,14 @@ class Trainer:
         self.dtype = nn.resolve_dtype(dtype) if dtype is not None else None
         self.plan = nn.plan_enabled_default() if plan is None else bool(plan)
         self.plan_passes = plan_passes
+        self.loss_scaler = loss_scaler
+        self.stochastic_rounding = stochastic_rounding
         #: the :class:`~repro.nn.plan.GraphPlan` of the most recent ``fit``
         #: (``None`` when planning is disabled); exposes reuse counters
         self.last_plan: nn.GraphPlan | None = None
+        #: the mixed-precision state of the most recent ``fit`` (``None``
+        #: unless an emulated dtype was active); exposes the scaler counters
+        self.lowprec: LowPrecisionState | None = None
         self.history = History()
 
     # -- internals -------------------------------------------------------------
@@ -147,6 +171,23 @@ class Trainer:
         graph_plan = nn.GraphPlan(passes=self.plan_passes) if self.plan else None
         self.last_plan = graph_plan
 
+        # Under an emulated dtype (ambient, whether set by self.dtype or an
+        # enclosing default_dtype context) train mixed-precision: float32
+        # masters inside the optimizer step, loss-scaled backward seed,
+        # overflow steps skipped.  The master set is exactly the optimizer's
+        # parameter list — the values step() mutates.
+        emulation = nn.active_emulation()
+        lowprec: LowPrecisionState | None = None
+        if emulation is not None:
+            params = [p for group in self.optimizer.param_groups for p in group["params"]]
+            lowprec = LowPrecisionState(
+                params,
+                emulation,
+                loss_scaler=self.loss_scaler,
+                stochastic_rounding=self.stochastic_rounding,
+            )
+        self.lowprec = lowprec
+
         batches = self._batches()
         for step in range(total_steps):
             if self.schedule is not None:
@@ -160,8 +201,14 @@ class Trainer:
             with graph_plan.step() if graph_plan is not None else nullcontext():
                 loss = self.task.compute_loss(self.model, batch)
                 self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
+                if lowprec is None:
+                    loss.backward()
+                    self.optimizer.step()
+                else:
+                    # scale rides the backward seed (not a graph node), so
+                    # the captured plan tape is byte-for-byte unchanged
+                    loss.backward(lowprec.grad_seed(loss))
+                    lowprec.step(self.optimizer)
 
             loss_value = float(loss.data)
             self.history.record_step(lr, loss_value)

@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn.dtype import default_dtype
+from repro.nn.dtype import default_dtype, dtype_name, storage_dtype
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Tensor
 
@@ -57,17 +57,25 @@ def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1
     np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
 
 
-def tolerances_for(dtype: str | np.dtype) -> dict[str, float]:
-    """Gradcheck tolerances appropriate for a training dtype.
+#: per-dtype gradcheck tolerances, keyed by canonical dtype name.  Analytic
+#: gradients are compared against a float64 numeric reference, so each row
+#: absorbs that dtype's forward/backward rounding — amplified over the graph —
+#: while staying far below the O(1) error of an actually wrong gradient.
+#: The emulated dtypes *compute* in float32 but round every stored tensor to
+#: their grid (bf16: 7 mantissa bits, ~2^-8 relative per store; fp16: 10 bits,
+#: ~2^-11), so their rows are the float32 row widened by the grid's relative
+#: step times a graph-depth amplification factor.
+TOLERANCES = {
+    "float64": {"atol": 1e-5, "rtol": 1e-4},
+    "float32": {"atol": 5e-3, "rtol": 1e-2},
+    "float16": {"atol": 2e-2, "rtol": 6e-2},
+    "bfloat16": {"atol": 8e-2, "rtol": 3e-1},
+}
 
-    float32 analytic gradients are compared against float64 numeric ones, so
-    the tolerance must absorb float32 forward/backward rounding (~1e-6
-    relative per op, amplified over the graph) but stay far below the O(1)
-    error of an actually wrong gradient.
-    """
-    if np.dtype(dtype) == np.float32:
-        return {"atol": 5e-3, "rtol": 1e-2}
-    return {"atol": 1e-5, "rtol": 1e-4}
+
+def tolerances_for(dtype: str | np.dtype) -> dict[str, float]:
+    """Gradcheck tolerances appropriate for a training dtype (see TOLERANCES)."""
+    return dict(TOLERANCES[dtype_name(dtype)])
 
 
 def _scalar_loss(module: Module, x_arr: np.ndarray, proj: np.ndarray, forward) -> float:
@@ -114,17 +122,20 @@ def module_gradcheck(
     # outputs, which would vacuously pass).
     proj = np.random.default_rng(seed + 1).standard_normal(out_ref.shape)
 
-    # analytic side: the twin of ``ref``, built/run under the requested dtype
+    # analytic side: the twin of ``ref``, built/run under the requested dtype.
+    # Emulated dtypes (bfloat16/float16) *store* float32 arrays, so dtype
+    # assertions compare against the storage dtype.
+    storage = storage_dtype(dtype)
     module = prepared(dtype)
     with default_dtype(dtype):
         x = Tensor(x_data, requires_grad=True)
         out = forward(module, x) if forward is not None else module(x)
-        assert out.dtype == np.dtype(dtype), f"forward produced {out.dtype}, expected {dtype}"
+        assert out.dtype == storage, f"forward produced {out.dtype}, expected {storage}"
         out.backward(proj.astype(out.data.dtype))
 
     # numeric vs analytic: input gradient
     numeric_x = numerical_gradient(lambda arr: _scalar_loss(ref, arr, proj, forward), x_data.copy(), eps=eps)
-    assert x.grad is not None and x.grad.dtype == np.dtype(dtype)
+    assert x.grad is not None and x.grad.dtype == storage
     np.testing.assert_allclose(x.grad.astype(np.float64), numeric_x, **tols)
 
     # numeric vs analytic: every parameter gradient
@@ -142,7 +153,7 @@ def module_gradcheck(
             numeric[i] = (plus - minus) / (2 * eps)
         analytic = analytic_params[name].grad
         assert analytic is not None, f"no gradient accumulated for parameter {name!r}"
-        assert analytic.dtype == np.dtype(dtype), f"parameter {name!r} grad dtype {analytic.dtype}"
+        assert analytic.dtype == storage, f"parameter {name!r} grad dtype {analytic.dtype}"
         np.testing.assert_allclose(
             analytic.astype(np.float64).reshape(-1),
             numeric,

@@ -27,7 +27,7 @@ from repro.experiments.runner import RunConfig, run_single
 from repro.models.registry import MODEL_REGISTRY, build_model
 from repro.nn.losses import cross_entropy, detection_loss, vae_loss
 
-DTYPES = ("float64", "float32")
+DTYPES = ("float64", "float32", "bfloat16")
 NUM_SEEDS = 3
 STEPS = 3
 

@@ -51,9 +51,171 @@ class TestDtypePolicy:
 
     def test_unsupported_dtype_rejected(self):
         with pytest.raises(ValueError):
-            resolve_dtype("float16")
+            resolve_dtype("int32")
         with pytest.raises(ValueError):
             nn.Tensor([1.0], dtype="int64")
+
+    def test_unsupported_dtype_error_lists_supported_spellings(self):
+        # regression: the rejection used to say only "unsupported dtype" —
+        # now it enumerates every accepted spelling so the CLI/user can fix it
+        with pytest.raises(ValueError, match="float32.*float64.*bfloat16.*float16"):
+            resolve_dtype("float8")
+        with pytest.raises(ValueError, match="bfloat16"):
+            resolve_dtype("not-a-dtype")
+
+
+class TestEmulatedDtypeResolution:
+    def test_spellings_resolve_to_singletons(self):
+        from repro.nn.dtype import BFLOAT16, FLOAT16
+
+        assert resolve_dtype("bfloat16") is BFLOAT16
+        assert resolve_dtype("bf16") is BFLOAT16
+        assert resolve_dtype("float16") is FLOAT16
+        assert resolve_dtype("fp16") is FLOAT16
+        assert resolve_dtype("half") is FLOAT16
+        # np.float16 spellings resolve to the emulated policy — there is no
+        # native half-precision compute path on the numpy substrate
+        assert resolve_dtype(np.float16) is FLOAT16
+        assert resolve_dtype(np.dtype(np.float16)) is FLOAT16
+        assert resolve_dtype(FLOAT16) is FLOAT16
+
+    def test_names_and_predicates(self):
+        from repro.nn.dtype import compute_dtype, is_emulated, storage_dtype
+
+        assert dtype_name("bf16") == "bfloat16"
+        assert dtype_name("half") == "float16"
+        assert is_emulated("bfloat16") and is_emulated("float16")
+        assert not is_emulated("float32") and not is_emulated(np.float64)
+        assert storage_dtype("bfloat16") == np.float32
+        assert compute_dtype("float16") == np.float32
+        assert storage_dtype("float64") == np.float64
+
+    def test_ambient_emulation_scopes_and_restores(self):
+        from repro.nn.dtype import BFLOAT16, active_emulation
+
+        assert active_emulation() is None
+        with default_dtype("bfloat16"):
+            assert active_emulation() is BFLOAT16
+            # storage default is a real numpy dtype so np.zeros(...) call
+            # sites keep working under emulation
+            assert get_default_dtype() == np.float32
+            assert resolve_dtype(None) is BFLOAT16
+            with default_dtype("float64"):
+                assert active_emulation() is None
+                assert get_default_dtype() == np.float64
+            assert active_emulation() is BFLOAT16
+        assert active_emulation() is None
+        assert get_default_dtype() == np.float64
+
+
+class TestQuantization:
+    """Deterministic round-to-nearest-even onto the emulated grids."""
+
+    def test_bf16_rounds_to_nearest_even(self):
+        from repro.nn.dtype import BFLOAT16
+
+        ulp = 2.0**-7  # bf16 ULP at 1.0 (7 explicit mantissa bits)
+        x = np.array([1.0, 1.0 + ulp / 4, 1.0 + ulp / 2, 1.0 + 3 * ulp / 4], dtype=np.float32)
+        got = BFLOAT16.quantize(x)
+        # the tie at 1.0 + ulp/2 goes to the even mantissa (1.0)
+        np.testing.assert_array_equal(got, np.float32([1.0, 1.0, 1.0, 1.0 + ulp]))
+        # odd-mantissa tie rounds up to the even neighbour
+        tie_up = np.float32(1.0 + 3 * ulp / 2)
+        assert BFLOAT16.quantize(np.array([tie_up]))[0] == np.float32(1.0 + 2 * ulp)
+
+    def test_fp16_matches_numpy_half_cast(self):
+        from repro.nn.dtype import FLOAT16
+
+        rng = np.random.default_rng(0)
+        x = (rng.standard_normal(256) * 100).astype(np.float32)
+        np.testing.assert_array_equal(
+            FLOAT16.quantize(x), x.astype(np.float16).astype(np.float32)
+        )
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16"])
+    def test_nan_inf_and_overflow(self, name):
+        policy = resolve_dtype(name)
+        with np.errstate(over="ignore"):  # bf16 max * 4 overflows float32 itself
+            x = np.array([np.nan, np.inf, -np.inf, policy.max * 4, -policy.max * 4], np.float32)
+        got = policy.quantize(x)
+        assert np.isnan(got[0])  # NaN never becomes inf (bf16 carry guard)
+        np.testing.assert_array_equal(got[1:], [np.inf, -np.inf, np.inf, -np.inf])
+        assert policy.quantize(np.array([policy.max], np.float32))[0] == np.float32(policy.max)
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16"])
+    def test_idempotent_and_preserves_zero_sign(self, name):
+        policy = resolve_dtype(name)
+        x = (np.random.default_rng(1).standard_normal(128)).astype(np.float32)
+        once = policy.quantize(x)
+        np.testing.assert_array_equal(policy.quantize(once), once)
+        signed_zero = policy.quantize(np.array([0.0, -0.0], np.float32))
+        assert np.signbit(signed_zero[1]) and not np.signbit(signed_zero[0])
+
+    def test_bf16_non_contiguous_view_falls_back(self):
+        from repro.nn.dtype import BFLOAT16
+
+        base = (np.random.default_rng(2).standard_normal((8, 8))).astype(np.float32)
+        transposed = base.T.copy().T  # owns data but is not C-contiguous
+        assert not transposed.flags.c_contiguous
+        expected = BFLOAT16.quantize(np.ascontiguousarray(transposed))
+        BFLOAT16.quantize_(transposed)
+        np.testing.assert_array_equal(transposed, expected)
+
+
+class TestStochasticRounding:
+    """SR properties: unbiasedness, seed determinism, exact-value fixpoints."""
+
+    @pytest.mark.parametrize(
+        "name,ulp", [("bfloat16", 2.0**-7), ("float16", 2.0**-10)]
+    )
+    def test_unbiased_over_many_draws(self, name, ulp):
+        policy = resolve_dtype(name)
+        # x sits 30% of the way between grid points 1.0 and 1.0+ulp: RNE
+        # would *always* round down, SR must round up ~30% of the time
+        x = np.float32(1.0 + 0.3 * ulp)
+        rng = np.random.default_rng(42)
+        draws = np.empty(20_000, dtype=np.float32)
+        for i in range(draws.size):
+            draws[i] = policy.stochastic_round_(np.array([x], np.float32), rng)[0]
+        assert set(np.unique(draws)) == {np.float32(1.0), np.float32(1.0 + ulp)}
+        up_rate = float(np.mean(draws == np.float32(1.0 + ulp)))
+        assert abs(up_rate - 0.3) < 0.02, f"SR up-rate {up_rate} biased away from 0.3"
+        # E[SR(x)] == x to within sampling noise
+        assert abs(float(draws.astype(np.float64).mean()) - float(x)) < 0.01 * ulp
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16"])
+    def test_fixed_seed_is_deterministic(self, name):
+        policy = resolve_dtype(name)
+        x = (np.random.default_rng(3).standard_normal(64)).astype(np.float32)
+        a = policy.stochastic_round_(x.copy(), np.random.default_rng(7))
+        b = policy.stochastic_round_(x.copy(), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+        c = policy.stochastic_round_(x.copy(), np.random.default_rng(8))
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16"])
+    def test_exactly_representable_values_never_move(self, name):
+        policy = resolve_dtype(name)
+        grid = policy.quantize((np.random.default_rng(4).standard_normal(64)).astype(np.float32))
+        special = np.array([0.0, -0.0, 1.0, -2.0, np.inf, -np.inf, np.nan], np.float32)
+        for _ in range(5):
+            rng = np.random.default_rng(11)
+            np.testing.assert_array_equal(policy.stochastic_round_(grid.copy(), rng), grid)
+            got = policy.stochastic_round_(special.copy(), rng)
+            np.testing.assert_array_equal(got[:6], special[:6])
+            assert np.isnan(got[6])
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16"])
+    def test_stream_consumption_is_shape_uniform(self, name):
+        # an all-on-grid store must consume the same number of draws as an
+        # off-grid one, or master-weight SR would de-synchronise across steps
+        policy = resolve_dtype(name)
+        on_grid = policy.quantize(np.ones(16, np.float32))
+        off_grid = on_grid + np.float32(1e-4)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        policy.stochastic_round_(on_grid.copy(), rng_a)
+        policy.stochastic_round_(off_grid.copy(), rng_b)
+        np.testing.assert_array_equal(rng_a.random(4), rng_b.random(4))
 
 
 class TestTensorDtypeCoercion:
@@ -94,6 +256,59 @@ class TestTensorDtypeCoercion:
             x = nn.Tensor([1.0, -2.0], requires_grad=True)
             (x.relu().sum()).backward()
         assert x.grad.dtype == np.float32
+
+
+class TestEmulatedTensorSemantics:
+    """Cast-on-store at the Tensor layer: leaves, op results, leaf gradients."""
+
+    def test_leaf_and_op_results_land_on_grid(self):
+        from repro.nn.dtype import BFLOAT16
+
+        with default_dtype("bfloat16"):
+            x = nn.Tensor([1.0 + 2.0**-10, 2.0, 3.0])  # off-grid leaf
+            assert x.dtype == np.float32
+            np.testing.assert_array_equal(x.data, BFLOAT16.quantize(x.data))
+            y = x * nn.Tensor([1.1, 1.3, 1.7])
+            np.testing.assert_array_equal(y.data, BFLOAT16.quantize(y.data))
+
+    def test_leaf_gradients_quantized_interior_stay_float32(self):
+        from repro.nn.dtype import BFLOAT16
+
+        with default_dtype("bfloat16"):
+            x = nn.Tensor(np.linspace(0.1, 1.7, 8), requires_grad=True)
+            w = nn.Tensor(np.linspace(-1.3, 0.9, 8), requires_grad=True)
+            ((x * w).sum() * 1.234).backward()
+        for leaf in (x, w):
+            assert leaf.grad.dtype == np.float32
+            np.testing.assert_array_equal(leaf.grad, BFLOAT16.quantize(leaf.grad))
+
+    def test_explicit_emulated_dtype_without_ambient_policy(self):
+        from repro.nn.dtype import FLOAT16
+
+        t = nn.Tensor([1.0 + 2.0**-13], dtype="float16")
+        assert t.dtype == np.float32
+        np.testing.assert_array_equal(t.data, FLOAT16.quantize(np.float32([1.0 + 2.0**-13])))
+
+    def test_constructors_and_astype_under_emulation(self):
+        from repro.nn.dtype import BFLOAT16
+
+        z = nn.Tensor.zeros(2, 2, dtype="bfloat16")
+        assert z.dtype == np.float32 and not z.data.any()
+        r = nn.Tensor.randn(64, rng=np.random.default_rng(0), dtype="bfloat16")
+        np.testing.assert_array_equal(r.data, BFLOAT16.quantize(r.data))
+        x = nn.Tensor(np.linspace(0.0, 1.0, 16))
+        cast = x.astype("bfloat16")
+        assert cast.dtype == np.float32
+        np.testing.assert_array_equal(cast.data, BFLOAT16.quantize(x.data.astype(np.float32)))
+
+    def test_parameters_quantized_end_to_end(self):
+        from repro.nn.dtype import BFLOAT16
+
+        with default_dtype("bfloat16"):
+            model = nn.Linear(6, 5, rng=np.random.default_rng(3))
+            for p in model.parameters():
+                assert p.dtype == np.float32
+                np.testing.assert_array_equal(p.data, BFLOAT16.quantize(p.data))
 
 
 class TestModelStackDtype:
@@ -164,6 +379,16 @@ class TestRunConfigDtype:
         f64 = config_fingerprint(tiny_config())
         f32 = config_fingerprint(tiny_config(dtype="float32"))
         assert f64 != f32
+
+    def test_emulated_fingerprints_distinct_from_native(self):
+        # bfloat16/float16 cells must never collide with float32 (they share
+        # storage dtype but follow different training numerics)
+        prints = {
+            name: config_fingerprint(tiny_config(dtype=name))
+            for name in ("float32", "float64", "bfloat16", "float16")
+        }
+        assert len(set(prints.values())) == 4
+        assert fingerprint_payload(tiny_config(dtype="bfloat16"))["dtype"] == "bfloat16"
 
     def test_fingerprint_resolves_default_spelling(self):
         # dtype=None and the setting default spelled out are the same cell

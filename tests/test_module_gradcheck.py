@@ -1,10 +1,12 @@
-"""Numerical gradchecks for every module family in the zoo, in both dtypes.
+"""Numerical gradchecks for every module family in the zoo, across dtypes.
 
 The satellite op-level gradient tests live in ``test_tensor.py`` /
 ``test_functional.py``; this file closes the gap at the *module* level —
 attention, convolution, pooling and normalisation — and parameterises each
-check over float32 and float64 (float32 with loosened tolerances, see
-``gradcheck.tolerances_for``).
+check over float64, float32 and the emulated low-precision dtypes
+(bfloat16/float16 compute in float32 but round every stored tensor to
+their grid, so they get progressively looser tolerances — see
+``gradcheck.tolerances_for``).  The numeric reference is always float64.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import pytest
 from gradcheck import module_gradcheck
 from repro import nn
 
-DTYPES = ("float64", "float32")
+DTYPES = ("float64", "float32", "bfloat16", "float16")
 
 
 @pytest.mark.parametrize("dtype", DTYPES)

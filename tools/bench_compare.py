@@ -7,9 +7,10 @@ Usage::
 
 The gate compares the **dimensionless** metrics of every baseline entry —
 speedup ratios (``*_speedup``), reduction ratios (``*_reduction``, e.g. the
-plan compiler's deterministic ``arena_reduction`` byte-count ratio) and the
-planned-vs-unplanned allocation-peak reduction derived from the ``*_plan``
-entries — because those are the numbers that survive a machine change:
+plan compiler's deterministic ``arena_reduction`` byte-count ratio), relative
+throughputs (``*_relative_throughput``, e.g. the emulated-bf16 overhead
+gauge) and the planned-vs-unplanned allocation-peak reduction derived from
+the ``*_plan`` entries — because those are the numbers that survive a machine change:
 absolute seconds and steps/second depend on the host and are printed for
 context only, never gated.
 
@@ -55,7 +56,8 @@ def gated_metrics(entry: dict) -> dict[str, float]:
     metrics = {
         key: float(value)
         for key, value in entry.items()
-        if key.endswith(("_speedup", "_reduction")) and isinstance(value, (int, float))
+        if key.endswith(("_speedup", "_reduction", "_relative_throughput"))
+        and isinstance(value, (int, float))
     }
     planned = entry.get("planned_step_alloc_peak_kb")
     unplanned = entry.get("unplanned_step_alloc_peak_kb")
