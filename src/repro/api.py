@@ -38,6 +38,15 @@ from repro.execution import (
     plan_lr_grid,
     plan_setting_table,
 )
+from repro.history import (
+    HistoryStore,
+    Subscription,
+    SubscriptionConfig,
+    load_subscription_config,
+    record_subscriptions,
+    render_digest_html,
+    render_history_markdown,
+)
 from repro.experiments.glue_runner import (
     GlueRunConfig,
     GlueTaskCell,
@@ -111,4 +120,12 @@ __all__ = [
     # records
     "RunRecord",
     "RunStore",
+    # drift history (continuous reproduction)
+    "HistoryStore",
+    "Subscription",
+    "SubscriptionConfig",
+    "load_subscription_config",
+    "record_subscriptions",
+    "render_digest_html",
+    "render_history_markdown",
 ]

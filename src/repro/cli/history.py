@@ -1,0 +1,117 @@
+"""The ``repro history`` command group: the continuous-reproduction service.
+
+Three subcommands over one append-only JSONL file:
+
+``record``
+    Load a subscriptions config, execute every due subscription's artifacts
+    through the cache-aware engine, and append one immutable drift row per
+    artifact (see :mod:`repro.history.record`).  Run it from cron/CI on any
+    cadence — subscriptions carry their own cadence and skip themselves when
+    they are not due yet.
+``show``
+    Render the history as deterministic markdown: per-artifact run and drift
+    trend tables plus the perf-metric trajectory.
+``digest``
+    Render the same content as one self-contained HTML page (inline CSS, no
+    scripts) suitable for a CI artifact or an email body.
+
+Functions here raise :class:`ValueError` on user-input problems; the
+``python -m repro`` front-end wraps those into its one-line ``CLIError``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.execution.context import ExecutionContext
+from repro.history.record import record_subscriptions
+from repro.history.render import render_digest_html, render_history_markdown
+from repro.history.store import HistoryStore
+from repro.history.subscriptions import load_subscription_config
+
+__all__ = ["DEFAULT_HISTORY_PATH", "run_digest", "run_record", "run_show"]
+
+#: where drift rows accumulate unless the config or ``--history`` says otherwise
+DEFAULT_HISTORY_PATH = "runs/history.jsonl"
+
+
+def _load_config(config_path: str | Path):
+    try:
+        return load_subscription_config(config_path)
+    except FileNotFoundError as exc:
+        raise ValueError(f"subscriptions config not found: {config_path}") from exc
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"{config_path}: {exc}") from exc
+
+
+def run_record(
+    config_path: str | Path,
+    history_path: str | Path | None = None,
+    bench_path: str | Path | None = None,
+    context: ExecutionContext | None = None,
+    force: bool = False,
+    out: Callable[[str], None] = print,
+) -> list[dict[str, Any]]:
+    """``history record``: append one drift row per due subscription artifact.
+
+    Paths resolve flag-over-config-over-default: an explicit argument wins,
+    then the config file's ``history``/``bench`` entries, then
+    :data:`DEFAULT_HISTORY_PATH` (bench has no default — no bench artifact
+    simply means rows without perf metrics).
+    """
+    config = _load_config(config_path)
+    resolved_history = history_path or config.history or DEFAULT_HISTORY_PATH
+    resolved_bench = bench_path or config.bench
+    store = HistoryStore(resolved_history)
+    before = len(store)
+    try:
+        rows = record_subscriptions(
+            config,
+            store,
+            context=context,
+            bench_path=resolved_bench,
+            force=force,
+            progress=out,
+        )
+    except (KeyError, ValueError) as exc:
+        # unknown artifact/scale names in the config are user errors
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from exc
+    out(
+        f"history: {len(rows)} row(s) appended to {resolved_history} "
+        f"({before} -> {before + len(rows)} total)"
+    )
+    return rows
+
+
+def run_show(
+    history_path: str | Path,
+    only: str | None = None,
+    last: int | None = None,
+    window: int = 5,
+) -> str:
+    """``history show``: the history rendered as deterministic markdown."""
+    store = HistoryStore(history_path)
+    history = store.read()
+    if not history.rows and not history.skipped:
+        raise ValueError(f"no history at {history_path} (record some rows first)")
+    return render_history_markdown(history, only=only, last=last, window=window)
+
+
+def run_digest(
+    history_path: str | Path,
+    out_path: str | Path | None = None,
+    window: int = 5,
+    title: str = "Reproduction drift digest",
+) -> str:
+    """``history digest``: render the HTML digest, optionally writing it to disk."""
+    store = HistoryStore(history_path)
+    history = store.read()
+    if not history.rows and not history.skipped:
+        raise ValueError(f"no history at {history_path} (record some rows first)")
+    page = render_digest_html(history, window=window, title=title)
+    if out_path is not None:
+        out_file = Path(out_path)
+        out_file.parent.mkdir(parents=True, exist_ok=True)
+        out_file.write_text(page, encoding="utf-8")
+    return page

@@ -38,6 +38,16 @@ Four more turn the same machinery into a distributed experiment fabric
     Serve a local cache directory over HTTP by content hash, so remote
     engines and workers can share it (``--cache-dir http://...`` anywhere).
 
+And one command group turns the reproduction into a *continuous* service
+(see :mod:`repro.cli.history` and the drift-history section of
+``ARCHITECTURE.md``):
+
+``history record|show|digest``
+    Execute config-driven artifact subscriptions on their own cadences,
+    append one immutable drift row per artifact to an append-only JSONL
+    history, and render per-artifact drift trends plus the perf trajectory
+    as markdown or a self-contained HTML digest.
+
 ``run``/``report``/``serve`` resolve their execution options into one
 :class:`repro.execution.ExecutionContext`; ``--cache-dir`` accepts either a
 directory or an ``http(s)://`` cache-server URL everywhere it appears.
@@ -186,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{list,run,report,clean,serve,worker,request,cache-server}",
+        metavar="{list,run,report,clean,serve,worker,request,cache-server,history}",
     )
 
     p_list = sub.add_parser("list", help="enumerate the registered tables and figures")
@@ -315,7 +325,116 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR")
     p_cache.add_argument("--host", default="127.0.0.1", metavar="HOST")
     p_cache.add_argument("--port", type=int, default=8766, metavar="PORT")
+
+    _add_history_parsers(sub)
     return parser
+
+
+def _add_history_parsers(sub: "argparse._SubParsersAction") -> None:
+    """Attach the ``history record|show|digest`` command group."""
+    from repro.cli.history import DEFAULT_HISTORY_PATH
+
+    p_history = sub.add_parser(
+        "history",
+        help="continuous reproduction: record drift rows, render trend digests",
+    )
+    hist_sub = p_history.add_subparsers(
+        dest="history_command", required=True, metavar="{record,show,digest}"
+    )
+
+    history_flag = dict(
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only JSONL drift history file (default: the config's "
+            f"'history' entry, else {DEFAULT_HISTORY_PATH})"
+        ),
+    )
+
+    p_rec = hist_sub.add_parser(
+        "record", help="execute due subscriptions and append one drift row per artifact"
+    )
+    p_rec.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="subscriptions file (YAML or JSON; see examples/subscriptions.yaml)",
+    )
+    p_rec.add_argument("--history", **history_flag)
+    p_rec.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help=(
+            "BENCH_hotpath.json whose gated metrics ride along on each row "
+            "(default: the config's 'bench' entry, else none)"
+        ),
+    )
+    p_rec.add_argument(
+        "--force",
+        action="store_true",
+        help="record every subscription now, ignoring cadences",
+    )
+    p_rec.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="train cells on N worker processes (default: 1, serial)",
+    )
+    p_rec.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR|URL",
+        help=(
+            "content-addressed run cache: a directory or an http(s):// "
+            f"cache-server URL; '' disables caching (default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    p_rec.add_argument("--batch-seeds", action=argparse.BooleanOptionalAction, default=False)
+    p_rec.add_argument("--plan", action=argparse.BooleanOptionalAction, default=None)
+    p_rec.add_argument("--plan-passes", default=None, metavar="PASSES")
+
+    p_show = hist_sub.add_parser("show", help="render the drift history as markdown")
+    p_show.add_argument("--history", **{**history_flag, "default": DEFAULT_HISTORY_PATH})
+    p_show.add_argument(
+        "--only", default=None, metavar="NAME", help="restrict to one artifact name"
+    )
+    p_show.add_argument(
+        "--last",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="show only the newest N rows per artifact (default: all)",
+    )
+    p_show.add_argument(
+        "--window",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="trailing window for the perf-trajectory median row (default: 5)",
+    )
+
+    p_digest = hist_sub.add_parser(
+        "digest", help="render the drift history as a self-contained HTML digest"
+    )
+    p_digest.add_argument("--history", **{**history_flag, "default": DEFAULT_HISTORY_PATH})
+    p_digest.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the HTML here as well as printing it (default: stdout only)",
+    )
+    p_digest.add_argument(
+        "--window",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="trailing window for the perf-trajectory median row (default: 5)",
+    )
+    p_digest.add_argument(
+        "--title", default="Reproduction drift digest", metavar="TEXT"
+    )
 
 
 def _selection(args: argparse.Namespace):
@@ -523,6 +642,37 @@ def cmd_cache_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_history(args: argparse.Namespace) -> int:
+    """``history``: dispatch to the record/show/digest continuous-reproduction verbs."""
+    from repro.cli.history import run_digest, run_record, run_show
+
+    try:
+        if args.history_command == "record":
+            run_record(
+                args.config,
+                history_path=args.history,
+                bench_path=args.bench,
+                context=_context_from(args),
+                force=args.force,
+            )
+        elif args.history_command == "show":
+            print(
+                run_show(args.history, only=args.only, last=args.last, window=args.window),
+                end="",
+            )
+        else:
+            page = run_digest(
+                args.history, out_path=args.out, window=args.window, title=args.title
+            )
+            if args.out:
+                print(f"digest: wrote {len(page)} bytes to {args.out}")
+            else:
+                print(page, end="")
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    return 0
+
+
 _COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -532,6 +682,7 @@ _COMMANDS = {
     "worker": cmd_worker,
     "request": cmd_request,
     "cache-server": cmd_cache_server,
+    "history": cmd_history,
 }
 
 

@@ -220,11 +220,18 @@ class RunCache:
         return self.path_for(config).exists()
 
     def clear(self) -> int:
-        """Delete every cached entry; return how many were removed."""
+        """Delete every cached entry; return how many were removed.
+
+        The directory is shared between processes, so an entry listed by the
+        glob may already have been pruned by someone else before we unlink it —
+        ``missing_ok=True`` gives ``clear`` the same concurrent-delete
+        tolerance :meth:`get` has (either way the entry is gone, which is what
+        the caller asked for).
+        """
         removed = 0
         if self.cache_dir.is_dir():
             for entry in self.cache_dir.glob("*.json"):
-                entry.unlink()
+                entry.unlink(missing_ok=True)
                 removed += 1
         return removed
 

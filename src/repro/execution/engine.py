@@ -108,6 +108,17 @@ class EngineReport:
     cache_tiers: dict[str, dict[str, int]] = field(default_factory=dict)
     failures: list[str] = field(default_factory=list)
 
+    @property
+    def cache_errors(self) -> int:
+        """Total backend errors across every cache tier this run touched.
+
+        Non-zero means a tier misbehaved (HTTP 5xx, transport failure on a
+        put/len probe) rather than merely missing — the signal the drift
+        history records so a flaky cache server shows up in the trend, not
+        as a mysteriously cold cache.
+        """
+        return sum(int(counters.get("errors", 0)) for counters in self.cache_tiers.values())
+
     def as_dict(self) -> dict[str, Any]:
         """Report counters as a plain dict (for logging / JSON serialisation)."""
         return {
@@ -119,6 +130,7 @@ class EngineReport:
             "batched_records": self.batched_records,
             "remote": self.remote,
             "executor": self.executor,
+            "cache_errors": self.cache_errors,
             "cache_tiers": {tier: dict(c) for tier, c in self.cache_tiers.items()},
             "failures": list(self.failures),
         }

@@ -372,12 +372,25 @@ class QueueWorker:
         # record with a re-queued job, and the re-run's first-write-wins cache
         # put is a no-op on identical bytes.  A publish failure (cache server
         # down) fails the *job* — retried under its attempt budget — instead
-        # of crashing the worker loop with a dangling lease.
+        # of crashing the worker loop with a dangling lease.  Remote caches
+        # degrade gracefully on put (transport errors are counted, not
+        # raised), so the membership probe is what actually confirms delivery
+        # before the lease is completed.
         try:
             self.cache.put(job.config, record)
+            # duck-typed caches without a membership probe are trusted
+            published = (
+                job.config in self.cache
+                if hasattr(type(self.cache), "__contains__")
+                else True
+            )
         except Exception as exc:
             self.failed += 1
             self.queue.fail(job.id, self.owner, f"publish failed: {exc!r}")
+            return True
+        if not published:
+            self.failed += 1
+            self.queue.fail(job.id, self.owner, "publish failed: record not visible in cache after put")
             return True
         self.queue.complete(job.id, self.owner)
         self.completed += 1

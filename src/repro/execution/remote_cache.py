@@ -175,8 +175,11 @@ class HTTPRunCache:
 
     Drop-in for :class:`~repro.execution.cache.RunCache` wherever the engine,
     workers or the serve front-end accept a cache.  A connection failure on
-    ``get`` counts as a miss (the caller can still train); on ``put`` it
-    raises, because silently dropping a finished record would waste the work.
+    ``get`` counts as a miss (the caller can still train); on ``put`` it is
+    recorded in :attr:`CacheStats.errors` but never raised — a run that just
+    spent minutes training must not be aborted by a flaky store (callers that
+    need delivery confirmation, like the queue worker's publish-before-complete
+    step, check membership after the put instead).
     """
 
     tier_name = "remote"
@@ -223,7 +226,14 @@ class HTTPRunCache:
         return record
 
     def put(self, config: Any, record: RunRecord) -> None:
-        """Upload ``record`` under ``config``'s fingerprint (idempotent server-side)."""
+        """Upload ``record`` under ``config``'s fingerprint (idempotent server-side).
+
+        An unreachable or broken store counts in :attr:`CacheStats.errors`
+        instead of raising: the training work is already done and the caller
+        may have other (local) tiers that can still keep the record.  A 4xx
+        rejection, by contrast, means *we* sent a malformed payload — that is
+        a bug worth a traceback, so it propagates.
+        """
         fingerprint = config_fingerprint(config)
         payload = {
             "fingerprint": fingerprint,
@@ -237,8 +247,19 @@ class HTTPRunCache:
             method="PUT",
             headers={"Content-Type": "application/json"},
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            response.read()
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                response.read()
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            exc.close()
+            if 400 <= status < 500:
+                raise
+            self.stats.errors += 1
+            return
+        except (urllib.error.URLError, OSError):
+            self.stats.errors += 1
+            return
         self.stats.stores += 1
 
     def __contains__(self, config: Any) -> bool:
@@ -253,10 +274,15 @@ class HTTPRunCache:
             return False
 
     def __len__(self) -> int:
+        # A failed /stats probe is a broken backend, not an empty store: count
+        # it in ``stats.errors`` (surfaced through ``EngineReport.cache_tiers``)
+        # so an outage cannot masquerade as "0 records" in reports.  The
+        # ``len()`` contract still forces an int, so 0 comes back either way.
         try:
             with urllib.request.urlopen(f"{self.base_url}/stats", timeout=self.timeout) as response:
                 return int(json.loads(response.read())["count"])
         except (urllib.error.URLError, OSError, json.JSONDecodeError, KeyError, ValueError):
+            self.stats.errors += 1
             return 0
 
     def clear(self) -> int:
@@ -304,16 +330,31 @@ class TieredRunCache:
             record = tier.get(config)
             if record is not None:
                 for nearer in self.tiers[:i]:
-                    nearer.put(config, record)
+                    # backfill is an optimisation; a tier that cannot take the
+                    # copy (disk full, transport down) must not turn a hit
+                    # into an aborted run
+                    try:
+                        nearer.put(config, record)
+                    except (urllib.error.URLError, OSError):
+                        self.stats.errors += 1
                 self.stats.hits += 1
                 return record
         self.stats.misses += 1
         return None
 
     def put(self, config: Any, record: RunRecord) -> None:
-        """Write ``record`` through to every tier."""
+        """Write ``record`` through to every tier that will take it.
+
+        A tier whose transport is down (remote store unreachable mid-run) is
+        counted in this composite's :attr:`CacheStats.errors` and skipped —
+        the surviving tiers still get the record, so training degrades to
+        local caching instead of losing the finished run.
+        """
         for tier in self.tiers:
-            tier.put(config, record)
+            try:
+                tier.put(config, record)
+            except (urllib.error.URLError, OSError):
+                self.stats.errors += 1
         self.stats.stores += 1
 
     def __contains__(self, config: Any) -> bool:

@@ -1,0 +1,59 @@
+"""Continuous reproduction: scheduled re-runs with an append-only drift history.
+
+The registry (:mod:`repro.reporting`) renders *point-in-time* drift reports;
+this package tracks drift **over time**, turning the reproduction into a
+monitored service:
+
+``repro.history.subscriptions``
+    Config-driven artifact subscriptions (YAML or JSON): which artifacts to
+    re-run, at what scale/dtype/seeds, and how often (``cadence``).
+``repro.history.store``
+    The append-only JSONL :class:`HistoryStore`: one immutable row per
+    artifact per recording run, never rewritten — the file is the audit
+    trail.
+``repro.history.record``
+    The recording pipeline: execute each subscribed artifact through the
+    existing :class:`~repro.execution.context.ExecutionContext`/engine stack
+    and append a row carrying the timestamp, git revision, scale, per-metric
+    drift against the paper, the engine's cache hit/error stats, and the
+    gated dimensionless perf metrics ingested from ``BENCH_hotpath.json``.
+``repro.history.render``
+    Deterministic renderers over the history file: ``repro history show``
+    markdown and the ``repro history digest`` HTML report with per-artifact
+    drift trend tables and the perf trajectory.
+
+The CLI surface is ``python -m repro history record|show|digest``; the
+trailing-window perf gate lives in ``tools/bench_compare.py --history``.
+"""
+
+from repro.history.record import (
+    collect_bench_metrics,
+    current_git_rev,
+    record_subscriptions,
+    utc_timestamp,
+)
+from repro.history.render import render_digest_html, render_history_markdown
+from repro.history.store import ROW_VERSION, HistoryStore
+from repro.history.subscriptions import (
+    Subscription,
+    SubscriptionConfig,
+    cadence_seconds,
+    load_subscription_config,
+    parse_mini_yaml,
+)
+
+__all__ = [
+    "HistoryStore",
+    "ROW_VERSION",
+    "Subscription",
+    "SubscriptionConfig",
+    "cadence_seconds",
+    "collect_bench_metrics",
+    "current_git_rev",
+    "load_subscription_config",
+    "parse_mini_yaml",
+    "record_subscriptions",
+    "render_digest_html",
+    "render_history_markdown",
+    "utc_timestamp",
+]

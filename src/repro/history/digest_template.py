@@ -1,0 +1,56 @@
+"""The HTML shell the drift digest is rendered through.
+
+A plain :class:`string.Template` — no templating dependency, no scripts, no
+external assets — so the digest is one self-contained file that any mail
+client or artifact browser renders.  Everything substituted into it is
+escaped by :mod:`repro.history.render`; the template itself carries only
+static structure and style.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+__all__ = ["DIGEST_TEMPLATE", "SECTION_TEMPLATE"]
+
+#: the page shell: ``$title``, ``$subtitle``, ``$sections``
+DIGEST_TEMPLATE = Template(
+    """\
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>$title</title>
+<style>
+  body { font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial, sans-serif;
+         margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a1a; }
+  h1 { border-bottom: 2px solid #1a1a1a; padding-bottom: .3rem; }
+  h2 { margin-top: 2rem; }
+  p.meta { color: #555; }
+  table { border-collapse: collapse; margin: .75rem 0; font-size: .9rem; }
+  th, td { border: 1px solid #c8c8c8; padding: .25rem .6rem; text-align: right; }
+  th { background: #f2f2f2; }
+  td.label, th.label { text-align: left; font-family: ui-monospace, monospace; }
+  td.good { color: #0a6b2d; }
+  td.bad { color: #a32020; }
+  td.flat { color: #555; }
+  tr.summary td { border-top: 2px solid #888; font-weight: 600; }
+</style>
+</head>
+<body>
+<h1>$title</h1>
+<p class="meta">$subtitle</p>
+$sections
+</body>
+</html>
+"""
+)
+
+#: one artifact / trajectory section: ``$heading``, ``$note``, ``$tables``
+SECTION_TEMPLATE = Template(
+    """\
+<h2>$heading</h2>
+<p class="meta">$note</p>
+$tables
+"""
+)

@@ -1,0 +1,182 @@
+"""The recording pipeline: run subscribed artifacts, append one row each.
+
+``record_subscriptions`` is the heart of ``repro history record``: it resolves
+every subscription against the artifact registry, executes the cells through
+the existing cache-aware engine (so a cadence of ``always`` over an unchanged
+tree costs only cache hits), builds each artifact, and appends one immutable
+history row per artifact carrying
+
+- the recording timestamp (one per invocation — all rows of a run share it)
+  and the repository's git revision,
+- the resolved scale (name, size/epoch multipliers, seeds, dtype),
+- the per-cell drift against the paper's published numbers
+  (:func:`repro.reporting.report.drift_rows`),
+- the engine's cache hit/error stats (:class:`~repro.execution.engine.EngineReport`),
+- and the gated dimensionless perf metrics ingested from a
+  ``BENCH_hotpath.json`` artifact when one is present — the trajectory the
+  windowed ``tools/bench_compare.py --history`` gate rides on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.execution.context import ExecutionContext
+from repro.history.store import ROW_VERSION, HistoryStore, parse_timestamp
+from repro.history.subscriptions import Subscription, SubscriptionConfig
+from repro.reporting.registry import execute_artifact, resolve_artifacts, resolve_scale
+from repro.reporting.report import drift_rows
+
+__all__ = [
+    "collect_bench_metrics",
+    "current_git_rev",
+    "record_subscriptions",
+    "utc_timestamp",
+]
+
+#: the dimensionless, higher-is-better metric suffixes the perf gate rides on
+#: (kept in sync with ``tools/bench_compare.py``, which cannot import this
+#: package because it must run as a bare script with no PYTHONPATH)
+GATED_SUFFIXES = ("_speedup", "_reduction", "_relative_throughput")
+
+
+def utc_timestamp(now: datetime | None = None) -> str:
+    """A second-resolution UTC timestamp (``2026-08-08T12:34:56Z``)."""
+    stamp = now or datetime.now(timezone.utc)
+    return stamp.astimezone(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def current_git_rev(repo_root: str | Path | None = None) -> str:
+    """The short git revision of ``repo_root`` (or the CWD), or ``"unknown"``.
+
+    History rows must be recordable from un-versioned checkouts (tarballs,
+    containers without git), so every failure mode degrades to ``"unknown"``
+    rather than aborting the recording.
+    """
+    command = ["git", "rev-parse", "--short=12", "HEAD"]
+    try:
+        result = subprocess.run(
+            command,
+            cwd=str(repo_root) if repo_root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = result.stdout.strip()
+    return rev if result.returncode == 0 and rev else "unknown"
+
+
+def gated_bench_metrics(entry: dict[str, Any]) -> dict[str, float]:
+    """The gated dimensionless metrics of one microbench entry.
+
+    Mirrors ``tools/bench_compare.py``: every finite numeric ``*_speedup`` /
+    ``*_reduction`` / ``*_relative_throughput`` value, plus the derived
+    planned-vs-unplanned allocation-peak reduction.
+    """
+    metrics = {
+        key: float(value)
+        for key, value in entry.items()
+        if key.endswith(GATED_SUFFIXES)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+    planned = entry.get("planned_step_alloc_peak_kb")
+    unplanned = entry.get("unplanned_step_alloc_peak_kb")
+    if planned and unplanned:
+        metrics["alloc_peak_reduction"] = float(unplanned) / float(planned)
+    return {key: value for key, value in metrics.items() if math.isfinite(value)}
+
+
+def collect_bench_metrics(bench_path: str | Path | None) -> dict[str, float]:
+    """Flatten a ``BENCH_hotpath.json`` into ``{"entry.metric": value}``.
+
+    A missing or malformed artifact yields ``{}`` — perf trajectory is an
+    optional rider on the drift history, never a reason to skip recording.
+    """
+    if bench_path is None:
+        return {}
+    try:
+        payload = json.loads(Path(bench_path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    results = payload.get("results") if isinstance(payload, dict) else None
+    if not isinstance(results, dict):
+        return {}
+    flat: dict[str, float] = {}
+    for entry_name, entry in sorted(results.items()):
+        if isinstance(entry, dict):
+            for metric, value in gated_bench_metrics(entry).items():
+                flat[f"{entry_name}.{metric}"] = value
+    return flat
+
+
+def _due(sub: Subscription, store: HistoryStore, now: datetime) -> bool:
+    """Whether ``sub``'s cadence says it should record again right now."""
+    period = sub.cadence_seconds
+    if period <= 0:
+        return True
+    last_text = store.last_timestamp_for(sub.name)
+    last = parse_timestamp(last_text) if last_text else None
+    if last is None:
+        return True
+    return (now - last).total_seconds() >= period
+
+
+def record_subscriptions(
+    config: SubscriptionConfig,
+    store: HistoryStore,
+    context: ExecutionContext | None = None,
+    bench_path: str | Path | None = None,
+    force: bool = False,
+    now: datetime | None = None,
+    git_rev: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Execute every due subscription and append one row per artifact.
+
+    Returns the rows that were appended (possibly empty, when every
+    subscription was within its cadence and ``force`` was not set).  Rows are
+    appended per artifact as they complete, so a crash mid-run preserves the
+    finished work — the append-only file needs no transaction.
+    """
+    context = context or ExecutionContext()
+    note = progress or (lambda message: None)
+    stamp_dt = (now or datetime.now(timezone.utc)).astimezone(timezone.utc)
+    timestamp = utc_timestamp(stamp_dt)
+    rev = git_rev if git_rev is not None else current_git_rev()
+    bench = collect_bench_metrics(bench_path)
+    appended: list[dict[str, Any]] = []
+    for sub in config.subscriptions:
+        if not force and not _due(sub, store, stamp_dt):
+            note(f"{sub.name}: within cadence {sub.cadence!r}, skipped (--force overrides)")
+            continue
+        scale = resolve_scale(sub.scale, dtype=sub.dtype, seeds=sub.seeds)
+        for artifact in resolve_artifacts(",".join(sub.artifacts)):
+            records, report = execute_artifact(artifact, scale, context=context)
+            result = artifact.build(records, scale)
+            row = {
+                "version": ROW_VERSION,
+                "timestamp": timestamp,
+                "git_rev": rev,
+                "subscription": sub.name,
+                "artifact": artifact.name,
+                "paper_ref": artifact.paper_ref,
+                "scale": scale.as_dict(),
+                "drift": drift_rows(result),
+                "engine": report.as_dict(),
+                "bench": bench,
+            }
+            store.append([row])
+            appended.append(row)
+            note(
+                f"{sub.name}/{artifact.name}: recorded ({report.cache_hits} cache hits, "
+                f"{report.executed} executed, {report.cache_errors} cache errors)"
+            )
+    return appended

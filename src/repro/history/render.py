@@ -1,0 +1,326 @@
+"""Deterministic renderers over the drift history file.
+
+Both renderers are pure functions of the history rows: no timestamps of their
+own, no hostnames, no environment reads — rendering the same history file
+twice produces byte-identical output (CI asserts this for the digest).  The
+markdown form is ``repro history show``; the HTML digest is
+``repro history digest``, built through the templates in
+:mod:`repro.history.digest_template`.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import statistics
+from typing import Any, Iterable
+
+from repro.history.digest_template import DIGEST_TEMPLATE, SECTION_TEMPLATE
+from repro.history.store import HistoryRows
+
+__all__ = ["perf_trajectory", "render_digest_html", "render_history_markdown"]
+
+#: trailing-window width used for the digest's median row (mirrors the
+#: ``tools/bench_compare.py --history`` default)
+DEFAULT_WINDOW = 5
+
+
+def _fmt(value: Any, signed: bool = False) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:+.4g}" if signed else f"{value:.4g}"
+    return str(value)
+
+
+def _artifact_groups(rows: list[dict[str, Any]]) -> dict[str, list[dict[str, Any]]]:
+    """Rows grouped per artifact (sorted names), each group in file order."""
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault(str(row.get("artifact", "?")), []).append(row)
+    return {name: groups[name] for name in sorted(groups)}
+
+
+def _drift_labels(group: Iterable[dict[str, Any]]) -> list[str]:
+    """Drift cell labels of one artifact group, in first-appearance order."""
+    labels: list[str] = []
+    for row in group:
+        for cell in row.get("drift") or []:
+            label = str(cell.get("cell", "?"))
+            if label not in labels:
+                labels.append(label)
+    return labels
+
+
+def _drift_value(row: dict[str, Any], label: str) -> Any:
+    for cell in row.get("drift") or []:
+        if str(cell.get("cell", "?")) == label:
+            return cell.get("drift")
+    return None
+
+
+def _scale_text(row: dict[str, Any]) -> str:
+    scale = row.get("scale") or {}
+    dtype = scale.get("dtype") or "default"
+    return f"{scale.get('name', '?')}/{dtype}"
+
+
+def _engine_cells(row: dict[str, Any]) -> list[str]:
+    engine = row.get("engine") or {}
+    return [
+        _fmt(engine.get("total")),
+        _fmt(engine.get("cache_hits")),
+        _fmt(engine.get("executed")),
+        _fmt(engine.get("cache_errors", 0)),
+    ]
+
+
+def perf_trajectory(rows: list[dict[str, Any]]) -> tuple[list[tuple[str, str, dict[str, float]]], list[str]]:
+    """The perf metric series of a history: one point per recording run.
+
+    Rows of one run share a timestamp and an identical ``bench`` mapping, so
+    the trajectory collapses them to ``(timestamp, git_rev, metrics)`` points
+    (file order, runs without bench metrics dropped) plus the sorted union of
+    metric names.
+    """
+    points: list[tuple[str, str, dict[str, float]]] = []
+    seen: set[str] = set()
+    metrics: set[str] = set()
+    for row in rows:
+        bench = row.get("bench") or {}
+        stamp = str(row.get("timestamp", "?"))
+        if not bench or stamp in seen:
+            continue
+        seen.add(stamp)
+        clean = {
+            str(name): float(value)
+            for name, value in bench.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if clean:
+            points.append((stamp, str(row.get("git_rev", "?")), clean))
+            metrics.update(clean)
+    return points, sorted(metrics)
+
+
+def _trailing_medians(
+    points: list[tuple[str, str, dict[str, float]]], names: list[str], window: int
+) -> dict[str, float]:
+    medians: dict[str, float] = {}
+    for name in names:
+        series = [metrics[name] for _, _, metrics in points[-window:] if name in metrics]
+        if series:
+            medians[name] = statistics.median(series)
+    return medians
+
+
+# -- markdown -----------------------------------------------------------------
+def _md_table(headers: list[str], table_rows: list[list[str]]) -> str:
+    def escape(cell: str) -> str:
+        return str(cell).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(escape(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(escape(c) for c in row) + " |" for row in table_rows)
+    return "\n".join(lines)
+
+
+def render_history_markdown(
+    history: HistoryRows,
+    only: str | None = None,
+    last: int | None = None,
+    window: int = DEFAULT_WINDOW,
+) -> str:
+    """Render the history as markdown: per-artifact drift trends + perf trajectory.
+
+    ``only`` filters to one artifact name; ``last`` keeps the newest N rows
+    per artifact.  Output is a pure function of the history rows.
+    """
+    rows = history.rows
+    if only:
+        rows = [row for row in rows if str(row.get("artifact")) == only.lower()]
+    lines: list[str] = ["# Drift history", ""]
+    lines.append(f"{len(rows)} rows across {len(_artifact_groups(rows))} artifacts.")
+    if history.skipped:
+        lines.append(f"WARNING: {history.skipped} unreadable line(s) skipped.")
+    for name, group in _artifact_groups(rows).items():
+        shown = group[-last:] if last else group
+        paper_ref = str(shown[-1].get("paper_ref", name))
+        lines += ["", f"## {name} ({paper_ref})", ""]
+        run_rows = [
+            [
+                str(row.get("timestamp", "?")),
+                str(row.get("git_rev", "?")),
+                _scale_text(row),
+                *_engine_cells(row),
+            ]
+            for row in shown
+        ]
+        lines.append(
+            _md_table(
+                ["Timestamp", "Git rev", "Scale", "Cells", "Hits", "Executed", "Cache errors"],
+                run_rows,
+            )
+        )
+        labels = _drift_labels(shown)
+        if labels:
+            lines += ["", f"Drift vs paper ({len(labels)} cells):", ""]
+            drift_table = [
+                [str(row.get("timestamp", "?"))]
+                + [_fmt(_drift_value(row, label), signed=True) for label in labels]
+                for row in shown
+            ]
+            if len(shown) >= 2:
+                deltas = []
+                for label in labels:
+                    first, latest = _drift_value(shown[0], label), _drift_value(shown[-1], label)
+                    both = isinstance(first, (int, float)) and isinstance(latest, (int, float))
+                    deltas.append(_fmt(latest - first, signed=True) if both else "—")
+                drift_table.append(["Δ (last vs first)"] + deltas)
+            lines.append(_md_table(["Run"] + labels, drift_table))
+    points, metric_names = perf_trajectory(rows)
+    lines += ["", "## Perf trajectory", ""]
+    if points:
+        perf_rows = [
+            [stamp, rev] + [_fmt(metrics.get(name)) for name in metric_names]
+            for stamp, rev, metrics in points
+        ]
+        medians = _trailing_medians(points, metric_names, window)
+        perf_rows.append(
+            [f"median (last {min(window, len(points))})", "—"]
+            + [_fmt(medians.get(name)) for name in metric_names]
+        )
+        lines.append(_md_table(["Run", "Git rev"] + metric_names, perf_rows))
+    else:
+        lines.append("No perf metrics recorded yet (record with a BENCH_hotpath.json present).")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# -- HTML digest --------------------------------------------------------------
+def _html_table(
+    headers: list[str],
+    table_rows: list[list[str]],
+    classes: list[list[str]] | None = None,
+    summary_last_row: bool = False,
+) -> str:
+    head = "".join(
+        f'<th class="label">{html.escape(h)}</th>' if i < 2 else f"<th>{html.escape(h)}</th>"
+        for i, h in enumerate(headers)
+    )
+    body_lines = []
+    for r, row in enumerate(table_rows):
+        cells = []
+        for c, cell in enumerate(row):
+            css = classes[r][c] if classes else ""
+            css = f"label {css}".strip() if c == 0 else css
+            attr = f' class="{css}"' if css else ""
+            cells.append(f"<td{attr}>{html.escape(str(cell))}</td>")
+        row_attr = ' class="summary"' if summary_last_row and r == len(table_rows) - 1 else ""
+        body_lines.append(f"<tr{row_attr}>{''.join(cells)}</tr>")
+    return f"<table>\n<tr>{head}</tr>\n" + "\n".join(body_lines) + "\n</table>"
+
+
+def _drift_css(value: Any, previous: Any) -> str:
+    """Colour a drift cell by whether |drift| moved toward or away from the paper."""
+    if not isinstance(value, (int, float)) or math.isnan(value):
+        return ""
+    if not isinstance(previous, (int, float)) or math.isnan(previous):
+        return "flat"
+    if abs(value) < abs(previous):
+        return "good"
+    if abs(value) > abs(previous):
+        return "bad"
+    return "flat"
+
+
+def render_digest_html(
+    history: HistoryRows,
+    window: int = DEFAULT_WINDOW,
+    title: str = "Reproduction drift digest",
+) -> str:
+    """Render the history as a self-contained HTML digest.
+
+    One section per artifact — a drift trend table where each cell is
+    coloured by whether its absolute drift shrank (good) or grew (bad) since
+    the previous run — plus the perf trajectory with its trailing-window
+    median (the same statistic ``tools/bench_compare.py --history`` gates
+    on).  Deterministic: same history file, same bytes.
+    """
+    rows = history.rows
+    sections: list[str] = []
+    for name, group in _artifact_groups(rows).items():
+        labels = _drift_labels(group)
+        heading = html.escape(f"{name} — {group[-1].get('paper_ref', name)}")
+        tables: list[str] = []
+        run_rows = [
+            [
+                str(row.get("timestamp", "?")),
+                str(row.get("git_rev", "?")),
+                _scale_text(row),
+                *_engine_cells(row),
+            ]
+            for row in group
+        ]
+        tables.append(
+            _html_table(
+                ["Timestamp", "Git rev", "Scale", "Cells", "Hits", "Executed", "Cache errors"],
+                run_rows,
+            )
+        )
+        if labels:
+            drift_table: list[list[str]] = []
+            drift_classes: list[list[str]] = []
+            for i, row in enumerate(group):
+                previous = group[i - 1] if i else None
+                cells = [str(row.get("timestamp", "?"))]
+                css = [""]
+                for label in labels:
+                    value = _drift_value(row, label)
+                    prior = _drift_value(previous, label) if previous else None
+                    cells.append(_fmt(value, signed=True))
+                    css.append(_drift_css(value, prior))
+                drift_table.append(cells)
+                drift_classes.append(css)
+            tables.append(_html_table(["Run"] + labels, drift_table, classes=drift_classes))
+        note = (
+            f"{len(group)} recorded runs; drift cells are reproduced − paper "
+            "(green: |drift| shrank vs the previous run, red: grew)."
+        )
+        sections.append(
+            SECTION_TEMPLATE.substitute(heading=heading, note=html.escape(note), tables="\n".join(tables))
+        )
+    points, metric_names = perf_trajectory(rows)
+    if points:
+        perf_rows = [
+            [stamp, rev] + [_fmt(metrics.get(name)) for name in metric_names]
+            for stamp, rev, metrics in points
+        ]
+        medians = _trailing_medians(points, metric_names, window)
+        perf_rows.append(
+            [f"median (last {min(window, len(points))})", "—"]
+            + [_fmt(medians.get(name)) for name in metric_names]
+        )
+        sections.append(
+            SECTION_TEMPLATE.substitute(
+                heading="Perf trajectory",
+                note=html.escape(
+                    "Gated dimensionless metrics per recording run; the median row is "
+                    f"the trailing-{min(window, len(points))} window the perf gate compares against."
+                ),
+                tables=_html_table(
+                    ["Run", "Git rev"] + metric_names, perf_rows, summary_last_row=True
+                ),
+            )
+        )
+    artifacts = len(_artifact_groups(rows))
+    subtitle = f"{len(rows)} history rows · {artifacts} artifacts"
+    if history.skipped:
+        subtitle += f" · {history.skipped} unreadable line(s) skipped"
+    return DIGEST_TEMPLATE.substitute(
+        title=html.escape(title), subtitle=html.escape(subtitle), sections="\n".join(sections)
+    )

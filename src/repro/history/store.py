@@ -1,0 +1,97 @@
+"""The append-only JSONL drift-history store.
+
+One file, one JSON object per line, one line per (recording run, artifact).
+The contract is *append-only*: rows are immutable once written, recording
+only ever opens the file in append mode, and nothing in this package ever
+rewrites or reorders existing bytes — two consecutive recordings must leave
+every previously written byte exactly in place (CI asserts this).  That makes
+the file simultaneously the service's database and its audit trail: renderers
+and the windowed perf gate derive everything from it deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, NamedTuple
+
+__all__ = ["ROW_VERSION", "HistoryRows", "HistoryStore", "parse_timestamp"]
+
+#: bump when the row schema changes shape (readers stay tolerant of old rows)
+ROW_VERSION = 1
+
+
+class HistoryRows(NamedTuple):
+    """The readable rows of a history file plus how many lines were skipped.
+
+    ``skipped`` counts unparseable lines (e.g. the torn final line of a
+    crashed writer).  Renderers surface the count instead of hiding it — a
+    corrupt history should be visible, never silently repaired.
+    """
+
+    rows: list[dict[str, Any]]
+    skipped: int
+
+
+class HistoryStore:
+    """Append/read access to one JSONL history file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, rows: list[dict[str, Any]]) -> int:
+        """Append ``rows`` (one JSON line each); return how many were written.
+
+        Rows are serialised with sorted keys and compact separators so the
+        bytes of a row are a pure function of its content.  The file is only
+        ever opened in append mode — existing lines are never touched.
+        """
+        if not rows:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n")
+        return len(rows)
+
+    def read(self) -> HistoryRows:
+        """Every readable row in file (= chronological) order."""
+        if not self.path.is_file():
+            return HistoryRows([], 0)
+        rows: list[dict[str, Any]] = []
+        skipped = 0
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(row, dict):
+                rows.append(row)
+            else:
+                skipped += 1
+        return HistoryRows(rows, skipped)
+
+    def __len__(self) -> int:
+        return len(self.read().rows)
+
+    def last_timestamp_for(self, subscription: str) -> str | None:
+        """The newest row timestamp recorded for ``subscription``, or ``None``."""
+        for row in reversed(self.read().rows):
+            if row.get("subscription") == subscription and row.get("timestamp"):
+                return str(row["timestamp"])
+        return None
+
+
+def parse_timestamp(text: str) -> datetime | None:
+    """Parse a row timestamp back into an aware UTC datetime (``None`` if torn)."""
+    try:
+        stamp = datetime.fromisoformat(text.replace("Z", "+00:00"))
+    except (ValueError, AttributeError):
+        return None
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=timezone.utc)
+    return stamp

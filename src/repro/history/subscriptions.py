@@ -1,0 +1,330 @@
+"""Config-driven artifact subscriptions for the continuous-reproduction service.
+
+A subscriptions file declares *what* to re-run and *how often*; the
+``repro history record`` pipeline (:mod:`repro.history.record`) executes it.
+Both JSON and YAML are accepted.  YAML parses through PyYAML when it is
+installed; otherwise :func:`parse_mini_yaml` — a dependency-free parser for
+the small block-style subset these configs actually use (nested mappings,
+``-`` lists, inline ``[a, b]`` flow lists, scalars, comments) — takes over,
+so the feature works on the bare ``numpy``-only CI image.
+
+Schema (either a bare list of subscription mappings, or a mapping with a
+``subscriptions`` list plus optional ``history``/``bench`` path defaults)::
+
+    history: runs/history.jsonl        # optional: default --history path
+    bench: BENCH_hotpath.json          # optional: default --bench path
+    subscriptions:
+      - name: nightly-figures          # unique handle (cadence bookkeeping)
+        artifacts: [fig1, fig3]        # registry names, or a single string
+        scale: small                   # scale preset (default: small)
+        cadence: daily                 # always | hourly | daily | weekly | 30m | 6h | 90s ...
+      - name: weekly-lowprec
+        artifacts: table7
+        scale: micro
+        dtype: bfloat16                # optional dtype override
+        seeds: [0, 1]                  # optional explicit seed list
+        cadence: weekly
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Subscription",
+    "SubscriptionConfig",
+    "cadence_seconds",
+    "load_subscription_config",
+    "parse_mini_yaml",
+]
+
+#: named cadences, in seconds
+_NAMED_CADENCES = {
+    "always": 0.0,
+    "hourly": 3600.0,
+    "daily": 86400.0,
+    "weekly": 604800.0,
+}
+
+#: ``<number><unit>`` cadences: seconds/minutes/hours/days/weeks
+_UNIT_SECONDS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0, "": 1.0}
+
+_CADENCE = re.compile(r"^(\d+(?:\.\d+)?)\s*([smhdw]?)$")
+
+
+def cadence_seconds(cadence: str | int | float) -> float:
+    """Parse a cadence spelling into seconds (``"always"`` -> 0).
+
+    Accepts the named cadences (``always``/``hourly``/``daily``/``weekly``),
+    ``<number>[smhdw]`` strings (``"30m"``, ``"6h"``, ``"90"``), or a bare
+    number of seconds.
+    """
+    if isinstance(cadence, (int, float)) and not isinstance(cadence, bool):
+        if cadence < 0:
+            raise ValueError(f"cadence must be >= 0 seconds, got {cadence}")
+        return float(cadence)
+    text = str(cadence).strip().lower()
+    if text in _NAMED_CADENCES:
+        return _NAMED_CADENCES[text]
+    match = _CADENCE.match(text)
+    if match is None:
+        raise ValueError(
+            f"unparseable cadence {cadence!r}; use "
+            f"{sorted(_NAMED_CADENCES)}, a number of seconds, or <number>[smhdw]"
+        )
+    return float(match.group(1)) * _UNIT_SECONDS[match.group(2)]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One recurring reproduction job: artifacts x scale x dtype x cadence."""
+
+    name: str
+    artifacts: tuple[str, ...]
+    scale: str = "small"
+    dtype: str | None = None
+    seeds: tuple[int, ...] | None = None
+    cadence: str = "always"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("subscription needs a non-empty name")
+        if not self.artifacts:
+            raise ValueError(f"subscription {self.name!r} lists no artifacts")
+        cadence_seconds(self.cadence)  # fail fast on unparseable cadences
+
+    @property
+    def cadence_seconds(self) -> float:
+        """The cadence in seconds (0 means "record on every invocation")."""
+        return cadence_seconds(self.cadence)
+
+
+@dataclass(frozen=True)
+class SubscriptionConfig:
+    """A parsed subscriptions file: the jobs plus optional path defaults."""
+
+    subscriptions: tuple[Subscription, ...]
+    history: str | None = None
+    bench: str | None = None
+
+
+_SUBSCRIPTION_KEYS = {"name", "artifacts", "scale", "dtype", "seeds", "cadence"}
+
+
+def _as_subscription(raw: Any, index: int) -> Subscription:
+    if not isinstance(raw, dict):
+        raise ValueError(f"subscription #{index} must be a mapping, got {type(raw).__name__}")
+    unknown = set(raw) - _SUBSCRIPTION_KEYS
+    if unknown:
+        raise ValueError(
+            f"subscription #{index} has unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(_SUBSCRIPTION_KEYS)}"
+        )
+    artifacts = raw.get("artifacts")
+    if isinstance(artifacts, str):
+        artifacts = [token.strip() for token in artifacts.split(",") if token.strip()]
+    if not isinstance(artifacts, (list, tuple)) or not artifacts:
+        raise ValueError(f"subscription #{index} needs a non-empty 'artifacts' name or list")
+    seeds = raw.get("seeds")
+    if seeds is not None:
+        if not isinstance(seeds, (list, tuple)):
+            raise ValueError(f"subscription #{index}: 'seeds' must be a list of ints")
+        seeds = tuple(int(seed) for seed in seeds)
+    return Subscription(
+        name=str(raw.get("name", "")),
+        artifacts=tuple(str(a) for a in artifacts),
+        scale=str(raw.get("scale", "small")),
+        dtype=raw.get("dtype"),
+        seeds=seeds,
+        cadence=raw.get("cadence", "always"),
+    )
+
+
+def load_subscription_config(path: str | Path) -> SubscriptionConfig:
+    """Parse and validate one subscriptions file (JSON or YAML by suffix)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml  # type: ignore[import-untyped]
+
+            data = yaml.safe_load(text)
+        except ImportError:
+            data = parse_mini_yaml(text)
+    else:
+        data = json.loads(text)
+    if isinstance(data, list):
+        data = {"subscriptions": data}
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: config must be a mapping or a list of subscriptions")
+    unknown = set(data) - {"subscriptions", "history", "bench"}
+    if unknown:
+        raise ValueError(f"{path}: unknown top-level keys {sorted(unknown)}")
+    raw_subs = data.get("subscriptions")
+    if not isinstance(raw_subs, list) or not raw_subs:
+        raise ValueError(f"{path}: config needs a non-empty 'subscriptions' list")
+    subscriptions = tuple(_as_subscription(raw, i) for i, raw in enumerate(raw_subs))
+    names = [sub.name for sub in subscriptions]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"{path}: duplicate subscription names {duplicates}")
+    history = data.get("history")
+    bench = data.get("bench")
+    return SubscriptionConfig(
+        subscriptions=subscriptions,
+        history=str(history) if history is not None else None,
+        bench=str(bench) if bench is not None else None,
+    )
+
+
+# -- dependency-free YAML subset ----------------------------------------------
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``# comment`` that is not inside a quoted string."""
+    quote: str | None = None
+    for i, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#" and (i == 0 or line[i - 1] in " \t"):
+            return line[:i]
+    return line
+
+
+def _split_flow(inner: str) -> Iterator[str]:
+    """Split an inline flow list body on top-level commas."""
+    depth, quote, start = 0, None, 0
+    for i, char in enumerate(inner):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == "," and depth == 0:
+            yield inner[start:i]
+            start = i + 1
+    yield inner[start:]
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if token in ("", "~", "null", "Null", "NULL"):
+        return None
+    if token in ("true", "True"):
+        return True
+    if token in ("false", "False"):
+        return False
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        return [] if not inner else [_parse_scalar(part) for part in _split_flow(inner)]
+    if len(token) >= 2 and token[0] in ("'", '"') and token[-1] == token[0]:
+        return token[1:-1]
+    for converter in (int, float):
+        try:
+            return converter(token)
+        except ValueError:
+            pass
+    return token
+
+
+#: a ``key:`` prefix that starts a mapping entry (bare keys only; notably NOT
+#: ``http://...``, whose colon is not followed by whitespace/EOL)
+_MAP_ENTRY = re.compile(r"^[\w.-]+:(\s|$)")
+
+_Lines = list[tuple[int, str]]
+
+
+def parse_mini_yaml(text: str) -> Any:
+    """Parse the block-style YAML subset the subscription configs use.
+
+    Supported: nested mappings, ``- `` block lists (including lists of
+    mappings with 2-space-indented continuation keys), inline flow lists,
+    quoted/bare scalars, ``#`` comments.  This is a *fallback* for when
+    PyYAML is not installed — anything outside the subset raises
+    ``ValueError`` rather than guessing.
+    """
+    lines: _Lines = []
+    for raw in text.splitlines():
+        content = _strip_comment(raw.expandtabs(4)).rstrip()
+        if not content.strip():
+            continue
+        lines.append((len(content) - len(content.lstrip(" ")), content.strip()))
+    if not lines:
+        return None
+    value, consumed = _parse_block(lines, 0, lines[0][0])
+    if consumed != len(lines):
+        raise ValueError(f"unparseable YAML near {lines[consumed][1]!r}")
+    return value
+
+
+def _parse_block(lines: _Lines, pos: int, indent: int) -> tuple[Any, int]:
+    if lines[pos][1] == "-" or lines[pos][1].startswith("- "):
+        return _parse_list(lines, pos, indent)
+    return _parse_map(lines, pos, indent)
+
+
+def _parse_map(lines: _Lines, pos: int, indent: int) -> tuple[dict[str, Any], int]:
+    out: dict[str, Any] = {}
+    while pos < len(lines):
+        line_indent, content = lines[pos]
+        if line_indent < indent or content == "-" or content.startswith("- "):
+            break
+        if line_indent > indent:
+            raise ValueError(f"unexpected indent at {content!r}")
+        if not _MAP_ENTRY.match(content) and not content.endswith(":"):
+            raise ValueError(f"expected 'key: value', got {content!r}")
+        key, _, rest = content.partition(":")
+        key, rest = key.strip(), rest.strip()
+        if key in out:
+            raise ValueError(f"duplicate key {key!r}")
+        pos += 1
+        if rest:
+            out[key] = _parse_scalar(rest)
+        elif pos < len(lines) and (
+            lines[pos][0] > indent
+            or (lines[pos][0] == indent and (lines[pos][1] == "-" or lines[pos][1].startswith("- ")))
+        ):
+            out[key], pos = _parse_block(lines, pos, lines[pos][0])
+        else:
+            out[key] = None
+    return out, pos
+
+
+def _parse_list(lines: _Lines, pos: int, indent: int) -> tuple[list[Any], int]:
+    out: list[Any] = []
+    while pos < len(lines):
+        line_indent, content = lines[pos]
+        if line_indent != indent or not (content == "-" or content.startswith("- ")):
+            break
+        rest = content[1:].strip()
+        pos += 1
+        if not rest:
+            if pos < len(lines) and lines[pos][0] > indent:
+                value, pos = _parse_block(lines, pos, lines[pos][0])
+                out.append(value)
+            else:
+                out.append(None)
+        elif _MAP_ENTRY.match(rest) or rest.endswith(":"):
+            # "- key: value" opens a mapping whose continuation keys sit two
+            # columns right of the dash (the standard block style)
+            child_indent = line_indent + 2
+            sub: _Lines = [(child_indent, rest)]
+            while pos < len(lines) and lines[pos][0] >= child_indent:
+                sub.append(lines[pos])
+                pos += 1
+            value, consumed = _parse_map(sub, 0, child_indent)
+            if consumed != len(sub):
+                raise ValueError(f"unparseable list item near {sub[consumed][1]!r}")
+            out.append(value)
+        else:
+            out.append(_parse_scalar(rest))
+    return out, pos

@@ -83,6 +83,17 @@ class Scale:
         """A copy of this scale with ``changes`` applied (name becomes "custom")."""
         return dataclasses.replace(self, name="custom", **changes)
 
+    def as_dict(self) -> dict[str, Any]:
+        """The scale as a JSON-serialisable dict (report and history row schema)."""
+        return {
+            "name": self.name,
+            "size_scale": self.size_scale,
+            "epoch_scale": self.epoch_scale,
+            "num_seeds": self.num_seeds,
+            "seeds": list(self.seeds) if self.seeds is not None else None,
+            "dtype": self.dtype,
+        }
+
 
 #: the scale presets shared by the CLI and the benchmark harness.  "full" is
 #: the complete proxy-scale reproduction, "small" a reduced-but-complete pass,

@@ -108,14 +108,7 @@ def render_json(result: ArtifactResult, scale: Scale) -> str:
         "paper_ref": result.paper_ref,
         "title": result.title,
         "citation": PAPER_CITATION,
-        "scale": {
-            "name": scale.name,
-            "size_scale": scale.size_scale,
-            "epoch_scale": scale.epoch_scale,
-            "num_seeds": scale.num_seeds,
-            "seeds": list(scale.seeds) if scale.seeds is not None else None,
-            "dtype": scale.dtype,
-        },
+        "scale": scale.as_dict(),
         "tables": [table.as_dict() for table in result.tables],
         "reproduced": dict(result.reproduced),
         "drift": drift_rows(result),

@@ -92,3 +92,148 @@ def test_committed_baseline_is_self_consistent():
         pytest.skip("BENCH_hotpath.json not generated (run benchmarks/bench_hotpath.py)")
     result = _run(BASELINE, current)
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestEdgeCases:
+    """Degenerate metric values must fail loudly or skip loudly — never silently pass."""
+
+    def test_nan_baseline_is_not_gated(self, tmp_path):
+        # NaN compares false against everything; gating on it would disable
+        # the gate silently.  It must be excluded with a visible note.
+        base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": float("nan")}))
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 0.001}))
+        result = _run(base, cur)
+        assert result.returncode == 0
+        assert "not finite; not gated" in result.stdout
+
+    def test_nan_current_fails(self, tmp_path):
+        base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": 1.5}))
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": float("nan")}))
+        result = _run(base, cur)
+        assert result.returncode == 1
+        assert "not finite" in result.stderr
+
+    def test_zero_baseline_gates_at_zero(self, tmp_path):
+        base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": 0.0}))
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 0.0}))
+        assert _run(base, cur).returncode == 0
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": -0.5}))
+        assert _run(base, cur).returncode == 1
+
+    def test_non_numeric_baseline_metrics_are_ignored(self, tmp_path):
+        entry = {"label_speedup": "fast", "flag_reduction": True, "float32_speedup": 1.5}
+        base = _write(tmp_path / "base.json", _payload(mlp=entry))
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.5}))
+        result = _run(base, cur)
+        assert result.returncode == 0
+        assert "label_speedup" not in result.stdout
+        assert "flag_reduction" not in result.stdout
+
+    def test_entry_with_no_gated_metrics_passes_with_note(self, tmp_path):
+        entry = {"float32_seconds": 0.05, "note": "timings only"}
+        base = _write(tmp_path / "base.json", _payload(mlp=entry))
+        cur = _write(tmp_path / "cur.json", _payload(mlp=entry))
+        result = _run(base, cur)
+        assert result.returncode == 0
+        assert "no gated metrics" in result.stdout
+
+    def test_max_regression_zero_is_exact(self, tmp_path):
+        base = _write(tmp_path / "base.json", _payload(mlp={"float32_speedup": 1.5}))
+        equal = _write(tmp_path / "eq.json", _payload(mlp={"float32_speedup": 1.5}))
+        below = _write(tmp_path / "lo.json", _payload(mlp={"float32_speedup": 1.4999}))
+        assert _run(base, equal, "--max-regression", "0").returncode == 0
+        assert _run(base, below, "--max-regression", "0").returncode == 1
+
+
+def _history_row(timestamp: str, bench: dict) -> str:
+    return json.dumps({"timestamp": timestamp, "artifact": "t", "bench": bench})
+
+
+def _write_history(path: Path, benches: list[dict]) -> Path:
+    lines = [_history_row(f"2026-08-{i + 1:02d}T00:00:00Z", bench) for i, bench in enumerate(benches)]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _run_history(history: Path, current: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOL), "--history", str(history), str(current), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestHistoryMode:
+    """``--history``: the floor is the median of the trailing-window runs."""
+
+    def test_gates_against_trailing_window_median(self, tmp_path):
+        # 8 runs; with --window 5 the median only sees the last five (all 2.x),
+        # so the early 1.0 era must not drag the floor down
+        benches = [{"mlp.float32_speedup": v} for v in (1.0, 1.0, 1.0, 2.0, 2.1, 1.9, 2.05, 2.2)]
+        history = _write_history(tmp_path / "h.jsonl", benches)
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.6}))
+        result = _run_history(history, cur, "--window", "5")
+        assert result.returncode == 1, result.stdout
+        assert "median 2.05" in result.stdout
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.9}))
+        assert _run_history(history, cur, "--window", "5").returncode == 0
+
+    def test_single_noisy_run_does_not_move_the_floor(self, tmp_path):
+        benches = [{"mlp.float32_speedup": v} for v in (2.0, 2.0, 9.9, 2.0, 2.0)]
+        history = _write_history(tmp_path / "h.jsonl", benches)
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.8}))
+        assert _run_history(history, cur).returncode == 0
+
+    def test_metric_missing_from_current_fails(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [{"mlp.float32_speedup": 2.0}])
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_seconds": 0.1}))
+        result = _run_history(history, cur)
+        assert result.returncode == 1
+        assert "missing from current" in result.stderr
+
+    def test_new_metric_without_history_is_not_gated(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [{"mlp.float32_speedup": 2.0}])
+        cur = _write(
+            tmp_path / "cur.json",
+            _payload(mlp={"float32_speedup": 2.0, "arena_reduction": 3.0}),
+        )
+        result = _run_history(history, cur)
+        assert result.returncode == 0
+        assert "(new) mlp.arena_reduction" in result.stdout
+
+    def test_empty_history_passes_with_note(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        history.write_text("")
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.0}))
+        result = _run_history(history, cur)
+        assert result.returncode == 0
+        assert "nothing to gate" in result.stdout
+
+    def test_corrupt_and_benchless_rows_are_skipped(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        history.write_text(
+            "{torn\n"
+            + _history_row("2026-08-01T00:00:00Z", {})
+            + "\n"
+            + _history_row("2026-08-02T00:00:00Z", {"mlp.float32_speedup": 2.0})
+            + "\n"
+        )
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 2.0}))
+        result = _run_history(history, cur)
+        assert result.returncode == 0
+        assert "trailing 1 history run(s)" in result.stdout
+
+    def test_usage_errors(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [{"m": 1.0}])
+        cur = _write(tmp_path / "cur.json", _payload(mlp={"float32_speedup": 1.0}))
+        two = subprocess.run(
+            [sys.executable, str(TOOL), "--history", str(history), str(cur), str(cur)],
+            capture_output=True,
+            text=True,
+        )
+        assert two.returncode == 2
+        one = subprocess.run(
+            [sys.executable, str(TOOL), str(cur)], capture_output=True, text=True
+        )
+        assert one.returncode == 2
+        assert _run_history(history, cur, "--window", "0").returncode == 2

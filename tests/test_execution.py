@@ -138,6 +138,34 @@ class TestRunCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_clear_tolerates_concurrent_prune(self, tmp_path, monkeypatch):
+        """An entry deleted between the glob and the unlink must not crash.
+
+        Regression: the cache directory is shared between processes, and
+        ``clear`` crashed with ``FileNotFoundError`` when another process
+        pruned an entry it had just listed — ``get`` already tolerated the
+        same race with ``missing_ok=True``.  The race is reproduced
+        deterministically by pruning the first listed entry from inside the
+        glob itself.
+        """
+        from pathlib import Path
+
+        cache = RunCache(tmp_path)
+        cache.put(tiny_config(seed=0), make_record(seed=0))
+        cache.put(tiny_config(seed=1), make_record(seed=1))
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            paths = sorted(real_glob(self, pattern))
+            if paths and self == cache.cache_dir:
+                paths[0].unlink()  # the concurrent pruner wins the race
+            return iter(paths)
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        assert cache.clear() == 2  # both listed entries end up gone
+        monkeypatch.undo()
+        assert len(cache) == 0
+
 
 class TestPlans:
     def test_budget_sweep_order_matches_legacy_loops(self):

@@ -246,10 +246,18 @@ class TestRemoteCache:
         assert client.get(tiny_config()) is None
         assert not client.ping()
 
-    def test_unreachable_store_raises_on_put(self):
+    def test_unreachable_store_degrades_gracefully_on_put(self):
+        """A down store must not abort the run that just finished training.
+
+        Regression: ``put`` used to let the transport error propagate, so a
+        write-through to an unreachable remote tier lost the whole run.  Now
+        the failure is counted in ``CacheStats.errors`` (surfaced through
+        ``EngineReport.cache_tiers``) and the caller carries on.
+        """
         client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
-        with pytest.raises(OSError):
-            client.put(tiny_config(), make_record())
+        client.put(tiny_config(), make_record())  # must not raise
+        assert client.stats.errors == 1
+        assert client.stats.stores == 0
 
     def test_malformed_put_rejected(self, cache_server):
         import urllib.error
@@ -304,6 +312,25 @@ class TestTieredCache:
         tiered = TieredRunCache(InMemoryRunCache(), tmp_path / "far")
         assert tiered.get(tiny_config()) is None
         assert tiered.stats.misses == 1
+
+    def test_put_survives_dead_remote_tier(self, tmp_path):
+        """Write-through keeps the surviving local tiers when the remote is down.
+
+        Regression: the composite ``put`` let the remote tier's transport
+        error propagate, aborting the run *after* training finished and losing
+        the record from every tier — including the perfectly healthy local
+        one.
+        """
+        local_dir = tmp_path / "near"
+        tiered = TieredRunCache(local_dir, HTTPRunCache("http://127.0.0.1:9", timeout=0.2))
+        config, record = tiny_config(), make_record()
+        tiered.put(config, record)  # must not raise
+        # the local tier kept the record; the remote failure is on the books
+        assert RunCache(local_dir).get(config) == record
+        assert tiered.tiers[1].stats.errors == 1
+        assert tiered.stats.stores == 1
+        # degraded but functional: the composite still serves the record
+        assert tiered.get(config) == record
 
     def test_needs_at_least_one_tier(self):
         with pytest.raises(ValueError):
@@ -560,3 +587,51 @@ class TestFabricRegressions:
         engine.run([tiny_config()])
         tiers = engine.last_report.cache_tiers
         assert tiers["memory"]["errors"] == 0
+        assert engine.last_report.cache_errors == 0
+
+    def test_len_failure_counts_as_error_not_empty(self):
+        """A failed ``/stats`` probe is a broken backend, not an empty store.
+
+        Regression: ``__len__`` silently returned 0 on server/transport
+        errors, so a cache-server outage rendered as "cache: 0 records" in
+        reports — indistinguishable from a genuinely cold cache.
+        """
+        client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+        assert len(client) == 0  # the len() contract still needs an int
+        assert client.stats.errors == 1
+        assert "errors" in client.stats.as_dict()
+
+    def test_run_completes_with_remote_cache_down(self):
+        """Training degrades to uncached execution when the store is dead.
+
+        End-to-end shape of the two put/get fixes: the engine pointed at an
+        unreachable cache server still trains and returns records, with the
+        put failures surfaced as tier errors in the report instead of an
+        aborted run.
+        """
+        client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+        engine = ExperimentEngine(cache=client)
+        store = engine.run([tiny_config()])
+        assert len(store) == 1
+        report = engine.last_report
+        assert report.executed == 1
+        assert report.cache_errors >= 1  # the failed publish is on the books
+        assert report.cache_tiers["remote"]["errors"] >= 1
+
+    def test_worker_fails_job_when_publish_is_silently_dropped(self, tmp_path):
+        """Publish-before-complete survives the non-raising remote put.
+
+        With transport errors counted instead of raised, a worker whose store
+        is down would otherwise complete the lease with the record published
+        nowhere; the membership probe after the put must fail the job so it
+        stays under its retry budget instead.
+        """
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+        job_id = queue.submit(tiny_config(), max_attempts=1)
+        worker = QueueWorker(queue, cache, run_fn=run_single, visibility_timeout=60.0)
+        processed = worker.run_forever(idle_exit=0.01)
+        assert processed == 1 and worker.completed == 0 and worker.failed == 1
+        assert queue.state(job_id) == "dead"
+        (letter,) = queue.dead_letters()
+        assert "not visible" in letter["last_error"]

@@ -1,0 +1,429 @@
+"""The drift-history subsystem: subscriptions, the append-only store, recording, rendering."""
+
+from __future__ import annotations
+
+import json
+import math
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.execution import ExecutionContext
+from repro.history import (
+    HistoryStore,
+    ROW_VERSION,
+    Subscription,
+    SubscriptionConfig,
+    cadence_seconds,
+    collect_bench_metrics,
+    load_subscription_config,
+    parse_mini_yaml,
+    record_subscriptions,
+    render_digest_html,
+    render_history_markdown,
+)
+from repro.history.record import gated_bench_metrics
+from repro.history.store import HistoryRows, parse_timestamp
+
+NOW = datetime(2026, 8, 8, 12, 0, 0, tzinfo=timezone.utc)
+
+
+class TestCadence:
+    def test_named_cadences(self):
+        assert cadence_seconds("always") == 0.0
+        assert cadence_seconds("hourly") == 3600.0
+        assert cadence_seconds("daily") == 86400.0
+        assert cadence_seconds("WEEKLY") == 604800.0
+
+    def test_unit_suffixes(self):
+        assert cadence_seconds("30m") == 1800.0
+        assert cadence_seconds("6h") == 21600.0
+        assert cadence_seconds("90s") == 90.0
+        assert cadence_seconds("2d") == 172800.0
+        assert cadence_seconds("1w") == 604800.0
+
+    def test_bare_numbers_are_seconds(self):
+        assert cadence_seconds("90") == 90.0
+        assert cadence_seconds(45) == 45.0
+        assert cadence_seconds(1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", ["fortnightly", "3x", "-5", "", True, -1])
+    def test_unparseable_cadences_raise(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            cadence_seconds(bad)
+
+
+class TestMiniYaml:
+    def test_full_subscription_config_shape(self):
+        text = """\
+# the smoke config
+history: runs/history.jsonl
+bench: BENCH_hotpath.json   # trailing comment
+subscriptions:
+  - name: nightly
+    artifacts: [table3, fig2]
+    scale: micro
+    cadence: daily
+  - name: weekly-lowprec
+    artifacts: table7
+    dtype: bfloat16
+    seeds: [0, 1]
+    cadence: weekly
+"""
+        data = parse_mini_yaml(text)
+        assert data["history"] == "runs/history.jsonl"
+        assert data["bench"] == "BENCH_hotpath.json"
+        assert data["subscriptions"][0]["artifacts"] == ["table3", "fig2"]
+        assert data["subscriptions"][1]["seeds"] == [0, 1]
+        assert data["subscriptions"][1]["dtype"] == "bfloat16"
+
+    def test_scalars_and_quotes(self):
+        data = parse_mini_yaml("a: 'x # not comment'\nb: 3\nc: 1.5\nd: true\ne: null\nf: bare")
+        assert data == {"a": "x # not comment", "b": 3, "c": 1.5, "d": True, "e": None, "f": "bare"}
+
+    def test_url_values_are_not_mapping_keys(self):
+        assert parse_mini_yaml("cache: http://127.0.0.1:8766") == {"cache": "http://127.0.0.1:8766"}
+
+    def test_top_level_list(self):
+        data = parse_mini_yaml("- name: a\n  artifacts: [x]\n- name: b\n  artifacts: [y]")
+        assert [item["name"] for item in data] == ["a", "b"]
+
+    def test_unparseable_input_raises(self):
+        with pytest.raises(ValueError):
+            parse_mini_yaml("just a bare scalar line\nanother: one")
+
+    def test_matches_pyyaml_when_available(self):
+        yaml = pytest.importorskip("yaml")
+        text = (
+            "history: runs/h.jsonl\nsubscriptions:\n"
+            "  - name: a\n    artifacts: [t1, t2]\n    seeds: [0, 1]\n    cadence: 30m\n"
+        )
+        assert parse_mini_yaml(text) == yaml.safe_load(text)
+
+
+class TestSubscriptionConfig:
+    def test_json_config_roundtrip(self, tmp_path):
+        path = tmp_path / "subs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "history": "h.jsonl",
+                    "subscriptions": [
+                        {"name": "a", "artifacts": "table3,fig2", "cadence": "daily"}
+                    ],
+                }
+            )
+        )
+        config = load_subscription_config(path)
+        assert config.history == "h.jsonl"
+        assert config.subscriptions[0].artifacts == ("table3", "fig2")
+        assert config.subscriptions[0].cadence_seconds == 86400.0
+
+    def test_yaml_config_via_fallback_parser(self, tmp_path, monkeypatch):
+        # force the mini parser even where PyYAML is installed (CI has none)
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_yaml(name, *args, **kwargs):
+            if name == "yaml":
+                raise ImportError("yaml hidden for test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_yaml)
+        path = tmp_path / "subs.yaml"
+        path.write_text("subscriptions:\n  - name: a\n    artifacts: [table3]\n")
+        config = load_subscription_config(path)
+        assert config.subscriptions[0].name == "a"
+
+    def test_bare_list_config(self, tmp_path):
+        path = tmp_path / "subs.json"
+        path.write_text(json.dumps([{"name": "a", "artifacts": ["t"]}]))
+        assert load_subscription_config(path).subscriptions[0].scale == "small"
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = tmp_path / "subs.json"
+        path.write_text(json.dumps({"subscriptions": [{"name": "a", "artifacts": ["t"]}], "oops": 1}))
+        with pytest.raises(ValueError, match="unknown top-level keys"):
+            load_subscription_config(path)
+        path.write_text(json.dumps([{"name": "a", "artifacts": ["t"], "cadance": "daily"}]))
+        with pytest.raises(ValueError, match="unknown keys.*cadance"):
+            load_subscription_config(path)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "subs.json"
+        path.write_text(
+            json.dumps([{"name": "a", "artifacts": ["t"]}, {"name": "a", "artifacts": ["u"]}])
+        )
+        with pytest.raises(ValueError, match="duplicate subscription names"):
+            load_subscription_config(path)
+
+    def test_empty_artifacts_rejected(self):
+        with pytest.raises(ValueError, match="no artifacts"):
+            Subscription(name="a", artifacts=())
+
+    def test_bad_cadence_fails_fast(self):
+        with pytest.raises(ValueError, match="cadence"):
+            Subscription(name="a", artifacts=("t",), cadence="fortnightly")
+
+
+class TestHistoryStore:
+    def test_append_read_roundtrip(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        assert store.read() == HistoryRows([], 0)
+        store.append([{"b": 1, "a": 2}])
+        store.append([{"c": 3}])
+        assert store.read().rows == [{"a": 2, "b": 1}, {"c": 3}]
+        assert len(store) == 2
+
+    def test_append_preserves_existing_bytes(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(path)
+        store.append([{"run": 1}])
+        first = path.read_bytes()
+        store.append([{"run": 2}])
+        assert path.read_bytes()[: len(first)] == first
+
+    def test_corrupt_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": \n[1, 2]\n\n{"ok": 2}\n')
+        history = HistoryStore(path).read()
+        assert [row for row in history.rows] == [{"ok": 1}, {"ok": 2}]
+        assert history.skipped == 2  # the torn line and the non-dict row
+
+    def test_last_timestamp_for(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append(
+            [
+                {"subscription": "a", "timestamp": "2026-08-01T00:00:00Z"},
+                {"subscription": "b", "timestamp": "2026-08-02T00:00:00Z"},
+                {"subscription": "a", "timestamp": "2026-08-03T00:00:00Z"},
+            ]
+        )
+        assert store.last_timestamp_for("a") == "2026-08-03T00:00:00Z"
+        assert store.last_timestamp_for("missing") is None
+
+    def test_parse_timestamp(self):
+        stamp = parse_timestamp("2026-08-08T12:00:00Z")
+        assert stamp == NOW
+        assert parse_timestamp("not a time") is None
+
+
+class TestBenchIngestion:
+    def test_gated_suffixes_and_derived_reduction(self):
+        entry = {
+            "float32_speedup": 1.5,
+            "arena_reduction": 2.0,
+            "bf16_relative_throughput": 0.8,
+            "float32_seconds": 0.1,
+            "label": "mlp",
+            "enabled": True,
+            "planned_step_alloc_peak_kb": 100.0,
+            "unplanned_step_alloc_peak_kb": 400.0,
+        }
+        metrics = gated_bench_metrics(entry)
+        assert metrics == {
+            "float32_speedup": 1.5,
+            "arena_reduction": 2.0,
+            "bf16_relative_throughput": 0.8,
+            "alloc_peak_reduction": 4.0,
+        }
+
+    def test_non_finite_values_dropped(self):
+        assert gated_bench_metrics({"x_speedup": math.nan, "y_speedup": math.inf}) == {}
+
+    def test_collect_flattens_and_sorts(self, tmp_path):
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "results": {
+                        "mlp": {"float32_speedup": 1.5},
+                        "cnn": {"float32_speedup": 1.2, "float32_seconds": 9.0},
+                    }
+                }
+            )
+        )
+        assert collect_bench_metrics(path) == {
+            "cnn.float32_speedup": 1.2,
+            "mlp.float32_speedup": 1.5,
+        }
+
+    def test_missing_or_malformed_bench_is_empty(self, tmp_path):
+        assert collect_bench_metrics(None) == {}
+        assert collect_bench_metrics(tmp_path / "absent.json") == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert collect_bench_metrics(bad) == {}
+
+
+def micro_config(name: str, cadence: str = "always") -> SubscriptionConfig:
+    sub = Subscription(name="sub", artifacts=(name,), scale="micro", cadence=cadence)
+    return SubscriptionConfig(subscriptions=(sub,))
+
+
+class TestRecord:
+    def test_rows_carry_the_full_schema(self, tmp_path, make_micro_artifact):
+        make_micro_artifact("histrow")
+        store = HistoryStore(tmp_path / "h.jsonl")
+        context = ExecutionContext(cache=str(tmp_path / "cache"))
+        rows = record_subscriptions(
+            micro_config("histrow"), store, context=context, now=NOW, git_rev="abc123"
+        )
+        assert len(rows) == 1
+        row = store.read().rows[0]
+        assert row["version"] == ROW_VERSION
+        assert row["timestamp"] == "2026-08-08T12:00:00Z"
+        assert row["git_rev"] == "abc123"
+        assert row["subscription"] == "sub"
+        assert row["artifact"] == "histrow"
+        assert row["scale"]["name"] == "micro"
+        assert row["engine"]["total"] == 1
+        assert row["bench"] == {}
+        cells = {cell["cell"] for cell in row["drift"]}
+        assert "rex@25%" in cells
+
+    def test_second_record_appends_and_hits_cache(self, tmp_path, make_micro_artifact):
+        make_micro_artifact("histcache")
+        store = HistoryStore(tmp_path / "h.jsonl")
+        context = ExecutionContext(cache=str(tmp_path / "cache"))
+        config = micro_config("histcache")
+        record_subscriptions(config, store, context=context, now=NOW, git_rev="abc")
+        first_bytes = store.path.read_bytes()
+        record_subscriptions(
+            config, store, context=context, now=NOW + timedelta(hours=1), git_rev="abc"
+        )
+        rows = store.read().rows
+        assert len(rows) == 2
+        assert store.path.read_bytes()[: len(first_bytes)] == first_bytes
+        assert rows[1]["engine"]["cache_hits"] == 1
+        assert rows[1]["engine"]["executed"] == 0
+        # identical training at both timestamps: drift must be byte-stable
+        assert rows[0]["drift"] == rows[1]["drift"]
+
+    def test_cadence_skips_until_due_and_force_overrides(self, tmp_path, make_micro_artifact):
+        make_micro_artifact("histdue")
+        store = HistoryStore(tmp_path / "h.jsonl")
+        context = ExecutionContext(cache=str(tmp_path / "cache"))
+        config = micro_config("histdue", cadence="daily")
+        notes: list[str] = []
+        assert record_subscriptions(
+            config, store, context=context, now=NOW, git_rev="a", progress=notes.append
+        )
+        assert not record_subscriptions(
+            config,
+            store,
+            context=context,
+            now=NOW + timedelta(hours=2),
+            git_rev="a",
+            progress=notes.append,
+        )
+        assert any("within cadence" in note for note in notes)
+        assert record_subscriptions(
+            config, store, context=context, now=NOW + timedelta(hours=2), git_rev="a", force=True
+        )
+        assert record_subscriptions(
+            config, store, context=context, now=NOW + timedelta(days=2), git_rev="a"
+        )
+        assert len(store) == 3
+
+    def test_bench_metrics_ride_along(self, tmp_path, make_micro_artifact):
+        make_micro_artifact("histbench")
+        bench = tmp_path / "BENCH_hotpath.json"
+        bench.write_text(json.dumps({"results": {"mlp": {"float32_speedup": 1.5}}}))
+        store = HistoryStore(tmp_path / "h.jsonl")
+        context = ExecutionContext(cache=str(tmp_path / "cache"))
+        rows = record_subscriptions(
+            micro_config("histbench"),
+            store,
+            context=context,
+            bench_path=bench,
+            now=NOW,
+            git_rev="a",
+        )
+        assert rows[0]["bench"] == {"mlp.float32_speedup": 1.5}
+
+    def test_unknown_artifact_is_an_error(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        with pytest.raises(KeyError):
+            record_subscriptions(
+                micro_config("no-such-artifact"), store, now=NOW, git_rev="a"
+            )
+
+
+def seeded_history(tmp_path: Path, make_micro_artifact) -> HistoryStore:
+    """Two recorded runs over one micro artifact, with bench metrics on both."""
+    make_micro_artifact("histrender")
+    bench = tmp_path / "BENCH_hotpath.json"
+    bench.write_text(json.dumps({"results": {"mlp": {"float32_speedup": 1.5}}}))
+    store = HistoryStore(tmp_path / "h.jsonl")
+    context = ExecutionContext(cache=str(tmp_path / "cache"))
+    config = micro_config("histrender")
+    for hours in (0, 1):
+        record_subscriptions(
+            config,
+            store,
+            context=context,
+            bench_path=bench,
+            now=NOW + timedelta(hours=hours),
+            git_rev="abc123",
+        )
+    return store
+
+
+class TestRenderers:
+    def test_markdown_contents(self, tmp_path, make_micro_artifact):
+        store = seeded_history(tmp_path, make_micro_artifact)
+        text = render_history_markdown(store.read())
+        assert "# Drift history" in text
+        assert "## histrender" in text
+        assert "rex@25%" in text
+        assert "Δ (last vs first)" in text
+        assert "## Perf trajectory" in text
+        assert "mlp.float32_speedup" in text
+        assert "median (last 2)" in text
+
+    def test_markdown_is_deterministic(self, tmp_path, make_micro_artifact):
+        store = seeded_history(tmp_path, make_micro_artifact)
+        assert render_history_markdown(store.read()) == render_history_markdown(store.read())
+
+    def test_digest_html_is_deterministic_and_self_contained(
+        self, tmp_path, make_micro_artifact
+    ):
+        store = seeded_history(tmp_path, make_micro_artifact)
+        page = render_digest_html(store.read())
+        assert page == render_digest_html(store.read())
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script" not in page
+        assert "histrender" in page
+        assert "Perf trajectory" in page
+        assert "2 history rows" in page
+
+    def test_digest_escapes_untrusted_row_content(self):
+        rows = [
+            {
+                "artifact": "<script>alert(1)</script>",
+                "timestamp": "2026-08-08T12:00:00Z",
+                "git_rev": "r",
+                "drift": [],
+                "engine": {},
+                "bench": {},
+            }
+        ]
+        page = render_digest_html(HistoryRows(rows, 0))
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_skipped_lines_are_surfaced(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"artifact": "a", "drift": [], "engine": {}, "bench": {}}\n{torn\n')
+        history = HistoryStore(path).read()
+        assert "1 unreadable line(s) skipped" in render_history_markdown(history)
+        assert "1 unreadable line(s) skipped" in render_digest_html(history)
+
+    def test_markdown_only_and_last_filters(self, tmp_path, make_micro_artifact):
+        store = seeded_history(tmp_path, make_micro_artifact)
+        text = render_history_markdown(store.read(), only="histrender", last=1)
+        assert "## histrender" in text
+        assert render_history_markdown(store.read(), only="nothing").count("##") == 1

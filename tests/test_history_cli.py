@@ -1,0 +1,133 @@
+"""The ``repro history record|show|digest`` command group, end to end."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+
+
+def write_config(tmp_path: Path, artifact: str, **extra) -> Path:
+    path = tmp_path / "subs.json"
+    payload = {
+        "subscriptions": [
+            {"name": "cli-sub", "artifacts": [artifact], "scale": "micro", "cadence": "always"}
+        ],
+        **extra,
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def recorded(tmp_path, make_micro_artifact, capsys):
+    """A history file with two recorded runs of one micro artifact."""
+    make_micro_artifact("clihist")
+    config = write_config(tmp_path, "clihist")
+    history = tmp_path / "h.jsonl"
+    cache = tmp_path / "cache"
+    argv = [
+        "history",
+        "record",
+        "--config",
+        str(config),
+        "--history",
+        str(history),
+        "--cache-dir",
+        str(cache),
+    ]
+    assert main(argv) == 0
+    assert main(argv) == 0
+    capsys.readouterr()
+    return history
+
+
+class TestRecord:
+    def test_two_runs_append_without_rewriting(self, tmp_path, make_micro_artifact, capsys):
+        make_micro_artifact("clirec")
+        config = write_config(tmp_path, "clirec")
+        history = tmp_path / "h.jsonl"
+        argv = [
+            "history",
+            "record",
+            "--config",
+            str(config),
+            "--history",
+            str(history),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 row(s) appended" in out
+        first_bytes = history.read_bytes()
+        assert main(argv) == 0
+        assert history.read_bytes()[: len(first_bytes)] == first_bytes
+        assert len(history.read_text().splitlines()) == 2
+
+    def test_history_path_defaults_from_config(self, tmp_path, make_micro_artifact, capsys, monkeypatch):
+        make_micro_artifact("clicfg")
+        monkeypatch.chdir(tmp_path)
+        config = write_config(tmp_path, "clicfg", history="from-config.jsonl")
+        argv = [
+            "history",
+            "record",
+            "--config",
+            str(config),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "from-config.jsonl").is_file()
+
+    def test_missing_config_is_a_one_line_error(self, tmp_path, capsys):
+        code = main(["history", "record", "--config", str(tmp_path / "absent.yaml")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_artifact_is_a_one_line_error(self, tmp_path, capsys):
+        config = write_config(tmp_path, "definitely-not-registered")
+        code = main(
+            [
+                "history",
+                "record",
+                "--config",
+                str(config),
+                "--history",
+                str(tmp_path / "h.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_show_renders_markdown(self, recorded, capsys):
+        assert main(["history", "show", "--history", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "# Drift history" in out
+        assert "clihist" in out
+
+    def test_show_without_history_errors(self, tmp_path, capsys):
+        code = main(["history", "show", "--history", str(tmp_path / "none.jsonl")])
+        assert code == 2
+        assert "no history" in capsys.readouterr().err
+
+
+class TestDigest:
+    def test_digest_writes_deterministic_html(self, recorded, tmp_path, capsys):
+        out_file = tmp_path / "digest.html"
+        argv = ["history", "digest", "--history", str(recorded), "--out", str(out_file)]
+        assert main(argv) == 0
+        first = out_file.read_bytes()
+        assert main(argv) == 0
+        assert out_file.read_bytes() == first
+        assert first.startswith(b"<!DOCTYPE html>")
+        assert b"clihist" in first
+
+    def test_digest_prints_to_stdout_without_out(self, recorded, capsys):
+        assert main(["history", "digest", "--history", str(recorded)]) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Diff two ``BENCH_hotpath.json`` artifacts and fail on step-loop regressions.
+"""Diff ``BENCH_hotpath.json`` artifacts and fail on step-loop regressions.
 
 Usage::
 
     python tools/bench_compare.py BASELINE CURRENT [--max-regression 0.15]
+    python tools/bench_compare.py --history runs/history.jsonl CURRENT [--window 5]
 
 The gate compares the **dimensionless** metrics of every baseline entry —
 speedup ratios (``*_speedup``), reduction ratios (``*_reduction``, e.g. the
@@ -14,21 +15,38 @@ the ``*_plan`` entries — because those are the numbers that survive a machine 
 absolute seconds and steps/second depend on the host and are printed for
 context only, never gated.
 
-A metric regresses when ``current < baseline * (1 - max_regression)`` (every
-gated metric is higher-is-better).  A baseline entry missing from the current
-artifact is always a failure: a silently dropped benchmark is how perf
-regressions hide.  Exit status: 0 clean, 1 regression(s), 2 usage error.
+Two baseline sources:
+
+* **File mode** (two positionals): a committed ``BENCH_hotpath.json``.  A
+  baseline entry missing from the current artifact is always a failure — a
+  silently dropped benchmark is how perf regressions hide.
+* **History mode** (``--history``): the drift-history JSONL written by
+  ``python -m repro history record``.  The floor for each metric is the
+  *median of the trailing ``--window`` recording runs* — a single noisy run
+  neither moves the gate much nor lets a slow drift hide behind one lucky
+  baseline refresh.
+
+A metric regresses when ``current < floor * (1 - max_regression)`` (every
+gated metric is higher-is-better).  Non-finite (NaN/inf) baseline values are
+never gated on — a NaN compares false against everything and would silently
+disable its own gate — and a non-finite *current* value is always a failure.
+Exit status: 0 clean, 1 regression(s), 2 usage error.
 
 CI runs this in the perf-smoke job against the committed baseline in
 ``benchmarks/baselines/BENCH_hotpath.json``; refresh that file (run the
 microbench at small scale and copy the artifact) when a PR intentionally
-moves the floors.
+moves the floors.  This script must stay importable and runnable with **no**
+``repro`` on the path (CI and the tests invoke it as a bare script), which is
+why the gated-metric logic is duplicated in ``repro/history/record.py``
+rather than shared.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
+import statistics
 import sys
 from pathlib import Path
 
@@ -52,12 +70,18 @@ def load_results(path: Path) -> tuple[dict, dict]:
 
 
 def gated_metrics(entry: dict) -> dict[str, float]:
-    """The higher-is-better dimensionless metrics of one bench entry."""
+    """The higher-is-better dimensionless metrics of one bench entry.
+
+    Non-numeric values (strings, bools, nulls) are not metrics and are
+    skipped; non-finite numerics are kept so the comparison can *explicitly*
+    fail on a NaN current value instead of silently passing it.
+    """
     metrics = {
         key: float(value)
         for key, value in entry.items()
         if key.endswith(("_speedup", "_reduction", "_relative_throughput"))
         and isinstance(value, (int, float))
+        and not isinstance(value, bool)
     }
     planned = entry.get("planned_step_alloc_peak_kb")
     unplanned = entry.get("unplanned_step_alloc_peak_kb")
@@ -65,6 +89,38 @@ def gated_metrics(entry: dict) -> dict[str, float]:
         # how many times smaller the planned loop's allocation high-water is
         metrics["alloc_peak_reduction"] = float(unplanned) / float(planned)
     return metrics
+
+
+def _gate_one(
+    label: str,
+    base_value: float,
+    cur_value: float | None,
+    max_regression: float,
+    problems: list[str],
+    source: str = "baseline",
+) -> None:
+    """Gate one metric against one floor source, printing the verdict line."""
+    if not math.isfinite(base_value):
+        print(f"  {label}: {source} {base_value} is not finite; not gated")
+        return
+    if cur_value is None:
+        problems.append(f"{label}: metric missing from current artifact")
+        return
+    if not math.isfinite(cur_value):
+        print(f"  {label}: {source} {base_value:.3f} -> current {cur_value} REGRESSED")
+        problems.append(f"{label}: current value {cur_value} is not finite")
+        return
+    floor = base_value * (1.0 - max_regression)
+    verdict = "REGRESSED" if cur_value < floor else "ok"
+    print(
+        f"  {label}: {source} {base_value:.3f} -> current "
+        f"{cur_value:.3f} (floor {floor:.3f}) {verdict}"
+    )
+    if cur_value < floor:
+        problems.append(
+            f"{label}: {cur_value:.3f} < {floor:.3f} "
+            f"({source} {base_value:.3f}, tolerance {max_regression:.0%})"
+        )
 
 
 def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
@@ -75,24 +131,109 @@ def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
         if cur_entry is None:
             problems.append(f"{name}: entry missing from current artifact")
             continue
+        base_metrics = gated_metrics(base_entry)
+        if not base_metrics:
+            print(f"  {name}: no gated metrics in baseline entry; nothing to gate")
+            continue
         cur_metrics = gated_metrics(cur_entry)
-        for metric, base_value in sorted(gated_metrics(base_entry).items()):
-            cur_value = cur_metrics.get(metric)
-            if cur_value is None:
-                problems.append(f"{name}.{metric}: metric missing from current artifact")
-                continue
-            floor = base_value * (1.0 - max_regression)
-            verdict = "REGRESSED" if cur_value < floor else "ok"
-            print(
-                f"  {name}.{metric}: baseline {base_value:.3f} -> current "
-                f"{cur_value:.3f} (floor {floor:.3f}) {verdict}"
+        for metric, base_value in sorted(base_metrics.items()):
+            _gate_one(
+                f"{name}.{metric}", base_value, cur_metrics.get(metric), max_regression, problems
             )
-            if cur_value < floor:
-                problems.append(
-                    f"{name}.{metric}: {cur_value:.3f} < {floor:.3f} "
-                    f"(baseline {base_value:.3f}, tolerance {max_regression:.0%})"
-                )
     return problems
+
+
+def flatten_current(results: dict) -> dict[str, float]:
+    """``{"entry.metric": value}`` for every gated metric of a current artifact."""
+    flat: dict[str, float] = {}
+    for name, entry in sorted(results.items()):
+        if isinstance(entry, dict):
+            for metric, value in gated_metrics(entry).items():
+                flat[f"{name}.{metric}"] = value
+    return flat
+
+
+def history_medians(path: Path, window: int) -> tuple[dict[str, float], int]:
+    """Per-metric medians over the trailing ``window`` recording runs.
+
+    The history file is the append-only JSONL of ``repro history record``:
+    rows of one recording run share a timestamp and carry identical
+    flattened ``bench`` mappings, so runs are deduped by timestamp.
+    Unreadable lines and rows without perf metrics are skipped — the file is
+    shared with drift bookkeeping and perf metrics are an optional rider.
+    Returns ``(medians, runs_used)``.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    points: list[dict[str, float]] = []
+    seen: set[str] = set()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(row, dict):
+            continue
+        bench = row.get("bench")
+        stamp = str(row.get("timestamp", ""))
+        if not isinstance(bench, dict) or not bench or stamp in seen:
+            continue
+        seen.add(stamp)
+        clean = {
+            str(name): float(value)
+            for name, value in bench.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value)
+        }
+        if clean:
+            points.append(clean)
+    trailing = points[-window:]
+    medians: dict[str, float] = {}
+    for name in sorted({name for point in trailing for name in point}):
+        medians[name] = statistics.median(point[name] for point in trailing if name in point)
+    return medians, len(trailing)
+
+
+def _gate_against_history(
+    history_path: Path, current_path: Path, window: int, max_regression: float
+) -> int:
+    """Gate ``current_path`` against the trailing-window medians of a history file."""
+    medians, runs_used = history_medians(history_path, window)
+    _, cur_results = load_results(current_path)
+    current = flatten_current(cur_results)
+    if not medians:
+        # bootstrap: the very first CI run has no history yet — that is not a
+        # regression, but say so loudly rather than printing a bare OK
+        print(
+            f"note: no perf metrics in {history_path}; nothing to gate "
+            "(record history rows with a --bench artifact first)"
+        )
+        print("\nOK: no step-loop regressions")
+        return 0
+    print(
+        f"comparing {len(medians)} metrics against the median of the trailing "
+        f"{runs_used} history run(s) (tolerance {max_regression:.0%}):"
+    )
+    problems: list[str] = []
+    for metric, floor_value in sorted(medians.items()):
+        _gate_one(
+            metric, floor_value, current.get(metric), max_regression, problems, source="median"
+        )
+    extra = sorted(set(current) - set(medians))
+    for metric in extra:
+        print(f"  (new) {metric}: {current[metric]:.3f} — no history yet, not gated")
+    if problems:
+        print(f"\nFAIL: {len(problems)} step-loop regression(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nOK: no step-loop regressions")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,8 +241,16 @@ def main(argv: list[str] | None = None) -> int:
         prog="python tools/bench_compare.py",
         description="Fail when the current hotpath artifact regresses on the baseline.",
     )
-    parser.add_argument("baseline", type=Path, help="committed baseline BENCH_hotpath.json")
-    parser.add_argument("current", type=Path, help="freshly produced BENCH_hotpath.json")
+    parser.add_argument(
+        "paths",
+        type=Path,
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "BASELINE CURRENT artifacts, or just CURRENT with --history "
+            "(all BENCH_hotpath.json files)"
+        ),
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -109,12 +258,42 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FRACTION",
         help="allowed relative drop in each gated metric (default: 0.15)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="JSONL",
+        help=(
+            "gate against the drift-history file of 'repro history record' "
+            "instead of a baseline artifact: the floor per metric is the "
+            "median of the trailing --window recording runs"
+        ),
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="trailing history runs the median floor is taken over (default: 5)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_regression < 1.0:
         parser.error(f"--max-regression must be in [0, 1), got {args.max_regression}")
+    if args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
 
-    base_payload, base_results = load_results(args.baseline)
-    cur_payload, cur_results = load_results(args.current)
+    if args.history is not None:
+        if len(args.paths) != 1:
+            parser.error("--history mode takes exactly one artifact: CURRENT")
+        return _gate_against_history(
+            args.history, args.paths[0], args.window, args.max_regression
+        )
+    if len(args.paths) != 2:
+        parser.error("file mode takes exactly two artifacts: BASELINE CURRENT")
+    baseline_path, current_path = args.paths
+
+    base_payload, base_results = load_results(baseline_path)
+    cur_payload, cur_results = load_results(current_path)
     if base_payload.get("scale") != cur_payload.get("scale"):
         print(
             f"note: scales differ (baseline {base_payload.get('scale')!r}, "
