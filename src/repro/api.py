@@ -28,12 +28,14 @@ from repro.execution import (
     HTTPRunCache,
     InMemoryRunCache,
     QueueWorker,
+    RetryPolicy,
     RunCache,
     ShardedRunCache,
     SingleFlight,
     TieredRunCache,
     WorkQueue,
     config_fingerprint,
+    verify_entry,
     plan_budget_sweep,
     plan_lr_grid,
     plan_setting_table,
@@ -67,6 +69,15 @@ from repro.reporting.registry import (
     resolve_artifacts,
     resolve_scale,
 )
+from repro.faults import (
+    ChaosResult,
+    ChaosScenario,
+    FaultPlan,
+    FaultRule,
+    FaultyHTTPRunCache,
+    FaultyRunCache,
+    run_chaos,
+)
 from repro.reporting.report import render_json, render_markdown, write_report
 from repro.utils.records import RunRecord, RunStore
 
@@ -80,12 +91,22 @@ __all__ = [
     "HTTPRunCache",
     "InMemoryRunCache",
     "QueueWorker",
+    "RetryPolicy",
     "RunCache",
     "ShardedRunCache",
     "SingleFlight",
     "TieredRunCache",
     "WorkQueue",
     "config_fingerprint",
+    "verify_entry",
+    # fault injection & chaos
+    "ChaosResult",
+    "ChaosScenario",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyHTTPRunCache",
+    "FaultyRunCache",
+    "run_chaos",
     # cell planning
     "plan_budget_sweep",
     "plan_glue_benchmark",

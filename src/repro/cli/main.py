@@ -48,6 +48,18 @@ And one command group turns the reproduction into a *continuous* service
     history, and render per-artifact drift trends plus the perf trajectory
     as markdown or a self-contained HTML digest.
 
+Two more keep the fabric honest about failure (see :mod:`repro.faults` and
+the fault-injection section of ``ARCHITECTURE.md``):
+
+``chaos``
+    Run one artifact fault-free and again under a named deterministic fault
+    scenario (``corrupt-cache`` / ``flaky-remote`` / ``worker-crash``), then
+    assert the chaos invariant: the faulted run's report is byte-identical
+    to the fault-free one and the injected-fault counters are nonzero.
+``queue stats|dead-letters|requeue-dead``
+    Inspect a sqlite work queue and return dead-lettered jobs to pending
+    (fresh attempt budget, error chain preserved).
+
 ``run``/``report``/``serve`` resolve their execution options into one
 :class:`repro.execution.ExecutionContext`; ``--cache-dir`` accepts either a
 directory or an ``http(s)://`` cache-server URL everywhere it appears.
@@ -196,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{list,run,report,clean,serve,worker,request,cache-server,history}",
+        metavar="{list,run,report,clean,serve,worker,request,cache-server,history,chaos,queue}",
     )
 
     p_list = sub.add_parser("list", help="enumerate the registered tables and figures")
@@ -327,7 +339,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--port", type=int, default=8766, metavar="PORT")
 
     _add_history_parsers(sub)
+    _add_chaos_parser(sub)
+    _add_queue_parsers(sub)
     return parser
+
+
+def _add_chaos_parser(sub: "argparse._SubParsersAction") -> None:
+    """Attach the ``chaos`` fault-injection verb."""
+    from repro.faults.scenarios import SCENARIOS
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run an artifact under deterministic faults; assert the report bytes don't move",
+    )
+    p_chaos.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="named fault scenario (see repro.faults.scenarios)",
+    )
+    p_chaos.add_argument(
+        "--artifact",
+        default="table8",
+        metavar="NAME",
+        help="registry artifact to run under faults (default: table8, the cheapest)",
+    )
+    p_chaos.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="micro",
+        help="proxy scale preset (default: micro)",
+    )
+    p_chaos.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="keep baseline/ and chaos/ trees here for diffing (default: a temp dir)",
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-plan seed override (default: the scenario's)",
+    )
+    p_chaos.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="override every rule's fault probability, in [0,1] (default: the scenario's)",
+    )
+
+
+def _add_queue_parsers(sub: "argparse._SubParsersAction") -> None:
+    """Attach the ``queue stats|dead-letters|requeue-dead`` command group."""
+    p_queue = sub.add_parser(
+        "queue", help="inspect a sqlite work queue; requeue dead-lettered jobs"
+    )
+    queue_sub = p_queue.add_subparsers(
+        dest="queue_command", required=True, metavar="{stats,dead-letters,requeue-dead}"
+    )
+    for name, help_text in (
+        ("stats", "job counts per state"),
+        ("dead-letters", "list dead-lettered jobs with their error chains"),
+        ("requeue-dead", "return dead jobs to pending (fresh attempts, errors preserved)"),
+    ):
+        p_sub = queue_sub.add_parser(name, help=help_text)
+        p_sub.add_argument("--queue", required=True, metavar="PATH", help="sqlite work-queue file")
 
 
 def _add_history_parsers(sub: "argparse._SubParsersAction") -> None:
@@ -673,6 +751,59 @@ def cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: run the scenario, print the summary, exit nonzero unless the invariant held."""
+    from repro.faults.chaos import run_chaos
+
+    if args.rate is not None and not 0.0 <= args.rate <= 1.0:
+        raise CLIError(f"--rate must be in [0, 1], got {args.rate}")
+    try:
+        result = run_chaos(
+            args.scenario,
+            artifact=args.artifact,
+            scale=args.scale,
+            workdir=args.workdir,
+            seed=args.seed,
+            rate=args.rate,
+        )
+    except (KeyError, ValueError) as exc:
+        raise CLIError(exc.args[0] if exc.args else str(exc)) from exc
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_queue(args: argparse.Namespace) -> int:
+    """``queue``: dispatch to the stats/dead-letters/requeue-dead verbs."""
+    from repro.execution.queue import WorkQueue
+
+    if not Path(args.queue).is_file():
+        raise CLIError(f"no work queue at {args.queue}")
+    queue = WorkQueue(args.queue)
+    if args.queue_command == "stats":
+        counts = queue.counts()
+        rows = [[state, str(n)] for state, n in counts.items()]
+        print(ascii_table(rows, headers=["State", "Jobs"]))
+    elif args.queue_command == "dead-letters":
+        letters = queue.dead_letters()
+        if not letters:
+            print("no dead-lettered jobs")
+        else:
+            rows = [
+                [
+                    str(job["id"]),
+                    job["fingerprint"][:12],
+                    f"{job['attempts']}/{job['max_attempts']}",
+                    job["last_error"] or "",
+                ]
+                for job in letters
+            ]
+            print(ascii_table(rows, headers=["Id", "Fingerprint", "Attempts", "Error chain"]))
+    else:
+        moved = queue.requeue_dead()
+        print(f"requeued {moved} dead job{'s' if moved != 1 else ''} to pending")
+    return 0
+
+
 _COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -683,6 +814,8 @@ _COMMANDS = {
     "request": cmd_request,
     "cache-server": cmd_cache_server,
     "history": cmd_history,
+    "chaos": cmd_chaos,
+    "queue": cmd_queue,
 }
 
 

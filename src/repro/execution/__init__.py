@@ -24,13 +24,24 @@ This package is the machinery under :mod:`repro.experiments`:
     Location-transparent cache backends: the HTTP :class:`CacheServer` /
     :class:`HTTPRunCache` pair, read-through/write-back :class:`TieredRunCache`
     composition, and hash-routed :class:`ShardedRunCache`.
+``repro.execution.retry``
+    The unified :class:`RetryPolicy` (exponential backoff, deterministic
+    jitter, total-deadline aware) every seam above retries under.
 
 Together they make table reproduction parallel, incremental and
 fleet-shareable: identical cells are trained exactly once, ever, per cache —
 whether requested by one process or by thousands of concurrent clients.
 """
 
-from repro.execution.cache import CacheStats, InMemoryRunCache, RunCache, config_fingerprint
+from repro.execution.cache import (
+    CacheStats,
+    InMemoryRunCache,
+    RunCache,
+    config_fingerprint,
+    entry_payload,
+    record_digest,
+    verify_entry,
+)
 from repro.execution.context import ExecutionContext, context_from_legacy, resolve_cache_spec
 from repro.execution.engine import EngineReport, ExperimentEngine, run_configs
 from repro.execution.plan import plan_budget_sweep, plan_lr_grid, plan_setting_table
@@ -41,6 +52,7 @@ from repro.execution.remote_cache import (
     ShardedRunCache,
     TieredRunCache,
 )
+from repro.execution.retry import RetryPolicy, hash_uniform
 
 __all__ = [
     "CacheServer",
@@ -50,6 +62,7 @@ __all__ = [
     "InMemoryRunCache",
     "LeasedJob",
     "QueueWorker",
+    "RetryPolicy",
     "RunCache",
     "ShardedRunCache",
     "SingleFlight",
@@ -57,7 +70,11 @@ __all__ = [
     "WorkQueue",
     "config_fingerprint",
     "context_from_legacy",
+    "entry_payload",
+    "hash_uniform",
+    "record_digest",
     "resolve_cache_spec",
+    "verify_entry",
     "EngineReport",
     "ExperimentEngine",
     "run_configs",

@@ -25,7 +25,15 @@ from typing import Any
 
 from repro.utils.records import RunRecord
 
-__all__ = ["CacheStats", "InMemoryRunCache", "RunCache", "config_fingerprint"]
+__all__ = [
+    "CacheStats",
+    "InMemoryRunCache",
+    "RunCache",
+    "config_fingerprint",
+    "entry_payload",
+    "record_digest",
+    "verify_entry",
+]
 
 #: bump when the fingerprint payload layout changes — invalidates old caches
 #: (v2: resolved ``dtype`` joined the payload, so float32 and float64 runs of
@@ -86,10 +94,68 @@ def fingerprint_payload(config: Any) -> dict[str, Any]:
     raise TypeError(f"cannot fingerprint configuration of type {type(config).__name__}")
 
 
+def _payload_hash(payload: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of an already-resolved payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def config_fingerprint(config: Any) -> str:
     """Stable SHA-256 content hash of a run configuration."""
-    blob = json.dumps(fingerprint_payload(config), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return _payload_hash(fingerprint_payload(config))
+
+
+def record_digest(record_dict: dict[str, Any]) -> str:
+    """SHA-256 integrity digest over a record's canonical JSON encoding.
+
+    Stored alongside every cache entry (the payload's ``integrity`` field) so
+    readers can detect silent corruption — a flipped byte inside a metric
+    value keeps the JSON perfectly parseable, which is exactly the failure
+    the fingerprint-only checks cannot see.
+    """
+    return _payload_hash(_canonical(record_dict))
+
+
+def entry_payload(config: Any, record: Any) -> dict[str, Any]:
+    """The canonical cache-entry payload every backend stores for one record.
+
+    One constructor shared by the local and HTTP caches keeps their bytes
+    identical entry for entry — the property the content-addressed transport
+    (and every ``cmp``-based equivalence test) relies on.
+    """
+    record_dict = record.to_dict()
+    return {
+        "fingerprint": config_fingerprint(config),
+        "config": fingerprint_payload(config),
+        "integrity": record_digest(record_dict),
+        "record": record_dict,
+    }
+
+
+def verify_entry(fingerprint: str, payload: dict[str, Any]) -> RunRecord:
+    """Validate one parsed cache entry against its content address.
+
+    Three checks, in order of increasing depth: the payload's declared
+    fingerprint must match the address it was fetched under, the stored
+    config must actually hash to that fingerprint, and (when the entry
+    carries an ``integrity`` digest) the record must hash to it.  Raises
+    :class:`ValueError` on any mismatch; callers treat that as *corruption*
+    — quarantine plus a :attr:`CacheStats.corrupt` count — never as a plain
+    miss.
+    """
+    declared = payload.get("fingerprint")
+    if declared != fingerprint:
+        raise ValueError(f"entry declares fingerprint {declared!r}, expected {fingerprint!r}")
+    config_payload = payload.get("config")
+    if not isinstance(config_payload, dict) or _payload_hash(config_payload) != fingerprint:
+        raise ValueError("stored config does not hash to the entry's fingerprint")
+    record_dict = payload.get("record")
+    if not isinstance(record_dict, dict):
+        raise ValueError("entry has no record object")
+    integrity = payload.get("integrity")
+    if integrity is not None and record_digest(record_dict) != integrity:
+        raise ValueError("record bytes do not match the stored integrity digest")
+    return RunRecord.from_dict(record_dict)
 
 
 @dataclass
@@ -104,6 +170,13 @@ class CacheStats:
     #: lookups that failed for a reason other than absence (e.g. an HTTP 5xx
     #: from a remote store) — a broken backend, not a cold cache
     errors: int = 0
+    #: entries whose bytes failed integrity verification on read — quarantined
+    #: (file-backed) or dropped, and reported separately from plain misses so
+    #: silent corruption is visible in ``EngineReport.cache_tiers``
+    corrupt: int = 0
+    #: transient-failure retries the backend's :class:`RetryPolicy` absorbed
+    #: (HTTP transport errors / 5xx that a later attempt recovered from)
+    retries: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for logging / JSON serialisation)."""
@@ -113,6 +186,8 @@ class CacheStats:
             "stores": self.stores,
             "skips": self.skips,
             "errors": self.errors,
+            "corrupt": self.corrupt,
+            "retries": self.retries,
         }
 
 
@@ -142,22 +217,54 @@ class RunCache:
         """Filesystem path the record for ``config`` is (or would be) stored at."""
         return self.cache_dir / f"{config_fingerprint(config)}.json"
 
+    # -- integrity -----------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where failed-verification entries are moved for post-mortem."""
+        return self.cache_dir / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the addressable namespace, keeping its bytes.
+
+        Quarantining rather than deleting preserves the evidence (what *did*
+        the torn write leave behind?) while freeing the address: the entry is
+        a miss from now on and the next :meth:`put` writes a fresh, valid
+        file.  Concurrent readers may race to quarantine the same entry —
+        whoever loses the rename finds the file gone, which is fine.
+        """
+        self.stats.corrupt += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{path.name}.corrupt")
+        except OSError:
+            # someone else quarantined it first (or the directory is
+            # read-only); either way the address must stop resolving
+            path.unlink(missing_ok=True)
+
+    def _load_verified(self, path: Path) -> RunRecord | None:
+        """Parse and verify one entry file; quarantine and return ``None`` if bad."""
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            return verify_entry(path.stem, json.loads(blob))
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+
     # -- lookup / store ------------------------------------------------------
     def get(self, config: Any) -> RunRecord | None:
         """Return the cached record for ``config``, or ``None`` on a miss.
 
-        A corrupt or truncated entry counts as a miss *and is evicted*, so the
-        next :meth:`put` repairs it instead of skipping the existing file.
+        Every read is verified against the content address (see
+        :func:`verify_entry`): a torn or bit-flipped entry counts as a miss,
+        is moved to :attr:`quarantine_dir` and is tallied in
+        :attr:`CacheStats.corrupt`, so the next :meth:`put` repairs it
+        instead of skipping the existing file.
         """
-        path = self.path_for(config)
-        try:
-            payload = json.loads(path.read_text())
-            record = RunRecord.from_dict(payload["record"])
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (json.JSONDecodeError, KeyError, TypeError):
-            path.unlink(missing_ok=True)
+        record = self._load_verified(self.path_for(config))
+        if record is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -169,12 +276,7 @@ class RunCache:
         if path.exists():
             self.stats.skips += 1
             return path
-        payload = {
-            "fingerprint": path.stem,
-            "config": fingerprint_payload(config),
-            "record": record.to_dict(),
-        }
-        blob = json.dumps(payload, indent=2, sort_keys=True)
+        blob = json.dumps(entry_payload(config, record), indent=2, sort_keys=True)
         self.write_blob(path.stem, blob.encode("utf-8"))
         return path
 
@@ -183,11 +285,23 @@ class RunCache:
     # machines as opaque bytes keyed by fingerprint; exposing the byte level
     # here keeps a served directory and a locally mounted one file-identical.
     def read_blob(self, fingerprint: str) -> bytes | None:
-        """The exact stored bytes for ``fingerprint``, or ``None`` if absent."""
+        """The exact stored bytes for ``fingerprint``, or ``None`` if absent.
+
+        Verified like :meth:`get`: the transport layer must never ship a
+        corrupt entry to another machine, so a failed verification
+        quarantines the file and reports absence.
+        """
+        path = self.cache_dir / f"{fingerprint}.json"
         try:
-            return (self.cache_dir / f"{fingerprint}.json").read_bytes()
+            blob = path.read_bytes()
         except FileNotFoundError:
             return None
+        try:
+            verify_entry(fingerprint, json.loads(blob))
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+        return blob
 
     def write_blob(self, fingerprint: str, blob: bytes) -> Path:
         """Atomically store ``blob`` under ``fingerprint`` (first write wins)."""

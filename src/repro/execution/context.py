@@ -109,6 +109,13 @@ class ExecutionContext:
         itself (``True``, the single-process default) or only submits and
         waits for external ``repro worker`` processes (``False`` — what
         ``repro serve --queue`` uses).
+    retry_policy:
+        A :class:`~repro.execution.retry.RetryPolicy` governing every retry
+        the fabric makes on this context's behalf (engine cell re-execution,
+        queue-job attempt budgets).  ``None`` (default) derives a policy from
+        ``retries``; an explicit policy wins over the counter.  Like the
+        executor it is purely an execution detail — records are bitwise
+        identical however the retries are paced.
     """
 
     workers: int = 1
@@ -121,6 +128,7 @@ class ExecutionContext:
     executor: str = "auto"
     queue: Any = None
     queue_inline: bool = True
+    retry_policy: Any = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -133,6 +141,13 @@ class ExecutionContext:
             from repro.nn.plan import parse_passes
 
             parse_passes(self.plan_passes)  # fail fast on unknown pass names
+        if self.retry_policy is not None:
+            from repro.execution.retry import RetryPolicy
+
+            if not isinstance(self.retry_policy, RetryPolicy):
+                raise TypeError(
+                    f"retry_policy must be a RetryPolicy, got {self.retry_policy!r}"
+                )
 
     # -- resolution ----------------------------------------------------------
     def resolve_cache(self) -> Any:

@@ -119,6 +119,30 @@ class EngineReport:
         """
         return sum(int(counters.get("errors", 0)) for counters in self.cache_tiers.values())
 
+    @property
+    def retry_attempts(self) -> int:
+        """Every retry this run needed, engine- and transport-level combined.
+
+        Engine cell re-executions (:attr:`retried`) plus the per-tier
+        ``retries`` counters the :class:`~repro.execution.retry.RetryPolicy`
+        records on cache transports.  The drift history stores this rollup,
+        so a week of "passing but limping on retries" is visible as a trend
+        before it becomes an outage.
+        """
+        return self.retried + sum(
+            int(counters.get("retries", 0)) for counters in self.cache_tiers.values()
+        )
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Cache entries that failed integrity verification this run.
+
+        Corrupt entries are quarantined and retrained, so the *results* stay
+        correct — this counter is how silent storage rot shows up in reports
+        and the drift history instead of disappearing into the miss count.
+        """
+        return sum(int(counters.get("corrupt", 0)) for counters in self.cache_tiers.values())
+
     def as_dict(self) -> dict[str, Any]:
         """Report counters as a plain dict (for logging / JSON serialisation)."""
         return {
@@ -131,6 +155,8 @@ class EngineReport:
             "remote": self.remote,
             "executor": self.executor,
             "cache_errors": self.cache_errors,
+            "retry_attempts": self.retry_attempts,
+            "corrupt_entries": self.corrupt_entries,
             "cache_tiers": {tier: dict(c) for tier, c in self.cache_tiers.items()},
             "failures": list(self.failures),
         }
@@ -240,6 +266,7 @@ class ExperimentEngine:
         queue: Any = None,
         queue_inline: bool = True,
         poll_interval: float = 0.05,
+        retry_policy: Any = None,
     ) -> None:
         if context is not None:
             cache = context.resolve_cache()
@@ -251,6 +278,8 @@ class ExperimentEngine:
             executor = context.executor
             queue = context.resolve_queue()
             queue_inline = context.queue_inline
+            if context.retry_policy is not None:
+                retry_policy = context.retry_policy
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if retries < 0:
@@ -259,6 +288,19 @@ class ExperimentEngine:
 
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        from repro.execution.retry import RetryPolicy
+
+        if retry_policy is None:
+            # The legacy ``retries`` counter becomes the attempt budget of a
+            # full policy: same number of re-executions, now with backoff.
+            retry_policy = RetryPolicy.for_attempts(retries + 1)
+        elif not isinstance(retry_policy, RetryPolicy):
+            raise TypeError(f"retry_policy must be a RetryPolicy, got {retry_policy!r}")
+        else:
+            # An explicit policy *is* the retry budget; keep the legacy
+            # counter (used for queue max_attempts) consistent with it.
+            retries = retry_policy.max_attempts - 1
+        self.retry_policy = retry_policy
         self.cache = resolve_cache_spec(cache)
         self.max_workers = max_workers
         self.retries = retries
@@ -422,18 +464,20 @@ class ExperimentEngine:
         results: list[RunRecord | None],
         report: EngineReport,
     ) -> None:
+        def _count(retry_index: int, exc: BaseException, delay: float) -> None:
+            report.retried += 1
+
         for job in jobs:
-            attempts_left = self.retries
-            while True:
-                try:
-                    outcome = job.fn(job.payload)
-                    break
-                except Exception as exc:
-                    if attempts_left <= 0:
-                        report.failures.extend(f"cell {idx}: {exc!r}" for idx in job.indices)
-                        raise
-                    attempts_left -= 1
-                    report.retried += 1
+            try:
+                outcome = self.retry_policy.call(
+                    # bind the loop variable: the lambda runs inside .call()
+                    lambda job=job: job.fn(job.payload),
+                    key=f"cell:{job.indices[0]}",
+                    on_retry=_count,
+                )
+            except Exception as exc:
+                report.failures.extend(f"cell {idx}: {exc!r}" for idx in job.indices)
+                raise
             self._complete(plan, job, outcome, results, report)
 
     def _run_parallel(
@@ -465,9 +509,13 @@ class ExperimentEngine:
                                 raise
                         elif isinstance(exc, BrokenProcessPool):
                             raise exc
-                        elif attempts[job_idx] < self.retries:
+                        elif attempts[job_idx] < self.retry_policy.max_attempts - 1:
                             attempts[job_idx] += 1
                             report.retried += 1
+                            # The policy's backoff is deliberately skipped here:
+                            # sleeping in the dispatcher would stall every other
+                            # in-flight completion, and pool-worker restart
+                            # latency already spaces the attempts out.
                             in_flight[pool.submit(job.fn, job.payload)] = job_idx
                         else:
                             report.failures.extend(f"cell {idx}: {exc!r}" for idx in job.indices)
@@ -502,7 +550,7 @@ class ExperimentEngine:
         """
         queue = self.queue
         owner = f"engine:{os.getpid()}:{uuid.uuid4().hex[:6]}"
-        max_attempts = self.retries + 1
+        max_attempts = self.retry_policy.max_attempts
         job_ids = {i: queue.submit(job.payload, max_attempts=max_attempts) for i, job in enumerate(jobs)}
         pending = set(range(len(jobs)))
         while pending:

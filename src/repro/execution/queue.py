@@ -31,6 +31,7 @@ executor.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import sqlite3
@@ -43,8 +44,11 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.execution.cache import config_fingerprint
+from repro.execution.retry import RetryPolicy
 
 __all__ = ["LeasedJob", "QueueWorker", "SingleFlight", "WorkQueue"]
+
+_LOG = logging.getLogger(__name__)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -207,12 +211,15 @@ class WorkQueue:
 
         Returns the job's new state (``"pending"`` for a retry, ``"dead"``
         once the attempts are spent, or its current state if the lease was
-        already lost).
+        already lost).  Each failure *appends* to ``last_error`` rather than
+        overwriting it, so a dead letter carries the whole attempt history
+        (``"boom 1; boom 2"``) — the terminal cause is the tail, but earlier
+        attempts stay on the record for the post-mortem.
         """
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
-                "SELECT attempts, max_attempts FROM jobs WHERE id=? AND lease_owner=?"
+                "SELECT attempts, max_attempts, last_error FROM jobs WHERE id=? AND lease_owner=?"
                 " AND state='leased'",
                 (job_id, owner),
             ).fetchone()
@@ -220,10 +227,11 @@ class WorkQueue:
                 conn.execute("COMMIT")
                 return self.state(job_id) or "unknown"
             new_state = "dead" if row["attempts"] >= row["max_attempts"] else "pending"
+            chain = f"{row['last_error']}; {error}" if row["last_error"] else error
             conn.execute(
                 "UPDATE jobs SET state=?, lease_owner=NULL, lease_deadline=NULL, last_error=?,"
                 " completed_at=? WHERE id=?",
-                (new_state, error, self.clock() if new_state == "dead" else None, job_id),
+                (new_state, chain, self.clock() if new_state == "dead" else None, job_id),
             )
             conn.execute("COMMIT")
             return new_state
@@ -245,6 +253,26 @@ class WorkQueue:
                 " last_error = COALESCE(last_error || '; lease expired', 'lease expired'),"
                 " lease_owner=NULL, lease_deadline=NULL"
                 " WHERE state='leased' AND lease_deadline < ?",
+                (now,),
+            )
+            return cur.rowcount
+
+    def requeue_dead(self) -> int:
+        """Return every dead-lettered job to pending; how many moved.
+
+        The operator's second chance (``repro queue requeue-dead``): attempts
+        reset so the job gets a fresh retry budget, but ``last_error`` is
+        *preserved* — the new attempts append to the existing chain, keeping
+        the full failure history across requeues.  Idempotent in the
+        exactly-once sense: a second call finds no dead jobs and moves
+        nothing.
+        """
+        now = self.clock()
+        with self._connect() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state='pending', attempts=0, lease_owner=NULL,"
+                " lease_deadline=NULL, completed_at=NULL, enqueued_at=?"
+                " WHERE state='dead'",
                 (now,),
             )
             return cur.rowcount
@@ -308,6 +336,18 @@ class QueueWorker:
     visibility_timeout / heartbeat_interval:
         Lease length and how often the background heartbeat renews it while a
         cell trains (default: a third of the timeout).
+    retry_policy:
+        The :class:`~repro.execution.retry.RetryPolicy` governing heartbeat
+        renewals (a transient sqlite ``busy`` must not silently kill the
+        heartbeat thread and let the lease expire mid-train) and the idle
+        polling backoff in :meth:`run_forever`.
+    crash_hook:
+        Test/chaos seam: called as ``crash_hook(site, fingerprint)`` at each
+        worker crash point (``worker.after_lease`` / ``worker.after_train`` /
+        ``worker.after_publish`` / ``worker.before_complete``).  A hook that
+        raises simulates the process dying at that point — the exception
+        propagates out of :meth:`run_once` without failing the job, leaving
+        the lease to expire exactly as a real crash would.
     """
 
     def __init__(
@@ -319,6 +359,8 @@ class QueueWorker:
         visibility_timeout: float = 60.0,
         heartbeat_interval: float | None = None,
         poll_interval: float = 0.2,
+        retry_policy: RetryPolicy | None = None,
+        crash_hook: Callable[[str, str], None] | None = None,
     ) -> None:
         from repro.execution.context import resolve_cache_spec
 
@@ -331,9 +373,18 @@ class QueueWorker:
         self.visibility_timeout = visibility_timeout
         self.heartbeat_interval = heartbeat_interval or max(0.5, visibility_timeout / 3.0)
         self.poll_interval = poll_interval
+        self.retry_policy = RetryPolicy() if retry_policy is None else retry_policy
+        self.crash_hook = crash_hook
         #: jobs this worker completed / failed over its lifetime
         self.completed = 0
         self.failed = 0
+        #: heartbeat renewals that needed the retry budget / exhausted it
+        self.heartbeat_retries = 0
+        self.heartbeat_failures = 0
+
+    def _crash_point(self, site: str, fingerprint: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(site, fingerprint)
 
     def _resolve_run_fn(self) -> Callable[[Any], Any]:
         if self.run_fn is not None:
@@ -343,58 +394,95 @@ class QueueWorker:
 
         return run_cell
 
+    def _beat(self, job: LeasedJob, stop: threading.Event) -> None:
+        """Renew the lease until ``stop`` is set or the lease is genuinely lost.
+
+        Each renewal runs under :attr:`retry_policy` so a transient queue
+        error (sqlite ``busy`` under worker contention) is retried instead of
+        killing the thread.  Regression guard: this thread used to die
+        silently on the first heartbeat exception, the lease then expired
+        mid-train and the job double-ran.  Even an *exhausted* retry budget
+        only skips one renewal — logged and counted — and the loop tries
+        again at the next interval.
+        """
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                alive = self.retry_policy.call(
+                    lambda: self.queue.heartbeat(job.id, self.owner),
+                    key=f"heartbeat:{job.id}",
+                    sleep=stop.wait,
+                    on_retry=lambda i, exc, delay: setattr(
+                        self, "heartbeat_retries", self.heartbeat_retries + 1
+                    ),
+                )
+            except Exception as exc:
+                self.heartbeat_failures += 1
+                _LOG.warning(
+                    "heartbeat for job %s failed after retries (%r); retrying next interval",
+                    job.id,
+                    exc,
+                )
+                continue
+            if not alive:
+                return  # lease lost; the result is still safe to publish
+
     def run_once(self) -> bool:
         """Lease and run one job; ``False`` when the queue had nothing pending."""
         self.queue.requeue_expired()
         job = self.queue.lease(self.owner, self.visibility_timeout)
         if job is None:
             return False
+        self._crash_point("worker.after_lease", job.fingerprint)
         stop = threading.Event()
-
-        def _beat() -> None:
-            while not stop.wait(self.heartbeat_interval):
-                if not self.queue.heartbeat(job.id, self.owner):
-                    return  # lease lost; the result is still safe to publish
-
-        beater = threading.Thread(target=_beat, name=f"heartbeat-{job.id}", daemon=True)
+        beater = threading.Thread(
+            target=self._beat, args=(job, stop), name=f"heartbeat-{job.id}", daemon=True
+        )
         beater.start()
+        # The finally clause stops the heartbeat on *every* exit — including a
+        # crash-hook injection — so a simulated process death cannot leave a
+        # daemon thread renewing a lease its worker no longer holds.
         try:
-            record = self._resolve_run_fn()(job.config)
-        except Exception as exc:
+            try:
+                record = self._resolve_run_fn()(job.config)
+            except Exception as exc:
+                self.failed += 1
+                self.queue.fail(job.id, self.owner, repr(exc))
+                return True
+            self._crash_point("worker.after_train", job.fingerprint)
+            # Publish before completing: a crash between the two leaves a done
+            # record with a re-queued job, and the re-run's first-write-wins
+            # cache put is a no-op on identical bytes.  A publish failure
+            # (cache server down) fails the *job* — retried under its attempt
+            # budget — instead of crashing the worker loop with a dangling
+            # lease.  Remote caches degrade gracefully on put (transport
+            # errors are counted, not raised), so the membership probe is what
+            # actually confirms delivery before the lease is completed.
+            try:
+                self.cache.put(job.config, record)
+                self._crash_point("worker.after_publish", job.fingerprint)
+                # duck-typed caches without a membership probe are trusted
+                published = (
+                    job.config in self.cache
+                    if hasattr(type(self.cache), "__contains__")
+                    else True
+                )
+            except Exception as exc:
+                self.failed += 1
+                self.queue.fail(job.id, self.owner, f"publish failed: {exc!r}")
+                return True
+            if not published:
+                self.failed += 1
+                self.queue.fail(
+                    job.id, self.owner, "publish failed: record not visible in cache after put"
+                )
+                return True
+            self._crash_point("worker.before_complete", job.fingerprint)
+            self.queue.complete(job.id, self.owner)
+            self.completed += 1
+            return True
+        finally:
             stop.set()
             beater.join()
-            self.failed += 1
-            self.queue.fail(job.id, self.owner, repr(exc))
-            return True
-        stop.set()
-        beater.join()
-        # Publish before completing: a crash between the two leaves a done
-        # record with a re-queued job, and the re-run's first-write-wins cache
-        # put is a no-op on identical bytes.  A publish failure (cache server
-        # down) fails the *job* — retried under its attempt budget — instead
-        # of crashing the worker loop with a dangling lease.  Remote caches
-        # degrade gracefully on put (transport errors are counted, not
-        # raised), so the membership probe is what actually confirms delivery
-        # before the lease is completed.
-        try:
-            self.cache.put(job.config, record)
-            # duck-typed caches without a membership probe are trusted
-            published = (
-                job.config in self.cache
-                if hasattr(type(self.cache), "__contains__")
-                else True
-            )
-        except Exception as exc:
-            self.failed += 1
-            self.queue.fail(job.id, self.owner, f"publish failed: {exc!r}")
-            return True
-        if not published:
-            self.failed += 1
-            self.queue.fail(job.id, self.owner, "publish failed: record not visible in cache after put")
-            return True
-        self.queue.complete(job.id, self.owner)
-        self.completed += 1
-        return True
 
     def run_forever(
         self, idle_exit: float | None = None, max_jobs: int | None = None
@@ -403,19 +491,40 @@ class QueueWorker:
 
         With neither bound the loop runs until the process is killed (the
         production posture).  Returns the number of jobs processed this call.
+
+        An idle queue is polled on :attr:`retry_policy`'s backoff schedule —
+        ``poll_interval`` for the first empty poll, growing (with the
+        policy's deterministic jitter) toward ``poll_interval * 8`` — instead
+        of hammering the sqlite file at a constant rate; any leased job
+        resets the backoff.
         """
         processed = 0
+        idle_streak = 0
         idle_since = time.monotonic()
         while True:
             if max_jobs is not None and processed >= max_jobs:
                 return processed
             if self.run_once():
                 processed += 1
+                idle_streak = 0
                 idle_since = time.monotonic()
                 continue
             if idle_exit is not None and time.monotonic() - idle_since >= idle_exit:
                 return processed
-            time.sleep(self.poll_interval)
+            time.sleep(self._poll_delay(idle_streak))
+            idle_streak += 1
+
+    def _poll_delay(self, idle_streak: int) -> float:
+        """The idle-poll backoff: ``poll_interval`` scaled by the retry schedule."""
+        policy = RetryPolicy(
+            max_attempts=2,
+            base_delay=self.poll_interval,
+            multiplier=self.retry_policy.multiplier,
+            max_delay=self.poll_interval * 8,
+            jitter=self.retry_policy.jitter,
+            seed=self.retry_policy.seed,
+        )
+        return policy.delay_for(min(idle_streak, 8), key=f"poll:{self.owner}")
 
 
 class SingleFlight:

@@ -33,12 +33,38 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
-from repro.execution.cache import CacheStats, RunCache, config_fingerprint, fingerprint_payload
+from repro.execution.cache import (
+    CacheStats,
+    RunCache,
+    config_fingerprint,
+    entry_payload,
+    verify_entry,
+)
+from repro.execution.retry import RetryPolicy
 from repro.utils.records import RunRecord
 
 __all__ = ["CacheServer", "HTTPRunCache", "ShardedRunCache", "TieredRunCache"]
 
 _RECORD_ROUTE = "/records/"
+
+
+class _Transient(Exception):
+    """A transport-level failure worth another attempt (connection refused,
+    timeout, 5xx).  The retry loop keys on this wrapper rather than on
+    ``URLError`` directly because ``HTTPError`` *is* a ``URLError`` — and a
+    404 or 4xx must propagate immediately, not burn the retry budget."""
+
+    def __init__(self, cause: object) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _Permanent(Exception):
+    """A definitive HTTP status (404 miss, other 4xx) — retrying cannot help."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"HTTP {status}")
+        self.status = status
 
 
 def _is_fingerprint(token: str) -> bool:
@@ -115,10 +141,11 @@ class _CacheHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", "0"))
         blob = self.rfile.read(length)
         try:
-            payload = json.loads(blob)
-            if payload.get("fingerprint") != fingerprint:
-                raise ValueError("payload fingerprint does not match the URL")
-            RunRecord.from_dict(payload["record"])
+            # Full integrity check at the door: the URL fingerprint, the
+            # config payload's content hash and the record digest must all
+            # agree, so a client with a corrupting transport cannot poison
+            # the shared store.
+            verify_entry(fingerprint, json.loads(blob))
         except (ValueError, KeyError, TypeError) as exc:
             self._send_json(400, {"error": f"malformed record payload: {exc}"})
             return
@@ -174,23 +201,80 @@ class HTTPRunCache:
     """Client half of the remote store: ``get``/``put`` over GET/PUT by hash.
 
     Drop-in for :class:`~repro.execution.cache.RunCache` wherever the engine,
-    workers or the serve front-end accept a cache.  A connection failure on
-    ``get`` counts as a miss (the caller can still train); on ``put`` it is
-    recorded in :attr:`CacheStats.errors` but never raised — a run that just
-    spent minutes training must not be aborted by a flaky store (callers that
-    need delivery confirmation, like the queue worker's publish-before-complete
-    step, check membership after the put instead).
+    workers or the serve front-end accept a cache.  Every record request runs
+    under a :class:`~repro.execution.retry.RetryPolicy`: transient transport
+    failures (connection refused, timeout, 5xx) are retried with exponential
+    backoff before the client gives up.  An *exhausted* ``get`` counts in
+    :attr:`CacheStats.errors` — not as a miss, so a down store cannot
+    masquerade as a cold cache — and the caller still gets ``None`` and can
+    train.  An exhausted ``put`` likewise records an error but never raises:
+    a run that just spent minutes training must not be aborted by a flaky
+    store (callers that need delivery confirmation, like the queue worker's
+    publish-before-complete step, check membership after the put instead).
+
+    Fetched payloads are verified against their content hash before the
+    record is trusted (:func:`~repro.execution.cache.verify_entry`); a
+    corrupted wire payload counts in :attr:`CacheStats.corrupt` and reads as
+    a miss.
     """
 
     tier_name = "remote"
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_policy = RetryPolicy() if retry_policy is None else retry_policy
         self.stats = CacheStats()
 
     def _url(self, fingerprint: str) -> str:
         return f"{self.base_url}{_RECORD_ROUTE}{fingerprint}"
+
+    def _open(self, request: urllib.request.Request, *, op: str, key: str) -> Any:
+        """The transport seam: one HTTP round-trip.
+
+        Every network touch funnels through here so the fault-injection layer
+        (:class:`repro.faults.FaultyHTTPRunCache`) can override exactly one
+        method to inject transport errors, slow responses and corrupted bytes
+        while the *real* retry and verification paths stay in play.
+        """
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _count_retry(self, retry_index: int, exc: BaseException, delay: float) -> None:
+        self.stats.retries += 1
+
+    def _request(self, request: urllib.request.Request, *, op: str, key: str) -> bytes:
+        """One policy-governed request; returns the response body bytes.
+
+        Raises :class:`_Permanent` for definitive statuses (404 and other
+        4xx), re-raises a 4xx :class:`urllib.error.HTTPError` for ``PUT``
+        callers that want the traceback, and :class:`_Transient` once the
+        retry budget is spent on transport failures or 5xx responses.
+        """
+
+        def attempt() -> bytes:
+            try:
+                with self._open(request, op=op, key=key) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+                exc.close()
+                if status >= 500:
+                    raise _Transient(f"HTTP {status}") from exc
+                raise _Permanent(status) from exc
+            except (urllib.error.URLError, OSError) as exc:
+                raise _Transient(exc) from exc
+
+        return self.retry_policy.call(
+            attempt,
+            retry_on=(_Transient,),
+            key=f"{op}:{key}",
+            on_retry=self._count_retry,
+        )
 
     def fingerprint(self, config: Any) -> str:
         """Content hash addressing ``config`` (same hash as every other backend)."""
@@ -203,23 +287,30 @@ class HTTPRunCache:
         HTTP status — a 5xx from a broken backend, a 403 from a misconfigured
         proxy — counts in :attr:`CacheStats.errors` instead, so a down cache
         server shows up in ``EngineReport.cache_tiers`` rather than
-        masquerading as a cold cache.  Either way the caller gets ``None`` and
-        can still train.
+        masquerading as a cold cache.  Transient transport failures are
+        retried under :attr:`retry_policy` first — a single flaky connection
+        no longer forces a redundant retrain.  Either way the caller gets
+        ``None`` on failure and can still train.
         """
-        request = urllib.request.Request(self._url(config_fingerprint(config)), method="GET")
+        fingerprint = config_fingerprint(config)
+        request = urllib.request.Request(self._url(fingerprint), method="GET")
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                payload = json.loads(response.read())
-            record = RunRecord.from_dict(payload["record"])
-        except urllib.error.HTTPError as exc:
-            status = exc.code
-            exc.close()
-            if status == 404:
+            blob = self._request(request, op="get", key=fingerprint)
+        except _Permanent as exc:
+            if exc.status == 404:
                 self.stats.misses += 1
             else:
                 self.stats.errors += 1
             return None
-        except (urllib.error.URLError, OSError, json.JSONDecodeError, KeyError, TypeError):
+        except _Transient:
+            self.stats.errors += 1
+            return None
+        try:
+            record = verify_entry(fingerprint, json.loads(blob))
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            # The wire (or the far store) handed us bytes that do not hash to
+            # the fingerprint we asked for: a torn read, not a cold cache.
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -229,18 +320,14 @@ class HTTPRunCache:
         """Upload ``record`` under ``config``'s fingerprint (idempotent server-side).
 
         An unreachable or broken store counts in :attr:`CacheStats.errors`
-        instead of raising: the training work is already done and the caller
-        may have other (local) tiers that can still keep the record.  A 4xx
-        rejection, by contrast, means *we* sent a malformed payload — that is
-        a bug worth a traceback, so it propagates.
+        (after the retry budget is spent) instead of raising: the training
+        work is already done and the caller may have other (local) tiers that
+        can still keep the record.  A 4xx rejection, by contrast, means *we*
+        sent a malformed payload — that is a bug worth a traceback, so it
+        propagates.
         """
         fingerprint = config_fingerprint(config)
-        payload = {
-            "fingerprint": fingerprint,
-            "config": fingerprint_payload(config),
-            "record": record.to_dict(),
-        }
-        blob = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        blob = json.dumps(entry_payload(config, record), indent=2, sort_keys=True).encode("utf-8")
         request = urllib.request.Request(
             self._url(fingerprint),
             data=blob,
@@ -248,29 +335,23 @@ class HTTPRunCache:
             headers={"Content-Type": "application/json"},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                response.read()
-        except urllib.error.HTTPError as exc:
-            status = exc.code
-            exc.close()
-            if 400 <= status < 500:
-                raise
-            self.stats.errors += 1
-            return
-        except (urllib.error.URLError, OSError):
+            self._request(request, op="put", key=fingerprint)
+        except _Permanent as exc:
+            raise urllib.error.HTTPError(
+                request.full_url, exc.status, str(exc), hdrs=None, fp=None  # type: ignore[arg-type]
+            ) from exc
+        except _Transient:
             self.stats.errors += 1
             return
         self.stats.stores += 1
 
     def __contains__(self, config: Any) -> bool:
-        request = urllib.request.Request(self._url(config_fingerprint(config)), method="HEAD")
+        fingerprint = config_fingerprint(config)
+        request = urllib.request.Request(self._url(fingerprint), method="HEAD")
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.status == 200
-        except urllib.error.HTTPError as exc:
-            exc.close()
-            return False
-        except (urllib.error.URLError, OSError):
+            self._request(request, op="head", key=fingerprint)
+            return True
+        except (_Permanent, _Transient):
             return False
 
     def __len__(self) -> int:

@@ -1,0 +1,146 @@
+"""The unified retry/backoff policy every fabric seam shares.
+
+Before this module each seam invented its own failure handling: the HTTP
+cache client made exactly one attempt per request, the engine counted a bare
+``retries`` integer with no delay between attempts, and the queue worker
+polled on a constant interval.  :class:`RetryPolicy` replaces all three with
+one exponential-backoff schedule whose jitter is *deterministic* — a hash of
+``(seed, key, attempt)``, not a live RNG draw — so a replayed run (the chaos
+suite's bread and butter) backs off identically, sleep for sleep.
+
+The policy is a frozen dataclass: cheap to share, safe to hash into an
+:class:`~repro.execution.context.ExecutionContext`, and picklable into pool
+workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Tuple, Type
+
+__all__ = ["RetryPolicy", "hash_uniform"]
+
+
+def hash_uniform(*tokens: Any) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed by ``tokens``.
+
+    SHA-256 over the ``:``-joined token reprs, mapped onto the 53-bit float
+    grid.  The same tokens always produce the same draw, on every platform
+    and in every process — the property both the retry jitter and the
+    fault-injection schedules (:mod:`repro.faults`) are built on.
+    """
+    blob = ":".join(repr(token) for token in tokens).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << 53) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a total deadline.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first one; ``1`` means "never retry".
+    base_delay:
+        Sleep before the first retry (seconds).  ``0.0`` retries immediately.
+    multiplier:
+        Growth factor per retry (``delay_n = base_delay * multiplier ** n``).
+    max_delay:
+        Per-retry ceiling on the computed delay.
+    jitter:
+        Fractional spread applied to each delay: a deterministic draw in
+        ``[-jitter, +jitter]`` scales the delay, decorrelating a fleet of
+        clients without sacrificing replayability (the draw hashes the
+        policy seed, the caller's ``key`` and the attempt index).
+    total_deadline:
+        Optional budget (seconds) across *all* attempts of one :meth:`call`:
+        a retry whose backoff would overrun the deadline is abandoned and the
+        last error propagates instead.  ``None`` means attempts alone bound
+        the loop.
+    seed:
+        Jitter stream selector; two policies differing only in seed back off
+        on decorrelated schedules.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    total_deadline: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @classmethod
+    def for_attempts(cls, max_attempts: int, **changes: Any) -> "RetryPolicy":
+        """A policy retrying ``max_attempts - 1`` times with the default backoff."""
+        return cls(max_attempts=max(1, int(max_attempts)), **changes)
+
+    # -- schedule ------------------------------------------------------------
+    def delay_for(self, retry_index: int, key: str = "") -> float:
+        """The backoff before retry number ``retry_index`` (0-based), jittered.
+
+        Deterministic: the same ``(policy, key, retry_index)`` always sleeps
+        the same amount, so a replayed run is timing-identical.
+        """
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** retry_index)
+        if self.jitter and delay > 0:
+            spread = 2.0 * hash_uniform(self.seed, key, retry_index) - 1.0
+            delay *= 1.0 + self.jitter * spread
+        return delay
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        """The full backoff schedule (one delay per possible retry)."""
+        for retry_index in range(self.max_attempts - 1):
+            yield self.delay_for(retry_index, key)
+
+    # -- execution -----------------------------------------------------------
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        key: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> Any:
+        """Run ``fn`` under this policy; return its result or raise the last error.
+
+        Only exceptions matching ``retry_on`` are retried — anything else is
+        a logic error and propagates immediately.  ``on_retry(retry_index,
+        exc, delay)`` fires before each backoff sleep, which is where callers
+        hook their ``retried`` counters.  ``sleep``/``clock`` are injectable
+        so tests (and the chaos suite) run without real waiting.
+        """
+        start = clock()
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as exc:
+                retries_left = self.max_attempts - attempt - 1
+                if retries_left <= 0:
+                    raise
+                delay = self.delay_for(attempt, key)
+                if (
+                    self.total_deadline is not None
+                    and clock() - start + delay > self.total_deadline
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable: max_attempts >= 1")

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the experiment fabric.
+
+Reproducibility infrastructure earns trust by surviving failure, not by
+assuming its absence.  This package wraps every fabric seam — the local
+content-addressed cache, the HTTP cache transport, the queue worker's
+lease/train/publish/complete pipeline, and the engine's child processes —
+behind *seeded, replayable* fault schedules:
+
+``repro.faults.plan``
+    :class:`FaultPlan` / :class:`FaultRule`: serializable, per-site
+    probability and count schedules whose every decision is a hash of
+    ``(seed, site, key, occurrence)`` — no live RNG, so a replayed run
+    injects bit-identically.
+``repro.faults.injectors``
+    :class:`FaultyRunCache` (corrupts stored payload bytes so the integrity
+    layer must quarantine), :class:`FaultyHTTPRunCache` (transport errors,
+    5xx, slow responses and torn reads on the real retry path), and
+    :class:`FaultyRunFn` (picklable child-process failures for the pool
+    executor).
+``repro.faults.scenarios``
+    The named scenarios (``corrupt-cache``, ``flaky-remote``,
+    ``worker-crash``) shared by ``python -m repro chaos``, the chaos test
+    suite and CI's chaos-smoke job.
+``repro.faults.chaos``
+    :func:`run_chaos`: run one registry artifact under a scenario and check
+    the chaos invariant — faults change *timing and stats*, never *bytes*;
+    the final report must be ``cmp``-identical to the fault-free run.
+"""
+
+from repro.faults.chaos import ChaosResult, run_chaos
+from repro.faults.injectors import (
+    FaultyHTTPRunCache,
+    FaultyRunCache,
+    FaultyRunFn,
+    corrupt_payload_bytes,
+)
+from repro.faults.plan import KINDS, FaultPlan, FaultRule, InjectedCrash, InjectedFault
+from repro.faults.scenarios import SCENARIOS, ChaosScenario, build_plan, get_scenario
+
+__all__ = [
+    "ChaosResult",
+    "ChaosScenario",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyHTTPRunCache",
+    "FaultyRunCache",
+    "FaultyRunFn",
+    "InjectedCrash",
+    "InjectedFault",
+    "KINDS",
+    "SCENARIOS",
+    "build_plan",
+    "corrupt_payload_bytes",
+    "get_scenario",
+    "run_chaos",
+]

@@ -1,0 +1,250 @@
+"""The chaos harness: run an artifact under faults, assert bytes don't move.
+
+The chaos invariant is the whole point of the fabric's robustness work:
+**faults change timing and stats, never bytes**.  :func:`run_chaos` executes
+one registry artifact twice — once fault-free, once under a named scenario's
+injected faults — writes both report pairs (``<name>.md`` / ``<name>.json``)
+to disk, and compares them ``cmp``-style, byte for byte.  A run only counts
+as *passing* when the reports are identical **and** the fault counters are
+nonzero: an injection campaign that never fired proves nothing.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.execution.cache import RunCache
+from repro.execution.context import ExecutionContext
+from repro.execution.queue import QueueWorker, WorkQueue
+from repro.execution.remote_cache import CacheServer, TieredRunCache
+from repro.execution.retry import RetryPolicy
+from repro.faults.injectors import FaultyHTTPRunCache, FaultyRunCache
+from repro.faults.plan import FaultPlan, InjectedCrash
+from repro.faults.scenarios import ChaosScenario, build_plan, get_scenario
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+#: the retry policy chaos runs use on HTTP tiers: same shape as production,
+#: compressed delays so a test campaign doesn't spend its wall-clock sleeping
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.005, max_delay=0.05)
+
+
+@dataclass
+class ChaosResult:
+    """What one chaos campaign did, and whether the invariant held."""
+
+    scenario: str
+    artifact: str
+    scale: str
+    #: the chaos invariant: both report files byte-identical to fault-free
+    identical: bool
+    #: injections delivered, by site (must be nonzero for the run to count)
+    injected: dict[str, int] = field(default_factory=dict)
+    #: fault-recovery counters from the chaos run (cache errors/retries/
+    #: corrupt entries, engine retries, worker crash recoveries...)
+    stats: dict[str, Any] = field(default_factory=dict)
+    baseline_dir: str = ""
+    chaos_dir: str = ""
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults delivered across every site."""
+        return sum(self.injected.values())
+
+    @property
+    def ok(self) -> bool:
+        """Invariant held *and* the faults demonstrably fired."""
+        return self.identical and self.total_injected > 0
+
+    def summary(self) -> str:
+        """A one-screen human summary (what the CLI prints)."""
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"chaos {status}: {self.artifact} @ {self.scale} under '{self.scenario}'",
+            f"  reports identical: {self.identical}",
+            f"  faults injected:   {self.total_injected}"
+            + (
+                " (" + ", ".join(f"{site}={n}" for site, n in sorted(self.injected.items())) + ")"
+                if self.injected
+                else ""
+            ),
+        ]
+        for key, value in sorted(self.stats.items()):
+            lines.append(f"  {key}: {value}")
+        lines.append(f"  baseline: {self.baseline_dir}")
+        lines.append(f"  chaos:    {self.chaos_dir}")
+        return "\n".join(lines)
+
+
+def _reports(artifact: Any, scale: Any, store: Any, out_dir: Path) -> list[Path]:
+    from repro.reporting.report import write_report
+
+    return write_report(artifact.build(store, scale), scale, out_dir)
+
+
+def _identical(baseline: Path, chaos: Path, name: str) -> bool:
+    return all(
+        filecmp.cmp(baseline / f"{name}{suffix}", chaos / f"{name}{suffix}", shallow=False)
+        for suffix in (".md", ".json")
+    )
+
+
+def _drive_worker(worker: QueueWorker, stop: threading.Event) -> None:
+    """Consume the queue, 'restarting' the worker whenever a crash fires.
+
+    :class:`InjectedCrash` is a BaseException that models process death; the
+    harness plays init's role and starts the next worker incarnation.  The
+    dangling lease is reclaimed by the visibility timeout, exactly as in
+    production.
+    """
+    while not stop.is_set():
+        try:
+            if not worker.run_once():
+                time.sleep(0.02)
+        except InjectedCrash:
+            continue
+
+
+def run_chaos(
+    scenario: str | ChaosScenario,
+    artifact: str = "table8",
+    scale: str = "micro",
+    workdir: str | Path | None = None,
+    seed: int | None = None,
+    rate: float | None = None,
+) -> ChaosResult:
+    """Run ``artifact`` fault-free and under ``scenario``; compare report bytes.
+
+    ``workdir`` (a temp directory by default) receives ``baseline/`` and
+    ``chaos/`` trees, each with its own cache and a ``reports/`` pair —
+    left on disk so a failing run can be diffed.  ``rate`` / ``seed``
+    override the scenario's schedule (tests pin ``rate=1.0``).
+    """
+    from repro.reporting.registry import execute_artifact, get_artifact, resolve_scale
+
+    import repro.reporting.artifacts  # noqa: F401 - populate the registry
+
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    art = get_artifact(artifact)
+    scl = resolve_scale(scale)
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if workdir is None else Path(workdir)
+    baseline_dir = root / "baseline"
+    chaos_dir = root / "chaos"
+
+    # -- fault-free reference -------------------------------------------------
+    context = ExecutionContext(cache=RunCache(baseline_dir / "cache"), retries=spec.retries)
+    store, _ = execute_artifact(art, scl, context=context)
+    _reports(art, scl, store, baseline_dir / "reports")
+
+    # -- faulted run ----------------------------------------------------------
+    plan = build_plan(spec, rate=rate, seed=seed)
+    stats: dict[str, Any] = {}
+    if spec.kind == "local-cache":
+        store, stats = _run_local_cache(art, scl, spec, plan, chaos_dir, execute_artifact)
+    elif spec.kind == "remote-cache":
+        store, stats = _run_remote_cache(art, scl, spec, plan, chaos_dir, execute_artifact)
+    elif spec.kind == "queue-worker":
+        store, stats = _run_queue_worker(art, scl, spec, plan, chaos_dir, execute_artifact)
+    else:
+        raise ValueError(f"unknown scenario kind {spec.kind!r}")
+    _reports(art, scl, store, chaos_dir / "reports")
+
+    return ChaosResult(
+        scenario=spec.name,
+        artifact=art.name,
+        scale=scl.name,
+        identical=_identical(baseline_dir / "reports", chaos_dir / "reports", art.name),
+        injected=dict(plan.fired),
+        stats=stats,
+        baseline_dir=str(baseline_dir),
+        chaos_dir=str(chaos_dir),
+    )
+
+
+def _run_local_cache(
+    art: Any, scl: Any, spec: ChaosScenario, plan: FaultPlan, chaos_dir: Path, execute: Any
+) -> tuple[Any, dict[str, Any]]:
+    """corrupt-cache: warm the cache clean, then read it back through rot.
+
+    Pass 1 populates a pristine cache (the injector never corrupts entries
+    that don't exist yet).  Pass 2 re-reads every cell while the injector
+    rots entries on schedule — the integrity layer must quarantine each one,
+    miss, retrain, and land byte-identical records back in the cache.
+    """
+    cache = RunCache(chaos_dir / "cache")
+    faulty = FaultyRunCache(cache, plan)
+    context = ExecutionContext(cache=faulty, retries=spec.retries)
+    execute(art, scl, context=context)  # pass 1: seed the entries
+    store, report = execute(art, scl, context=context)  # pass 2: rot + recover
+    return store, {
+        "corrupt_entries": report.corrupt_entries,
+        "cache_errors": report.cache_errors,
+        "quarantined": len(list(cache.quarantine_dir.glob("*.corrupt")))
+        if cache.quarantine_dir.is_dir()
+        else 0,
+    }
+
+
+def _run_remote_cache(
+    art: Any, scl: Any, spec: ChaosScenario, plan: FaultPlan, chaos_dir: Path, execute: Any
+) -> tuple[Any, dict[str, Any]]:
+    """flaky-remote: a local tier in front of a remote store on a bad network."""
+    server = CacheServer(chaos_dir / "remote-store").start()
+    try:
+        remote = FaultyHTTPRunCache(server.url, plan, retry_policy=FAST_RETRY)
+        tiered = TieredRunCache(RunCache(chaos_dir / "cache"), remote)
+        context = ExecutionContext(cache=tiered, retries=spec.retries)
+        store, report = execute(art, scl, context=context)
+        return store, {
+            "cache_errors": report.cache_errors,
+            "retry_attempts": report.retry_attempts,
+            "corrupt_entries": report.corrupt_entries,
+            "remote_errors": remote.stats.errors,
+            "remote_retries": remote.stats.retries,
+        }
+    finally:
+        server.stop()
+
+
+def _run_queue_worker(
+    art: Any, scl: Any, spec: ChaosScenario, plan: FaultPlan, chaos_dir: Path, execute: Any
+) -> tuple[Any, dict[str, Any]]:
+    """worker-crash: external workers that keep dying at protocol boundaries."""
+    queue = WorkQueue(chaos_dir / "queue.sqlite", visibility_timeout=1.0)
+    cache = RunCache(chaos_dir / "cache")
+    worker = QueueWorker(
+        queue,
+        cache,
+        owner="chaos-worker",
+        visibility_timeout=1.0,
+        heartbeat_interval=0.2,
+        poll_interval=0.02,
+        crash_hook=plan.fire,
+    )
+    stop = threading.Event()
+    thread = threading.Thread(target=_drive_worker, args=(worker, stop), daemon=True)
+    thread.start()
+    try:
+        context = ExecutionContext(
+            cache=cache,
+            executor="queue",
+            queue=queue,
+            queue_inline=False,
+            retries=spec.retries,
+        )
+        store, report = execute(art, scl, context=context)
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+    return store, {
+        "worker_completed": worker.completed,
+        "worker_failed": worker.failed,
+        "remote_records": report.remote,
+        "queue_counts": queue.counts(),
+    }

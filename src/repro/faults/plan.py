@@ -1,0 +1,185 @@
+"""Seeded, serializable fault schedules: :class:`FaultPlan` and :class:`FaultRule`.
+
+A fault plan is the chaos suite's source of randomness-without-randomness:
+every injection decision is :func:`~repro.execution.retry.hash_uniform` over
+``(seed, rule, site, key, occurrence)``.  The same plan driving the same call
+sequence fires the same faults, on every platform and in every process — a
+failing chaos run replays bit-identically under a debugger.
+
+Sites are dotted names (``"remote.get"``, ``"cache.put"``,
+``"worker.after_lease"``); rules match them with :mod:`fnmatch` patterns so
+one rule can cover a whole seam (``"remote.*"``).  ``key`` is the cache
+fingerprint (or job identity) the operation concerns; occurrence counting is
+per ``(site, key)``, so "fail the first read of each entry" and "fail 30% of
+all reads" are both expressible.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.execution.retry import hash_uniform
+
+__all__ = ["KINDS", "FaultPlan", "FaultRule", "InjectedCrash", "InjectedFault"]
+
+#: fault kinds a rule may inject
+#:
+#: ``error``    transport-level failure (``URLError``-wrapped on HTTP seams)
+#: ``status``   an HTTP 503 from the far end
+#: ``corrupt``  tamper the payload bytes (torn write / bit rot)
+#: ``slow``     delay the operation by ``rule.delay`` seconds, then proceed
+#: ``crash``    simulated process death at a worker crash point
+KINDS = ("error", "status", "corrupt", "slow", "crash")
+
+
+class InjectedFault(Exception):
+    """A deterministic injected failure (transport error, torn payload...).
+
+    An ordinary :class:`Exception`: the fabric's real error handling —
+    retries, quarantine, dead-lettering — is exactly what the injection is
+    meant to exercise.
+    """
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a worker crash point.
+
+    Deliberately a :class:`BaseException`: a real crash does not run
+    ``except Exception`` recovery handlers, so neither does this — it
+    propagates through the worker's failure handling untouched, leaving the
+    lease to expire exactly as an OOM kill would.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, what kind, how often, how many times.
+
+    Attributes
+    ----------
+    site:
+        :mod:`fnmatch` pattern over dotted site names (``"remote.get"``,
+        ``"worker.*"``).
+    kind:
+        One of :data:`KINDS`.
+    rate:
+        Probability an occurrence matching this rule fires, in ``[0, 1]``.
+    max_fires:
+        Cap on total fires for this rule across the whole run (``None`` =
+        unbounded).  ``max_fires=1`` per crash site is how the worker-crash
+        scenario guarantees progress.
+    delay:
+        Seconds to sleep before the fault takes effect (the ``slow`` kind's
+        payload; also applies to other kinds for slow-then-fail shapes).
+    """
+
+    site: str
+    kind: str = "error"
+    rate: float = 1.0
+    max_fires: int | None = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1 or None, got {self.max_fires}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The rule as a JSON-serialisable dict."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "rate": self.rate,
+            "max_fires": self.max_fires,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus the fire bookkeeping.
+
+    The rules and seed are the *plan* (serializable, replayable); the
+    occurrence and fire counters are *runtime state* — a fresh plan built
+    from :meth:`to_dict` starts them at zero and, driven through the same
+    call sequence, fires identically.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0) -> None:
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        #: injections actually delivered, by site (the chaos suite's proof
+        #: that the faults fired)
+        self.fired: dict[str, int] = {}
+        self._occurrences: dict[tuple[str, str], int] = {}
+        self._rule_fires: dict[int, int] = {}
+
+    def decide(self, site: str, key: str = "") -> FaultRule | None:
+        """Should the occurrence of ``site`` on ``key`` happening *now* fault?
+
+        Counts the occurrence either way; returns the first matching rule
+        whose deterministic draw lands under its rate (and whose
+        ``max_fires`` budget is unspent), recording the fire.  Injectors call
+        this and apply the returned rule's ``kind`` themselves.
+        """
+        occurrence = self._occurrences.get((site, key), 0)
+        self._occurrences[(site, key)] = occurrence + 1
+        for index, rule in enumerate(self.rules):
+            if not fnmatch.fnmatchcase(site, rule.site):
+                continue
+            if rule.max_fires is not None and self._rule_fires.get(index, 0) >= rule.max_fires:
+                continue
+            draw = hash_uniform(self.seed, rule.site, rule.kind, site, key, occurrence)
+            if draw < rule.rate:
+                self._rule_fires[index] = self._rule_fires.get(index, 0) + 1
+                self.fired[site] = self.fired.get(site, 0) + 1
+                return rule
+        return None
+
+    def fire(self, site: str, key: str = "") -> None:
+        """Crash-point hook: raise :class:`InjectedCrash` when scheduled.
+
+        This bound method *is* the :class:`~repro.execution.queue.QueueWorker`
+        ``crash_hook`` signature — pass ``plan.fire`` directly.
+        """
+        rule = self.decide(site, key)
+        if rule is not None:
+            if rule.delay:
+                time.sleep(rule.delay)
+            raise InjectedCrash(f"injected crash at {site} (key {key[:12]})")
+
+    @property
+    def total_fired(self) -> int:
+        """Total injections delivered across every site."""
+        return sum(self.fired.values())
+
+    def reset(self) -> None:
+        """Zero the runtime counters (fresh replay of the same plan)."""
+        self.fired.clear()
+        self._occurrences.clear()
+        self._rule_fires.clear()
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The plan (rules + seed, not runtime counters) as a JSON dict."""
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (counters start fresh)."""
+        return cls(
+            rules=[FaultRule.from_dict(rule) for rule in data.get("rules", [])],
+            seed=int(data.get("seed", 0)),
+        )

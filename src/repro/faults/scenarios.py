@@ -1,0 +1,117 @@
+"""The named chaos scenarios shared by the CLI, the test suite and CI.
+
+A scenario bundles a fault-rule set with the *topology* it targets
+(``kind``): which seams get wrapped and how the harness in
+:mod:`repro.faults.chaos` wires caches, queues and workers around the
+engine.  Scenarios are data — the same names appear in ``python -m repro
+chaos --scenario``, ``tests/test_chaos.py`` and the CI chaos-smoke job, so
+one definition drives all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = ["SCENARIOS", "ChaosScenario", "build_plan", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault campaign.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``corrupt-cache`` / ``flaky-remote`` / ``worker-crash``).
+    kind:
+        Topology the harness builds: ``"local-cache"`` (FaultyRunCache over a
+        directory cache), ``"remote-cache"`` (a live CacheServer behind a
+        FaultyHTTPRunCache tier), or ``"queue-worker"`` (a WorkQueue consumed
+        by crash-hooked workers).
+    rules:
+        The fault schedule (see :class:`~repro.faults.plan.FaultRule`).
+    seed:
+        Default plan seed; ``build_plan`` can override it.
+    retries:
+        Retry budget the harness should run the engine with — scenarios that
+        burn attempts (worker crashes) need more headroom than the default.
+    """
+
+    name: str
+    description: str
+    kind: str
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+    retries: int = 2
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    "corrupt-cache": ChaosScenario(
+        name="corrupt-cache",
+        description=(
+            "silent storage rot: stored cache entries are corrupted before "
+            "reads; the integrity layer must quarantine and retrain"
+        ),
+        kind="local-cache",
+        rules=(FaultRule(site="cache.get", kind="corrupt", rate=0.5),),
+    ),
+    "flaky-remote": ChaosScenario(
+        name="flaky-remote",
+        description=(
+            "30% transport errors on every remote cache operation; the retry "
+            "policy and the local tier must keep the run whole"
+        ),
+        kind="remote-cache",
+        rules=(FaultRule(site="remote.*", kind="error", rate=0.3),),
+    ),
+    "worker-crash": ChaosScenario(
+        name="worker-crash",
+        description=(
+            "queue workers die at the lease/train/publish/complete "
+            "boundaries; visibility timeouts and the attempt budget must "
+            "finish every job"
+        ),
+        kind="queue-worker",
+        rules=(
+            FaultRule(site="worker.after_lease", kind="crash", rate=1.0, max_fires=1),
+            FaultRule(site="worker.after_train", kind="crash", rate=1.0, max_fires=1),
+            FaultRule(site="worker.after_publish", kind="crash", rate=1.0, max_fires=1),
+            FaultRule(site="worker.before_complete", kind="crash", rate=1.0, max_fires=1),
+        ),
+        retries=5,
+    ),
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    """Look one scenario up by name (case-insensitive)."""
+    key = name.lower()
+    if key not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    return SCENARIOS[key]
+
+
+def build_plan(
+    scenario: ChaosScenario, rate: float | None = None, seed: int | None = None
+) -> FaultPlan:
+    """A fresh :class:`FaultPlan` for ``scenario``.
+
+    ``rate`` overrides every rule's probability (tests pin ``rate=1.0`` so a
+    handful of cells is guaranteed to see faults); ``seed`` selects a
+    different deterministic injection stream.
+    """
+    rules = scenario.rules
+    if rate is not None:
+        rules = tuple(
+            FaultRule(
+                site=rule.site,
+                kind=rule.kind,
+                rate=rate,
+                max_fires=rule.max_fires,
+                delay=rule.delay,
+            )
+            for rule in rules
+        )
+    return FaultPlan(rules=rules, seed=scenario.seed if seed is None else seed)

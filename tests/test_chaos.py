@@ -1,0 +1,156 @@
+"""The chaos invariant, end to end: faults change timing and stats, never bytes.
+
+Cell-level: every registry setting trains one micro cell fault-free, then
+again under each scenario topology at ``rate=1.0`` — corrupted local cache
+entries, a dead remote tier, and crash-looping queue workers — and the
+resulting record must compare equal while the injection counters prove the
+faults fired.  Artifact-level: :func:`repro.faults.run_chaos` must report
+byte-identical ``.md``/``.json`` reports for a real registry artifact under
+every named scenario.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.execution import (
+    CacheServer,
+    ExperimentEngine,
+    QueueWorker,
+    RunCache,
+    TieredRunCache,
+    WorkQueue,
+)
+from repro.execution.retry import RetryPolicy
+from repro.experiments.glue_runner import GlueTaskCell
+from repro.experiments.runner import RunConfig
+from repro.experiments.settings import SETTINGS
+from repro.faults import (
+    FaultyHTTPRunCache,
+    FaultyRunCache,
+    InjectedCrash,
+    build_plan,
+    get_scenario,
+    run_chaos,
+)
+from repro.reporting.registry import run_cell
+
+FAST = RetryPolicy(max_attempts=4, base_delay=0.0)
+
+#: one micro training cell per registry setting (BERT-GLUE's unit is a GLUE
+#: task cell, everything else a RunConfig)
+CELLS = {
+    name: (
+        GlueTaskCell(task="RTE", schedule="rex", size_scale=0.12, max_epochs=1, pretrain_steps=2)
+        if name == "BERT-GLUE"
+        else RunConfig(
+            setting=name,
+            schedule="rex",
+            optimizer=setting.optimizers[0],
+            budget_fraction=0.25,
+            size_scale=0.12,
+            epoch_scale=0.1,
+        )
+    )
+    for name, setting in SETTINGS.items()
+}
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """The fault-free record per setting, trained once for the whole module."""
+    return {name: run_cell(cell) for name, cell in CELLS.items()}
+
+
+@pytest.mark.parametrize("setting", sorted(CELLS))
+class TestCellInvariant:
+    """Each setting's record is identical under every faulted topology."""
+
+    def test_corrupt_cache(self, setting, tmp_path, baselines):
+        plan = build_plan(get_scenario("corrupt-cache"), rate=1.0)
+        cache = RunCache(tmp_path / "cache")
+        faulty = FaultyRunCache(cache, plan)
+        engine = ExperimentEngine(cache=faulty, retries=2, run_fn=run_cell)
+        engine.run([CELLS[setting]])  # pass 1 seeds a pristine entry
+        store = engine.run([CELLS[setting]])  # pass 2 rots it on read
+        assert list(store)[0] == baselines[setting]
+        assert plan.total_fired > 0
+        assert engine.last_report.corrupt_entries > 0
+        assert len(list(cache.quarantine_dir.glob("*.corrupt"))) > 0
+
+    def test_flaky_remote(self, setting, tmp_path, baselines):
+        plan = build_plan(get_scenario("flaky-remote"), rate=1.0)
+        server = CacheServer(tmp_path / "store").start()
+        try:
+            remote = FaultyHTTPRunCache(server.url, plan, retry_policy=FAST)
+            tiered = TieredRunCache(RunCache(tmp_path / "cache"), remote)
+            engine = ExperimentEngine(cache=tiered, retries=2, run_fn=run_cell)
+            store = engine.run([CELLS[setting]])
+        finally:
+            server.stop()
+        assert list(store)[0] == baselines[setting]
+        assert plan.total_fired > 0
+        assert engine.last_report.cache_errors > 0  # the dead remote surfaced
+        assert engine.last_report.retry_attempts > 0
+
+    def test_worker_crash(self, setting, tmp_path, baselines):
+        plan = build_plan(get_scenario("worker-crash"), rate=1.0)
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=0.25)
+        cache = RunCache(tmp_path / "cache")
+        worker = QueueWorker(
+            queue,
+            cache,
+            owner="chaos",
+            visibility_timeout=0.25,
+            heartbeat_interval=0.05,
+            poll_interval=0.01,
+            crash_hook=plan.fire,
+        )
+        stop = threading.Event()
+
+        def drive():
+            while not stop.is_set():
+                try:
+                    if not worker.run_once():
+                        time.sleep(0.01)
+                except InjectedCrash:
+                    continue  # "restart" the crashed worker incarnation
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        try:
+            engine = ExperimentEngine(
+                cache=cache,
+                retries=5,
+                run_fn=run_cell,
+                executor="queue",
+                queue=queue,
+                queue_inline=False,
+                poll_interval=0.01,
+            )
+            store = engine.run([CELLS[setting]])
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert list(store)[0] == baselines[setting]
+        # all four crash points fired exactly once (max_fires=1 each)
+        assert plan.total_fired == 4
+        assert queue.counts()["done"] == 1 and queue.counts()["dead"] == 0
+
+
+@pytest.mark.parametrize("scenario", ["corrupt-cache", "flaky-remote", "worker-crash"])
+def test_artifact_reports_are_byte_identical(scenario, tmp_path):
+    result = run_chaos(scenario, artifact="table8", scale="micro", workdir=tmp_path, rate=1.0)
+    assert result.identical, f"report bytes moved under {scenario}"
+    assert result.total_injected > 0, f"no faults fired under {scenario}"
+    assert result.ok
+
+
+def test_run_chaos_rejects_unknown_names(tmp_path):
+    with pytest.raises(KeyError):
+        run_chaos("no-such-scenario", workdir=tmp_path)
+    with pytest.raises(KeyError):
+        run_chaos("corrupt-cache", artifact="no-such-artifact", workdir=tmp_path)

@@ -161,3 +161,75 @@ class TestResumability:
         assert "removed 1 cached records" in cleaned
         assert "removed 2 report files" in cleaned
         assert list((tmp_path / "cache").glob("*.json")) == []
+
+
+class TestChaosCommand:
+    def test_chaos_help_and_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("corrupt-cache", "flaky-remote", "worker-crash"):
+            assert name in out
+
+    def test_chaos_rejects_bad_rate(self, micro_artifact, capsys):
+        assert main(["chaos", "corrupt-cache", "--artifact", "microcli", "--rate", "1.5"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+    def test_chaos_end_to_end_passes_on_micro_artifact(self, micro_artifact, tmp_path, capsys):
+        code = main(
+            [
+                "chaos",
+                "corrupt-cache",
+                "--artifact",
+                "microcli",
+                "--scale",
+                "micro",
+                "--rate",
+                "1.0",
+                "--workdir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos PASS" in out and "reports identical: True" in out
+        # the workdir keeps both trees for diffing
+        assert (tmp_path / "baseline" / "reports" / "microcli.md").exists()
+        assert (tmp_path / "chaos" / "reports" / "microcli.md").exists()
+
+
+class TestQueueCommands:
+    @pytest.fixture
+    def dead_queue(self, tmp_path):
+        """A queue file holding one dead-lettered job with a two-error chain."""
+        from repro.execution import WorkQueue
+        from tests.test_fabric import tiny_config
+
+        path = tmp_path / "q.sqlite"
+        queue = WorkQueue(path)
+        job_id = queue.submit(tiny_config(), max_attempts=2)
+        queue.lease("w1")
+        queue.fail(job_id, "w1", "boom 1")
+        queue.lease("w1")
+        queue.fail(job_id, "w1", "boom 2")
+        return path
+
+    def test_queue_stats(self, dead_queue, capsys):
+        assert main(["queue", "stats", "--queue", str(dead_queue)]) == 0
+        out = capsys.readouterr().out
+        assert "dead" in out and "pending" in out
+
+    def test_queue_dead_letters_show_error_chain(self, dead_queue, capsys):
+        assert main(["queue", "dead-letters", "--queue", str(dead_queue)]) == 0
+        assert "boom 1; boom 2" in capsys.readouterr().out
+
+    def test_queue_requeue_dead_exactly_once(self, dead_queue, capsys):
+        assert main(["queue", "requeue-dead", "--queue", str(dead_queue)]) == 0
+        assert "requeued 1 dead job" in capsys.readouterr().out
+        assert main(["queue", "requeue-dead", "--queue", str(dead_queue)]) == 0
+        assert "requeued 0 dead jobs" in capsys.readouterr().out
+
+    def test_queue_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["queue", "stats", "--queue", str(tmp_path / "nope.sqlite")]) == 2
+        assert "no work queue" in capsys.readouterr().err

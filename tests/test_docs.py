@@ -18,6 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: per-file-ignore opt-outs: everything NOT listed there must be documented)
 DOCUMENTED_PACKAGES = (
     "src/repro/execution",
+    "src/repro/faults",
     "src/repro/schedules",
     "src/repro/reporting",
     "src/repro/cli",

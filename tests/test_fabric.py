@@ -19,6 +19,7 @@ from repro.execution import (
     HTTPRunCache,
     InMemoryRunCache,
     QueueWorker,
+    RetryPolicy,
     RunCache,
     ShardedRunCache,
     TieredRunCache,
@@ -144,7 +145,8 @@ class TestWorkQueue:
         queue.lease("w2")
         assert queue.fail(job_id, "w2", "boom 2") == "dead"
         (letter,) = queue.dead_letters()
-        assert letter["last_error"] == "boom 2" and letter["attempts"] == 2
+        # the dead letter keeps the whole attempt history, terminal cause last
+        assert letter["last_error"] == "boom 1; boom 2" and letter["attempts"] == 2
 
     def test_persistence_across_instances(self, tmp_path):
         path = tmp_path / "q.sqlite"
@@ -241,9 +243,15 @@ class TestRemoteCache:
         fingerprint = config_fingerprint(config)
         assert cache_server.store.read_blob(fingerprint) == local.read_blob(fingerprint)
 
-    def test_unreachable_store_is_a_miss_on_get(self):
-        client = HTTPRunCache("http://127.0.0.1:9", timeout=0.2)
+    def test_unreachable_store_is_an_error_on_get(self):
+        # An exhausted transport is an *error*, not a silent miss: the caller
+        # still gets None (and trains locally), but the stats tell the truth.
+        client = HTTPRunCache(
+            "http://127.0.0.1:9", timeout=0.2, retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
         assert client.get(tiny_config()) is None
+        assert client.stats.errors == 1 and client.stats.misses == 0
+        assert client.stats.retries == 1  # the policy did try again
         assert not client.ping()
 
     def test_unreachable_store_degrades_gracefully_on_put(self):
@@ -635,3 +643,145 @@ class TestFabricRegressions:
         assert queue.state(job_id) == "dead"
         (letter,) = queue.dead_letters()
         assert "not visible" in letter["last_error"]
+
+
+class _FlakyOnceHTTPRunCache(HTTPRunCache):
+    """A client whose transport fails the first N opens, then works."""
+
+    def __init__(self, *args, failures: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._failures_left = failures
+
+    def _open(self, request, *, op, key):
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise OSError("connection reset by peer")
+        return super()._open(request, op=op, key=key)
+
+
+class TestRetryRegressions:
+    """Failing-first regressions for the unified retry/backoff policy."""
+
+    def test_http_get_retries_transient_failure_then_hits(self, cache_server):
+        """One transport blip must not turn a warm cache into a retrain.
+
+        Regression: ``HTTPRunCache`` made exactly one attempt per request, so
+        a single connection reset on ``get`` read as a miss/error and the
+        caller retrained a cell the store already had.
+        """
+        HTTPRunCache(cache_server.url).put(tiny_config(), make_record())
+        client = _FlakyOnceHTTPRunCache(
+            cache_server.url, retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        assert client.get(tiny_config()) == make_record()
+        assert client.stats.hits == 1 and client.stats.errors == 0
+        assert client.stats.retries == 1
+
+    def test_http_put_retries_transient_failure_then_stores(self, cache_server):
+        client = _FlakyOnceHTTPRunCache(
+            cache_server.url, retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        client.put(tiny_config(), make_record())
+        assert client.stats.stores == 1 and client.stats.errors == 0
+        assert client.stats.retries == 1
+        assert HTTPRunCache(cache_server.url).get(tiny_config()) == make_record()
+
+    def test_http_4xx_is_not_retried(self, cache_server):
+        """Client errors are permanent: burning the retry budget on a 404
+        would triple every cold-cache probe's latency for nothing."""
+        client = HTTPRunCache(
+            cache_server.url, retry_policy=RetryPolicy(max_attempts=5, base_delay=0.0)
+        )
+        assert client.get(tiny_config()) is None
+        assert client.stats.misses == 1 and client.stats.retries == 0
+
+    def test_heartbeat_thread_survives_transient_errors(self, tmp_path):
+        """A heartbeat hiccup must not silently kill the renewal thread.
+
+        Regression: the heartbeat thread died on the first exception from
+        ``queue.heartbeat`` (e.g. sqlite ``busy`` under contention); the
+        lease then expired mid-train and the job double-ran.  Renewals now
+        run under the worker's retry policy, and even an exhausted budget
+        only skips one interval.
+        """
+        queue = WorkQueue(tmp_path / "q.sqlite", visibility_timeout=5.0)
+        queue.submit(tiny_config())
+        worker = QueueWorker(
+            queue,
+            InMemoryRunCache(),
+            visibility_timeout=5.0,
+            heartbeat_interval=0.02,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        job = queue.lease(worker.owner)
+        renewals = []
+        real_heartbeat = queue.heartbeat
+        calls = [0]
+
+        def flaky_heartbeat(job_id, owner):
+            calls[0] += 1
+            if calls[0] in (1, 2, 3):  # calls 1+2: one retried renewal;
+                raise OSError("database is locked")  # call 3: budget exhausted
+            renewals.append(calls[0])
+            return real_heartbeat(job_id, owner)
+
+        queue.heartbeat = flaky_heartbeat
+        stop = threading.Event()
+        beater = threading.Thread(target=worker._beat, args=(job, stop), daemon=True)
+        beater.start()
+        for _ in range(500):
+            if len(renewals) >= 2:
+                break
+            threading.Event().wait(0.01)
+        stop.set()
+        beater.join(timeout=5.0)
+        assert not beater.is_alive()
+        assert len(renewals) >= 2  # the thread outlived both failure shapes
+        assert worker.heartbeat_retries >= 1  # renewal 1 used the budget
+        assert worker.heartbeat_failures >= 1  # renewal 2 exhausted it and logged
+
+
+class TestDeadLetterLifecycle:
+    """The operator's dead-letter workflow: inspect, requeue exactly once, re-try."""
+
+    def test_requeue_dead_returns_jobs_to_pending_exactly_once(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config(), max_attempts=1)
+        queue.lease("w1")
+        assert queue.fail(job_id, "w1", "boom 1") == "dead"
+        assert queue.requeue_dead() == 1
+        assert queue.state(job_id) == "pending"
+        # exactly once: nothing dead is left to move
+        assert queue.requeue_dead() == 0
+        assert queue.state(job_id) == "pending"
+
+    def test_requeue_dead_resets_attempts_but_preserves_error_chain(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        job_id = queue.submit(tiny_config(), max_attempts=2)
+        queue.lease("w1")
+        queue.fail(job_id, "w1", "boom 1")
+        queue.lease("w1")
+        assert queue.fail(job_id, "w1", "boom 2") == "dead"
+        assert queue.requeue_dead() == 1
+        # a fresh attempt budget: the job can fail max_attempts more times
+        job = queue.lease("w2")
+        assert job.attempts == 1
+        assert queue.fail(job_id, "w2", "boom 3") == "pending"
+        queue.lease("w2")
+        assert queue.fail(job_id, "w2", "boom 4") == "dead"
+        (letter,) = queue.dead_letters()
+        # the full failure history across the requeue, oldest first
+        assert letter["last_error"] == "boom 1; boom 2; boom 3; boom 4"
+
+    def test_requeued_job_completes_normally(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q.sqlite")
+        cache = InMemoryRunCache()
+        job_id = queue.submit(tiny_config(), max_attempts=1)
+        queue.lease("w1")
+        queue.fail(job_id, "w1", "transient infra outage")
+        assert queue.state(job_id) == "dead"
+        queue.requeue_dead()
+        worker = QueueWorker(queue, cache, run_fn=run_single, visibility_timeout=60.0)
+        assert worker.run_forever(idle_exit=0.01) == 1
+        assert queue.state(job_id) == "done"
+        assert cache.get(tiny_config()) is not None

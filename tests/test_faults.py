@@ -1,0 +1,276 @@
+"""Tests for the deterministic fault-injection layer (:mod:`repro.faults`).
+
+Covers the plan contract (seeded hash decisions, fnmatch sites, occurrence
+counting, max_fires budgets, serialization round-trip, bit-identical replay),
+the payload corruptor, and each injector against its real seam: the local
+cache's quarantine path, the HTTP client's retry loop, and the worker's
+crash hook.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.execution import (
+    CacheServer,
+    HTTPRunCache,
+    InMemoryRunCache,
+    RunCache,
+    entry_payload,
+    verify_entry,
+)
+from repro.execution.retry import RetryPolicy
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultyHTTPRunCache,
+    FaultyRunCache,
+    FaultyRunFn,
+    InjectedCrash,
+    InjectedFault,
+    build_plan,
+    corrupt_payload_bytes,
+    get_scenario,
+)
+
+from tests.test_fabric import make_record, tiny_config
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+class TestFaultRule:
+    def test_defaults(self):
+        rule = FaultRule(site="remote.*")
+        assert rule.kind == "error" and rule.rate == 1.0 and rule.max_fires is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="explode"),
+            dict(rate=-0.1),
+            dict(rate=1.5),
+            dict(max_fires=0),
+            dict(delay=-1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", **kwargs)
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(site="cache.get", kind="corrupt", rate=0.3, max_fires=2, delay=0.1)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = FaultPlan([FaultRule(site="s", rate=1.0)])
+        never = FaultPlan([FaultRule(site="s", rate=0.0)])
+        assert all(always.decide("s", f"k{i}") is not None for i in range(10))
+        assert all(never.decide("s", f"k{i}") is None for i in range(10))
+        assert always.total_fired == 10 and never.total_fired == 0
+
+    def test_site_patterns_are_fnmatch(self):
+        plan = FaultPlan([FaultRule(site="remote.*")])
+        assert plan.decide("remote.get", "k") is not None
+        assert plan.decide("remote.put", "k") is not None
+        assert plan.decide("cache.get", "k") is None
+
+    def test_partial_rate_is_deterministic_and_partial(self):
+        def fires(seed):
+            plan = FaultPlan([FaultRule(site="s", rate=0.3)], seed=seed)
+            return [plan.decide("s", f"key{i}") is not None for i in range(200)]
+
+        first = fires(0)
+        assert first == fires(0)  # bit-identical replay
+        assert 20 < sum(first) < 100  # ~30% of 200, loosely
+        assert first != fires(1)  # a different seed is a different stream
+
+    def test_occurrence_counting_is_per_site_and_key(self):
+        # rate draws hash the occurrence index: the same key hitting the same
+        # site repeatedly sees an evolving stream, not one frozen decision
+        plan = FaultPlan([FaultRule(site="s", rate=0.5)])
+        outcomes = {plan.decide("s", "same-key") is not None for _ in range(50)}
+        assert outcomes == {True, False}
+
+    def test_max_fires_caps_a_rule(self):
+        plan = FaultPlan([FaultRule(site="s", rate=1.0, max_fires=2)])
+        outcomes = [plan.decide("s", f"k{i}") is not None for i in range(5)]
+        assert outcomes == [True, True, False, False, False]
+        assert plan.fired == {"s": 2}
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", kind="corrupt", max_fires=1), FaultRule(site="s", kind="error")]
+        )
+        assert plan.decide("s", "a").kind == "corrupt"
+        assert plan.decide("s", "b").kind == "error"
+
+    def test_fire_raises_injected_crash(self):
+        plan = FaultPlan([FaultRule(site="worker.*", kind="crash", max_fires=1)])
+        with pytest.raises(InjectedCrash):
+            plan.fire("worker.after_lease", "fp")
+        plan.fire("worker.after_lease", "fp")  # budget spent: no raise
+        assert plan.fired == {"worker.after_lease": 1}
+
+    def test_injected_crash_evades_except_exception(self):
+        # the property the worker-crash scenario depends on: recovery code
+        # written as `except Exception` must not absorb a simulated death
+        with pytest.raises(InjectedCrash):
+            try:
+                raise InjectedCrash("boom")
+            except Exception:  # noqa: BLE001
+                pytest.fail("InjectedCrash must not be an Exception")
+
+    def test_serialization_round_trip_replays_identically(self):
+        plan = FaultPlan([FaultRule(site="s", rate=0.4)], seed=7)
+        clone = FaultPlan.from_dict(plan.to_dict())
+
+        def drive(p):
+            return [p.decide("s", f"k{i}") is not None for i in range(50)]
+
+        assert drive(plan) == drive(clone)
+
+    def test_reset_restores_a_fresh_replay(self):
+        plan = FaultPlan([FaultRule(site="s", rate=0.5)])
+        first = [plan.decide("s", "k") is not None for _ in range(20)]
+        plan.reset()
+        assert [plan.decide("s", "k") is not None for _ in range(20)] == first
+        assert plan._occurrences[("s", "k")] == 20
+
+
+class TestCorruptPayloadBytes:
+    def test_tampered_payload_fails_verification(self):
+        config, record = tiny_config(), make_record()
+        blob = json.dumps(entry_payload(config, record)).encode()
+        fingerprint = json.loads(blob)["fingerprint"]
+        assert verify_entry(fingerprint, json.loads(blob)) is not None
+        tampered = corrupt_payload_bytes(blob)
+        assert tampered != blob
+        with pytest.raises((ValueError, json.JSONDecodeError)):
+            verify_entry(fingerprint, json.loads(tampered))
+
+    def test_corruption_is_deterministic(self):
+        blob = json.dumps(entry_payload(tiny_config(), make_record())).encode()
+        assert corrupt_payload_bytes(blob) == corrupt_payload_bytes(blob)
+
+    def test_payload_without_integrity_is_torn(self):
+        blob = b'{"no": "integrity field here"}'
+        torn = corrupt_payload_bytes(blob)
+        assert torn == blob[: len(blob) // 2]
+
+
+class TestFaultyRunCache:
+    def test_requires_a_directory_cache(self):
+        with pytest.raises(TypeError):
+            FaultyRunCache(InMemoryRunCache(), FaultPlan())
+
+    def test_corrupt_on_get_quarantines_and_misses(self, tmp_path):
+        inner = RunCache(tmp_path / "cache")
+        faulty = FaultyRunCache(inner, FaultPlan([FaultRule(site="cache.get", kind="corrupt")]))
+        config, record = tiny_config(), make_record()
+        faulty.put(config, record)
+        assert faulty.get(config) is None  # rotted on read -> quarantined miss
+        assert inner.stats.corrupt == 1
+        assert len(list(inner.quarantine_dir.glob("*.corrupt"))) == 1
+        # the rotten entry is gone: a clean re-put round-trips again
+        faulty.put(config, record)
+        faulty.plan.reset()
+        restored = FaultyRunCache(inner, FaultPlan())  # no rules: clean reads
+        assert restored.get(config) == record
+
+    def test_cold_get_never_consults_the_plan(self, tmp_path):
+        plan = FaultPlan([FaultRule(site="cache.get", kind="error")])
+        faulty = FaultyRunCache(RunCache(tmp_path / "cache"), plan)
+        assert faulty.get(tiny_config()) is None  # plain miss, no injection
+        assert plan.total_fired == 0
+
+    def test_error_kind_raises_injected_fault(self, tmp_path):
+        faulty = FaultyRunCache(
+            RunCache(tmp_path / "cache"), FaultPlan([FaultRule(site="cache.get", kind="error")])
+        )
+        faulty.put(tiny_config(), make_record())
+        with pytest.raises(InjectedFault):
+            faulty.get(tiny_config())
+
+
+@pytest.fixture()
+def cache_server(tmp_path):
+    server = CacheServer(tmp_path / "store").start()
+    yield server
+    server.stop()
+
+
+class TestFaultyHTTPRunCache:
+    def test_transport_errors_are_retried_through(self, cache_server):
+        # one injected error per key: the production retry loop absorbs it
+        plan = FaultPlan([FaultRule(site="remote.*", kind="error", max_fires=1)])
+        faulty = FaultyHTTPRunCache(cache_server.url, plan, retry_policy=FAST)
+        config, record = tiny_config(), make_record()
+        faulty.put(config, record)
+        assert faulty.get(config) == record
+        assert plan.total_fired == 1
+        assert faulty.stats.retries >= 1 and faulty.stats.errors == 0
+
+    def test_injected_503_is_transient(self, cache_server):
+        plan = FaultPlan([FaultRule(site="remote.get", kind="status", max_fires=1)])
+        faulty = FaultyHTTPRunCache(cache_server.url, plan, retry_policy=FAST)
+        config, record = tiny_config(), make_record()
+        faulty.put(config, record)
+        assert faulty.get(config) == record
+        assert faulty.stats.retries >= 1
+
+    def test_persistent_errors_exhaust_to_cache_error(self, cache_server):
+        plan = FaultPlan([FaultRule(site="remote.get", kind="error")])  # every attempt
+        faulty = FaultyHTTPRunCache(cache_server.url, plan, retry_policy=FAST)
+        config, record = tiny_config(), make_record()
+        faulty.put(config, record)
+        assert faulty.get(config) is None
+        assert faulty.stats.errors == 1 and faulty.stats.hits == 0
+
+    def test_corrupt_response_is_a_verified_miss(self, cache_server):
+        plan = FaultPlan([FaultRule(site="remote.get", kind="corrupt")])
+        faulty = FaultyHTTPRunCache(cache_server.url, plan, retry_policy=FAST)
+        config, record = tiny_config(), make_record()
+        faulty.put(config, record)
+        assert faulty.get(config) is None  # tampered body fails verification
+        assert faulty.stats.corrupt == 1 and faulty.stats.misses == 1
+        # the server-side entry is untouched: a clean client still reads it
+        clean = HTTPRunCache(cache_server.url)
+        assert clean.get(config) == record
+
+
+class TestFaultyRunFn:
+    def test_fails_each_cell_exactly_once(self, tmp_path):
+        fn = FaultyRunFn(marker_dir=str(tmp_path / "markers"), rate=1.0)
+        cell = tiny_config()
+        with pytest.raises(InjectedFault):
+            fn(cell)
+        assert fn.fired() == 1
+        record = fn(cell)  # the retry lands
+        assert record.setting == cell.setting
+        assert fn.fired() == 1  # still one: no double-failing
+
+    def test_rate_zero_never_fails(self, tmp_path):
+        fn = FaultyRunFn(marker_dir=str(tmp_path / "markers"), rate=0.0)
+        assert fn(tiny_config()) is not None
+        assert fn.fired() == 0
+
+
+class TestScenarios:
+    def test_registry_names_resolve(self):
+        for name in ("corrupt-cache", "flaky-remote", "worker-crash"):
+            assert get_scenario(name).name == name
+        assert get_scenario("FLAKY-REMOTE").name == "flaky-remote"
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+    def test_build_plan_rate_override(self):
+        scenario = get_scenario("flaky-remote")
+        plan = build_plan(scenario, rate=1.0, seed=3)
+        assert all(rule.rate == 1.0 for rule in plan.rules)
+        assert plan.seed == 3
+        # the scenario itself is untouched (frozen data)
+        assert all(rule.rate == 0.3 for rule in scenario.rules)

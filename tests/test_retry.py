@@ -1,0 +1,192 @@
+"""Tests for the unified retry/backoff policy (:mod:`repro.execution.retry`).
+
+Covers the deterministic jitter contract (same policy + key + attempt ==
+same delay, everywhere), the backoff schedule shape, the ``call`` loop's
+retry/raise/deadline semantics with injected sleep/clock, and the validation
+surface of the frozen dataclass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.retry import RetryPolicy, hash_uniform
+
+
+class TestHashUniform:
+    def test_in_unit_interval_and_deterministic(self):
+        draws = [hash_uniform(0, "key", i) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert draws == [hash_uniform(0, "key", i) for i in range(100)]
+
+    def test_distinct_tokens_give_distinct_draws(self):
+        assert hash_uniform(0, "a") != hash_uniform(0, "b")
+        assert hash_uniform(0, "a") != hash_uniform(1, "a")
+
+    def test_roughly_uniform(self):
+        draws = [hash_uniform("uniformity", i) for i in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 0.5) < 0.02
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(base_delay=-0.1),
+            dict(max_delay=-1.0),
+            dict(multiplier=0.5),
+            dict(jitter=-0.1),
+            dict(jitter=1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_for_attempts(self):
+        assert RetryPolicy.for_attempts(5).max_attempts == 5
+        assert RetryPolicy.for_attempts(0).max_attempts == 1  # clamped
+        assert RetryPolicy.for_attempts(4, base_delay=0.0).base_delay == 0.0
+
+    def test_frozen_and_hashable(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.max_attempts = 7
+        assert hash(policy) == hash(RetryPolicy())
+
+
+class TestSchedule:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=10.0, max_delay=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.5, 0.5, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=1.0, jitter=0.25)
+        first = list(policy.delays(key="cell:3"))
+        assert first == list(policy.delays(key="cell:3"))
+        for delay in first:
+            assert 0.75 <= delay <= 1.25
+
+    def test_jitter_decorrelates_keys_and_seeds(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        assert policy.delay_for(0, key="a") != policy.delay_for(0, key="b")
+        reseeded = RetryPolicy(base_delay=1.0, jitter=0.5, seed=1)
+        assert policy.delay_for(0, key="a") != reseeded.delay_for(0, key="a")
+
+    def test_single_attempt_policy_has_empty_schedule(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+
+class TestCall:
+    def test_returns_first_success_without_sleeping(self):
+        slept = []
+        result = RetryPolicy().call(lambda: 42, sleep=slept.append)
+        assert result == 42 and slept == []
+
+    def test_retries_until_success(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert policy.call(flaky, retry_on=(OSError,), sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_raises_after_exhausting_attempts(self):
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise OSError("still down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with pytest.raises(OSError, match="still down"):
+            policy.call(always_fails, retry_on=(OSError,), sleep=lambda _: None)
+        assert len(attempts) == 3
+
+    def test_non_matching_exception_propagates_immediately(self):
+        attempts = []
+
+        def wrong_kind():
+            attempts.append(1)
+            raise KeyError("logic bug")
+
+        with pytest.raises(KeyError):
+            RetryPolicy().call(wrong_kind, retry_on=(OSError,), sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_sees_index_exception_and_delay(self):
+        seen = []
+
+        def fails_twice(state=[]):
+            state.append(1)
+            if len(state) < 3:
+                raise OSError(f"fail {len(state)}")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        policy.call(
+            fails_twice,
+            retry_on=(OSError,),
+            sleep=lambda _: None,
+            on_retry=lambda i, exc, d: seen.append((i, str(exc), d)),
+        )
+        assert seen == [(0, "fail 1", pytest.approx(0.1)), (1, "fail 2", pytest.approx(0.2))]
+
+    def test_total_deadline_abandons_retry(self):
+        clock_value = [0.0]
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            clock_value[0] += 1.0  # each attempt burns a simulated second
+            raise OSError("down")
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=1.0, jitter=0.0, total_deadline=2.5
+        )
+        with pytest.raises(OSError):
+            policy.call(
+                failing,
+                retry_on=(OSError,),
+                sleep=lambda d: clock_value.__setitem__(0, clock_value[0] + d),
+                clock=lambda: clock_value[0],
+            )
+        # attempt 1 at t=1 (retry to t=2 fits 2.5), attempt 2 at t=3 (t=4 > 2.5: abandon)
+        assert len(attempts) == 2
+
+    def test_deterministic_replay_of_the_whole_loop(self):
+        def run_once():
+            slept = []
+            state = []
+
+            def flaky():
+                state.append(1)
+                if len(state) < 4:
+                    raise OSError("x")
+                return "done"
+
+            RetryPolicy(max_attempts=4, base_delay=0.05).call(
+                flaky, retry_on=(OSError,), key="replay", sleep=slept.append
+            )
+            return slept
+
+        assert run_once() == run_once()
